@@ -1,0 +1,66 @@
+// Shared driver for the figure/table reproduction benches: runs an explorer
+// over the 79-benchmark corpus (optionally in parallel — explorations of
+// distinct benchmarks are independent), and prints aligned tables plus
+// optional CSV for external plotting.
+
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "explore/explorer.hpp"
+#include "programs/registry.hpp"
+#include "support/options.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+namespace lazyhb::bench {
+
+/// Options shared by every corpus bench.
+inline support::Options corpusOptions(const char* name, const char* description) {
+  support::Options options(name, description);
+  options.addInt("limit", 10000, "schedule budget per benchmark (paper: 100000)");
+  options.addInt("jobs", 4, "worker threads (benchmarks explored in parallel)");
+  options.addInt("max-events", 65536, "per-schedule event budget");
+  options.addFlag("csv", "also print machine-readable CSV");
+  options.addString("only", "", "run a single benchmark by name");
+  return options;
+}
+
+/// The subset of the corpus selected by --only (default: everything).
+inline std::vector<const programs::ProgramSpec*> selectCorpus(
+    const support::Options& options) {
+  std::vector<const programs::ProgramSpec*> selected;
+  const std::string only = options.getString("only");
+  for (const auto& spec : programs::all()) {
+    if (only.empty() || spec.name == only) selected.push_back(&spec);
+  }
+  return selected;
+}
+
+/// Run `explore(spec)` for every selected benchmark across a thread pool;
+/// results land in a vector parallel to the selection.
+template <typename Result>
+std::vector<Result> runCorpus(
+    const std::vector<const programs::ProgramSpec*>& corpus, int jobs,
+    const std::function<Result(const programs::ProgramSpec&)>& explore) {
+  std::vector<Result> results(corpus.size());
+  support::ThreadPool pool(jobs);
+  pool.parallelFor(corpus.size(), [&](std::size_t i) {
+    results[i] = explore(*corpus[i]);
+  });
+  return results;
+}
+
+inline void emit(const support::Table& table, bool csv) {
+  std::fputs(table.toText().c_str(), stdout);
+  if (csv) {
+    std::fputs("\n--- CSV ---\n", stdout);
+    std::fputs(table.toCsv().c_str(), stdout);
+  }
+}
+
+}  // namespace lazyhb::bench

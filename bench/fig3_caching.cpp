@@ -1,0 +1,101 @@
+// Reproduction of Figure 3: "The number of lazy happens-before relations
+// explored within 100,000 schedules of regular vs. lazy HBR caching."
+//
+// For every benchmark two explorations run under the same schedule budget:
+// HBR caching (prefix cache keyed on regular-HBR fingerprints, Musuvathi &
+// Qadeer) and lazy HBR caching (keyed on lazy-HBR fingerprints, the paper's
+// contribution). We count the distinct terminal lazy HBRs each reached.
+// Lazy caching prunes redundant prefixes earlier, so within a fixed budget
+// it reaches at least as many — and on contended benchmarks strictly more —
+// terminal lazy HBRs. The paper reports 18 benchmarks where the techniques
+// differ, with lazy caching exploring 8,969 (84%) more terminal lazy HBRs
+// across them.
+//
+// Note on plotting conventions: the paper's prose counts the differing
+// benchmarks as "below the diagonal"; with x = regular caching and
+// y = lazy caching those points satisfy y > x. We report them as
+// "differing" to avoid the ambiguity.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/redundancy.hpp"
+#include "explore/caching_explorer.hpp"
+
+using namespace lazyhb;
+
+namespace {
+
+core::CachingCounts compareCaching(const programs::ProgramSpec& spec,
+                                   std::uint64_t limit, std::uint32_t maxEvents) {
+  auto runOne = [&](trace::Relation relation) {
+    explore::ExplorerOptions options;
+    options.scheduleLimit = limit;
+    options.maxEventsPerSchedule = maxEvents;
+    explore::CachingExplorer explorer(options, relation);
+    return explorer.explore(spec.body);
+  };
+  const auto regular = runOne(trace::Relation::Full);
+  const auto lazy = runOne(trace::Relation::Lazy);
+
+  core::CachingCounts counts;
+  counts.name = spec.name;
+  counts.id = spec.id;
+  counts.lazyHbrsByRegularCaching = regular.distinctLazyHbrs;
+  counts.lazyHbrsByLazyCaching = lazy.distinctLazyHbrs;
+  counts.schedulesRegular = regular.schedulesExecuted;
+  counts.schedulesLazy = lazy.schedulesExecuted;
+  counts.hitScheduleLimit = regular.hitScheduleLimit || lazy.hitScheduleLimit;
+  return counts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto options = bench::corpusOptions(
+      "fig3_caching",
+      "Figure 3: lazy HBRs explored by regular vs. lazy HBR caching");
+  if (!options.parse(argc, argv)) return options.parseError() ? 1 : 0;
+
+  const auto corpus = bench::selectCorpus(options);
+  const auto limit = static_cast<std::uint64_t>(options.getInt("limit"));
+  const auto maxEvents = static_cast<std::uint32_t>(options.getInt("max-events"));
+
+  std::printf("Figure 3 reproduction: HBR caching vs lazy HBR caching,"
+              " %llu-schedule budget, %zu benchmarks\n\n",
+              static_cast<unsigned long long>(limit), corpus.size());
+
+  const auto rows = bench::runCorpus<core::CachingCounts>(
+      corpus, static_cast<int>(options.getInt("jobs")),
+      [&](const programs::ProgramSpec& spec) {
+        return compareCaching(spec, limit, maxEvents);
+      });
+
+  support::Table table({"id", "benchmark", "lazyHBRs(HBR-caching)",
+                        "lazyHBRs(lazy-caching)", "sched(reg)", "sched(lazy)",
+                        "hit-limit", "differs"});
+  for (const auto& row : rows) {
+    table.beginRow();
+    table.cell(static_cast<std::int64_t>(row.id));
+    table.cell(row.name);
+    table.cell(row.lazyHbrsByRegularCaching);
+    table.cell(row.lazyHbrsByLazyCaching);
+    table.cell(row.schedulesRegular);
+    table.cell(row.schedulesLazy);
+    table.cell(std::string(row.hitScheduleLimit ? "yes" : "no"));
+    table.cell(std::string(
+        row.lazyHbrsByLazyCaching > row.lazyHbrsByRegularCaching ? "LAZY+" : "-"));
+  }
+  bench::emit(table, options.getFlag("csv"));
+
+  const core::Fig3Summary summary = core::summarizeFig3(rows);
+  std::printf("\nSummary (ours):  %d/%d benchmarks differ;"
+              " lazy HBR caching explored %s (%.0f%%) more terminal lazy HBRs"
+              " across them; regular caching never won on %d\n",
+              summary.differing, summary.benchmarks,
+              support::withCommas(summary.extraLazyHbrs).c_str(),
+              summary.extraPercent, summary.regularWon);
+  std::printf("Paper (Fig. 3):  18/79 benchmarks differ; lazy HBR caching"
+              " explored 8,969 (84%%) more terminal lazy HBRs across them\n");
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Micro-benchmarks (google-benchmark) for the substrate the experiments
+// stand on: fiber context switches, controlled-execution throughput, vector
+// clock operations, incremental fingerprint maintenance, exact Foata
+// canonicalisation and cache lookups. These quantify the "executions per
+// second" budget that makes 100k-schedule explorations practical.
+
+#include <benchmark/benchmark.h>
+
+#include "core/hbr_cache.hpp"
+#include "explore/dfs_explorer.hpp"
+#include "explore/dpor_explorer.hpp"
+#include "explore/random_explorer.hpp"
+#include "explore/replay.hpp"
+#include "runtime/api.hpp"
+#include "runtime/fiber.hpp"
+#include "support/rng.hpp"
+#include "trace/foata.hpp"
+#include "trace/vector_clock.hpp"
+
+namespace {
+
+using namespace lazyhb;
+
+// --- fiber switching ---------------------------------------------------------
+
+void BM_FiberRoundTrip(benchmark::State& state) {
+  runtime::StackPool pool;
+  // One fiber that yields forever; each iteration is resume+yield.
+  bool stop = false;
+  runtime::Fiber* self = nullptr;
+  runtime::Fiber fiber(pool, [&] {
+    while (!stop) {
+      self->yieldToHost();
+    }
+  });
+  self = &fiber;
+  for (auto _ : state) {
+    fiber.resume();
+  }
+  stop = true;
+  fiber.resume();  // let it finish
+}
+BENCHMARK(BM_FiberRoundTrip);
+
+// --- execution throughput ------------------------------------------------------
+
+void incrementProgram() {
+  Shared<int> x{0, "x"};
+  Mutex m("m");
+  auto t = spawn([&] {
+    LockGuard guard(m);
+    x.store(x.load() + 1);
+  });
+  {
+    LockGuard guard(m);
+    x.store(x.load() + 1);
+  }
+  t.join();
+}
+
+void BM_ExecutionsPerSecond(benchmark::State& state) {
+  runtime::StackPool pool;
+  trace::TraceRecorder recorder;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    runtime::Execution exec(runtime::Config{}, pool, &recorder);
+    explore::FixedScheduler scheduler({});
+    benchmark::DoNotOptimize(exec.run(incrementProgram, scheduler));
+    ++seed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ExecutionsPerSecond);
+
+void BM_RandomExploration1k(benchmark::State& state) {
+  for (auto _ : state) {
+    explore::ExplorerOptions options;
+    options.scheduleLimit = 1000;
+    explore::RandomExplorer explorer(options, 42);
+    benchmark::DoNotOptimize(explorer.explore(incrementProgram));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_RandomExploration1k);
+
+void BM_DporExplorationComplete(benchmark::State& state) {
+  for (auto _ : state) {
+    explore::ExplorerOptions options;
+    options.scheduleLimit = 1u << 20;
+    explore::DporExplorer explorer(options);
+    benchmark::DoNotOptimize(explorer.explore(incrementProgram));
+  }
+}
+BENCHMARK(BM_DporExplorationComplete);
+
+// --- vector clocks ------------------------------------------------------------
+
+void BM_VectorClockJoin(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  trace::VectorClock a;
+  trace::VectorClock b;
+  support::Rng rng(7);
+  for (int i = 0; i < width; ++i) {
+    a.set(i, static_cast<std::uint32_t>(rng.below(1000)));
+    b.set(i, static_cast<std::uint32_t>(rng.below(1000)));
+  }
+  for (auto _ : state) {
+    a.joinWith(b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_VectorClockJoin)->Arg(4)->Arg(16)->Arg(64);
+
+// --- fingerprints ---------------------------------------------------------------
+
+void BM_MultisetHashAdd(benchmark::State& state) {
+  support::MultisetHash acc;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    acc.add(support::hash128(i++));
+    benchmark::DoNotOptimize(acc.digest());
+  }
+}
+BENCHMARK(BM_MultisetHashAdd);
+
+void BM_HbrCacheCheckAndInsert(benchmark::State& state) {
+  core::HbrCache cache;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.checkAndInsert(support::hash128(i++ % 4096)));
+  }
+}
+BENCHMARK(BM_HbrCacheCheckAndInsert);
+
+// --- exact canonical forms -------------------------------------------------------
+
+void BM_FoataNormalForm(benchmark::State& state) {
+  // Record one execution with predecessors kept, then canonicalise it
+  // repeatedly (the cost model for "exact mode" experiments).
+  runtime::StackPool pool;
+  trace::TraceRecorder recorder(trace::TraceRecorder::Options{true, false});
+  runtime::Execution exec(runtime::Config{}, pool, &recorder);
+  explore::FixedScheduler scheduler({});
+  (void)exec.run(incrementProgram, scheduler);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::foataNormalForm(recorder, trace::Relation::Lazy));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * recorder.eventCount()));
+}
+BENCHMARK(BM_FoataNormalForm);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Bank audit: the paper's motivating scenario in application form.
+//
+// A bank guards every operation with ONE coarse mutex — the simple locking
+// discipline well-engineered software deliberately chooses. Tellers move
+// money between disjoint account pairs while an auditor sums balances under
+// the same lock. The invariant (total conservation) holds; what varies
+// between interleavings is only the ORDER of critical sections.
+//
+// This example shows the lazy HBR earning its keep: systematic testing with
+// the regular HBR must explore every critical-section ordering; the lazy
+// HBR proves almost all of them equivalent, so the verification evidence
+// ("invariant holds in all interleavings") comes from exploring a handful
+// of schedule classes.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "explore/caching_explorer.hpp"
+#include "explore/dfs_explorer.hpp"
+#include "runtime/api.hpp"
+#include "support/options.hpp"
+
+using namespace lazyhb;
+
+namespace {
+
+constexpr int kTellers = 3;
+constexpr int kInitialBalance = 100;
+
+void bankDay() {
+  Mutex bankLock("bank");
+  std::vector<std::unique_ptr<Shared<int>>> accounts;
+  for (int i = 0; i < 2 * kTellers; ++i) {
+    accounts.push_back(std::make_unique<Shared<int>>(kInitialBalance, "acct"));
+  }
+
+  std::vector<ThreadHandle> tellers;
+  for (int t = 0; t < kTellers; ++t) {
+    tellers.push_back(spawn([&, t] {
+      auto& from = *accounts[static_cast<std::size_t>(2 * t)];
+      auto& to = *accounts[static_cast<std::size_t>(2 * t + 1)];
+      LockGuard guard(bankLock);
+      from.store(from.load() - 25);
+      to.store(to.load() + 25);
+    }));
+  }
+
+  auto auditor = spawn([&] {
+    LockGuard guard(bankLock);
+    int total = 0;
+    for (auto& account : accounts) {
+      total += account->load();
+    }
+    // The audit may run before, between or after transfers; conservation
+    // must hold at every quiescent point.
+    checkAlways(total == 2 * kTellers * kInitialBalance, "money is conserved");
+  });
+
+  for (auto& teller : tellers) teller.join();
+  auditor.join();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::Options options("bank_audit", "coarse-locked bank under systematic testing");
+  options.addInt("limit", 200000, "schedule budget");
+  if (!options.parse(argc, argv)) return options.parseError() ? 1 : 0;
+
+  explore::ExplorerOptions exploreOptions;
+  exploreOptions.scheduleLimit = static_cast<std::uint64_t>(options.getInt("limit"));
+
+  std::printf("Exploring a %d-teller coarse-locked bank + auditor...\n\n", kTellers);
+
+  explore::DfsExplorer naive(exploreOptions);
+  const auto base = naive.explore(bankDay);
+  std::printf("naive enumeration : %7llu schedules, %llu HBR classes, "
+              "%llu lazy classes, %llu states, violations: %zu\n",
+              static_cast<unsigned long long>(base.schedulesExecuted),
+              static_cast<unsigned long long>(base.distinctHbrs),
+              static_cast<unsigned long long>(base.distinctLazyHbrs),
+              static_cast<unsigned long long>(base.distinctStates),
+              base.violations.size());
+
+  explore::CachingExplorer lazy(exploreOptions, trace::Relation::Lazy);
+  const auto reduced = lazy.explore(bankDay);
+  std::printf("lazy HBR caching  : %7llu schedules for the same %llu lazy classes"
+              " and %llu states, violations: %zu\n",
+              static_cast<unsigned long long>(reduced.schedulesExecuted),
+              static_cast<unsigned long long>(reduced.distinctLazyHbrs),
+              static_cast<unsigned long long>(reduced.distinctStates),
+              reduced.violations.size());
+
+  const double factor =
+      reduced.schedulesExecuted == 0
+          ? 0.0
+          : static_cast<double>(base.schedulesExecuted) /
+                static_cast<double>(reduced.schedulesExecuted);
+  std::printf("\nThe audit invariant held in every interleaving; lazy HBR caching"
+              " needed %.1fx fewer executions to certify it.\n", factor);
+  return base.foundViolation() || reduced.foundViolation() ? 1 : 0;
+}

@@ -1,0 +1,84 @@
+// Deadlock hunt: find a deadlock systematically, print the reproducing
+// interleaving, then verify the classic fix (global lock ordering) by
+// exhausting the fixed program's schedule space.
+//
+// Demonstrates the tool-style workflow: explore -> violation + replayable
+// schedule -> fix -> exhaustive re-verification (complete = true, no
+// violations = proof for this program size).
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "explore/dpor_explorer.hpp"
+#include "explore/replay.hpp"
+#include "runtime/api.hpp"
+
+using namespace lazyhb;
+
+namespace {
+
+constexpr int kPhilosophers = 3;
+
+/// Dining philosophers; `ordered` selects the deadlock-free fork discipline.
+explore::Program dine(bool ordered) {
+  return [ordered] {
+    std::vector<std::unique_ptr<Mutex>> forks;
+    std::vector<std::unique_ptr<Shared<int>>> meals;
+    for (int i = 0; i < kPhilosophers; ++i) {
+      forks.push_back(std::make_unique<Mutex>("fork"));
+      meals.push_back(std::make_unique<Shared<int>>(0, "meals"));
+    }
+    std::vector<ThreadHandle> philosophers;
+    for (int i = 0; i < kPhilosophers; ++i) {
+      philosophers.push_back(spawn([&, i, ordered] {
+        auto left = static_cast<std::size_t>(i);
+        auto right = static_cast<std::size_t>((i + 1) % kPhilosophers);
+        if (ordered && left > right) std::swap(left, right);
+        LockGuard first(*forks[left]);
+        LockGuard second(*forks[right]);
+        meals[static_cast<std::size_t>(i)]->store(1);
+      }));
+    }
+    for (auto& p : philosophers) p.join();
+  };
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Hunting deadlocks in %d naive dining philosophers...\n", kPhilosophers);
+  explore::ExplorerOptions options;
+  options.scheduleLimit = 100000;
+  options.stopOnFirstViolation = true;
+
+  const auto buggy = dine(/*ordered=*/false);
+  explore::DporExplorer hunter(options);
+  const auto hunt = hunter.explore(buggy);
+  if (!hunt.foundViolation()) {
+    std::printf("no deadlock found (unexpected)\n");
+    return 1;
+  }
+  const auto& violation = hunt.violations.front();
+  std::printf("found after %llu schedules: %s\n\n",
+              static_cast<unsigned long long>(hunt.schedulesExecuted),
+              violation.message.c_str());
+
+  const auto replay = explore::replaySchedule(buggy, violation.schedule);
+  std::printf("reproducing interleaving:\n%s\n", replay.renderedTrace.c_str());
+
+  std::printf("Applying the fix (acquire forks in global index order) and"
+              " re-verifying exhaustively...\n");
+  explore::ExplorerOptions verifyOptions;
+  verifyOptions.scheduleLimit = 1u << 20;
+  explore::DporExplorer verifier(verifyOptions);
+  const auto proof = verifier.explore(dine(/*ordered=*/true));
+  std::printf("explored %llu schedules; search space exhausted: %s;"
+              " violations: %zu\n",
+              static_cast<unsigned long long>(proof.schedulesExecuted),
+              proof.complete ? "yes" : "no", proof.violations.size());
+  const bool fixed = proof.complete && !proof.foundViolation();
+  std::printf("%s\n", fixed ? "Fix verified: deadlock-free for this configuration."
+                            : "Fix NOT verified!");
+  return fixed ? 0 : 1;
+}

@@ -1,0 +1,157 @@
+#include "core/dependence.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace lazyhb::core {
+
+using runtime::OpKind;
+using trace::Relation;
+
+namespace {
+
+/// How an operation touches one object.
+enum class AccessClass : std::uint8_t {
+  VarRead,
+  VarWrite,
+  MutexBlocking,  ///< lock/unlock/wait-release/reacquire
+  MutexTry,
+  CondVar,
+  Semaphore,
+  ThreadObj,
+};
+
+struct Access {
+  std::int32_t object = -1;
+  AccessClass cls = AccessClass::VarRead;
+};
+
+/// Object footprint of an operation: at most two accesses (wait/reacquire
+/// touch both their condvar and their mutex). Returns the count.
+int footprint(const OpSig& sig, Access out[2]) {
+  switch (sig.kind) {
+    case OpKind::Read:
+      out[0] = {sig.object, AccessClass::VarRead};
+      return 1;
+    case OpKind::Write:
+    case OpKind::Rmw:
+      out[0] = {sig.object, AccessClass::VarWrite};
+      return 1;
+    case OpKind::Lock:
+    case OpKind::Unlock:
+      out[0] = {sig.object, AccessClass::MutexBlocking};
+      return 1;
+    case OpKind::TryLock:
+      out[0] = {sig.object, AccessClass::MutexTry};
+      return 1;
+    case OpKind::Wait:
+    case OpKind::Reacquire:
+      out[0] = {sig.object, AccessClass::CondVar};
+      out[1] = {sig.mutexObject, AccessClass::MutexBlocking};
+      return 2;
+    case OpKind::Signal:
+    case OpKind::Broadcast:
+      out[0] = {sig.object, AccessClass::CondVar};
+      return 1;
+    case OpKind::SemAcquire:
+    case OpKind::SemRelease:
+      out[0] = {sig.object, AccessClass::Semaphore};
+      return 1;
+    case OpKind::Spawn:
+    case OpKind::Join:
+      out[0] = {sig.object, AccessClass::ThreadObj};
+      return 1;
+    case OpKind::Yield:
+      return 0;
+  }
+  return 0;
+}
+
+[[nodiscard]] bool accessesConflict(const Access& a, const Access& b, Relation r) {
+  if (a.object != b.object || a.object < 0) return false;
+  const bool aVar = a.cls == AccessClass::VarRead || a.cls == AccessClass::VarWrite;
+  const bool bVar = b.cls == AccessClass::VarRead || b.cls == AccessClass::VarWrite;
+  if (aVar && bVar) {
+    return a.cls == AccessClass::VarWrite || b.cls == AccessClass::VarWrite;
+  }
+  const bool aMutex = a.cls == AccessClass::MutexBlocking || a.cls == AccessClass::MutexTry;
+  const bool bMutex = b.cls == AccessClass::MutexBlocking || b.cls == AccessClass::MutexTry;
+  if (aMutex && bMutex) {
+    if (r == Relation::Lazy) {
+      // The lazy HBR erases blocking-blocking mutex pairs; any pair that
+      // involves a trylock is retained.
+      return a.cls == AccessClass::MutexTry || b.cls == AccessClass::MutexTry;
+    }
+    return true;
+  }
+  // Remaining classes conflict exactly with their own class on the object.
+  return a.cls == b.cls;
+}
+
+}  // namespace
+
+OpSig sigOf(const runtime::EventRecord& event) {
+  OpSig sig;
+  sig.kind = event.kind;
+  sig.thread = event.threadIndex;
+  sig.object = event.objectIndex;
+  sig.mutexObject = event.mutexIndex;
+  return sig;
+}
+
+OpSig sigOf(int tid, const runtime::PendingOp& op) {
+  OpSig sig;
+  sig.kind = op.kind;
+  sig.thread = tid;
+  sig.object = op.object;
+  sig.mutexObject = op.mutexObject;
+  return sig;
+}
+
+bool conflicting(const OpSig& a, const OpSig& b, Relation r) {
+  LAZYHB_CHECK(r == Relation::Full || r == Relation::Lazy);
+  if (a.thread == b.thread) return false;
+  Access fa[2];
+  Access fb[2];
+  const int na = footprint(a, fa);
+  const int nb = footprint(b, fb);
+  for (int i = 0; i < na; ++i) {
+    for (int j = 0; j < nb; ++j) {
+      if (accessesConflict(fa[i], fb[j], r)) return true;
+    }
+  }
+  return false;
+}
+
+bool dependent(const OpSig& a, const OpSig& b, Relation r) {
+  return a.thread == b.thread || conflicting(a, b, r);
+}
+
+bool mayBeCoEnabled(const OpSig& a, const OpSig& b) {
+  // Mutex role constraints: an operation that requires the mutex *held by
+  // the caller* can never be co-enabled with another such operation on the
+  // same mutex (one holder), nor with one requiring the mutex *free*.
+  auto roleOn = [](const OpSig& sig, std::int32_t mutex) -> int {
+    // 0 = unrelated, 1 = needs-held, 2 = needs-free
+    switch (sig.kind) {
+      case OpKind::Unlock:
+        return sig.object == mutex ? 1 : 0;
+      case OpKind::Wait:
+        return sig.mutexObject == mutex ? 1 : 0;
+      case OpKind::Lock:
+        return sig.object == mutex ? 2 : 0;
+      case OpKind::Reacquire:
+        return sig.mutexObject == mutex ? 2 : 0;
+      default:
+        return 0;
+    }
+  };
+  for (const std::int32_t mutex : {a.object, a.mutexObject}) {
+    if (mutex < 0) continue;
+    const int ra = roleOn(a, mutex);
+    const int rb = roleOn(b, mutex);
+    if (ra != 0 && rb != 0 && (ra == 1 || rb == 1)) return false;
+  }
+  return true;
+}
+
+}  // namespace lazyhb::core

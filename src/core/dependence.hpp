@@ -1,0 +1,54 @@
+// lazyhb/core/dependence.hpp
+//
+// The dependence (conflict) relation between visible operations, for each
+// happens-before relation — the definitional heart of the paper:
+//
+//   Full HBR   (paper §2, condition (b)): two operations conflict iff they
+//              access the same variable or mutex and at least one access is
+//              a modification; every mutex/condvar/semaphore operation
+//              modifies its object.
+//   Lazy HBR   (the contribution): same, except same-mutex pairs of blocking
+//              operations (lock/unlock/wait/reacquire) do NOT conflict.
+//              Pairs involving TryLock still conflict — a trylock observes
+//              the mutex state, so its ordering is state-relevant.
+//
+// Dependence is a function of operation *labels* (kind + objects), which is
+// what makes the Foata normal form canonical and lets sleep sets and DPOR
+// reason about pending operations before they execute.
+
+#pragma once
+
+#include "runtime/execution.hpp"
+#include "runtime/operation.hpp"
+#include "trace/trace_recorder.hpp"
+
+namespace lazyhb::core {
+
+/// A relation-independent signature of an operation: enough to decide
+/// dependence and co-enabledness. Object fields are execution-local indices,
+/// so signatures are only comparable within one execution.
+struct OpSig {
+  runtime::OpKind kind = runtime::OpKind::Yield;
+  int thread = -1;
+  std::int32_t object = -1;       ///< primary object index (-1 none)
+  std::int32_t mutexObject = -1;  ///< Wait/Reacquire: the mutex
+};
+
+[[nodiscard]] OpSig sigOf(const runtime::EventRecord& event);
+[[nodiscard]] OpSig sigOf(int tid, const runtime::PendingOp& op);
+
+/// True iff two operations from *different* threads conflict under `r`
+/// (same-thread pairs are ordered by program order, not conflict).
+/// `r` must be Full or Lazy.
+[[nodiscard]] bool conflicting(const OpSig& a, const OpSig& b, trace::Relation r);
+
+/// Dependence = same thread or conflicting.
+[[nodiscard]] bool dependent(const OpSig& a, const OpSig& b, trace::Relation r);
+
+/// Conservative co-enabledness: false only when the two operations provably
+/// cannot both be enabled in any state (e.g. lock and unlock of one mutex:
+/// lock requires the mutex free, unlock requires the caller to hold it).
+/// Over-approximating with `true` is always sound for DPOR.
+[[nodiscard]] bool mayBeCoEnabled(const OpSig& a, const OpSig& b);
+
+}  // namespace lazyhb::core

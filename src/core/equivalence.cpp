@@ -1,0 +1,3 @@
+// EquivalenceChecker is header-only; this translation unit anchors the
+// library.
+#include "core/equivalence.hpp"

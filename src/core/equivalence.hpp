@@ -1,0 +1,66 @@
+// lazyhb/core/equivalence.hpp
+//
+// Checkable forms of the paper's two theorems.
+//
+//   Theorem 2.1: schedules with equal HBRs reach the same terminal state.
+//   Theorem 2.2: *feasible* schedules with equal lazy HBRs reach the same
+//                terminal state (the paper's contribution — lazy HBR classes
+//                are coarser, so this detects strictly more equivalence).
+//
+// The checker ingests (relation fingerprint, state fingerprint) pairs from
+// terminal schedules and verifies the induced map relation-class -> state is
+// a function. Any conflict is a counterexample to the theorem (or a
+// fingerprint collision) and is surfaced loudly — the property test suite
+// drives millions of schedules through this.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/hash.hpp"
+
+namespace lazyhb::core {
+
+class EquivalenceChecker {
+ public:
+  struct Stats {
+    std::uint64_t schedules = 0;    ///< terminal schedules recorded
+    std::uint64_t classes = 0;      ///< distinct relation fingerprints
+    std::uint64_t states = 0;       ///< distinct state fingerprints
+    std::uint64_t conflicts = 0;    ///< theorem violations observed
+  };
+
+  /// Record one terminal schedule. Returns false iff this schedule's state
+  /// differs from an earlier schedule with the same relation fingerprint.
+  bool record(const support::Hash128& relationFingerprint,
+              const support::Hash128& stateFingerprint) {
+    ++stats_.schedules;
+    auto [it, inserted] = classToState_.emplace(relationFingerprint, stateFingerprint);
+    if (states_.insert(stateFingerprint).second) ++stats_.states;
+    if (inserted) {
+      ++stats_.classes;
+      return true;
+    }
+    if (it->second == stateFingerprint) return true;
+    ++stats_.conflicts;
+    return false;
+  }
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  void clear() {
+    classToState_.clear();
+    states_.clear();
+    stats_ = Stats{};
+  }
+
+ private:
+  std::unordered_map<support::Hash128, support::Hash128, support::Hash128Hasher>
+      classToState_;
+  std::unordered_set<support::Hash128, support::Hash128Hasher> states_;
+  Stats stats_;
+};
+
+}  // namespace lazyhb::core

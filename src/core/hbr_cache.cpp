@@ -1,0 +1,2 @@
+// HbrCache is header-only; this translation unit anchors the library.
+#include "core/hbr_cache.hpp"

@@ -1,0 +1,64 @@
+// lazyhb/core/hbr_cache.hpp
+//
+// The happens-before-relation cache of Musuvathi & Qadeer
+// (MSR-TR-2007-12), as used in the paper's §2 "Lazy HBR caching":
+// the canonical fingerprint of the executed prefix's (lazy) HBR is stored
+// after every event; when a later execution reaches a prefix whose
+// fingerprint is already cached, that schedule is redundant and exploration
+// of it stops. The same class serves regular HBR caching (keyed on full-HBR
+// fingerprints) and lazy HBR caching (keyed on lazy-HBR fingerprints) — the
+// choice of key *is* the technique.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "support/hash.hpp"
+
+namespace lazyhb::core {
+
+class HbrCache {
+ public:
+  struct Stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;       ///< prefix already seen => schedule pruned
+    std::uint64_t insertions = 0;
+  };
+
+  /// Look up `fingerprint`; if absent, insert it. Returns true on a hit
+  /// (the prefix was seen before and the caller should prune).
+  bool checkAndInsert(const support::Hash128& fingerprint) {
+    ++stats_.lookups;
+    const bool inserted = set_.insert(fingerprint).second;
+    if (inserted) {
+      ++stats_.insertions;
+      return false;
+    }
+    ++stats_.hits;
+    return true;
+  }
+
+  /// Insert without counting a lookup (used to seed replayed prefixes).
+  void insert(const support::Hash128& fingerprint) {
+    if (set_.insert(fingerprint).second) ++stats_.insertions;
+  }
+
+  [[nodiscard]] bool contains(const support::Hash128& fingerprint) const {
+    return set_.count(fingerprint) != 0;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return set_.size(); }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  void clear() {
+    set_.clear();
+    stats_ = Stats{};
+  }
+
+ private:
+  std::unordered_set<support::Hash128, support::Hash128Hasher> set_;
+  Stats stats_;
+};
+
+}  // namespace lazyhb::core

@@ -1,0 +1,32 @@
+#include "core/race_detector.hpp"
+
+namespace lazyhb::core {
+
+int RaceAggregator::ingest(const trace::TraceRecorder& recorder) {
+  int fresh = 0;
+  for (const trace::RaceReport& race : recorder.races()) {
+    if (seen_.insert(race.objectUid).second) {
+      races_.push_back(race);
+      ++fresh;
+    }
+  }
+  return fresh;
+}
+
+std::string RaceAggregator::describe() const {
+  std::string out;
+  for (const trace::RaceReport& race : races_) {
+    out += "data race on '";
+    out += race.objectName.empty() ? "<unnamed>" : race.objectName;
+    out += "' (events " + std::to_string(race.firstEvent) + " and " +
+           std::to_string(race.secondEvent) + ")\n";
+  }
+  return out;
+}
+
+void RaceAggregator::clear() {
+  races_.clear();
+  seen_.clear();
+}
+
+}  // namespace lazyhb::core

@@ -1,0 +1,40 @@
+// lazyhb/core/race_detector.hpp
+//
+// Reporting layer over the sync-HB race detection the TraceRecorder
+// performs. The paper lists data races among the safety properties SCT
+// detects; this module aggregates the per-execution RaceReports across an
+// exploration (deduplicating by variable) and formats them.
+
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "trace/trace_recorder.hpp"
+
+namespace lazyhb::core {
+
+class RaceAggregator {
+ public:
+  /// Ingest the races of one finished execution; returns how many were new
+  /// (i.e. on variables not yet reported).
+  int ingest(const trace::TraceRecorder& recorder);
+
+  [[nodiscard]] const std::vector<trace::RaceReport>& distinctRaces() const noexcept {
+    return races_;
+  }
+
+  [[nodiscard]] bool any() const noexcept { return !races_.empty(); }
+
+  /// One line per racy variable: "data race on 'x' (events 3 and 7)".
+  [[nodiscard]] std::string describe() const;
+
+  void clear();
+
+ private:
+  std::vector<trace::RaceReport> races_;
+  std::unordered_set<runtime::Uid> seen_;
+};
+
+}  // namespace lazyhb::core

@@ -1,0 +1,53 @@
+#include "core/redundancy.hpp"
+
+namespace lazyhb::core {
+
+Fig2Summary summarizeFig2(const std::vector<BenchmarkCounts>& rows) {
+  Fig2Summary s;
+  s.benchmarks = static_cast<int>(rows.size());
+  for (const BenchmarkCounts& row : rows) {
+    if (row.lazyHbrs < row.hbrs) {
+      ++s.belowDiagonal;
+      s.hbrsBelow += row.hbrs;
+      s.lazyHbrsBelow += row.lazyHbrs;
+    }
+  }
+  s.redundantHbrs = s.hbrsBelow - s.lazyHbrsBelow;
+  s.redundantPercent =
+      s.hbrsBelow == 0 ? 0.0
+                       : 100.0 * static_cast<double>(s.redundantHbrs) /
+                             static_cast<double>(s.hbrsBelow);
+  return s;
+}
+
+Fig3Summary summarizeFig3(const std::vector<CachingCounts>& rows) {
+  Fig3Summary s;
+  s.benchmarks = static_cast<int>(rows.size());
+  for (const CachingCounts& row : rows) {
+    if (row.lazyHbrsByLazyCaching > row.lazyHbrsByRegularCaching) {
+      ++s.differing;
+      s.extraLazyHbrs += row.lazyHbrsByLazyCaching - row.lazyHbrsByRegularCaching;
+      s.regularOnDiffering += row.lazyHbrsByRegularCaching;
+    } else if (row.lazyHbrsByRegularCaching > row.lazyHbrsByLazyCaching) {
+      ++s.regularWon;
+    }
+  }
+  s.extraPercent = s.regularOnDiffering == 0
+                       ? 0.0
+                       : 100.0 * static_cast<double>(s.extraLazyHbrs) /
+                             static_cast<double>(s.regularOnDiffering);
+  return s;
+}
+
+std::string checkCountingChain(const BenchmarkCounts& row, std::uint64_t scheduleLimit) {
+  auto fail = [&](const char* what) {
+    return row.name + ": counting chain violated (" + what + ")";
+  };
+  if (row.states > row.lazyHbrs) return fail("#states > #lazyHBRs");
+  if (row.lazyHbrs > row.hbrs) return fail("#lazyHBRs > #HBRs");
+  if (row.hbrs > row.schedules) return fail("#HBRs > #schedules");
+  if (row.schedules > scheduleLimit) return fail("#schedules > limit");
+  return std::string();
+}
+
+}  // namespace lazyhb::core

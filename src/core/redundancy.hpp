@@ -1,0 +1,76 @@
+// lazyhb/core/redundancy.hpp
+//
+// Aggregation of per-benchmark exploration counts into the quantities the
+// paper's evaluation reports:
+//
+//  Figure 2 — for DPOR runs: how many benchmarks explored strictly fewer
+//  lazy HBRs than HBRs ("below the diagonal"), and what fraction of the
+//  unique HBRs on those benchmarks were redundant (the paper reports
+//  910,007 = 80% across its 33 below-diagonal benchmarks).
+//
+//  Figure 3 — for the caching comparison: on how many benchmarks the two
+//  techniques differed, and how many more terminal lazy HBRs lazy caching
+//  reached within the same schedule budget (the paper reports 8,969 = 84%
+//  across its 18 benchmarks).
+//
+//  §3 inequality — #states <= #lazyHBRs <= #HBRs <= #schedules, which must
+//  hold per benchmark for any correct implementation.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lazyhb::core {
+
+/// Counts from exploring one benchmark with one explorer.
+struct BenchmarkCounts {
+  std::string name;
+  int id = 0;                  ///< 1-based benchmark id (the paper plots ids)
+  std::uint64_t schedules = 0;
+  std::uint64_t hbrs = 0;      ///< distinct terminal full-HBR fingerprints
+  std::uint64_t lazyHbrs = 0;  ///< distinct terminal lazy-HBR fingerprints
+  std::uint64_t states = 0;    ///< distinct terminal state fingerprints
+  bool hitScheduleLimit = false;
+};
+
+struct Fig2Summary {
+  int benchmarks = 0;
+  int belowDiagonal = 0;            ///< lazyHbrs < hbrs
+  std::uint64_t hbrsBelow = 0;      ///< sum of hbrs over below-diagonal rows
+  std::uint64_t lazyHbrsBelow = 0;  ///< sum of lazyHbrs over the same rows
+  std::uint64_t redundantHbrs = 0;  ///< hbrsBelow - lazyHbrsBelow
+  double redundantPercent = 0.0;    ///< redundantHbrs / hbrsBelow * 100
+};
+
+[[nodiscard]] Fig2Summary summarizeFig2(const std::vector<BenchmarkCounts>& rows);
+
+/// Counts from the Figure 3 comparison on one benchmark.
+struct CachingCounts {
+  std::string name;
+  int id = 0;
+  std::uint64_t lazyHbrsByRegularCaching = 0;  ///< x axis in the paper
+  std::uint64_t lazyHbrsByLazyCaching = 0;     ///< y axis in the paper
+  std::uint64_t schedulesRegular = 0;
+  std::uint64_t schedulesLazy = 0;
+  bool hitScheduleLimit = false;
+};
+
+struct Fig3Summary {
+  int benchmarks = 0;
+  int differing = 0;                 ///< lazy caching found strictly more
+  int regularWon = 0;                ///< regular found strictly more (expect 0)
+  std::uint64_t extraLazyHbrs = 0;   ///< sum(lazy - regular) over differing rows
+  std::uint64_t regularOnDiffering = 0;
+  double extraPercent = 0.0;         ///< extraLazyHbrs / regularOnDiffering * 100
+};
+
+[[nodiscard]] Fig3Summary summarizeFig3(const std::vector<CachingCounts>& rows);
+
+/// Verify the §3 counting chain for one benchmark's exhaustive/limited
+/// exploration; returns an empty string if it holds, else a diagnostic.
+[[nodiscard]] std::string checkCountingChain(const BenchmarkCounts& row,
+                                             std::uint64_t scheduleLimit);
+
+}  // namespace lazyhb::core

@@ -1,0 +1,38 @@
+#include "explore/caching_explorer.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace lazyhb::explore {
+
+CachingExplorer::CachingExplorer(ExplorerOptions options, trace::Relation relation)
+    : ExplorerBase(options), relation_(relation) {
+  LAZYHB_CHECK(relation == trace::Relation::Full || relation == trace::Relation::Lazy);
+}
+
+void CachingExplorer::runSearch(const Program& program) {
+  TreeSearchState state;
+  for (;;) {
+    if (budgetExhausted()) {
+      result().hitScheduleLimit = true;
+      return;
+    }
+    if (shouldStopForViolation()) {
+      return;
+    }
+    TreeScheduler scheduler(state, [this] {
+      return cache_.checkAndInsert(recorder().fingerprint(relation_));
+    });
+    const runtime::Outcome outcome = executeSchedule(program, scheduler);
+    if (outcome != runtime::Outcome::Abandoned && recorder().eventCount() > 0) {
+      // The final event's prefix is never tested by the scheduler (there is
+      // no further pick); seed it so later executions can prune against it.
+      cache_.insert(recorder().fingerprint(relation_));
+    }
+    if (!state.advance()) {
+      markComplete();
+      return;
+    }
+  }
+}
+
+}  // namespace lazyhb::explore

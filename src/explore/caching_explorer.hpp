@@ -1,0 +1,41 @@
+// lazyhb/explore/caching_explorer.hpp
+//
+// HBR caching and lazy HBR caching (paper §2, "Lazy HBR caching").
+//
+// Depth-first enumeration with prefix-equivalence pruning: after every newly
+// chosen event, the canonical fingerprint of the executed prefix's relation
+// is looked up in a global cache. A hit means an equivalent prefix — one
+// reaching the same program state, by Theorem 2.1 (Full relation) or
+// Theorem 2.2 (Lazy relation) — was explored before, so the current schedule
+// is redundant and is abandoned. With the Full relation this is
+// Musuvathi–Qadeer HBR caching; with the Lazy relation it is the paper's
+// contribution, which prunes strictly more because lazy classes are coarser.
+//
+// Figure 3 of the paper compares exactly these two instantiations under a
+// common schedule budget.
+
+#pragma once
+
+#include "core/hbr_cache.hpp"
+#include "explore/dfs_explorer.hpp"
+
+namespace lazyhb::explore {
+
+class CachingExplorer final : public ExplorerBase {
+ public:
+  /// `relation` must be Full (regular HBR caching) or Lazy (lazy HBR
+  /// caching).
+  CachingExplorer(ExplorerOptions options, trace::Relation relation);
+
+  [[nodiscard]] const core::HbrCache& cache() const noexcept { return cache_; }
+  [[nodiscard]] trace::Relation relation() const noexcept { return relation_; }
+
+ protected:
+  void runSearch(const Program& program) override;
+
+ private:
+  trace::Relation relation_;
+  core::HbrCache cache_;
+};
+
+}  // namespace lazyhb::explore

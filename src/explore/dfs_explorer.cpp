@@ -1,0 +1,66 @@
+#include "explore/dfs_explorer.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace lazyhb::explore {
+
+bool TreeSearchState::advance() {
+  while (!nodes.empty()) {
+    SearchNode& node = nodes.back();
+    node.done.insert(node.chosen);
+    const support::ThreadSet remaining = node.enabled.minus(node.done);
+    if (!remaining.empty()) {
+      node.chosen = remaining.first();
+      checkFromDepth = nodes.size() - 1;
+      return true;
+    }
+    nodes.pop_back();
+  }
+  return false;
+}
+
+TreeScheduler::TreeScheduler(TreeSearchState& state, std::function<bool()> prunePrefix)
+    : state_(state), prunePrefix_(std::move(prunePrefix)) {}
+
+int TreeScheduler::pick(runtime::Execution& exec) {
+  // The event committed by the previous pick is the deepest prefix; test it
+  // against the prune hook unless it was a replay.
+  if (prunePrefix_ && depth_ > 0 && depth_ - 1 >= state_.checkFromDepth) {
+    if (prunePrefix_()) {
+      return kAbandon;
+    }
+  }
+  if (depth_ < state_.nodes.size()) {
+    const SearchNode& node = state_.nodes[depth_];
+    LAZYHB_CHECK(exec.enabled().contains(node.chosen));
+    ++depth_;
+    return node.chosen;
+  }
+  SearchNode node;
+  node.enabled = exec.enabled();
+  node.chosen = node.enabled.first();
+  state_.nodes.push_back(node);
+  ++depth_;
+  return node.chosen;
+}
+
+void DfsExplorer::runSearch(const Program& program) {
+  TreeSearchState state;
+  for (;;) {
+    if (budgetExhausted()) {
+      result().hitScheduleLimit = true;
+      return;
+    }
+    if (shouldStopForViolation()) {
+      return;
+    }
+    TreeScheduler scheduler(state);
+    (void)executeSchedule(program, scheduler);
+    if (!state.advance()) {
+      markComplete();
+      return;
+    }
+  }
+}
+
+}  // namespace lazyhb::explore

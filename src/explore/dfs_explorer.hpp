@@ -1,0 +1,70 @@
+// lazyhb/explore/dfs_explorer.hpp
+//
+// Stateless depth-first enumeration of the schedule tree, and the reusable
+// tree-search machinery (search stack + replaying scheduler) that the
+// caching explorers build on.
+//
+// The search tree has one node per scheduling point; a node's children are
+// the enabled threads at that point. Exploration is stateless: to visit a
+// sibling subtree the program is re-executed from scratch with the prefix of
+// choices replayed. TreeScheduler distinguishes the replayed prefix from the
+// new suffix (checkFromDepth) so prune hooks — the HBR caches — never test a
+// schedule against its own previously explored path.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "explore/explorer.hpp"
+#include "support/thread_set.hpp"
+
+namespace lazyhb::explore {
+
+/// One node of the DFS tree: the enabled set met at first visit, the
+/// children already fully explored, and the child being explored now.
+struct SearchNode {
+  support::ThreadSet enabled;
+  support::ThreadSet done;
+  int chosen = -1;
+};
+
+/// The mutable search state threaded through executions.
+struct TreeSearchState {
+  std::vector<SearchNode> nodes;
+  /// Depth of the first choice that differs from the previous execution;
+  /// events at shallower depths are replays.
+  std::size_t checkFromDepth = 0;
+
+  /// Advance to the next unexplored sibling, deepest first. Truncates the
+  /// stack below the flipped node. Returns false when the tree is exhausted.
+  bool advance();
+};
+
+/// Scheduler that replays `state.nodes` and extends the tree depth-first.
+/// `prunePrefix`, when set, is consulted once after every *new* (non-replay)
+/// event; returning true abandons the execution (subtree pruned).
+class TreeScheduler final : public runtime::Scheduler {
+ public:
+  TreeScheduler(TreeSearchState& state, std::function<bool()> prunePrefix = {});
+
+  int pick(runtime::Execution& exec) override;
+
+ private:
+  TreeSearchState& state_;
+  std::function<bool()> prunePrefix_;
+  std::size_t depth_ = 0;
+};
+
+/// Naive systematic enumeration: visits every schedule (up to the limit).
+/// The baseline every reduction is measured against, and the oracle the
+/// property tests compare DPOR and the caching explorers to.
+class DfsExplorer final : public ExplorerBase {
+ public:
+  explicit DfsExplorer(ExplorerOptions options) : ExplorerBase(options) {}
+
+ protected:
+  void runSearch(const Program& program) override;
+};
+
+}  // namespace lazyhb::explore

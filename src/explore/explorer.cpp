@@ -1,0 +1,86 @@
+#include "explore/explorer.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace lazyhb::explore {
+
+ExplorerBase::ExplorerBase(ExplorerOptions options)
+    : options_(options),
+      recorder_(trace::TraceRecorder::Options{options.keepPredecessors,
+                                              options.detectRaces}) {}
+
+ExplorationResult ExplorerBase::explore(const Program& program) {
+  LAZYHB_CHECK(!explored_);
+  explored_ = true;
+  runSearch(program);
+  result_.distinctHbrs = terminalHbrs_.size();
+  result_.distinctLazyHbrs = terminalLazyHbrs_.size();
+  result_.distinctStates = terminalStates_.size();
+  if (options_.checkTheorems) {
+    result_.theorem21 = thm21_.stats();
+    result_.theorem22 = thm22_.stats();
+  }
+  result_.races = raceAggregator_.distinctRaces();
+  return result_;
+}
+
+bool ExplorerBase::budgetExhausted() const noexcept {
+  return result_.schedulesExecuted >= options_.scheduleLimit;
+}
+
+bool ExplorerBase::shouldStopForViolation() const noexcept {
+  return options_.stopOnFirstViolation && !result_.violations.empty();
+}
+
+runtime::Outcome ExplorerBase::executeSchedule(const Program& program,
+                                               runtime::Scheduler& scheduler) {
+  if (budgetExhausted()) {
+    result_.hitScheduleLimit = true;
+  }
+  runtime::Config config;
+  config.maxEventsPerSchedule = options_.maxEventsPerSchedule;
+  runtime::Execution exec(config, stackPool_, &recorder_);
+  const runtime::Outcome outcome = exec.run(program, scheduler);
+
+  ++result_.schedulesExecuted;
+  result_.totalEvents += exec.events().size();
+
+  switch (outcome) {
+    case runtime::Outcome::Terminal: {
+      ++result_.terminalSchedules;
+      const support::Hash128 hbr = recorder_.fingerprint(trace::Relation::Full);
+      const support::Hash128 lazy = recorder_.fingerprint(trace::Relation::Lazy);
+      const support::Hash128 state = exec.stateFingerprint();
+      terminalHbrs_.insert(hbr);
+      terminalLazyHbrs_.insert(lazy);
+      terminalStates_.insert(state);
+      if (options_.checkTheorems) {
+        thm21_.record(hbr, state);
+        thm22_.record(lazy, state);
+      }
+      break;
+    }
+    case runtime::Outcome::Deadlock:
+    case runtime::Outcome::AssertionFailure:
+    case runtime::Outcome::UsageError: {
+      ++result_.violationSchedules;
+      if (result_.violations.size() < options_.maxViolationsKept) {
+        const runtime::Violation& v = exec.violation();
+        result_.violations.push_back(ViolationRecord{v.kind, v.message, v.schedule});
+      }
+      break;
+    }
+    case runtime::Outcome::Abandoned:
+      ++result_.prunedSchedules;
+      break;
+    case runtime::Outcome::EventLimit:
+      break;  // counted as executed, contributes no terminal data
+  }
+
+  if (options_.detectRaces) {
+    raceAggregator_.ingest(recorder_);
+  }
+  return outcome;
+}
+
+}  // namespace lazyhb::explore

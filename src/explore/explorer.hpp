@@ -1,0 +1,135 @@
+// lazyhb/explore/explorer.hpp
+//
+// The exploration framework: an Explorer repeatedly executes a program under
+// controlled schedules until its search space or budget is exhausted, and
+// accumulates the statistics the paper's evaluation is built from —
+// schedules executed, distinct terminal HBRs / lazy HBRs / states, and any
+// property violations found (with replayable schedules).
+//
+// Concrete strategies:
+//   DfsExplorer      — naive depth-first enumeration of all schedules.
+//   DporExplorer     — Flanagan–Godefroid dynamic partial-order reduction
+//                      with optional sleep sets (explore/dpor_explorer.hpp).
+//   CachingExplorer  — DFS with HBR-prefix caching, parameterised on the
+//                      relation: Full gives Musuvathi–Qadeer HBR caching,
+//                      Lazy gives the paper's lazy HBR caching
+//                      (explore/caching_explorer.hpp).
+//   RandomExplorer   — uniform random walks (explore/random_explorer.hpp).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/equivalence.hpp"
+#include "core/race_detector.hpp"
+#include "runtime/execution.hpp"
+#include "support/hash.hpp"
+#include "trace/trace_recorder.hpp"
+
+namespace lazyhb::explore {
+
+/// A program under test: a callable run as thread 0 of every execution.
+/// Must be re-runnable (each schedule re-executes it from scratch) and
+/// deterministic apart from scheduling.
+using Program = std::function<void()>;
+
+struct ExplorerOptions {
+  /// Maximum number of executions (the paper's experiments use 100,000).
+  std::uint64_t scheduleLimit = 100'000;
+  /// Per-schedule event budget (guards against unbounded loops).
+  std::uint32_t maxEventsPerSchedule = 1u << 16;
+  /// Stop the whole exploration at the first violation (testing-tool mode).
+  /// The paper's counting experiments keep exploring; that is the default.
+  bool stopOnFirstViolation = false;
+  /// Run the sync-HB data-race detector on every execution.
+  bool detectRaces = false;
+  /// Record per-event predecessor lists (exact canonical forms in tests).
+  bool keepPredecessors = false;
+  /// Feed every terminal schedule through the Theorem 2.1/2.2 checkers.
+  bool checkTheorems = false;
+  /// Keep at most this many violation records.
+  std::uint32_t maxViolationsKept = 16;
+};
+
+/// A recorded property violation with the schedule that reproduces it.
+struct ViolationRecord {
+  runtime::Outcome kind = runtime::Outcome::Terminal;
+  std::string message;
+  std::vector<int> schedule;  ///< thread picked at each step; replayable
+};
+
+struct ExplorationResult {
+  std::uint64_t schedulesExecuted = 0;
+  std::uint64_t terminalSchedules = 0;
+  std::uint64_t violationSchedules = 0;
+  std::uint64_t prunedSchedules = 0;   ///< abandoned mid-run (cache/sleep)
+  std::uint64_t totalEvents = 0;
+  std::uint64_t distinctHbrs = 0;      ///< terminal full-HBR fingerprints
+  std::uint64_t distinctLazyHbrs = 0;  ///< terminal lazy-HBR fingerprints
+  std::uint64_t distinctStates = 0;    ///< terminal state fingerprints
+  bool hitScheduleLimit = false;
+  bool complete = false;               ///< search space fully explored
+  std::vector<ViolationRecord> violations;
+  core::EquivalenceChecker::Stats theorem21;  ///< full HBR -> state (if enabled)
+  core::EquivalenceChecker::Stats theorem22;  ///< lazy HBR -> state (if enabled)
+  std::vector<trace::RaceReport> races;
+
+  [[nodiscard]] bool foundViolation() const noexcept { return !violations.empty(); }
+};
+
+/// Shared plumbing for all explorers: owns the stack pool, the trace
+/// recorder and the statistics, and runs one schedule at a time.
+class ExplorerBase {
+ public:
+  explicit ExplorerBase(ExplorerOptions options);
+  virtual ~ExplorerBase() = default;
+
+  ExplorerBase(const ExplorerBase&) = delete;
+  ExplorerBase& operator=(const ExplorerBase&) = delete;
+
+  /// Run the full exploration. May be called once per explorer instance.
+  [[nodiscard]] ExplorationResult explore(const Program& program);
+
+  [[nodiscard]] const ExplorerOptions& options() const noexcept { return options_; }
+
+ protected:
+  /// Strategy hook: run schedules (via executeSchedule) until done.
+  virtual void runSearch(const Program& program) = 0;
+
+  /// Execute one schedule under `scheduler`, updating all statistics.
+  /// Returns the outcome.
+  runtime::Outcome executeSchedule(const Program& program,
+                                   runtime::Scheduler& scheduler);
+
+  /// True when the schedule budget is exhausted (strategies must stop).
+  [[nodiscard]] bool budgetExhausted() const noexcept;
+
+  /// True when the search should stop for a found violation.
+  [[nodiscard]] bool shouldStopForViolation() const noexcept;
+
+  [[nodiscard]] trace::TraceRecorder& recorder() noexcept { return recorder_; }
+  [[nodiscard]] ExplorationResult& result() noexcept { return result_; }
+
+  /// Mark the search as having visited every schedule class.
+  void markComplete() noexcept { result_.complete = true; }
+
+ private:
+  ExplorerOptions options_;
+  runtime::StackPool stackPool_;
+  trace::TraceRecorder recorder_;
+  ExplorationResult result_;
+  std::unordered_set<support::Hash128, support::Hash128Hasher> terminalHbrs_;
+  std::unordered_set<support::Hash128, support::Hash128Hasher> terminalLazyHbrs_;
+  std::unordered_set<support::Hash128, support::Hash128Hasher> terminalStates_;
+  core::EquivalenceChecker thm21_;
+  core::EquivalenceChecker thm22_;
+  core::RaceAggregator raceAggregator_;
+  bool explored_ = false;
+};
+
+}  // namespace lazyhb::explore

@@ -1,0 +1,28 @@
+// lazyhb/explore/random_explorer.hpp
+//
+// Uniform random scheduling: each schedule picks uniformly among the
+// enabled threads at every point. No reduction — this is the quick-and-dirty
+// bug hunter and the fuzzing backend of the property-test suite (random
+// schedules feed the Theorem 2.1/2.2 checkers with diverse linearizations).
+// Deterministic given (seed): schedule k is reproducible from seed+k.
+
+#pragma once
+
+#include "explore/explorer.hpp"
+#include "support/rng.hpp"
+
+namespace lazyhb::explore {
+
+class RandomExplorer final : public ExplorerBase {
+ public:
+  RandomExplorer(ExplorerOptions options, std::uint64_t seed)
+      : ExplorerBase(options), seed_(seed) {}
+
+ protected:
+  void runSearch(const Program& program) override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace lazyhb::explore

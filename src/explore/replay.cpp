@@ -1,0 +1,42 @@
+#include "explore/replay.hpp"
+
+#include "support/diagnostics.hpp"
+#include "trace/hb_graph.hpp"
+
+namespace lazyhb::explore {
+
+int FixedScheduler::pick(runtime::Execution& exec) {
+  const support::ThreadSet enabled = exec.enabled();
+  if (step_ < choices_.size()) {
+    const int tid = choices_[step_++];
+    LAZYHB_CHECK(enabled.contains(tid));
+    return tid;
+  }
+  return enabled.first();
+}
+
+ReplayResult replaySchedule(const Program& program, const std::vector<int>& choices,
+                            const ReplayOptions& options) {
+  trace::TraceRecorder recorder(
+      trace::TraceRecorder::Options{options.renderTrace, options.detectRaces});
+  runtime::StackPool pool;
+  runtime::Config config;
+  config.maxEventsPerSchedule = options.maxEventsPerSchedule;
+  runtime::Execution exec(config, pool, &recorder);
+  FixedScheduler scheduler(choices);
+
+  ReplayResult result;
+  result.outcome = exec.run(program, scheduler);
+  result.violationMessage = exec.violation().message;
+  result.hbrFingerprint = recorder.fingerprint(trace::Relation::Full);
+  result.lazyFingerprint = recorder.fingerprint(trace::Relation::Lazy);
+  result.stateFingerprint = exec.stateFingerprint();
+  result.eventCount = recorder.eventCount();
+  result.races = recorder.races();
+  if (options.renderTrace) {
+    result.renderedTrace = trace::renderSchedule(recorder, options.renderRelation);
+  }
+  return result;
+}
+
+}  // namespace lazyhb::explore

@@ -1,0 +1,266 @@
+// Shared-variable (lock-free) benchmarks: mutual-exclusion algorithms,
+// litmus tests and racy counters. These have no (or few) mutex operations,
+// so the lazy HBR coincides with the regular HBR — they populate the
+// diagonal of Figure 2 and keep the corpus honest about where the lazy HBR
+// does NOT help.
+
+#include <memory>
+#include <vector>
+
+#include "programs/registry.hpp"
+#include "runtime/api.hpp"
+
+namespace lazyhb::programs::detail {
+
+namespace {
+
+using namespace lazyhb;
+
+/// Unsynchronised load+store increments: the classic lost-update race.
+explore::Program racyCounter(int threads) {
+  return [threads] {
+    Shared<int> counter{0, "counter"};
+    std::vector<ThreadHandle> workers;
+    for (int i = 0; i < threads; ++i) {
+      workers.push_back(spawn([&] {
+        const int v = counter.load();
+        counter.store(v + 1);
+      }));
+    }
+    for (auto& w : workers) w.join();
+  };
+}
+
+/// Dekker's mutual-exclusion algorithm (2 threads), with bounded retries so
+/// every schedule terminates. Asserts mutual exclusion of the critical
+/// section (holds under sequential consistency, which this engine models).
+explore::Program dekker() {
+  return [] {
+    Shared<int> flag0{0, "flag0"};
+    Shared<int> flag1{0, "flag1"};
+    Shared<int> turn{0, "turn"};
+    Shared<int> inCritical{0, "inCritical"};
+    auto contender = [&](int me, Shared<int>& myFlag, Shared<int>& otherFlag) {
+      myFlag.store(1);
+      for (int tries = 0; tries < 2 && otherFlag.load() == 1; ++tries) {
+        if (turn.load() != me) {
+          myFlag.store(0);
+          while (turn.load() != me && tries < 2) ++tries;  // bounded spin
+          myFlag.store(1);
+        }
+      }
+      if (otherFlag.load() == 0) {  // entered the critical section
+        inCritical.store(inCritical.load() + 1);
+        checkAlways(inCritical.load() == 1, "mutual exclusion");
+        inCritical.store(inCritical.load() - 1);
+      }
+      turn.store(1 - me);
+      myFlag.store(0);
+    };
+    auto t1 = spawn([&] { contender(1, flag1, flag0); });
+    contender(0, flag0, flag1);
+    t1.join();
+  };
+}
+
+/// Peterson's algorithm (2 threads) with a bounded busy-wait.
+explore::Program peterson() {
+  return [] {
+    Shared<int> flag0{0, "flag0"};
+    Shared<int> flag1{0, "flag1"};
+    Shared<int> victim{0, "victim"};
+    Shared<int> inCritical{0, "inCritical"};
+    auto contender = [&](int me, Shared<int>& myFlag, Shared<int>& otherFlag) {
+      myFlag.store(1);
+      victim.store(me);
+      // Bounded spin: give up the attempt after a few observations rather
+      // than spinning unboundedly (keeps the schedule space finite).
+      bool entered = false;
+      for (int tries = 0; tries < 3; ++tries) {
+        if (otherFlag.load() == 0 || victim.load() != me) {
+          entered = true;
+          break;
+        }
+      }
+      if (entered) {
+        inCritical.store(inCritical.load() + 1);
+        checkAlways(inCritical.load() == 1, "mutual exclusion");
+        inCritical.store(inCritical.load() - 1);
+      }
+      myFlag.store(0);
+    };
+    auto t1 = spawn([&] { contender(1, flag1, flag0); });
+    contender(0, flag0, flag1);
+    t1.join();
+  };
+}
+
+/// Store-buffering litmus (SB): under sequential consistency at least one
+/// thread observes the other's store, so (r0,r1) == (0,0) is unreachable;
+/// the assertion documents that this engine is SC.
+explore::Program litmusStoreBuffer() {
+  return [] {
+    Shared<int> x{0, "x"};
+    Shared<int> y{0, "y"};
+    Shared<int> r0{-1, "r0"};
+    Shared<int> r1{-1, "r1"};
+    auto t1 = spawn([&] {
+      x.store(1);
+      r0.store(y.load());
+    });
+    y.store(1);
+    r1.store(x.load());
+    t1.join();
+    checkAlways(!(r0.load() == 0 && r1.load() == 0), "SC forbids 0/0");
+  };
+}
+
+/// Message-passing litmus (MP): data is published before the flag, so a
+/// reader that sees the flag must see the data (holds under SC).
+explore::Program litmusMessagePassing() {
+  return [] {
+    Shared<int> data{0, "data"};
+    Shared<int> flag{0, "flag"};
+    auto reader = spawn([&] {
+      if (flag.load() == 1) {
+        checkAlways(data.load() == 99, "flag implies data");
+      }
+    });
+    data.store(99);
+    flag.store(1);
+    reader.join();
+  };
+}
+
+/// Each thread raises its own flag then counts the flags it can see: a
+/// wide racy read fan-in with many distinct HBRs and states.
+explore::Program sharedFlags(int threads) {
+  return [threads] {
+    std::vector<std::unique_ptr<Shared<int>>> flags;
+    std::vector<std::unique_ptr<Shared<int>>> seen;
+    for (int i = 0; i < threads; ++i) {
+      flags.push_back(std::make_unique<Shared<int>>(0, "flag"));
+      seen.push_back(std::make_unique<Shared<int>>(0, "seen"));
+    }
+    std::vector<ThreadHandle> workers;
+    for (int i = 0; i < threads; ++i) {
+      workers.push_back(spawn([&, i] {
+        flags[static_cast<std::size_t>(i)]->store(1);
+        int count = 0;
+        for (int j = 0; j < threads; ++j) {
+          count += flags[static_cast<std::size_t>(j)]->load();
+        }
+        seen[static_cast<std::size_t>(i)]->store(count);
+        checkAlways(count >= 1, "a thread always sees its own flag");
+      }));
+    }
+    for (auto& w : workers) w.join();
+  };
+}
+
+/// SCTBench-style "lastzero": writers fill slots of a small array while a
+/// reader scans for the last zero; racy but assertion-free.
+explore::Program lastZero(int writers) {
+  return [writers] {
+    std::vector<std::unique_ptr<Shared<int>>> slots;
+    for (int i = 0; i <= writers; ++i) {
+      slots.push_back(std::make_unique<Shared<int>>(0, "slot"));
+    }
+    Shared<int> lastSeenZero{-1, "lastZero"};
+    std::vector<ThreadHandle> workers;
+    for (int i = 1; i <= writers; ++i) {
+      workers.push_back(spawn([&, i] {
+        const auto prev = static_cast<std::size_t>(i - 1);
+        slots[static_cast<std::size_t>(i)]->store(slots[prev]->load() + 1);
+      }));
+    }
+    for (int i = writers; i >= 0; --i) {
+      if (slots[static_cast<std::size_t>(i)]->load() == 0) {
+        lastSeenZero.store(i);
+        break;
+      }
+    }
+    for (auto& w : workers) w.join();
+  };
+}
+
+/// A pure fork/join computation tree (a thread spawns grandchildren):
+/// exercises nested spawn identity and join edges; almost fully ordered.
+explore::Program forkTree() {
+  return [] {
+    Shared<int> sum{0, "sum"};
+    auto left = spawn([&] {
+      auto leftLeft = spawn([&] { sum.fetchAdd(1); });
+      auto leftRight = spawn([&] { sum.fetchAdd(2); });
+      leftLeft.join();
+      leftRight.join();
+    });
+    auto right = spawn([&] { sum.fetchAdd(4); });
+    left.join();
+    right.join();
+    checkAlways(sum.load() == 7, "tree sums to 7");
+  };
+}
+
+/// A nearly sequential program: one child doing one write. Lands at (1,1)
+/// in Figure 2 — the degenerate sanity point.
+explore::Program quiet() {
+  return [] {
+    Shared<int> x{0, "x"};
+    auto t = spawn([&] { x.store(1); });
+    t.join();
+    checkAlways(x.load() == 1, "write visible after join");
+  };
+}
+
+/// Two phases of racy writers separated by a full join barrier: the fork/
+/// join edges cut the HBR count multiplicatively.
+explore::Program twoPhase(int threadsPerPhase) {
+  return [threadsPerPhase] {
+    Shared<int> phase1{0, "phase1"};
+    Shared<int> phase2{0, "phase2"};
+    std::vector<ThreadHandle> wave1;
+    for (int i = 0; i < threadsPerPhase; ++i) {
+      wave1.push_back(spawn([&] { phase1.fetchAdd(1); }));
+    }
+    for (auto& w : wave1) w.join();
+    std::vector<ThreadHandle> wave2;
+    for (int i = 0; i < threadsPerPhase; ++i) {
+      wave2.push_back(spawn([&] { phase2.fetchAdd(phase1.load()); }));
+    }
+    for (auto& w : wave2) w.join();
+  };
+}
+
+}  // namespace
+
+void appendClassicPrograms(std::vector<ProgramSpec>& out) {
+  auto add = [&out](std::string name, std::string family, std::string description,
+                    explore::Program body, bool bug = false) {
+    ProgramSpec spec;
+    spec.name = std::move(name);
+    spec.family = std::move(family);
+    spec.description = std::move(description);
+    spec.body = std::move(body);
+    spec.hasKnownBug = bug;
+    out.push_back(std::move(spec));
+  };
+
+  add("racy-counter-3", "racy-counter", "3 unsynchronised increments", racyCounter(3));
+  add("racy-counter-4", "racy-counter", "4 unsynchronised increments", racyCounter(4));
+  add("dekker", "mutex-algo", "Dekker's algorithm, bounded spins", dekker());
+  add("peterson", "mutex-algo", "Peterson's algorithm, bounded spins", peterson());
+  add("litmus-sb", "litmus", "store buffering (SC: 0/0 unreachable)",
+      litmusStoreBuffer());
+  add("litmus-mp", "litmus", "message passing (SC: flag implies data)",
+      litmusMessagePassing());
+  add("shared-flags-3", "shared-flags", "3 threads raise and count flags",
+      sharedFlags(3));
+  add("lastzero-3", "lastzero", "3 writers vs array scanner", lastZero(3));
+  add("fork-tree", "fork-join", "nested spawn/join tree", forkTree());
+  add("quiet", "fork-join", "single child, single write (sanity point)", quiet());
+  add("two-phase-2", "fork-join", "2+2 racy writers with a join barrier",
+      twoPhase(2));
+}
+
+}  // namespace lazyhb::programs::detail

@@ -1,0 +1,289 @@
+// Condition-variable and semaphore coordination benchmarks: bounded
+// producer/consumer, barriers, ping-pong handoffs, reader–writer locks.
+// These mix mutex-protected state (lazy-reducible) with genuine signalling
+// order (kept by every relation).
+
+#include <memory>
+#include <vector>
+
+#include "programs/registry.hpp"
+#include "runtime/api.hpp"
+
+namespace lazyhb::programs::detail {
+
+namespace {
+
+using namespace lazyhb;
+
+/// Bounded buffer with one mutex and two condvars, `items` items pushed by
+/// each producer and popped by consumers (counts matched).
+explore::Program producerConsumer(int producers, int consumers, int capacity,
+                                  int itemsPerProducer) {
+  return [producers, consumers, capacity, itemsPerProducer] {
+    Mutex m("buf-lock");
+    CondVar notFull("not-full");
+    CondVar notEmpty("not-empty");
+    Shared<int> count{0, "count"};
+    Shared<int> produced{0, "produced"};
+    Shared<int> consumed{0, "consumed"};
+    const int total = producers * itemsPerProducer;
+    const int perConsumer = total / consumers;
+
+    std::vector<ThreadHandle> workers;
+    for (int p = 0; p < producers; ++p) {
+      workers.push_back(spawn([&] {
+        for (int i = 0; i < itemsPerProducer; ++i) {
+          LockGuard guard(m);
+          while (count.load() == capacity) notFull.wait(m);
+          count.store(count.load() + 1);
+          produced.store(produced.load() + 1);
+          notEmpty.signal();
+        }
+      }));
+    }
+    for (int c = 0; c < consumers; ++c) {
+      workers.push_back(spawn([&, perConsumer] {
+        for (int i = 0; i < perConsumer; ++i) {
+          LockGuard guard(m);
+          while (count.load() == 0) notEmpty.wait(m);
+          count.store(count.load() - 1);
+          consumed.store(consumed.load() + 1);
+          notFull.signal();
+        }
+      }));
+    }
+    for (auto& w : workers) w.join();
+    checkAlways(count.load() == 0, "buffer drained");
+    checkAlways(consumed.load() == total, "all items consumed");
+  };
+}
+
+/// Reusable barrier from mutex + condvar (broadcast); after the barrier each
+/// thread writes its own variable — the post-barrier writes commute.
+explore::Program barrier(int threads) {
+  return [threads] {
+    Mutex m("barrier-lock");
+    CondVar cv("barrier-cv");
+    Shared<int> arrived{0, "arrived"};
+    std::vector<std::unique_ptr<Shared<int>>> results;
+    for (int i = 0; i < threads; ++i) {
+      results.push_back(std::make_unique<Shared<int>>(0, "result"));
+    }
+    std::vector<ThreadHandle> workers;
+    for (int i = 0; i < threads; ++i) {
+      workers.push_back(spawn([&, i] {
+        {
+          LockGuard guard(m);
+          arrived.store(arrived.load() + 1);
+          if (arrived.load() == threads) {
+            cv.broadcast();
+          } else {
+            while (arrived.load() < threads) cv.wait(m);
+          }
+        }
+        results[static_cast<std::size_t>(i)]->store(i + 1);
+      }));
+    }
+    for (auto& w : workers) w.join();
+  };
+}
+
+/// Barrier followed by coarse-locked disjoint work: the barrier orders the
+/// arrival phase, then `reps` critical sections per thread over private
+/// variables commute — lazy HBR collapses the post-barrier phase.
+explore::Program barrierWork(int threads, int reps) {
+  return [threads, reps] {
+    Mutex barrierLock("barrier-lock");
+    CondVar cv("barrier-cv");
+    Shared<int> arrived{0, "arrived"};
+    Mutex workLock("work-lock");
+    std::vector<std::unique_ptr<Shared<int>>> results;
+    for (int i = 0; i < threads; ++i) {
+      results.push_back(std::make_unique<Shared<int>>(0, "result"));
+    }
+    std::vector<ThreadHandle> workers;
+    for (int i = 0; i < threads; ++i) {
+      workers.push_back(spawn([&, i, reps] {
+        {
+          LockGuard guard(barrierLock);
+          arrived.store(arrived.load() + 1);
+          if (arrived.load() == threads) {
+            cv.broadcast();
+          } else {
+            while (arrived.load() < threads) cv.wait(barrierLock);
+          }
+        }
+        for (int r = 0; r < reps; ++r) {
+          LockGuard guard(workLock);
+          results[static_cast<std::size_t>(i)]->store(r + 1);
+        }
+      }));
+    }
+    for (auto& w : workers) w.join();
+  };
+}
+
+/// Two threads strictly alternating via a turn flag and one condvar.
+explore::Program pingPong(int rounds) {
+  return [rounds] {
+    Mutex m("pp-lock");
+    CondVar cv("pp-cv");
+    Shared<int> turn{0, "turn"};
+    Shared<int> rally{0, "rally"};
+    auto player = [&](int me) {
+      for (int r = 0; r < rounds; ++r) {
+        LockGuard guard(m);
+        while (turn.load() != me) cv.wait(m);
+        rally.store(rally.load() + 1);
+        turn.store(1 - me);
+        cv.signal();
+      }
+    };
+    auto t = spawn([&] { player(1); });
+    player(0);
+    t.join();
+    checkAlways(rally.load() == 2 * rounds, "every round played");
+  };
+}
+
+/// Readers–writer lock built from mutex + condvar; `readers` readers check
+/// an invariant two writers maintain.
+explore::Program readersWriter(int readers) {
+  return [readers] {
+    Mutex m("rw-lock");
+    CondVar cv("rw-cv");
+    Shared<int> activeReaders{0, "activeReaders"};
+    Shared<int> writerActive{0, "writerActive"};
+    Shared<int> a{0, "a"};
+    Shared<int> b{0, "b"};
+
+    std::vector<ThreadHandle> workers;
+    workers.push_back(spawn([&] {  // writer
+      {
+        LockGuard guard(m);
+        while (activeReaders.load() > 0) cv.wait(m);
+        writerActive.store(1);
+      }
+      a.store(1);
+      b.store(1);
+      {
+        LockGuard guard(m);
+        writerActive.store(0);
+        cv.broadcast();
+      }
+    }));
+    for (int r = 0; r < readers; ++r) {
+      workers.push_back(spawn([&] {
+        {
+          LockGuard guard(m);
+          while (writerActive.load() == 1) cv.wait(m);
+          activeReaders.store(activeReaders.load() + 1);
+        }
+        checkAlways(a.load() == b.load(), "writer is atomic to readers");
+        {
+          LockGuard guard(m);
+          activeReaders.store(activeReaders.load() - 1);
+          if (activeReaders.load() == 0) cv.broadcast();
+        }
+      }));
+    }
+    for (auto& w : workers) w.join();
+  };
+}
+
+/// Semaphore handoff: data published before release must be visible after
+/// acquire.
+explore::Program semHandoff(int hops) {
+  return [hops] {
+    Shared<int> data{0, "data"};
+    Semaphore ready{0, "ready"};
+    auto t = spawn([&] {
+      for (int i = 0; i < hops; ++i) {
+        data.store(data.load() + 1);
+        ready.release();
+      }
+    });
+    for (int i = 0; i < hops; ++i) {
+      ready.acquire();
+      checkAlways(data.load() >= i + 1, "handoff ordered");
+    }
+    t.join();
+  };
+}
+
+/// Semaphore-multiplexed critical section: a counting semaphore admits up to
+/// `permits` threads; an occupancy counter asserts the bound.
+explore::Program semMultiplex(int threads, int permits) {
+  return [threads, permits] {
+    Semaphore sem(permits, "permits");
+    Shared<int> inside{0, "inside"};
+    std::vector<ThreadHandle> workers;
+    for (int i = 0; i < threads; ++i) {
+      workers.push_back(spawn([&, permits] {
+        sem.acquire();
+        const int occupancy = inside.fetchAdd(1) + 1;
+        checkAlways(occupancy <= permits, "semaphore bounds occupancy");
+        inside.fetchAdd(-1);
+        sem.release();
+      }));
+    }
+    for (auto& w : workers) w.join();
+  };
+}
+
+/// Rendezvous: each of two threads signals its own semaphore then waits on
+/// the other's — both must pass or neither.
+explore::Program semRendezvous() {
+  return [] {
+    Semaphore aArrived(0, "aArrived");
+    Semaphore bArrived(0, "bArrived");
+    Shared<int> aDone{0, "aDone"};
+    Shared<int> bDone{0, "bDone"};
+    auto t = spawn([&] {
+      bArrived.release();
+      aArrived.acquire();
+      checkAlways(aDone.load() == 1, "a passed its phase");
+      bDone.store(1);
+    });
+    aDone.store(1);
+    aArrived.release();
+    bArrived.acquire();
+    t.join();
+    checkAlways(bDone.load() == 1, "b passed its phase");
+  };
+}
+
+}  // namespace
+
+void appendCondvarPrograms(std::vector<ProgramSpec>& out) {
+  auto add = [&out](std::string name, std::string family, std::string description,
+                    explore::Program body) {
+    ProgramSpec spec;
+    spec.name = std::move(name);
+    spec.family = std::move(family);
+    spec.description = std::move(description);
+    spec.body = std::move(body);
+    out.push_back(std::move(spec));
+  };
+
+  add("prodcons-1x1", "prodcons", "1 producer, 1 consumer, buffer 1",
+      producerConsumer(1, 1, 1, 2));
+  add("barrier-work-2", "barrier", "barrier then coarse-locked disjoint work, 2 threads",
+      barrierWork(2, 2));
+  add("prodcons-2x2", "prodcons", "2 producers, 2 consumers, buffer 1",
+      producerConsumer(2, 2, 1, 1));
+  add("barrier-2", "barrier", "condvar barrier, 2 parties", barrier(2));
+  add("barrier-3", "barrier", "condvar barrier, 3 parties", barrier(3));
+  add("barrier-work-3", "barrier", "barrier then coarse-locked disjoint work, 3 threads",
+      barrierWork(3, 1));
+  add("pingpong-2", "pingpong", "strict alternation, 2 rounds", pingPong(2));
+  add("readers-writer-1", "rwlock", "1 reader vs 1 writer", readersWriter(1));
+  add("readers-writer-2", "rwlock", "2 readers vs 1 writer", readersWriter(2));
+  add("sem-handoff-1", "semaphore", "semaphore handoff, 1 hop", semHandoff(1));
+  add("sem-handoff-2", "semaphore", "semaphore handoff, 2 hops", semHandoff(2));
+  add("sem-multiplex-3x2", "semaphore", "3 threads through 2 permits",
+      semMultiplex(3, 2));
+  add("sem-rendezvous", "semaphore", "two-way rendezvous", semRendezvous());
+}
+
+}  // namespace lazyhb::programs::detail

@@ -1,0 +1,239 @@
+// Lock-free and optimistic-synchronisation benchmarks: CAS loops, a
+// Treiber-style stack, a seqlock, trylock fallbacks and a miniature
+// work-stealing deque. Mutex-free programs sit on the Figure 2 diagonal;
+// the trylock programs exercise the conservative retained-edge rule the
+// lazy HBR needs for soundness.
+
+#include <memory>
+#include <vector>
+
+#include "programs/registry.hpp"
+#include "runtime/api.hpp"
+
+namespace lazyhb::programs::detail {
+
+namespace {
+
+using namespace lazyhb;
+
+/// CAS-retry counter: each thread retries a bounded number of times.
+explore::Program casCounter(int threads, int attempts) {
+  return [threads, attempts] {
+    Shared<int> counter{0, "counter"};
+    Shared<int> successes{0, "successes"};
+    std::vector<ThreadHandle> workers;
+    for (int i = 0; i < threads; ++i) {
+      workers.push_back(spawn([&, attempts] {
+        for (int a = 0; a < attempts; ++a) {
+          const int seen = counter.load();
+          if (counter.compareExchange(seen, seen + 1)) {
+            successes.fetchAdd(1);
+            break;
+          }
+        }
+      }));
+    }
+    for (auto& w : workers) w.join();
+    checkAlways(counter.load() == successes.load(), "every success counted once");
+  };
+}
+
+/// Treiber-style stack over a small array: `top` is CAS-managed; pushers
+/// write their slot then publish. Bounded retries.
+explore::Program treiberStack(int pushers) {
+  return [pushers] {
+    Shared<int> top{0, "top"};
+    std::vector<std::unique_ptr<Shared<int>>> slots;
+    for (int i = 0; i <= pushers; ++i) {
+      slots.push_back(std::make_unique<Shared<int>>(0, "slot"));
+    }
+    std::vector<ThreadHandle> workers;
+    for (int p = 0; p < pushers; ++p) {
+      workers.push_back(spawn([&, p] {
+        for (int attempt = 0; attempt < 3; ++attempt) {
+          const int oldTop = top.load();
+          slots[static_cast<std::size_t>(oldTop + 1) % slots.size()]->store(p + 1);
+          if (top.compareExchange(oldTop, oldTop + 1)) break;
+        }
+      }));
+    }
+    for (auto& w : workers) w.join();
+  };
+}
+
+/// Seqlock: writer bumps the sequence to odd, writes, bumps to even;
+/// readers retry (bounded) until they see a stable even sequence, then
+/// assert consistency of the pair.
+explore::Program seqlock(int readers) {
+  return [readers] {
+    Shared<int> seq{0, "seq"};
+    Shared<int> d1{0, "d1"};
+    Shared<int> d2{0, "d2"};
+    std::vector<ThreadHandle> workers;
+    workers.push_back(spawn([&] {  // writer
+      seq.store(1);
+      d1.store(10);
+      d2.store(10);
+      seq.store(2);
+    }));
+    for (int r = 0; r < readers; ++r) {
+      workers.push_back(spawn([&] {
+        for (int attempt = 0; attempt < 2; ++attempt) {
+          const int before = seq.load();
+          if (before % 2 != 0) continue;
+          const int v1 = d1.load();
+          const int v2 = d2.load();
+          if (seq.load() == before) {
+            checkAlways(v1 == v2, "seqlock read is consistent");
+            break;
+          }
+        }
+      }));
+    }
+    for (auto& w : workers) w.join();
+  };
+}
+
+/// Optimistic locking: threads tryLock and take a fallback path on failure;
+/// the mutex edges around TryLock stay in the lazy HBR.
+explore::Program trylockFallback(int threads) {
+  return [threads] {
+    Mutex m("opt");
+    Shared<int> fast{0, "fast"};
+    Shared<int> slow{0, "slow"};
+    std::vector<ThreadHandle> workers;
+    for (int i = 0; i < threads; ++i) {
+      workers.push_back(spawn([&] {
+        if (m.tryLock()) {
+          fast.store(fast.load() + 1);
+          m.unlock();
+        } else {
+          slow.fetchAdd(1);
+        }
+      }));
+    }
+    for (auto& w : workers) w.join();
+    checkAlways(fast.load() + slow.load() == threads, "every thread took a path");
+  };
+}
+
+/// Mixed blocking/optimistic: one thread holds the lock for a disjoint
+/// write while others poll with tryLock.
+explore::Program trylockVsLock() {
+  return [] {
+    Mutex m("opt");
+    Shared<int> guarded{0, "guarded"};
+    Shared<int> observedBusy{0, "observedBusy"};
+    auto holder = spawn([&] {
+      LockGuard guard(m);
+      guarded.store(1);
+    });
+    if (m.tryLock()) {
+      guarded.store(guarded.load() + 10);
+      m.unlock();
+    } else {
+      observedBusy.store(1);
+    }
+    holder.join();
+  };
+}
+
+/// Miniature work-stealing deque: a two-slot deque, the owner pushes and
+/// pops at the bottom, a thief steals from the top with CAS.
+explore::Program workStealing() {
+  return [] {
+    Shared<int> top{0, "top"};
+    Shared<int> bottom{0, "bottom"};
+    Shared<int> slot0{0, "slot0"};
+    Shared<int> slot1{0, "slot1"};
+    Shared<int> ownerGot{0, "ownerGot"};
+    Shared<int> thiefGot{0, "thiefGot"};
+
+    auto thief = spawn([&] {
+      const int t = top.load();
+      const int b = bottom.load();
+      if (b > t) {
+        const int stolen = (t % 2 == 0 ? slot0 : slot1).load();
+        if (top.compareExchange(t, t + 1)) {
+          thiefGot.store(stolen);
+        }
+      }
+    });
+
+    // Owner: push two tasks, then pop one from the bottom.
+    slot0.store(11);
+    bottom.store(1);
+    slot1.store(22);
+    bottom.store(2);
+    {
+      const int b = bottom.load() - 1;
+      bottom.store(b);
+      const int t = top.load();
+      if (b > t) {
+        ownerGot.store((b % 2 == 0 ? slot0 : slot1).load());
+      } else if (b == t) {  // race with the thief for the last task
+        if (top.compareExchange(t, t + 1)) {
+          ownerGot.store((b % 2 == 0 ? slot0 : slot1).load());
+        }
+        bottom.store(t + 1);
+      }
+    }
+    thief.join();
+    checkAlways(ownerGot.load() != thiefGot.load() || ownerGot.load() == 0,
+                "a task is not taken twice");
+  };
+}
+
+/// Flag consensus: threads race to CAS a decision variable from 0 to their
+/// id; everyone must then agree on the winner.
+explore::Program consensus(int threads) {
+  return [threads] {
+    Shared<int> decision{0, "decision"};
+    std::vector<std::unique_ptr<Shared<int>>> agreed;
+    for (int i = 0; i < threads; ++i) {
+      agreed.push_back(std::make_unique<Shared<int>>(0, "agreed"));
+    }
+    std::vector<ThreadHandle> workers;
+    for (int i = 0; i < threads; ++i) {
+      workers.push_back(spawn([&, i] {
+        (void)decision.compareExchange(0, i + 1);
+        agreed[static_cast<std::size_t>(i)]->store(decision.load());
+        checkAlways(decision.load() != 0, "a winner exists after any CAS");
+      }));
+    }
+    for (auto& w : workers) w.join();
+    for (int i = 1; i < threads; ++i) {
+      checkAlways(agreed[0]->peek() == agreed[static_cast<std::size_t>(i)]->peek(),
+                  "all threads agree");
+    }
+  };
+}
+
+}  // namespace
+
+void appendLockfreePrograms(std::vector<ProgramSpec>& out) {
+  auto add = [&out](std::string name, std::string family, std::string description,
+                    explore::Program body) {
+    ProgramSpec spec;
+    spec.name = std::move(name);
+    spec.family = std::move(family);
+    spec.description = std::move(description);
+    spec.body = std::move(body);
+    out.push_back(std::move(spec));
+  };
+
+  add("cas-counter-3", "cas", "3 threads, bounded CAS retry", casCounter(3, 2));
+  add("treiber-3", "treiber", "Treiber-style stack, 3 pushers", treiberStack(3));
+  add("seqlock-2", "seqlock", "seqlock, 2 readers", seqlock(2));
+  add("trylock-fallback-2", "trylock", "2 threads, trylock or fallback",
+      trylockFallback(2));
+  add("trylock-fallback-3", "trylock", "3 threads, trylock or fallback",
+      trylockFallback(3));
+  add("trylock-vs-lock", "trylock", "blocking holder vs polling thread",
+      trylockVsLock());
+  add("work-stealing", "wsq", "owner/thief two-slot deque", workStealing());
+  add("consensus-2", "consensus", "CAS consensus, 2 threads", consensus(2));
+  add("consensus-3", "consensus", "CAS consensus, 3 threads", consensus(3));
+}
+
+}  // namespace lazyhb::programs::detail

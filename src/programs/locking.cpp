@@ -1,0 +1,433 @@
+// Coarse- and fine-grained locking benchmarks.
+//
+// These are the programs the lazy HBR was invented for: well-engineered code
+// that guards data with a simple (often single-mutex) locking discipline.
+// The regular HBR must explore every ordering of the critical sections; the
+// lazy HBR recognises that critical sections over disjoint (or read-only)
+// data commute.
+
+#include <memory>
+#include <vector>
+
+#include "programs/registry.hpp"
+#include "runtime/api.hpp"
+
+namespace lazyhb::programs::detail {
+
+namespace {
+
+using namespace lazyhb;
+
+/// N threads; thread i performs `reps` writes to its OWN variable, each
+/// write inside the same global critical section. All interleavings reach
+/// one state; the lazy HBR proves it (1 class), the regular HBR cannot
+/// (one class per critical-section ordering).
+explore::Program disjointLock(int threads, int reps) {
+  return [threads, reps] {
+    Mutex m("g");
+    std::vector<std::unique_ptr<Shared<int>>> vars;
+    vars.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i) {
+      vars.push_back(std::make_unique<Shared<int>>(0, "v"));
+    }
+    std::vector<ThreadHandle> workers;
+    workers.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i) {
+      workers.push_back(spawn([&, i] {
+        for (int r = 0; r < reps; ++r) {
+          LockGuard guard(m);
+          vars[static_cast<std::size_t>(i)]->store(r + 1);
+        }
+      }));
+    }
+    for (auto& w : workers) w.join();
+  };
+}
+
+/// N threads read a shared configuration value under the global lock —
+/// read-only critical sections, the other pattern the paper calls out.
+explore::Program readonlyLock(int threads, int reps = 1) {
+  return [threads, reps] {
+    Mutex m("g");
+    Shared<int> config{42, "config"};
+    std::vector<ThreadHandle> workers;
+    for (int i = 0; i < threads; ++i) {
+      workers.push_back(spawn([&, reps] {
+        for (int r = 0; r < reps; ++r) {
+          LockGuard guard(m);
+          checkAlways(config.load() == 42, "config is constant");
+        }
+      }));
+    }
+    for (auto& w : workers) w.join();
+  };
+}
+
+/// The indexer rewritten with a single coarse table lock: threads insert
+/// into *distinct* buckets, but every insert serialises on the one lock.
+/// This is exactly the "well-engineered coarse locking" regime the paper
+/// targets: many HBR classes, one lazy class.
+explore::Program indexerCoarse(int threads, int insertsPerThread) {
+  return [threads, insertsPerThread] {
+    Mutex tableLock("table");
+    std::vector<std::unique_ptr<Shared<int>>> table;
+    for (int i = 0; i < threads * insertsPerThread; ++i) {
+      table.push_back(std::make_unique<Shared<int>>(0, "bucket"));
+    }
+    std::vector<ThreadHandle> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.push_back(spawn([&, t] {
+        for (int k = 0; k < insertsPerThread; ++k) {
+          LockGuard guard(tableLock);
+          table[static_cast<std::size_t>(t * insertsPerThread + k)]->store(t + 1);
+        }
+      }));
+    }
+    for (auto& w : workers) w.join();
+  };
+}
+
+/// Mutex noise plus a genuinely racy counter: each thread takes `noise`
+/// empty critical sections (pure lock/unlock — the lazy HBR erases all of
+/// them) and then performs one unsynchronised load+store increment (real
+/// lazy-class variety: orderings and lost updates). Regular HBR caching
+/// burns its schedule budget distinguishing noise orderings; lazy HBR
+/// caching spends the same budget covering distinct racy outcomes — the
+/// Figure 3 effect in its purest form.
+explore::Program noisyCounter(int threads, int noise) {
+  return [threads, noise] {
+    Mutex m("noise");
+    Shared<int> counter{0, "counter"};
+    std::vector<ThreadHandle> workers;
+    for (int i = 0; i < threads; ++i) {
+      workers.push_back(spawn([&, noise] {
+        // Racy variety first, noise second: depth-first search backtracks
+        // deepest choices first, so a budgeted regular-HBR-caching run
+        // exhausts itself re-ordering the (lazy-equivalent) critical
+        // sections below each racy outcome before it ever flips the racy
+        // choices themselves. Lazy caching prunes each noise re-ordering
+        // immediately and spends the budget on genuinely new outcomes.
+        const int seen = counter.load();
+        counter.store(seen + 1);
+        for (int k = 0; k < noise; ++k) {
+          LockGuard guard(m);  // empty critical section
+        }
+      }));
+    }
+    for (auto& w : workers) w.join();
+  };
+}
+
+/// Noisy flags: each thread raises its flag, counts the flags it sees
+/// (racy read fan-in — wide genuine variety), then takes `noise` empty
+/// critical sections. Mixed-regime benchmark for Figure 3, like
+/// noisyCounter but with a larger lazy-class population.
+explore::Program noisyFlags(int threads, int noise) {
+  return [threads, noise] {
+    Mutex m("noise");
+    std::vector<std::unique_ptr<Shared<int>>> flags;
+    std::vector<std::unique_ptr<Shared<int>>> seen;
+    for (int i = 0; i < threads; ++i) {
+      flags.push_back(std::make_unique<Shared<int>>(0, "flag"));
+      seen.push_back(std::make_unique<Shared<int>>(0, "seen"));
+    }
+    std::vector<ThreadHandle> workers;
+    for (int i = 0; i < threads; ++i) {
+      workers.push_back(spawn([&, i, noise] {
+        flags[static_cast<std::size_t>(i)]->store(1);
+        int count = 0;
+        for (int j = 0; j < threads; ++j) {
+          count += flags[static_cast<std::size_t>(j)]->load();
+        }
+        seen[static_cast<std::size_t>(i)]->store(count);
+        for (int k = 0; k < noise; ++k) {
+          LockGuard guard(m);  // empty critical section
+        }
+      }));
+    }
+    for (auto& w : workers) w.join();
+  };
+}
+
+/// N threads increment one shared counter under the global lock. The writes
+/// conflict, so even the lazy HBR keeps every ordering: a diagonal point in
+/// Figure 2 — included so the corpus does not overstate the reduction.
+explore::Program counterLock(int threads) {
+  return [threads] {
+    Mutex m("g");
+    Shared<int> counter{0, "counter"};
+    std::vector<ThreadHandle> workers;
+    for (int i = 0; i < threads; ++i) {
+      workers.push_back(spawn([&] {
+        LockGuard guard(m);
+        counter.store(counter.load() + 1);
+      }));
+    }
+    for (auto& w : workers) w.join();
+    checkAlways(counter.load() == threads, "all increments applied");
+  };
+}
+
+/// Bank with one coarse lock; thread i transfers within its own disjoint
+/// account pair (2i, 2i+1): commuting critical sections.
+explore::Program accountsCoarse(int threads) {
+  return [threads] {
+    Mutex bankLock("bank");
+    std::vector<std::unique_ptr<Shared<int>>> accounts;
+    for (int i = 0; i < 2 * threads; ++i) {
+      accounts.push_back(std::make_unique<Shared<int>>(100, "acct"));
+    }
+    std::vector<ThreadHandle> workers;
+    for (int i = 0; i < threads; ++i) {
+      workers.push_back(spawn([&, i] {
+        Shared<int>& from = *accounts[static_cast<std::size_t>(2 * i)];
+        Shared<int>& to = *accounts[static_cast<std::size_t>(2 * i + 1)];
+        LockGuard guard(bankLock);
+        const int amount = 30;
+        from.store(from.load() - amount);
+        to.store(to.load() + amount);
+      }));
+    }
+    for (auto& w : workers) w.join();
+  };
+}
+
+/// Bank with one coarse lock where every transfer touches a common hub
+/// account: the data conflicts keep the orderings distinct even under the
+/// lazy HBR (partial reduction only through the spectator accounts).
+explore::Program accountsShared(int threads) {
+  return [threads] {
+    Mutex bankLock("bank");
+    Shared<int> hub{1000, "hub"};
+    std::vector<std::unique_ptr<Shared<int>>> accounts;
+    for (int i = 0; i < threads; ++i) {
+      accounts.push_back(std::make_unique<Shared<int>>(0, "acct"));
+    }
+    std::vector<ThreadHandle> workers;
+    for (int i = 0; i < threads; ++i) {
+      workers.push_back(spawn([&, i] {
+        LockGuard guard(bankLock);
+        hub.store(hub.load() - 10);
+        auto& mine = *accounts[static_cast<std::size_t>(i)];
+        mine.store(mine.load() + 10);
+      }));
+    }
+    for (auto& w : workers) w.join();
+    checkAlways(hub.load() == 1000 - 10 * threads, "conservation");
+  };
+}
+
+/// Flanagan–Godefroid "indexer": threads hash keys into a table with one
+/// mutex per bucket. With few threads the hash avoids collisions and all
+/// bucket operations are disjoint; the table reads/writes still conflict
+/// within a bucket.
+explore::Program indexer(int threads, int insertsPerThread, int buckets) {
+  return [threads, insertsPerThread, buckets] {
+    std::vector<std::unique_ptr<Mutex>> locks;
+    std::vector<std::unique_ptr<Shared<int>>> table;
+    for (int b = 0; b < buckets; ++b) {
+      locks.push_back(std::make_unique<Mutex>("bucket-lock"));
+      table.push_back(std::make_unique<Shared<int>>(0, "bucket"));
+    }
+    std::vector<ThreadHandle> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.push_back(spawn([&, t] {
+        for (int k = 0; k < insertsPerThread; ++k) {
+          const int key = t * insertsPerThread + k + 1;
+          const int bucket = (key * 7) % buckets;
+          LockGuard guard(*locks[static_cast<std::size_t>(bucket)]);
+          auto& slot = *table[static_cast<std::size_t>(bucket)];
+          if (slot.load() == 0) {
+            slot.store(key);
+          }
+        }
+      }));
+    }
+    for (auto& w : workers) w.join();
+  };
+}
+
+/// Flanagan–Godefroid "filesystem": threads pick an inode, lock it, test a
+/// busy flag, and if free lock a block and claim both.
+explore::Program filesystem(int threads, int inodes, int blocks) {
+  return [threads, inodes, blocks] {
+    std::vector<std::unique_ptr<Mutex>> inodeLocks;
+    std::vector<std::unique_ptr<Shared<int>>> inodeBusy;
+    for (int i = 0; i < inodes; ++i) {
+      inodeLocks.push_back(std::make_unique<Mutex>("inode-lock"));
+      inodeBusy.push_back(std::make_unique<Shared<int>>(0, "inode"));
+    }
+    std::vector<std::unique_ptr<Mutex>> blockLocks;
+    std::vector<std::unique_ptr<Shared<int>>> blockUsed;
+    for (int b = 0; b < blocks; ++b) {
+      blockLocks.push_back(std::make_unique<Mutex>("block-lock"));
+      blockUsed.push_back(std::make_unique<Shared<int>>(0, "block"));
+    }
+    std::vector<ThreadHandle> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.push_back(spawn([&, t] {
+        const auto i = static_cast<std::size_t>(t % inodes);
+        LockGuard inodeGuard(*inodeLocks[i]);
+        if (inodeBusy[i]->load() == 0) {
+          const auto b = static_cast<std::size_t>((t * 2) % blocks);
+          LockGuard blockGuard(*blockLocks[b]);
+          if (blockUsed[b]->load() == 0) {
+            blockUsed[b]->store(t + 1);
+            inodeBusy[i]->store(1);
+          }
+        }
+      }));
+    }
+    for (auto& w : workers) w.join();
+  };
+}
+
+/// Fine-grained bank: per-account locks acquired in index order (deadlock
+/// free); thread i moves money between its own pair.
+explore::Program accountsFine(int threads) {
+  return [threads] {
+    std::vector<std::unique_ptr<Mutex>> locks;
+    std::vector<std::unique_ptr<Shared<int>>> balance;
+    for (int i = 0; i < 2 * threads; ++i) {
+      locks.push_back(std::make_unique<Mutex>("acct-lock"));
+      balance.push_back(std::make_unique<Shared<int>>(50, "balance"));
+    }
+    std::vector<ThreadHandle> workers;
+    for (int i = 0; i < threads; ++i) {
+      workers.push_back(spawn([&, i] {
+        const auto a = static_cast<std::size_t>(2 * i);
+        const auto b = static_cast<std::size_t>(2 * i + 1);
+        LockGuard guardA(*locks[a]);
+        LockGuard guardB(*locks[b]);
+        balance[a]->store(balance[a]->load() - 5);
+        balance[b]->store(balance[b]->load() + 5);
+      }));
+    }
+    for (auto& w : workers) w.join();
+  };
+}
+
+/// Dining philosophers with ordered fork acquisition (deadlock-free):
+/// heavy genuine mutex contention, little lazy reduction on the shared
+/// forks but full reduction between non-adjacent philosophers.
+explore::Program diningOrdered(int philosophers) {
+  return [philosophers] {
+    std::vector<std::unique_ptr<Mutex>> forks;
+    std::vector<std::unique_ptr<Shared<int>>> meals;
+    for (int i = 0; i < philosophers; ++i) {
+      forks.push_back(std::make_unique<Mutex>("fork"));
+      meals.push_back(std::make_unique<Shared<int>>(0, "meals"));
+    }
+    std::vector<ThreadHandle> workers;
+    for (int i = 0; i < philosophers; ++i) {
+      workers.push_back(spawn([&, i] {
+        const auto left = static_cast<std::size_t>(i);
+        const auto right = static_cast<std::size_t>((i + 1) % philosophers);
+        const auto first = left < right ? left : right;
+        const auto second = left < right ? right : left;
+        LockGuard firstGuard(*forks[first]);
+        LockGuard secondGuard(*forks[second]);
+        meals[static_cast<std::size_t>(i)]->store(1);
+      }));
+    }
+    for (auto& w : workers) w.join();
+  };
+}
+
+/// Locked pipeline: stage i reads value[i-1] and writes value[i], all under
+/// one lock. Data flows through a chain, so the lazy HBR keeps the chain
+/// order but drops orderings of non-adjacent stages.
+explore::Program pipelineLocked(int stages) {
+  return [stages] {
+    Mutex m("pipe");
+    std::vector<std::unique_ptr<Shared<int>>> values;
+    for (int i = 0; i <= stages; ++i) {
+      values.push_back(std::make_unique<Shared<int>>(i == 0 ? 1 : 0, "stage"));
+    }
+    std::vector<ThreadHandle> workers;
+    for (int i = 1; i <= stages; ++i) {
+      workers.push_back(spawn([&, i] {
+        LockGuard guard(m);
+        const int upstream = values[static_cast<std::size_t>(i - 1)]->load();
+        values[static_cast<std::size_t>(i)]->store(upstream + 1);
+      }));
+    }
+    for (auto& w : workers) w.join();
+  };
+}
+
+}  // namespace
+
+void appendLockingPrograms(std::vector<ProgramSpec>& out) {
+  auto add = [&out](std::string name, std::string family, std::string description,
+                    explore::Program body) {
+    ProgramSpec spec;
+    spec.name = std::move(name);
+    spec.family = std::move(family);
+    spec.description = std::move(description);
+    spec.body = std::move(body);
+    out.push_back(std::move(spec));
+  };
+
+  add("disjoint-lock-2", "disjoint-lock", "2 threads, disjoint vars under one lock",
+      disjointLock(2, 1));
+  add("disjoint-lock-3", "disjoint-lock", "3 threads, disjoint vars under one lock",
+      disjointLock(3, 1));
+  add("disjoint-lock-4", "disjoint-lock", "4 threads, disjoint vars under one lock",
+      disjointLock(4, 1));
+  add("disjoint-lock-2x2", "disjoint-lock", "2 threads, 2 critical sections each",
+      disjointLock(2, 2));
+  add("disjoint-lock-3x2", "disjoint-lock", "3 threads, 2 critical sections each",
+      disjointLock(3, 2));
+  add("readonly-lock-2", "readonly-lock", "2 readers under one lock", readonlyLock(2));
+  add("readonly-lock-3", "readonly-lock", "3 readers under one lock", readonlyLock(3));
+  add("readonly-lock-4", "readonly-lock", "4 readers under one lock", readonlyLock(4));
+  add("counter-lock-3", "counter-lock", "3 threads increment shared counter under lock",
+      counterLock(3));
+  add("noisy-counter-3x1", "noisy-counter", "1 empty CS each + racy increment, 3 threads",
+      noisyCounter(3, 1));
+  add("noisy-counter-3x2", "noisy-counter", "2 empty CS each + racy increment, 3 threads",
+      noisyCounter(3, 2));
+  add("noisy-counter-3x3", "noisy-counter", "3 empty CS each + racy increment, 3 threads",
+      noisyCounter(3, 3));
+  add("noisy-counter-4x1", "noisy-counter", "1 empty CS each + racy increment, 4 threads",
+      noisyCounter(4, 1));
+  add("noisy-counter-4x2", "noisy-counter", "2 empty CS each + racy increment, 4 threads",
+      noisyCounter(4, 2));
+  add("noisy-flags-3x2", "noisy-counter", "flag fan-in + 2 empty CS, 3 threads",
+      noisyFlags(3, 2));
+  add("accounts-coarse-2", "accounts", "coarse-locked bank, disjoint transfers",
+      accountsCoarse(2));
+  add("accounts-coarse-3", "accounts", "coarse-locked bank, disjoint transfers",
+      accountsCoarse(3));
+  add("accounts-shared-2", "accounts", "coarse-locked bank, hub account contended",
+      accountsShared(2));
+  add("accounts-shared-3", "accounts", "coarse-locked bank, hub account contended",
+      accountsShared(3));
+  add("accounts-fine-3", "accounts", "per-account locks, ordered acquisition",
+      accountsFine(3));
+  add("disjoint-lock-4x2", "disjoint-lock", "4 threads, 2 critical sections each",
+      disjointLock(4, 2));
+  add("disjoint-lock-5x2", "disjoint-lock", "5 threads, 2 critical sections each",
+      disjointLock(5, 2));
+  add("readonly-lock-2x3", "readonly-lock", "2 readers, 3 read-only sections each",
+      readonlyLock(2, 3));
+  add("indexer-2", "indexer", "FG indexer, 2 threads x 2 inserts, 3 buckets",
+      indexer(2, 2, 3));
+  add("indexer-3", "indexer", "FG indexer, 3 threads x 2 inserts, 3 buckets",
+      indexer(3, 2, 3));
+  add("indexer-coarse-2", "indexer", "coarse-locked indexer, 2 threads x 2 inserts",
+      indexerCoarse(2, 2));
+  add("indexer-coarse-3", "indexer", "coarse-locked indexer, 3 threads x 2 inserts",
+      indexerCoarse(3, 2));
+  add("filesystem-2", "filesystem", "FG filesystem, 2 threads, 1 shared inode",
+      filesystem(2, 1, 4));
+  add("filesystem-3", "filesystem", "FG filesystem, 3 threads, 2 inodes",
+      filesystem(3, 2, 4));
+  add("dining-2", "dining", "2 dining philosophers, ordered forks", diningOrdered(2));
+  add("dining-3", "dining", "3 dining philosophers, ordered forks", diningOrdered(3));
+  add("pipeline-locked-2", "pipeline", "2-stage locked pipeline", pipelineLocked(2));
+  add("pipeline-locked-3", "pipeline", "3-stage locked pipeline", pipelineLocked(3));
+}
+
+}  // namespace lazyhb::programs::detail

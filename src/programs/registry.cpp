@@ -1,0 +1,39 @@
+#include "programs/registry.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace lazyhb::programs {
+
+const std::vector<ProgramSpec>& all() {
+  static const std::vector<ProgramSpec> programs = [] {
+    std::vector<ProgramSpec> out;
+    detail::appendLockingPrograms(out);
+    detail::appendClassicPrograms(out);
+    detail::appendCondvarPrograms(out);
+    detail::appendLockfreePrograms(out);
+    detail::appendBuggyPrograms(out);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i].id = static_cast<int>(i) + 1;
+    }
+    LAZYHB_CHECK(out.size() == 79);  // the paper's corpus size
+    return out;
+  }();
+  return programs;
+}
+
+const ProgramSpec* byName(const std::string& name) {
+  for (const ProgramSpec& spec : all()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+std::vector<const ProgramSpec*> byFamily(const std::string& family) {
+  std::vector<const ProgramSpec*> out;
+  for (const ProgramSpec& spec : all()) {
+    if (spec.family == family) out.push_back(&spec);
+  }
+  return out;
+}
+
+}  // namespace lazyhb::programs

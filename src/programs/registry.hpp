@@ -1,0 +1,59 @@
+// lazyhb/programs/registry.hpp
+//
+// The benchmark corpus: 79 multithreaded programs standing in for the 79
+// open-source Java benchmarks of the paper's evaluation (see DESIGN.md §2
+// for why the substitution preserves the phenomena being measured).
+//
+// The corpus deliberately spans the regimes the paper's figures show:
+//
+//   * coarse-grained locking over disjoint or read-only data — the paper's
+//     motivating pattern, where the lazy HBR collapses many HBR classes
+//     (points below the diagonal of Figure 2);
+//   * lock-free / shared-variable algorithms — no mutex edges to erase, so
+//     lazy HBR == HBR (points on the diagonal);
+//   * condition-variable and semaphore coordination;
+//   * known-buggy programs (assertion failures, deadlocks) proving the
+//     reduction does not mask violations.
+//
+// Programs are small by design: systematic exploration is exponential, and
+// the interesting quantities are the *counts of equivalence classes*, not
+// program size. Every program is bounded (no unbounded spinning), so every
+// execution terminates.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "explore/explorer.hpp"
+
+namespace lazyhb::programs {
+
+struct ProgramSpec {
+  int id = 0;               ///< 1-based stable id; the figures plot these
+  std::string name;         ///< unique, e.g. "disjoint-lock-3"
+  std::string family;       ///< e.g. "disjoint-lock"
+  std::string description;  ///< one line for tables/docs
+  explore::Program body;
+  bool hasKnownBug = false; ///< an assertion failure or deadlock is reachable
+};
+
+/// All 79 benchmarks, in id order (ids are 1..79).
+[[nodiscard]] const std::vector<ProgramSpec>& all();
+
+/// Lookup by unique name; nullptr if absent.
+[[nodiscard]] const ProgramSpec* byName(const std::string& name);
+
+/// All members of a family, in id order.
+[[nodiscard]] std::vector<const ProgramSpec*> byFamily(const std::string& family);
+
+// Family fragments (one translation unit each); used by registry.cpp.
+namespace detail {
+void appendLockingPrograms(std::vector<ProgramSpec>& out);
+void appendClassicPrograms(std::vector<ProgramSpec>& out);
+void appendCondvarPrograms(std::vector<ProgramSpec>& out);
+void appendLockfreePrograms(std::vector<ProgramSpec>& out);
+void appendBuggyPrograms(std::vector<ProgramSpec>& out);
+}  // namespace detail
+
+}  // namespace lazyhb::programs

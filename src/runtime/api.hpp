@@ -1,0 +1,264 @@
+// lazyhb/runtime/api.hpp
+//
+// The programming interface for code under test.
+//
+// Test programs are ordinary C++ callables that use these types instead of
+// std::thread / std::mutex / plain shared variables. Every method that
+// touches shared state is a *visible operation*: a scheduling point the
+// explorer controls and an event in the happens-before trace. Example:
+//
+//   lazyhb::Shared<int> x{0};
+//   lazyhb::Mutex m;
+//   auto t = lazyhb::spawn([&] {
+//     lazyhb::LockGuard guard(m);
+//     x.store(x.load() + 1);
+//   });
+//   { lazyhb::LockGuard guard(m); x.store(x.load() + 1); }
+//   t.join();
+//   lazyhb::checkAlways(x.load() == 2, "both increments applied");
+//
+// All objects must be constructed inside a running controlled execution
+// (i.e. from the test body or a thread it spawned), and must outlive every
+// thread that touches them — exactly the lifetime discipline real concurrent
+// C++ requires.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "runtime/execution.hpp"
+#include "support/diagnostics.hpp"
+#include "support/hash.hpp"
+
+namespace lazyhb {
+
+namespace detail {
+
+/// The execution the calling fiber belongs to; aborts if none is running.
+inline runtime::Execution& currentExecution() {
+  runtime::Execution* exec = runtime::Execution::current();
+  LAZYHB_CHECK(exec != nullptr);
+  return *exec;
+}
+
+/// Hash a shared value for state fingerprinting. Uses std::hash plus a
+/// strong finaliser; specialise lazyhb::detail::ValueHash for user types
+/// whose std::hash is weak or missing.
+template <typename T>
+struct ValueHash {
+  [[nodiscard]] std::uint64_t operator()(const T& value) const {
+    return support::mix64(static_cast<std::uint64_t>(std::hash<T>{}(value)) ^
+                          0x9e3779b97f4a7c15ULL);
+  }
+};
+
+}  // namespace detail
+
+/// Handle to a spawned thread. join() blocks until the thread finishes and
+/// establishes a happens-before edge from its last event.
+class ThreadHandle {
+ public:
+  ThreadHandle() = default;
+
+  /// Join the thread. May be called at most once per spawned thread; joining
+  /// an already-finished thread succeeds immediately.
+  void join() {
+    runtime::Execution& exec = detail::currentExecution();
+    if (tid_ < 0) {
+      // A dummy handle from a spawn that was no-op'd during execution
+      // teardown; joining it is itself a no-op. Outside teardown a negative
+      // id means the handle was never attached to a thread.
+      LAZYHB_CHECK(exec.isTearingDown());
+      return;
+    }
+    exec.joinThread(tid_);
+  }
+
+  /// Runtime thread index (execution-local; mainly for diagnostics).
+  [[nodiscard]] int id() const noexcept { return tid_; }
+
+ private:
+  friend ThreadHandle spawn(std::function<void()> fn);
+  explicit ThreadHandle(int tid) : tid_(tid) {}
+  int tid_ = -1;
+};
+
+/// Start a new controlled thread running `fn`. A visible operation.
+[[nodiscard]] inline ThreadHandle spawn(std::function<void()> fn) {
+  return ThreadHandle(detail::currentExecution().spawnThread(std::move(fn)));
+}
+
+/// Voluntary scheduling point with no object (models Thread.yield()).
+inline void yield() { detail::currentExecution().yieldNow(); }
+
+/// Property assertion over the program under test. A failure records an
+/// AssertionFailure violation with the reproducing schedule and abandons the
+/// current execution. Not itself a visible operation — read shared state via
+/// Shared<T>::load() in the condition.
+inline void checkAlways(bool condition, const char* message = "checkAlways failed") {
+  if (!condition) {
+    detail::currentExecution().failAssertion(message);
+  }
+}
+
+/// A non-reentrant mutual-exclusion lock. lock()/unlock() are the visible
+/// operations whose inter-thread edges the lazy HBR erases.
+class Mutex {
+ public:
+  explicit Mutex(const char* name = "mutex")
+      : exec_(&detail::currentExecution()),
+        index_(exec_->registerObject(runtime::ObjectKind::Mutex, name, 0, -1)) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() { exec_->mutexLock(index_); }
+  void unlock() { exec_->mutexUnlock(index_); }
+
+  /// Non-blocking acquisition attempt. Note: the result observes the mutex
+  /// state, so TryLock events keep their edges even in the lazy HBR.
+  [[nodiscard]] bool tryLock() { return exec_->mutexTryLock(index_); }
+
+  /// True iff the calling thread currently holds this mutex (no event).
+  [[nodiscard]] bool heldByCaller() const { return exec_->mutexHeldByCurrent(index_); }
+
+ private:
+  friend class CondVar;
+  runtime::Execution* exec_;
+  std::int32_t index_;
+};
+
+/// Scoped lock ownership (CP.44: always name the guard).
+class LockGuard {
+ public:
+  explicit LockGuard(Mutex& mutex) : mutex_(mutex) { mutex_.lock(); }
+  ~LockGuard() { mutex_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable with Java monitor semantics: wait() atomically
+/// releases the mutex and parks; signal() wakes the longest-waiting thread;
+/// broadcast() wakes all. Woken threads re-acquire the mutex under scheduler
+/// control (the wakeup races like real code). No spurious wakeups occur, but
+/// the usual `while (!predicate) cv.wait(m);` pattern is still required for
+/// correctness under broadcast and multiple waiters.
+class CondVar {
+ public:
+  explicit CondVar(const char* name = "condvar")
+      : exec_(&detail::currentExecution()),
+        index_(exec_->registerObject(runtime::ObjectKind::CondVar, name, 0, -1)) {}
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Precondition: the calling thread holds `mutex`.
+  void wait(Mutex& mutex) { exec_->condWait(index_, mutex.index_); }
+  void signal() { exec_->condSignal(index_); }
+  void broadcast() { exec_->condBroadcast(index_); }
+
+ private:
+  runtime::Execution* exec_;
+  std::int32_t index_;
+};
+
+/// Counting semaphore. Semaphore operations keep their edges in the lazy
+/// HBR (the count is observable data, so the mutex-erasure argument of
+/// Theorem 2.2 does not extend to them).
+class Semaphore {
+ public:
+  explicit Semaphore(int initial, const char* name = "semaphore")
+      : exec_(&detail::currentExecution()),
+        index_(exec_->registerObject(runtime::ObjectKind::Semaphore, name, 0, initial)) {
+    LAZYHB_CHECK(initial >= 0);
+  }
+
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  void acquire() { exec_->semAcquire(index_); }
+  void release() { exec_->semRelease(index_); }
+
+ private:
+  runtime::Execution* exec_;
+  std::int32_t index_;
+};
+
+/// A shared variable of type T. Every access is a visible operation and a
+/// conflict-edge source in both the regular and the lazy HBR. T must be
+/// copyable and hashable (std::hash or a ValueHash specialisation).
+template <typename T>
+class Shared {
+ public:
+  explicit Shared(T initial, const char* name = "var")
+      : exec_(&detail::currentExecution()), value_(std::move(initial)),
+        index_(exec_->registerObject(runtime::ObjectKind::Var, name,
+                                     detail::ValueHash<T>{}(value_), -1)) {}
+
+  Shared(const Shared&) = delete;
+  Shared& operator=(const Shared&) = delete;
+
+  /// Visible read.
+  [[nodiscard]] T load() {
+    exec_->varPublish(index_, runtime::OpKind::Read);
+    T result = value_;
+    exec_->varCommit(index_, runtime::OpKind::Read, 0);
+    return result;
+  }
+
+  /// Visible write.
+  void store(T desired) {
+    exec_->varPublish(index_, runtime::OpKind::Write);
+    value_ = std::move(desired);
+    exec_->varCommit(index_, runtime::OpKind::Write, detail::ValueHash<T>{}(value_));
+  }
+
+  /// Atomic read-modify-write; returns the previous value.
+  template <typename F>
+  T modify(F&& f) {
+    exec_->varPublish(index_, runtime::OpKind::Rmw);
+    T previous = value_;
+    value_ = std::forward<F>(f)(std::move(value_));
+    exec_->varCommit(index_, runtime::OpKind::Rmw, detail::ValueHash<T>{}(value_));
+    return previous;
+  }
+
+  /// Atomic fetch-and-add (T must support +).
+  T fetchAdd(T delta) {
+    return modify([&delta](T v) { return static_cast<T>(v + delta); });
+  }
+
+  /// Atomic compare-exchange; returns true and stores `desired` iff the
+  /// current value equals `expected`.
+  bool compareExchange(const T& expected, T desired) {
+    bool swapped = false;
+    modify([&](T v) {
+      if (v == expected) {
+        swapped = true;
+        return std::move(desired);
+      }
+      return v;
+    });
+    return swapped;
+  }
+
+  /// Non-instrumented peek: no event, no scheduling point. Only safe where
+  /// no other thread can be mutating the variable (e.g. after joining all
+  /// writers); provided for assertions and result extraction.
+  [[nodiscard]] const T& peek() const noexcept { return value_; }
+
+ private:
+  runtime::Execution* exec_;
+  T value_;
+  std::int32_t index_;
+};
+
+}  // namespace lazyhb

@@ -1,0 +1,527 @@
+#include "runtime/execution.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "support/diagnostics.hpp"
+
+namespace lazyhb::runtime {
+
+namespace {
+/// The execution owning the currently running fiber on this OS thread.
+thread_local Execution* g_current = nullptr;
+}  // namespace
+
+Execution* Execution::current() noexcept { return g_current; }
+
+Execution::Execution(const Config& config, StackPool& stackPool,
+                     ExecutionObserver* observer)
+    : config_(config), stackPool_(stackPool), observer_(observer) {}
+
+Execution::~Execution() {
+  // run() tears all fibers down before returning; if run() was never called
+  // there are no fibers.
+  for (const auto& t : threads_) {
+    LAZYHB_CHECK(!t.fiber || t.fiber->finished());
+  }
+}
+
+Outcome Execution::run(const std::function<void()>& body, Scheduler& scheduler) {
+  LAZYHB_CHECK(!ran_);
+  ran_ = true;
+  LAZYHB_CHECK(g_current == nullptr);
+  g_current = this;
+
+  if (observer_ != nullptr) observer_->onExecutionStart(*this);
+
+  // Thread 0 runs the test body. It doubles as an object so that spawn/join
+  // events targeting it have an identity; the root UID is a fixed constant.
+  {
+    ObjectInfo rootObj;
+    rootObj.uid = kRootThreadUid;
+    rootObj.kind = ObjectKind::Thread;
+    rootObj.name = "main";
+    rootObj.a = 0;
+    objects_.push_back(std::move(rootObj));
+    if (observer_ != nullptr) {
+      observer_->onObjectRegistered(*this, 0, kRootThreadUid, ObjectKind::Thread, "main");
+    }
+    ThreadRec root;
+    root.uid = kRootThreadUid;
+    root.fiber = std::make_unique<Fiber>(stackPool_, [&body] { body(); });
+    threads_.push_back(std::move(root));
+  }
+  advance(0);
+
+  for (;;) {
+    if (violation_.kind != Outcome::Terminal) {
+      outcome_ = violation_.kind;
+      break;
+    }
+    if (events_.size() >= config_.maxEventsPerSchedule) {
+      outcome_ = Outcome::EventLimit;
+      break;
+    }
+    const support::ThreadSet enabledSet = enabled();
+    if (enabledSet.empty()) {
+      if (allFinished()) {
+        outcome_ = Outcome::Terminal;
+      } else {
+        outcome_ = Outcome::Deadlock;
+        std::string blocked = "deadlock; blocked threads:";
+        for (int tid = 0; tid < threadCount(); ++tid) {
+          if (threads_[static_cast<std::size_t>(tid)].status != ThreadStatus::Finished) {
+            blocked += ' ';
+            blocked += std::to_string(tid);
+          }
+        }
+        violation_ = Violation{Outcome::Deadlock, std::move(blocked), choices_};
+      }
+      break;
+    }
+    const int tid = scheduler.pick(*this);
+    if (tid == Scheduler::kAbandon) {
+      outcome_ = Outcome::Abandoned;
+      break;
+    }
+    LAZYHB_CHECK(enabledSet.contains(tid));
+    choices_.push_back(tid);
+    advance(tid);
+  }
+
+  finalFingerprint_ = computeStateFingerprint();
+  done_ = true;
+  teardownUnfinished();
+  if (observer_ != nullptr) observer_->onExecutionEnd(*this, outcome_);
+  g_current = nullptr;
+  return outcome_;
+}
+
+void Execution::advance(int tid) {
+  const int previous = currentThread_;
+  currentThread_ = tid;
+  threads_[static_cast<std::size_t>(tid)].fiber->resume();
+  if (threads_[static_cast<std::size_t>(tid)].fiber->finished()) {
+    threads_[static_cast<std::size_t>(tid)].status = ThreadStatus::Finished;
+  }
+  currentThread_ = previous;
+}
+
+void Execution::publishAndPark(OpKind kind, std::int32_t object,
+                               std::int32_t mutexObject, int targetThread,
+                               std::uint64_t aux) {
+  // During teardown, visible operations are granted immediately as no-ops:
+  // the state fingerprint has already been snapshotted and nothing observes
+  // the execution any more. This lets fibers run forward to the end of
+  // their entry function with destructors executing in ordinary contexts
+  // (unwinding with an exception would std::terminate when the suspension
+  // point is inside a destructor, e.g. a lock guard publishing its unlock).
+  if (abandoning_) {
+    consumeTeardownFuel();
+    return;
+  }
+  ThreadRec& me = threads_[static_cast<std::size_t>(currentThread_)];
+  LAZYHB_CHECK(me.status == ThreadStatus::Pending && !me.pendingOp.valid);
+  me.pendingOp = PendingOp{true, kind, object, mutexObject, targetThread, aux};
+  me.fiber->yieldToHost();
+  // Woken. Either the scheduler granted the operation, or the execution is
+  // being torn down (in which case the operation is a no-op for the caller).
+  threads_[static_cast<std::size_t>(currentThread_)].pendingOp.valid = false;
+  if (abandoning_) {
+    consumeTeardownFuel();
+  }
+}
+
+void Execution::consumeTeardownFuel() {
+  // A fiber looping over visible operations (e.g. a condvar predicate loop
+  // whose waits are now no-ops) would run forward forever; after a per-fiber
+  // budget, fall back to unwinding it. While that unwinding is in flight,
+  // operations issued by destructors must stay silent no-ops — throwing
+  // again from inside a destructor would terminate the process.
+  if (teardownFuel_ > 0) {
+    --teardownFuel_;
+    return;
+  }
+  if (std::uncaught_exceptions() > 0) {
+    return;  // already unwinding this fiber; let destructors finish
+  }
+  throw AbandonExecution{};
+}
+
+std::int32_t Execution::recordEvent(OpKind kind, std::int32_t object,
+                                    std::int32_t mutexObject, std::uint64_t aux) {
+  if (abandoning_) return -1;  // teardown-time operations are not events
+  ThreadRec& me = threads_[static_cast<std::size_t>(currentThread_)];
+  EventRecord event;
+  event.threadIndex = currentThread_;
+  event.indexInThread = me.eventsExecuted++;
+  event.kind = kind;
+  event.aux = aux;
+  event.threadUid = me.uid;
+  if (object >= 0) {
+    event.objectUid = objects_[static_cast<std::size_t>(object)].uid;
+    event.objectIndex = object;
+  }
+  if (mutexObject >= 0) {
+    event.mutexUid = objects_[static_cast<std::size_t>(mutexObject)].uid;
+    event.mutexIndex = mutexObject;
+  }
+  if (event.indexInThread == 0) {
+    event.spawnPredecessor = me.spawnPredecessor;
+  }
+  if (kind == OpKind::Reacquire) {
+    event.signalPredecessor = me.signalPredecessor;
+    me.signalPredecessor = -1;
+  }
+  if (kind == OpKind::Join) {
+    event.joinPredecessor = me.joinPredecessor;
+    me.joinPredecessor = -1;
+  }
+  const auto index = static_cast<std::int32_t>(events_.size());
+  me.lastEventIndex = index;
+  events_.push_back(event);
+  if (observer_ != nullptr) observer_->onEvent(*this, events_.back());
+  return index;
+}
+
+support::ThreadSet Execution::enabled() const {
+  support::ThreadSet result;
+  for (int tid = 0; tid < threadCount(); ++tid) {
+    const ThreadRec& t = threads_[static_cast<std::size_t>(tid)];
+    if (t.status == ThreadStatus::Pending && t.pendingOp.valid && isEnabled(t)) {
+      result.insert(tid);
+    }
+  }
+  return result;
+}
+
+bool Execution::isEnabled(const ThreadRec& t) const {
+  const PendingOp& op = t.pendingOp;
+  switch (op.kind) {
+    case OpKind::Lock:
+    case OpKind::Reacquire: {
+      const std::int32_t m = op.kind == OpKind::Lock ? op.object : op.mutexObject;
+      return objects_[static_cast<std::size_t>(m)].a == -1;
+    }
+    case OpKind::SemAcquire:
+      return objects_[static_cast<std::size_t>(op.object)].a > 0;
+    case OpKind::Join:
+      return threads_[static_cast<std::size_t>(op.targetThread)].status ==
+             ThreadStatus::Finished;
+    default:
+      return true;
+  }
+}
+
+bool Execution::allFinished() const {
+  for (const auto& t : threads_) {
+    if (t.status != ThreadStatus::Finished) return false;
+  }
+  return true;
+}
+
+const PendingOp& Execution::pending(int tid) const {
+  return threads_[static_cast<std::size_t>(tid)].pendingOp;
+}
+
+bool Execution::threadFinished(int tid) const {
+  return threads_[static_cast<std::size_t>(tid)].status == ThreadStatus::Finished;
+}
+
+Uid Execution::threadUid(int tid) const {
+  return threads_[static_cast<std::size_t>(tid)].uid;
+}
+
+const ObjectInfo& Execution::object(std::int32_t index) const {
+  return objects_[static_cast<std::size_t>(index)];
+}
+
+support::Hash128 Execution::stateFingerprint() const {
+  return done_ ? finalFingerprint_ : computeStateFingerprint();
+}
+
+support::Hash128 Execution::computeStateFingerprint() const {
+  support::MultisetHash acc;
+  for (const ObjectInfo& obj : objects_) {
+    switch (obj.kind) {
+      case ObjectKind::Var:
+        acc.add(support::hash128(obj.uid, obj.valueHash));
+        break;
+      case ObjectKind::Mutex: {
+        const std::uint64_t owner =
+            obj.a == -1 ? 0 : threads_[static_cast<std::size_t>(obj.a)].uid;
+        acc.add(support::hash128(obj.uid ^ 0xA5A5A5A5ULL, owner));
+        break;
+      }
+      case ObjectKind::Semaphore:
+        acc.add(support::hash128(obj.uid ^ 0x5A5A5A5AULL,
+                                 static_cast<std::uint64_t>(obj.a)));
+        break;
+      case ObjectKind::CondVar:
+      case ObjectKind::Thread:
+        break;  // no observable terminal state of their own
+    }
+  }
+  return acc.digest();
+}
+
+std::int32_t Execution::registerObject(ObjectKind kind, const char* name,
+                                       std::uint64_t initialValueHash,
+                                       std::int64_t initialA) {
+  LAZYHB_CHECK(currentThread_ >= 0);
+  ThreadRec& me = threads_[static_cast<std::size_t>(currentThread_)];
+  ObjectInfo obj;
+  obj.uid = deriveUid(me.uid, me.creationSeq++, kind);
+  obj.kind = kind;
+  obj.name = name != nullptr ? name : "";
+  obj.valueHash = initialValueHash;
+  obj.a = initialA;
+  const auto index = static_cast<std::int32_t>(objects_.size());
+  objects_.push_back(std::move(obj));
+  if (observer_ != nullptr) {
+    const ObjectInfo& stored = objects_.back();
+    observer_->onObjectRegistered(*this, index, stored.uid, kind, stored.name);
+  }
+  return index;
+}
+
+void Execution::varPublish(std::int32_t object, OpKind kind) {
+  LAZYHB_CHECK(kind == OpKind::Read || kind == OpKind::Write || kind == OpKind::Rmw);
+  publishAndPark(kind, object, -1, -1, 0);
+}
+
+void Execution::varCommit(std::int32_t object, OpKind kind,
+                          std::uint64_t newValueHash) {
+  if (kind != OpKind::Read) {
+    objects_[static_cast<std::size_t>(object)].valueHash = newValueHash;
+  }
+  recordEvent(kind, object, -1, 0);
+}
+
+void Execution::mutexLock(std::int32_t object) {
+  publishAndPark(OpKind::Lock, object, -1, -1, 0);
+  if (abandoning_) return;
+  ObjectInfo& m = objects_[static_cast<std::size_t>(object)];
+  LAZYHB_CHECK(m.a == -1);  // the scheduler only grants lock when free
+  m.a = currentThread_;
+  recordEvent(OpKind::Lock, object, -1, 0);
+}
+
+void Execution::mutexUnlock(std::int32_t object) {
+  publishAndPark(OpKind::Unlock, object, -1, -1, 0);
+  if (abandoning_) return;
+  ObjectInfo& m = objects_[static_cast<std::size_t>(object)];
+  if (m.a != currentThread_) {
+    failUsage("unlock of mutex '" + m.name + "' not held by the calling thread");
+    return;
+  }
+  m.a = -1;
+  recordEvent(OpKind::Unlock, object, -1, 0);
+}
+
+bool Execution::mutexTryLock(std::int32_t object) {
+  publishAndPark(OpKind::TryLock, object, -1, -1, 0);
+  if (abandoning_) return false;
+  ObjectInfo& m = objects_[static_cast<std::size_t>(object)];
+  const bool acquired = m.a == -1;
+  if (acquired) m.a = currentThread_;
+  recordEvent(OpKind::TryLock, object, -1, acquired ? 1 : 0);
+  return acquired;
+}
+
+bool Execution::mutexHeldByCurrent(std::int32_t object) const {
+  return objects_[static_cast<std::size_t>(object)].a == currentThread_;
+}
+
+void Execution::condWait(std::int32_t condvar, std::int32_t mutex) {
+  publishAndPark(OpKind::Wait, condvar, mutex, -1, 0);
+  if (abandoning_) return;
+  ObjectInfo& m = objects_[static_cast<std::size_t>(mutex)];
+  if (m.a != currentThread_) {
+    failUsage("wait on condvar '" +
+              objects_[static_cast<std::size_t>(condvar)].name +
+              "' without holding mutex '" + m.name + "'");
+    return;
+  }
+  m.a = -1;  // atomically release with the park
+  recordEvent(OpKind::Wait, condvar, mutex, 0);
+
+  // Park until a signal re-arms us with a pre-staged Reacquire op.
+  {
+    ThreadRec& me = threads_[static_cast<std::size_t>(currentThread_)];
+    me.pendingOp = PendingOp{false, OpKind::Reacquire, condvar, mutex, -1, 0};
+    me.status = ThreadStatus::Parked;
+    objects_[static_cast<std::size_t>(condvar)].waiters.push_back(currentThread_);
+    me.fiber->yieldToHost();
+  }
+  threads_[static_cast<std::size_t>(currentThread_)].pendingOp.valid = false;
+  if (abandoning_) {
+    consumeTeardownFuel();
+    return;  // torn down while waiting; the wait never completes
+  }
+  // Granted the re-acquisition (mutex is free, scheduler picked us).
+  ObjectInfo& m2 = objects_[static_cast<std::size_t>(mutex)];
+  LAZYHB_CHECK(m2.a == -1);
+  m2.a = currentThread_;
+  recordEvent(OpKind::Reacquire, condvar, mutex, 0);
+}
+
+void Execution::condSignal(std::int32_t condvar) {
+  publishAndPark(OpKind::Signal, condvar, -1, -1, 0);
+  if (abandoning_) return;
+  const std::int32_t signalEvent = recordEvent(OpKind::Signal, condvar, -1, 0);
+  ObjectInfo& cv = objects_[static_cast<std::size_t>(condvar)];
+  if (!cv.waiters.empty()) {
+    const int waiter = cv.waiters.front();
+    cv.waiters.erase(cv.waiters.begin());
+    ThreadRec& w = threads_[static_cast<std::size_t>(waiter)];
+    LAZYHB_CHECK(w.status == ThreadStatus::Parked);
+    w.status = ThreadStatus::Pending;
+    w.pendingOp.valid = true;
+    w.signalPredecessor = signalEvent;
+  }
+}
+
+void Execution::condBroadcast(std::int32_t condvar) {
+  publishAndPark(OpKind::Broadcast, condvar, -1, -1, 0);
+  if (abandoning_) return;
+  const std::int32_t signalEvent = recordEvent(OpKind::Broadcast, condvar, -1, 0);
+  ObjectInfo& cv = objects_[static_cast<std::size_t>(condvar)];
+  for (const int waiter : cv.waiters) {
+    ThreadRec& w = threads_[static_cast<std::size_t>(waiter)];
+    LAZYHB_CHECK(w.status == ThreadStatus::Parked);
+    w.status = ThreadStatus::Pending;
+    w.pendingOp.valid = true;
+    w.signalPredecessor = signalEvent;
+  }
+  cv.waiters.clear();
+}
+
+void Execution::semAcquire(std::int32_t semaphore) {
+  publishAndPark(OpKind::SemAcquire, semaphore, -1, -1, 0);
+  if (abandoning_) return;
+  ObjectInfo& s = objects_[static_cast<std::size_t>(semaphore)];
+  LAZYHB_CHECK(s.a > 0);
+  --s.a;
+  recordEvent(OpKind::SemAcquire, semaphore, -1, 0);
+}
+
+void Execution::semRelease(std::int32_t semaphore) {
+  publishAndPark(OpKind::SemRelease, semaphore, -1, -1, 0);
+  if (abandoning_) return;
+  ++objects_[static_cast<std::size_t>(semaphore)].a;
+  recordEvent(OpKind::SemRelease, semaphore, -1, 0);
+}
+
+int Execution::spawnThread(std::function<void()> fn) {
+  if (threadCount() >= support::kMaxThreads) {
+    failUsage("thread limit exceeded (" + std::to_string(support::kMaxThreads) + ")");
+    return -1;
+  }
+  publishAndPark(OpKind::Spawn, -1, -1, -1, 0);
+  if (abandoning_) return -1;
+
+  // Commit: derive the child's schedule-invariant identity, register it as
+  // an object, create its fiber, then run it to its first visible operation.
+  const int childIndex = threadCount();
+  Uid childUid;
+  {
+    ThreadRec& me = threads_[static_cast<std::size_t>(currentThread_)];
+    childUid = deriveUid(me.uid, me.creationSeq++, ObjectKind::Thread);
+  }
+  ObjectInfo childObj;
+  childObj.uid = childUid;
+  childObj.kind = ObjectKind::Thread;
+  childObj.name = "thread-" + std::to_string(childIndex);
+  childObj.a = childIndex;
+  const auto objIndex = static_cast<std::int32_t>(objects_.size());
+  objects_.push_back(std::move(childObj));
+  if (observer_ != nullptr) {
+    observer_->onObjectRegistered(*this, objIndex, childUid, ObjectKind::Thread,
+                                  objects_.back().name);
+  }
+
+  const std::int32_t spawnEvent = recordEvent(OpKind::Spawn, objIndex, -1, 0);
+
+  ThreadRec child;
+  child.uid = childUid;
+  child.spawnPredecessor = spawnEvent;
+  child.fiber = std::make_unique<Fiber>(stackPool_, std::move(fn));
+  threads_.push_back(std::move(child));
+
+  advance(childIndex);
+  return childIndex;
+}
+
+void Execution::joinThread(int tid) {
+  LAZYHB_CHECK(tid >= 0 && tid < threadCount());
+  // Resolve the target's thread-object entry up front so the pending
+  // operation carries it (DPOR reasons about join-join reorderings via the
+  // thread object's conflict chain).
+  const Uid targetUid = threads_[static_cast<std::size_t>(tid)].uid;
+  std::int32_t objIndex = -1;
+  for (std::int32_t i = 0; i < static_cast<std::int32_t>(objects_.size()); ++i) {
+    const ObjectInfo& obj = objects_[static_cast<std::size_t>(i)];
+    if (obj.kind == ObjectKind::Thread && obj.uid == targetUid) {
+      objIndex = i;
+      break;
+    }
+  }
+  LAZYHB_CHECK(objIndex >= 0);
+  publishAndPark(OpKind::Join, objIndex, -1, tid, 0);
+  if (abandoning_) return;
+  const ThreadRec& target = threads_[static_cast<std::size_t>(tid)];
+  LAZYHB_CHECK(target.status == ThreadStatus::Finished);
+  threads_[static_cast<std::size_t>(currentThread_)].joinPredecessor =
+      target.lastEventIndex;
+  recordEvent(OpKind::Join, objIndex, -1, 0);
+}
+
+void Execution::yieldNow() {
+  publishAndPark(OpKind::Yield, -1, -1, -1, 0);
+  recordEvent(OpKind::Yield, -1, -1, 0);
+}
+
+void Execution::failAssertion(std::string message) {
+  if (abandoning_) return;
+  violation_ = Violation{Outcome::AssertionFailure, std::move(message), choices_};
+  parkForViolation();
+}
+
+void Execution::failUsage(std::string message) {
+  if (abandoning_) return;
+  violation_ = Violation{Outcome::UsageError, std::move(message), choices_};
+  parkForViolation();
+}
+
+void Execution::parkForViolation() {
+  // Suspend the failing thread *without* unwinding it: unwinding here would
+  // destroy its locals while other threads still reference them, and the
+  // survivors would then be run forward into dead objects during teardown.
+  // The host loop observes violation_ and ends the run; this fiber resumes
+  // only in teardown mode and simply returns, continuing forward with every
+  // subsequent operation granted as a no-op.
+  ThreadRec& me = threads_[static_cast<std::size_t>(currentThread_)];
+  me.fiber->yieldToHost();
+  LAZYHB_CHECK(abandoning_);
+  consumeTeardownFuel();
+}
+
+void Execution::teardownUnfinished() {
+  abandoning_ = true;
+  // Reverse spawn order: children run forward before the threads that own
+  // the objects they reference (a child's lock guard must release a mutex
+  // that still exists on its creator's stack).
+  for (int tid = threadCount() - 1; tid >= 0; --tid) {
+    ThreadRec& t = threads_[static_cast<std::size_t>(tid)];
+    if (t.status != ThreadStatus::Finished) {
+      teardownFuel_ = 512;  // per fiber: forward completion is ~100 ops
+      advance(tid);
+      LAZYHB_CHECK(t.fiber->finished());
+      t.status = ThreadStatus::Finished;
+    }
+  }
+  abandoning_ = false;
+}
+
+}  // namespace lazyhb::runtime

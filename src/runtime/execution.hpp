@@ -1,0 +1,247 @@
+// lazyhb/runtime/execution.hpp
+//
+// One controlled execution of a program under test.
+//
+// The engine runs every logical thread on a fiber and multiplexes them on
+// the calling OS thread. A thread runs until it reaches its next *visible
+// operation* (see operation.hpp), publishes the operation descriptor, and
+// yields; the host loop then asks the Scheduler which enabled thread may
+// commit its pending operation. One pick == one committed event, so the
+// sequence of picks is a complete, replayable encoding of the schedule.
+//
+// This structure gives explorers exactly what dynamic partial-order
+// reduction needs: at every scheduling point, the pending operation of every
+// live thread is known *before* anything is committed.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/fiber.hpp"
+#include "runtime/operation.hpp"
+#include "support/hash.hpp"
+#include "support/thread_set.hpp"
+
+namespace lazyhb::runtime {
+
+class Execution;
+
+/// Strategy interface: decides which enabled thread commits next.
+class Scheduler {
+ public:
+  /// Sentinel return value: prune (abandon) the current execution.
+  static constexpr int kAbandon = -1;
+
+  virtual ~Scheduler() = default;
+
+  /// Called at every scheduling point. Must return a member of
+  /// exec.enabled(), or kAbandon to abandon the execution.
+  virtual int pick(Execution& exec) = 0;
+};
+
+/// Passive listener for execution lifecycle and events (the trace module's
+/// TraceRecorder is the canonical implementation).
+class ExecutionObserver {
+ public:
+  virtual ~ExecutionObserver() = default;
+  virtual void onExecutionStart(const Execution&) {}
+  virtual void onObjectRegistered(const Execution&, std::int32_t index, Uid uid,
+                                  ObjectKind kind, const std::string& name) {
+    (void)index; (void)uid; (void)kind; (void)name;
+  }
+  virtual void onEvent(const Execution&, const EventRecord&) {}
+  virtual void onExecutionEnd(const Execution&, Outcome) {}
+};
+
+/// Execution-time limits and knobs.
+struct Config {
+  /// Abort an execution that commits more events than this (guards against
+  /// unbounded spin loops in programs under test).
+  std::uint32_t maxEventsPerSchedule = 1u << 20;
+};
+
+/// A thread's pending (published but uncommitted) visible operation.
+struct PendingOp {
+  bool valid = false;
+  OpKind kind = OpKind::Yield;
+  std::int32_t object = -1;       ///< primary object index (-1: none)
+  std::int32_t mutexObject = -1;  ///< Wait/Reacquire: the mutex
+  int targetThread = -1;          ///< Join: joined thread's index
+  std::uint64_t aux = 0;
+};
+
+/// Registry entry for a shared object. `a` is kind-dependent scalar state:
+/// mutex owner thread index (-1 free), semaphore count, thread index for
+/// Thread entries; `valueHash` is the current value hash for Var entries.
+struct ObjectInfo {
+  Uid uid = 0;
+  ObjectKind kind = ObjectKind::Var;
+  std::string name;
+  std::uint64_t valueHash = 0;
+  std::int64_t a = -1;
+  std::vector<int> waiters;  ///< CondVar: parked thread indices, FIFO
+};
+
+/// Details of a detected violation (assertion failure, deadlock, API
+/// misuse), with the choice sequence that reproduces it.
+struct Violation {
+  Outcome kind = Outcome::Terminal;
+  std::string message;
+  std::vector<int> schedule;  ///< thread index picked at each step
+};
+
+class Execution {
+ public:
+  /// `observer` may be nullptr. The stack pool outlives the execution and is
+  /// typically shared by all executions of one exploration.
+  Execution(const Config& config, StackPool& stackPool,
+            ExecutionObserver* observer);
+  ~Execution();
+
+  Execution(const Execution&) = delete;
+  Execution& operator=(const Execution&) = delete;
+
+  /// Run `body` as thread 0 under `scheduler` control. May be called once.
+  Outcome run(const std::function<void()>& body, Scheduler& scheduler);
+
+  // --- introspection for schedulers/explorers -------------------------------
+
+  /// Threads whose pending operation can commit in the current state.
+  [[nodiscard]] support::ThreadSet enabled() const;
+
+  /// Number of threads created so far (indices are [0, threadCount())).
+  [[nodiscard]] int threadCount() const noexcept { return static_cast<int>(threads_.size()); }
+
+  [[nodiscard]] const PendingOp& pending(int tid) const;
+  [[nodiscard]] bool threadFinished(int tid) const;
+  [[nodiscard]] Uid threadUid(int tid) const;
+
+  [[nodiscard]] const ObjectInfo& object(std::int32_t index) const;
+  [[nodiscard]] int objectCount() const noexcept { return static_cast<int>(objects_.size()); }
+
+  /// Committed events, in schedule order.
+  [[nodiscard]] const std::vector<EventRecord>& events() const noexcept { return events_; }
+
+  /// Thread indices picked so far, one per committed event.
+  [[nodiscard]] const std::vector<int>& choices() const noexcept { return choices_; }
+
+  /// Fingerprint of the shared state: all Var values, mutex owners and
+  /// semaphore counts, combined order-independently. While the execution is
+  /// in flight this is computed live; once run() has returned it is the
+  /// state at the moment the schedule ended (teardown destructors run after
+  /// that point and do not perturb it). Meaningful for comparing *terminal*
+  /// states of complete executions (Theorems 2.1/2.2).
+  [[nodiscard]] support::Hash128 stateFingerprint() const;
+
+  /// The violation record if run() ended with isViolation(outcome).
+  [[nodiscard]] const Violation& violation() const noexcept { return violation_; }
+
+  // --- entry points used by the user-facing API (api.hpp) -------------------
+  // These must only be called from inside a running fiber of this execution.
+
+  /// The execution the calling fiber belongs to (null outside of run()).
+  [[nodiscard]] static Execution* current() noexcept;
+
+  /// Index of the thread whose fiber is currently running.
+  [[nodiscard]] int currentThread() const noexcept { return currentThread_; }
+
+  /// True while unfinished fibers are being run forward with all visible
+  /// operations granted as no-ops (see teardownUnfinished).
+  [[nodiscard]] bool isTearingDown() const noexcept { return abandoning_; }
+
+  [[nodiscard]] std::int32_t registerObject(ObjectKind kind, const char* name,
+                                            std::uint64_t initialValueHash,
+                                            std::int64_t initialA);
+
+  /// Publish a variable access and block until the scheduler grants it. The
+  /// caller then mutates the value and calls varCommit (no yield between).
+  void varPublish(std::int32_t object, OpKind kind);
+  void varCommit(std::int32_t object, OpKind kind, std::uint64_t newValueHash);
+
+  void mutexLock(std::int32_t object);
+  void mutexUnlock(std::int32_t object);
+  [[nodiscard]] bool mutexTryLock(std::int32_t object);
+  [[nodiscard]] bool mutexHeldByCurrent(std::int32_t object) const;
+
+  void condWait(std::int32_t condvar, std::int32_t mutex);
+  void condSignal(std::int32_t condvar);
+  void condBroadcast(std::int32_t condvar);
+
+  void semAcquire(std::int32_t semaphore);
+  void semRelease(std::int32_t semaphore);
+
+  [[nodiscard]] int spawnThread(std::function<void()> fn);
+  void joinThread(int tid);
+  void yieldNow();
+
+  /// Record an assertion failure in the program under test and end the
+  /// execution. The failing thread is parked (not unwound — its locals may
+  /// be referenced by other threads) and later run forward during teardown.
+  /// During teardown this is a no-op (conditions evaluated over no-op'd
+  /// operations are meaningless).
+  void failAssertion(std::string message);
+
+ private:
+  enum class ThreadStatus : std::uint8_t {
+    Pending,   ///< has a published, uncommitted operation
+    Parked,    ///< inside CondVar::wait, not yet signalled
+    Finished,  ///< entry function returned (or was abandoned)
+  };
+
+  struct ThreadRec {
+    std::unique_ptr<Fiber> fiber;
+    Uid uid = 0;
+    ThreadStatus status = ThreadStatus::Pending;
+    PendingOp pendingOp;
+    std::uint32_t eventsExecuted = 0;
+    std::uint32_t creationSeq = 0;   ///< per-thread counter for derived UIDs
+    std::int32_t spawnPredecessor = -1;   ///< consumed by the first event
+    std::int32_t signalPredecessor = -1;  ///< consumed by the Reacquire event
+    std::int32_t joinPredecessor = -1;    ///< staged just before a Join event
+    std::int32_t lastEventIndex = -1;
+  };
+
+  /// Run tid's fiber until it publishes its next operation or finishes.
+  void advance(int tid);
+
+  /// Yield the current fiber until the scheduler grants its pending op.
+  void publishAndPark(OpKind kind, std::int32_t object, std::int32_t mutexObject,
+                      int targetThread, std::uint64_t aux);
+
+  /// Append a committed event for the current thread and notify observers.
+  /// Returns the event's global index.
+  std::int32_t recordEvent(OpKind kind, std::int32_t object,
+                           std::int32_t mutexObject, std::uint64_t aux);
+
+  [[nodiscard]] bool isEnabled(const ThreadRec& t) const;
+  [[nodiscard]] bool allFinished() const;
+  [[nodiscard]] support::Hash128 computeStateFingerprint() const;
+  void teardownUnfinished();
+  void consumeTeardownFuel();
+  void parkForViolation();
+  void failUsage(std::string message);
+
+  Config config_;
+  StackPool& stackPool_;
+  ExecutionObserver* observer_;
+
+  std::vector<ThreadRec> threads_;
+  std::vector<ObjectInfo> objects_;
+  std::vector<EventRecord> events_;
+  std::vector<int> choices_;
+
+  int currentThread_ = -1;
+  bool ran_ = false;
+  bool done_ = false;
+  bool abandoning_ = false;
+  std::uint32_t teardownFuel_ = 0;
+  Outcome outcome_ = Outcome::Terminal;
+  Violation violation_;
+  support::Hash128 finalFingerprint_;
+};
+
+}  // namespace lazyhb::runtime

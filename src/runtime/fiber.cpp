@@ -1,0 +1,105 @@
+#include "runtime/fiber.hpp"
+
+#include <cstdint>
+#include <utility>
+
+#include "support/diagnostics.hpp"
+
+#if defined(__SANITIZE_ADDRESS__)
+#include <sanitizer/common_interface_defs.h>
+#endif
+
+namespace lazyhb::runtime {
+
+std::unique_ptr<char[]> StackPool::acquire() {
+  if (!free_.empty()) {
+    auto stack = std::move(free_.back());
+    free_.pop_back();
+    return stack;
+  }
+  return std::make_unique<char[]>(stackBytes_);
+}
+
+void StackPool::release(std::unique_ptr<char[]> stack) {
+  free_.push_back(std::move(stack));
+}
+
+Fiber::Fiber(StackPool& pool, std::function<void()> entry)
+    : pool_(pool), stack_(pool.acquire()), entry_(std::move(entry)) {
+  LAZYHB_CHECK(getcontext(&fiberContext_) == 0);
+  fiberContext_.uc_stack.ss_sp = stack_.get();
+  fiberContext_.uc_stack.ss_size = pool_.stackBytes();
+  fiberContext_.uc_link = nullptr;  // entry never falls off: run() swaps back
+  // makecontext only passes ints; split the pointer into two 32-bit halves.
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  makecontext(&fiberContext_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+              static_cast<unsigned>(self >> 32),
+              static_cast<unsigned>(self & 0xffffffffu));
+}
+
+Fiber::~Fiber() {
+  // An unfinished fiber being destroyed would leak whatever RAII state its
+  // stack holds; the engine always abandons fibers before destruction.
+  LAZYHB_CHECK(finished_ || !started_);
+  pool_.release(std::move(stack_));
+}
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  auto* self = reinterpret_cast<Fiber*>(
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo));
+  self->run();
+  // Unreachable: run() performs the final swap back to the host.
+  LAZYHB_UNREACHABLE("fiber trampoline fell through");
+}
+
+// --- sanitizer fiber-switch protocol ----------------------------------------
+// Every switch A->B must bracket as: A calls startSwitch(&A.fakeSave,
+// B.stack); B, immediately after gaining control, calls
+// finishSwitch(B.fakeSave, &A.stack-out). The first entry into a fiber and
+// the final exit (dying fiber passes a null save slot) are special-cased.
+
+#if defined(__SANITIZE_ADDRESS__)
+#define LAZYHB_ASAN_START(saveSlot, bottom, size) \
+  __sanitizer_start_switch_fiber((saveSlot), (bottom), (size))
+#define LAZYHB_ASAN_FINISH(save, bottomOut, sizeOut) \
+  __sanitizer_finish_switch_fiber((save), (bottomOut), (sizeOut))
+#else
+#define LAZYHB_ASAN_START(saveSlot, bottom, size) ((void)0)
+#define LAZYHB_ASAN_FINISH(save, bottomOut, sizeOut) ((void)0)
+#endif
+
+void Fiber::run() {
+  // First entry: complete the switch started by resume() and capture the
+  // host stack bounds for the return switches.
+  LAZYHB_ASAN_FINISH(nullptr, &hostStackBottom_, &hostStackSize_);
+  try {
+    entry_();
+  } catch (const AbandonExecution&) {
+    // Normal teardown path for pruned executions: user destructors have run.
+  }
+  finished_ = true;
+  // Dying fiber: null save slot tells the sanitizer to destroy its fake
+  // stack rather than expect a return.
+  LAZYHB_ASAN_START(nullptr, hostStackBottom_, hostStackSize_);
+  LAZYHB_CHECK(swapcontext(&fiberContext_, &hostContext_) == 0);
+  LAZYHB_UNREACHABLE("resumed a finished fiber");
+}
+
+void Fiber::resume() {
+  LAZYHB_CHECK(!finished_);
+  started_ = true;
+  LAZYHB_ASAN_START(&hostFakeStack_, stack_.get(), pool_.stackBytes());
+  LAZYHB_CHECK(swapcontext(&hostContext_, &fiberContext_) == 0);
+  LAZYHB_ASAN_FINISH(hostFakeStack_, nullptr, nullptr);
+}
+
+void Fiber::yieldToHost() {
+  LAZYHB_ASAN_START(&fiberFakeStack_, hostStackBottom_, hostStackSize_);
+  LAZYHB_CHECK(swapcontext(&fiberContext_, &hostContext_) == 0);
+  LAZYHB_ASAN_FINISH(fiberFakeStack_, nullptr, nullptr);
+}
+
+#undef LAZYHB_ASAN_START
+#undef LAZYHB_ASAN_FINISH
+
+}  // namespace lazyhb::runtime

@@ -1,0 +1,49 @@
+#include "runtime/operation.hpp"
+
+namespace lazyhb::runtime {
+
+const char* opKindName(OpKind kind) noexcept {
+  switch (kind) {
+    case OpKind::Read: return "read";
+    case OpKind::Write: return "write";
+    case OpKind::Rmw: return "rmw";
+    case OpKind::Lock: return "lock";
+    case OpKind::Unlock: return "unlock";
+    case OpKind::TryLock: return "trylock";
+    case OpKind::Wait: return "wait";
+    case OpKind::Reacquire: return "reacquire";
+    case OpKind::Signal: return "signal";
+    case OpKind::Broadcast: return "broadcast";
+    case OpKind::SemAcquire: return "sem_acquire";
+    case OpKind::SemRelease: return "sem_release";
+    case OpKind::Spawn: return "spawn";
+    case OpKind::Join: return "join";
+    case OpKind::Yield: return "yield";
+  }
+  return "?";
+}
+
+const char* objectKindName(ObjectKind kind) noexcept {
+  switch (kind) {
+    case ObjectKind::Var: return "var";
+    case ObjectKind::Mutex: return "mutex";
+    case ObjectKind::CondVar: return "condvar";
+    case ObjectKind::Semaphore: return "semaphore";
+    case ObjectKind::Thread: return "thread";
+  }
+  return "?";
+}
+
+const char* outcomeName(Outcome outcome) noexcept {
+  switch (outcome) {
+    case Outcome::Terminal: return "terminal";
+    case Outcome::Deadlock: return "deadlock";
+    case Outcome::AssertionFailure: return "assertion-failure";
+    case Outcome::UsageError: return "usage-error";
+    case Outcome::EventLimit: return "event-limit";
+    case Outcome::Abandoned: return "abandoned";
+  }
+  return "?";
+}
+
+}  // namespace lazyhb::runtime

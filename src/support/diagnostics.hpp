@@ -1,0 +1,32 @@
+// lazyhb/support/diagnostics.hpp
+//
+// Internal invariant checking. LAZYHB_CHECK is an always-on assertion used
+// for library invariants (violations indicate a bug in lazyhb itself, not in
+// the program under test; programs under test use lazyhb::runtime's
+// checkAlways, which records a violation instead of aborting). The cost of
+// keeping these on in release builds is negligible next to the cost of a
+// silently-wrong partial-order reduction.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lazyhb::support {
+
+[[noreturn]] inline void checkFailed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "lazyhb internal invariant violated: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace lazyhb::support
+
+#define LAZYHB_CHECK(expr)                                               \
+  do {                                                                   \
+    if (!(expr)) [[unlikely]] {                                          \
+      ::lazyhb::support::checkFailed(#expr, __FILE__, __LINE__);         \
+    }                                                                    \
+  } while (false)
+
+#define LAZYHB_UNREACHABLE(msg) \
+  ::lazyhb::support::checkFailed("unreachable: " msg, __FILE__, __LINE__)

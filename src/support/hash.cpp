@@ -1,0 +1,23 @@
+#include "support/hash.hpp"
+
+#include <array>
+
+namespace lazyhb::support {
+
+std::string Hash128::toHex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(32, '0');
+  std::uint64_t v = hi;
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  v = lo;
+  for (int i = 31; i >= 16; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace lazyhb::support

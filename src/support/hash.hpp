@@ -1,0 +1,132 @@
+// lazyhb/support/hash.hpp
+//
+// Hashing primitives used throughout the library.
+//
+// The partial-order fingerprints at the heart of lazy-HBR caching are built
+// from these: a strong 64-bit mixer (splitmix64 finaliser), a 128-bit value
+// type with order-sensitive mixing, and an order-*insensitive* multiset
+// accumulator used to fingerprint sets of per-event hashes.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace lazyhb::support {
+
+/// Final mixing step of splitmix64. Bijective on 64-bit values; excellent
+/// avalanche behaviour. This is the workhorse scalar mixer.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Combine two 64-bit values into one, order-sensitively.
+[[nodiscard]] constexpr std::uint64_t hashCombine(std::uint64_t a,
+                                                  std::uint64_t b) noexcept {
+  // boost::hash_combine-style with a stronger finaliser.
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/// A 128-bit hash value. Used for partial-order fingerprints where the cost
+/// of a collision is a silently-pruned schedule; at 128 bits the collision
+/// probability over even 10^9 distinct prefixes is negligible (< 10^-20).
+struct Hash128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend constexpr bool operator==(const Hash128&, const Hash128&) = default;
+
+  /// Order-sensitive combine of two 128-bit hashes.
+  [[nodiscard]] constexpr Hash128 mixedWith(const Hash128& o) const noexcept {
+    return Hash128{hashCombine(lo, o.lo), hashCombine(hi ^ 0xabcdef0123456789ULL, o.hi)};
+  }
+
+  /// True iff this is the default (all-zero) hash.
+  [[nodiscard]] constexpr bool isZero() const noexcept { return lo == 0 && hi == 0; }
+
+  /// Render as 32 hex digits (for logs and debugging).
+  [[nodiscard]] std::string toHex() const;
+};
+
+/// Hash a 64-bit value into a 128-bit one using two independent streams.
+[[nodiscard]] constexpr Hash128 hash128(std::uint64_t x) noexcept {
+  return Hash128{mix64(x ^ 0x243f6a8885a308d3ULL), mix64(x ^ 0x13198a2e03707344ULL)};
+}
+
+/// Hash a pair.
+[[nodiscard]] constexpr Hash128 hash128(std::uint64_t a, std::uint64_t b) noexcept {
+  const Hash128 ha = hash128(a);
+  const Hash128 hb = hash128(b);
+  return ha.mixedWith(hb);
+}
+
+/// FNV-1a over raw bytes; adequate for strings/labels off the hot path.
+[[nodiscard]] inline std::uint64_t hashBytes(const void* data, std::size_t n) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return mix64(h);
+}
+
+[[nodiscard]] inline std::uint64_t hashString(std::string_view s) noexcept {
+  return hashBytes(s.data(), s.size());
+}
+
+/// Order-insensitive accumulator over a multiset of Hash128 values.
+///
+/// Equal multisets of element hashes produce equal accumulator values
+/// regardless of insertion order. `sum` is a component-wise modular sum
+/// (multiset-safe: duplicates accumulate rather than cancel as they would
+/// under XOR alone); `zip` is a second, independent reduction that guards the
+/// sum against structured-collision accidents. `count` disambiguates prefixes
+/// of different lengths for free.
+struct MultisetHash {
+  std::uint64_t sumLo = 0;
+  std::uint64_t sumHi = 0;
+  std::uint64_t zip = 0;
+  std::uint64_t count = 0;
+
+  constexpr void add(const Hash128& h) noexcept {
+    sumLo += h.lo;
+    sumHi += h.hi;
+    zip += mix64(h.lo ^ (h.hi * 0x9e3779b97f4a7c15ULL));
+    ++count;
+  }
+
+  /// Remove a previously-added element (sum/zip are abelian-group valued).
+  constexpr void remove(const Hash128& h) noexcept {
+    sumLo -= h.lo;
+    sumHi -= h.hi;
+    zip -= mix64(h.lo ^ (h.hi * 0x9e3779b97f4a7c15ULL));
+    --count;
+  }
+
+  [[nodiscard]] constexpr Hash128 digest() const noexcept {
+    const std::uint64_t a = mix64(sumLo ^ mix64(count));
+    const std::uint64_t b = mix64(sumHi + 0x2545f4914f6cdd1dULL * count);
+    const std::uint64_t c = mix64(zip ^ 0x9e3779b97f4a7c15ULL);
+    return Hash128{hashCombine(a, c), hashCombine(b, mix64(c + count))};
+  }
+
+  friend constexpr bool operator==(const MultisetHash&, const MultisetHash&) = default;
+};
+
+/// std::hash adaptor so Hash128 can key unordered containers directly.
+struct Hash128Hasher {
+  [[nodiscard]] std::size_t operator()(const Hash128& h) const noexcept {
+    return static_cast<std::size_t>(h.lo ^ mix64(h.hi));
+  }
+};
+
+}  // namespace lazyhb::support

@@ -1,0 +1,145 @@
+#include "support/options.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "support/diagnostics.hpp"
+
+namespace lazyhb::support {
+
+void Options::addInt(const std::string& name, std::int64_t defaultValue,
+                     const std::string& help) {
+  Entry e;
+  e.kind = Entry::Kind::Int;
+  e.help = help;
+  e.intValue = defaultValue;
+  LAZYHB_CHECK(entries_.emplace(name, std::move(e)).second);
+  declarationOrder_.push_back(name);
+}
+
+void Options::addFlag(const std::string& name, const std::string& help) {
+  Entry e;
+  e.kind = Entry::Kind::Flag;
+  e.help = help;
+  LAZYHB_CHECK(entries_.emplace(name, std::move(e)).second);
+  declarationOrder_.push_back(name);
+}
+
+void Options::addString(const std::string& name, const std::string& defaultValue,
+                        const std::string& help) {
+  Entry e;
+  e.kind = Entry::Kind::String;
+  e.help = help;
+  e.stringValue = defaultValue;
+  LAZYHB_CHECK(entries_.emplace(name, std::move(e)).second);
+  declarationOrder_.push_back(name);
+}
+
+bool Options::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      printUsage();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> inlineValue;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      inlineValue = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      std::fprintf(stderr, "%s: unknown option --%s (use --help)\n",
+                   programName_.c_str(), name.c_str());
+      parseError_ = true;
+      return false;
+    }
+    Entry& entry = it->second;
+    auto takeValue = [&]() -> std::optional<std::string> {
+      if (inlineValue) return inlineValue;
+      if (i + 1 < argc) return std::string(argv[++i]);
+      std::fprintf(stderr, "%s: option --%s requires a value\n",
+                   programName_.c_str(), name.c_str());
+      parseError_ = true;
+      return std::nullopt;
+    };
+    switch (entry.kind) {
+      case Entry::Kind::Flag:
+        if (inlineValue) {
+          entry.flagValue = (*inlineValue == "true" || *inlineValue == "1");
+        } else {
+          entry.flagValue = true;
+        }
+        break;
+      case Entry::Kind::Int: {
+        const auto value = takeValue();
+        if (!value) return false;
+        try {
+          entry.intValue = std::stoll(*value);
+        } catch (const std::exception&) {
+          std::fprintf(stderr, "%s: option --%s expects an integer, got '%s'\n",
+                       programName_.c_str(), name.c_str(), value->c_str());
+          parseError_ = true;
+          return false;
+        }
+        break;
+      }
+      case Entry::Kind::String: {
+        const auto value = takeValue();
+        if (!value) return false;
+        entry.stringValue = *value;
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+std::int64_t Options::getInt(const std::string& name) const {
+  const auto it = entries_.find(name);
+  LAZYHB_CHECK(it != entries_.end() && it->second.kind == Entry::Kind::Int);
+  return it->second.intValue;
+}
+
+bool Options::getFlag(const std::string& name) const {
+  const auto it = entries_.find(name);
+  LAZYHB_CHECK(it != entries_.end() && it->second.kind == Entry::Kind::Flag);
+  return it->second.flagValue;
+}
+
+const std::string& Options::getString(const std::string& name) const {
+  const auto it = entries_.find(name);
+  LAZYHB_CHECK(it != entries_.end() && it->second.kind == Entry::Kind::String);
+  return it->second.stringValue;
+}
+
+void Options::printUsage() const {
+  std::printf("%s — %s\n\nOptions:\n", programName_.c_str(), description_.c_str());
+  for (const auto& name : declarationOrder_) {
+    const Entry& entry = entries_.at(name);
+    std::string synopsis = "--" + name;
+    std::string defaultNote;
+    switch (entry.kind) {
+      case Entry::Kind::Int:
+        synopsis += " N";
+        defaultNote = " (default " + std::to_string(entry.intValue) + ")";
+        break;
+      case Entry::Kind::String:
+        synopsis += " STR";
+        if (!entry.stringValue.empty()) defaultNote = " (default '" + entry.stringValue + "')";
+        break;
+      case Entry::Kind::Flag:
+        break;
+    }
+    std::printf("  %-24s %s%s\n", synopsis.c_str(), entry.help.c_str(), defaultNote.c_str());
+  }
+  std::printf("  %-24s %s\n", "--help", "show this message");
+}
+
+}  // namespace lazyhb::support

@@ -1,0 +1,66 @@
+// lazyhb/support/options.hpp
+//
+// A tiny declarative command-line parser for the bench/example binaries.
+// Supports `--flag`, `--key value` and `--key=value`; prints a usage table
+// on --help; rejects unknown options so typos fail loudly rather than run a
+// multi-minute experiment with defaults.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lazyhb::support {
+
+class Options {
+ public:
+  Options(std::string programName, std::string description)
+      : programName_(std::move(programName)), description_(std::move(description)) {}
+
+  /// Declare an integer option with default value.
+  void addInt(const std::string& name, std::int64_t defaultValue, const std::string& help);
+  /// Declare a boolean flag (false by default; present => true; also accepts
+  /// --name=true/false).
+  void addFlag(const std::string& name, const std::string& help);
+  /// Declare a string option with default value.
+  void addString(const std::string& name, const std::string& defaultValue,
+                 const std::string& help);
+
+  /// Parse argv. Returns false (after printing usage or an error) if the
+  /// process should exit; the caller should return 0 for --help and
+  /// a nonzero status if parseError() is set.
+  [[nodiscard]] bool parse(int argc, char** argv);
+
+  [[nodiscard]] std::int64_t getInt(const std::string& name) const;
+  [[nodiscard]] bool getFlag(const std::string& name) const;
+  [[nodiscard]] const std::string& getString(const std::string& name) const;
+  [[nodiscard]] bool parseError() const noexcept { return parseError_; }
+
+  /// Positional arguments left over after option parsing.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  void printUsage() const;
+
+ private:
+  struct Entry {
+    enum class Kind { Int, Flag, String } kind;
+    std::string help;
+    std::int64_t intValue = 0;
+    bool flagValue = false;
+    std::string stringValue;
+  };
+
+  std::string programName_;
+  std::string description_;
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> declarationOrder_;
+  std::vector<std::string> positional_;
+  bool parseError_ = false;
+};
+
+}  // namespace lazyhb::support

@@ -1,0 +1,65 @@
+// lazyhb/support/rng.hpp
+//
+// Deterministic pseudo-random number generation (xoshiro256**). Used by the
+// random-walk explorer and the random program generator in the test suite.
+// Determinism given a seed is a hard requirement: random explorations must be
+// replayable from (seed, schedule index) alone.
+
+#pragma once
+
+#include <cstdint>
+
+#include "support/hash.hpp"
+
+namespace lazyhb::support {
+
+/// xoshiro256** 1.0 by Blackman & Vigna; seeded through splitmix64 so that
+/// any 64-bit seed (including 0) yields a well-mixed state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x1d872b41ULL) noexcept {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      word = mix64(x);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t nextU64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound). bound must be positive. Uses rejection-free
+  /// Lemire reduction; the bias for bound << 2^64 is immaterial here.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(nextU64()) * bound) >> 64);
+  }
+
+  /// Uniform int in [lo, hi] inclusive.
+  [[nodiscard]] int intIn(int lo, int hi) noexcept {
+    return lo + static_cast<int>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli draw with probability num/den.
+  [[nodiscard]] bool chance(std::uint64_t num, std::uint64_t den) noexcept {
+    return below(den) < num;
+  }
+
+ private:
+  [[nodiscard]] static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace lazyhb::support

@@ -1,0 +1,96 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/diagnostics.hpp"
+
+namespace lazyhb::support {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  LAZYHB_CHECK(!headers_.empty());
+}
+
+void Table::beginRow() { rows_.emplace_back(); }
+
+void Table::cell(const std::string& value) {
+  LAZYHB_CHECK(!rows_.empty() && rows_.back().size() < headers_.size());
+  rows_.back().push_back(value);
+}
+
+void Table::cell(std::int64_t value) { cell(std::to_string(value)); }
+void Table::cell(std::uint64_t value) { cell(std::to_string(value)); }
+
+void Table::cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  cell(std::string(buf));
+}
+
+std::string Table::toText() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto appendRow = [&](std::string& out, const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& value = c < row.size() ? row[c] : std::string();
+      out += "  ";
+      out += value;
+      out.append(widths[c] - value.size(), ' ');
+    }
+    out += '\n';
+  };
+  std::string out;
+  appendRow(out, headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    rule += "  ";
+    rule.append(widths[c], '-');
+  }
+  out += rule + '\n';
+  for (const auto& row : rows_) {
+    appendRow(out, row);
+  }
+  return out;
+}
+
+std::string Table::toCsv() const {
+  std::string out;
+  auto appendRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      out += row[c];
+    }
+    out += '\n';
+  };
+  appendRow(headers_);
+  for (const auto& row : rows_) {
+    appendRow(row);
+  }
+  return out;
+}
+
+std::string withCommas(std::uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int sinceComma = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (sinceComma == 3) {
+      out += ',';
+      sinceComma = 0;
+    }
+    out += *it;
+    ++sinceComma;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace lazyhb::support

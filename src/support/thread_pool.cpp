@@ -1,0 +1,71 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace lazyhb::support {
+
+ThreadPool::ThreadPool(int workers) {
+  const int n = std::max(1, workers);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    shuttingDown_ = true;
+  }
+  taskReady_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    queue_.push_back(std::move(task));
+    ++inFlight_;
+  }
+  taskReady_.notify_one();
+}
+
+void ThreadPool::waitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  allDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void ThreadPool::parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  for (std::size_t i = 0; i < n; ++i) {
+    submit([&fn, i] { fn(i); });
+  }
+  waitIdle();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      taskReady_.wait(lock, [this] { return shuttingDown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // shutting down and drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      const std::lock_guard<std::mutex> guard(mutex_);
+      --inFlight_;
+      if (inFlight_ == 0) {
+        allDone_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace lazyhb::support

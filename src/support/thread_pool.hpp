@@ -1,0 +1,59 @@
+// lazyhb/support/thread_pool.hpp
+//
+// A small fixed-size thread pool for the experiment harnesses.
+//
+// The lazyhb engine is single-threaded by construction (scheduling decisions
+// must be deterministic), but explorations of *distinct* benchmarks are
+// embarrassingly parallel: the figure-reproduction benches fan a list of
+// benchmark explorations out over this pool. The design follows the HPC
+// guidance: threads are created once (CP.41), wait on a condition (CP.42),
+// and the critical section is only queue manipulation (CP.43).
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lazyhb::support {
+
+class ThreadPool {
+ public:
+  /// Create a pool with `workers` OS threads (values < 1 are clamped to 1).
+  explicit ThreadPool(int workers);
+
+  /// Joins all workers after draining outstanding tasks.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Tasks must not throw; exceptions terminate the process
+  /// (an experiment harness has no meaningful recovery from a lost result).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished executing.
+  void waitIdle();
+
+  [[nodiscard]] int workerCount() const noexcept { return static_cast<int>(workers_.size()); }
+
+  /// Run fn(i) for each i in [0, n) across the pool, then wait for all.
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void workerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable taskReady_;
+  std::condition_variable allDone_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t inFlight_ = 0;
+  bool shuttingDown_ = false;
+};
+
+}  // namespace lazyhb::support

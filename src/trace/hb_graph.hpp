@@ -1,0 +1,31 @@
+// lazyhb/trace/hb_graph.hpp
+//
+// Human-consumable views of a recorded happens-before relation: a text
+// rendering of the schedule with its inter-thread edges (the form Figure 1
+// of the paper uses) and a Graphviz DOT export.
+
+#pragma once
+
+#include <string>
+
+#include "trace/trace_recorder.hpp"
+
+namespace lazyhb::trace {
+
+/// One line per event ("T0  lock(m)"), annotated with the indices of its
+/// inter-thread direct predecessors under `r` (intra-thread edges are
+/// omitted, as in the paper's Figure 1). Requires keepPredecessors.
+[[nodiscard]] std::string renderSchedule(const TraceRecorder& recorder, Relation r);
+
+/// Graphviz DOT rendering of the direct-predecessor DAG under `r`.
+[[nodiscard]] std::string renderDot(const TraceRecorder& recorder, Relation r);
+
+/// Number of inter-thread direct edges under `r` (the quantity the lazy HBR
+/// reduces; used by examples and tests).
+[[nodiscard]] int interThreadEdgeCount(const TraceRecorder& recorder, Relation r);
+
+/// Compact one-line description of an event, e.g. "T1.write(y)".
+[[nodiscard]] std::string describeEvent(const TraceRecorder& recorder,
+                                        std::int32_t index);
+
+}  // namespace lazyhb::trace

@@ -1,0 +1,508 @@
+#include "trace/trace_recorder.hpp"
+
+#include <algorithm>
+
+#include "support/diagnostics.hpp"
+
+namespace lazyhb::trace {
+
+using runtime::EventRecord;
+using runtime::ObjectKind;
+using runtime::OpKind;
+
+const char* relationName(Relation r) noexcept {
+  switch (r) {
+    case Relation::Sync: return "sync";
+    case Relation::Full: return "full";
+    case Relation::Lazy: return "lazy";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder() : TraceRecorder(Options{}) {}
+
+TraceRecorder::TraceRecorder(Options options) : options_(options) {}
+
+void TraceRecorder::onExecutionStart(const runtime::Execution&) {
+  eventCount_ = 0;
+  objectCount_ = 0;
+  for (std::size_t t = 0; t < threadCount_; ++t) {
+    threads_[t].reset();
+  }
+  threadCount_ = 0;
+  prefixFull_ = support::MultisetHash{};
+  prefixLazy_ = support::MultisetHash{};
+  races_.clear();
+}
+
+void TraceRecorder::onObjectRegistered(const runtime::Execution&, std::int32_t index,
+                                       runtime::Uid uid, runtime::ObjectKind kind,
+                                       const std::string& name) {
+  ObjectHistory& h = history(index);
+  h.reset(uid, kind);
+  if (!name.empty()) {
+    names_.emplace(uid, name);  // keeps the first name seen; stable across runs
+  }
+}
+
+TraceRecorder::EventData& TraceRecorder::slot(std::size_t index) {
+  if (index >= events_.size()) {
+    events_.resize(index + 1);
+  }
+  EventData& data = events_[index];
+  data.sync.clear();
+  data.full.clear();
+  data.lazy.clear();
+  data.fullPreds.clear();
+  data.lazyPreds.clear();
+  data.syncPreds.clear();
+  return data;
+}
+
+TraceRecorder::ObjectHistory& TraceRecorder::history(std::int32_t objectIndex) {
+  const auto i = static_cast<std::size_t>(objectIndex);
+  if (i >= objects_.size()) {
+    objects_.resize(i + 1);
+  }
+  objectCount_ = std::max(objectCount_, i + 1);
+  return objects_[i];
+}
+
+namespace {
+
+void sortUnique(std::vector<std::int32_t>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
+void TraceRecorder::onEvent(const runtime::Execution& exec, const EventRecord& ev) {
+  const int t = ev.threadIndex;
+  const auto tIdx = static_cast<std::size_t>(t);
+  if (tIdx >= threads_.size()) {
+    threads_.resize(tIdx + 1);
+  }
+  while (threadCount_ <= tIdx) {
+    threads_[threadCount_].reset();
+    ++threadCount_;
+  }
+
+  const auto index = static_cast<std::int32_t>(eventCount_);
+  EventData& data = slot(eventCount_);
+  data.record = ev;
+
+  scratchFull_.clear();
+  scratchLazy_.clear();
+  scratchSync_.clear();
+  auto predAll = [&](std::int32_t p) {
+    if (p >= 0) {
+      scratchFull_.push_back(p);
+      scratchLazy_.push_back(p);
+      scratchSync_.push_back(p);
+    }
+  };
+  auto predConflict = [&](std::int32_t p) {  // Full+Lazy (variable-style)
+    if (p >= 0) {
+      scratchFull_.push_back(p);
+      scratchLazy_.push_back(p);
+    }
+  };
+
+  // Program order: the previous event of this thread, via its clock.
+  // (threads_[t] clocks already encode it; for the hash we need the index.)
+  if (ev.indexInThread > 0) {
+    // The thread's previous event index is recoverable from its clock width
+    // only with bookkeeping; track it directly in the thread record.
+    predAll(threads_[tIdx].lastEvent);
+  }
+
+  // Special predecessors participate in every relation.
+  predAll(ev.spawnPredecessor);
+  predAll(ev.signalPredecessor);
+  predAll(ev.joinPredecessor);
+
+  // Object-conflict edges per kind.
+  switch (ev.kind) {
+    case OpKind::Read: {
+      ObjectHistory& h = history(ev.objectIndex);
+      predConflict(h.lastWrite);
+      break;
+    }
+    case OpKind::Write:
+    case OpKind::Rmw: {
+      ObjectHistory& h = history(ev.objectIndex);
+      predConflict(h.lastWrite);
+      for (const std::int32_t r : h.readersSinceWrite) predConflict(r);
+      break;
+    }
+    case OpKind::Lock:
+    case OpKind::Unlock: {
+      ObjectHistory& h = history(ev.objectIndex);
+      if (h.lastChainOp >= 0) scratchFull_.push_back(h.lastChainOp);
+      if (h.lastTryLock >= 0) scratchLazy_.push_back(h.lastTryLock);
+      if (ev.kind == OpKind::Lock && h.lastReleaseEvent >= 0) {
+        scratchSync_.push_back(h.lastReleaseEvent);
+      }
+      break;
+    }
+    case OpKind::TryLock: {
+      ObjectHistory& h = history(ev.objectIndex);
+      if (h.lastChainOp >= 0) scratchFull_.push_back(h.lastChainOp);
+      // Lazy: a trylock observes the whole lock history, so it is ordered
+      // against every mutex op since (and including) the previous trylock.
+      for (const std::int32_t p : h.mutexOpsSinceTryLock) scratchLazy_.push_back(p);
+      if (h.lastTryLock >= 0) scratchLazy_.push_back(h.lastTryLock);
+      if (ev.aux == 1 && h.lastReleaseEvent >= 0) {
+        scratchSync_.push_back(h.lastReleaseEvent);
+      }
+      break;
+    }
+    case OpKind::Wait:
+    case OpKind::Reacquire: {
+      ObjectHistory& cv = history(ev.objectIndex);
+      if (cv.lastChainOp >= 0) predConflict(cv.lastChainOp);  // condvar chain
+      ObjectHistory& m = history(ev.mutexIndex);
+      if (m.lastChainOp >= 0) scratchFull_.push_back(m.lastChainOp);
+      if (m.lastTryLock >= 0) scratchLazy_.push_back(m.lastTryLock);
+      if (ev.kind == OpKind::Reacquire && m.lastReleaseEvent >= 0) {
+        scratchSync_.push_back(m.lastReleaseEvent);
+      }
+      break;
+    }
+    case OpKind::Signal:
+    case OpKind::Broadcast: {
+      ObjectHistory& h = history(ev.objectIndex);
+      if (h.lastChainOp >= 0) predConflict(h.lastChainOp);
+      break;
+    }
+    case OpKind::SemAcquire:
+    case OpKind::SemRelease: {
+      ObjectHistory& h = history(ev.objectIndex);
+      if (h.lastChainOp >= 0) predAll(h.lastChainOp);  // semaphores sync
+      break;
+    }
+    case OpKind::Spawn:
+    case OpKind::Join: {
+      ObjectHistory& h = history(ev.objectIndex);
+      if (h.lastChainOp >= 0) predAll(h.lastChainOp);  // fork/join sync
+      break;
+    }
+    case OpKind::Yield:
+      break;
+  }
+
+  sortUnique(scratchFull_);
+  sortUnique(scratchLazy_);
+  sortUnique(scratchSync_);
+
+  // Clocks: start from this thread's running clock, join predecessors, then
+  // tick our own component.
+  data.sync = threads_[tIdx].sync;
+  data.full = threads_[tIdx].full;
+  data.lazy = threads_[tIdx].lazy;
+  for (const std::int32_t p : scratchSync_) {
+    data.sync.joinWith(events_[static_cast<std::size_t>(p)].sync);
+  }
+  for (const std::int32_t p : scratchFull_) {
+    data.full.joinWith(events_[static_cast<std::size_t>(p)].full);
+  }
+  for (const std::int32_t p : scratchLazy_) {
+    data.lazy.joinWith(events_[static_cast<std::size_t>(p)].lazy);
+  }
+  data.sync.set(t, ev.indexInThread + 1);
+  data.full.set(t, ev.indexInThread + 1);
+  data.lazy.set(t, ev.indexInThread + 1);
+
+  // Data-race detection uses the sync clock, against pre-update histories.
+  if (options_.detectRaces &&
+      (ev.kind == OpKind::Read || ev.kind == OpKind::Write || ev.kind == OpKind::Rmw)) {
+    checkRace(exec, ev, data);
+  }
+
+  // Causal hashes: label mixed with the multiset of direct predecessors'
+  // hashes under each relation.
+  {
+    support::MultisetHash acc;
+    for (const std::int32_t p : scratchFull_) {
+      acc.add(events_[static_cast<std::size_t>(p)].fullHash);
+    }
+    data.fullHash = ev.labelHash().mixedWith(acc.digest());
+    prefixFull_.add(data.fullHash);
+  }
+  {
+    support::MultisetHash acc;
+    for (const std::int32_t p : scratchLazy_) {
+      acc.add(events_[static_cast<std::size_t>(p)].lazyHash);
+    }
+    data.lazyHash =
+        ev.labelHash().mixedWith(acc.digest()).mixedWith(support::hash128(0x1a2bULL));
+    prefixLazy_.add(data.lazyHash);
+  }
+
+  if (options_.keepPredecessors) {
+    data.fullPreds = scratchFull_;
+    data.lazyPreds = scratchLazy_;
+    data.syncPreds = scratchSync_;
+  }
+
+  // History updates (after race checks and hashes).
+  switch (ev.kind) {
+    case OpKind::Read: {
+      ObjectHistory& h = history(ev.objectIndex);
+      h.readersSinceWrite.push_back(index);
+      if (options_.detectRaces) {
+        bool found = false;
+        for (auto& [tid, evIdx] : h.lastReadPerThread) {
+          if (tid == t) {
+            evIdx = index;
+            found = true;
+            break;
+          }
+        }
+        if (!found) h.lastReadPerThread.emplace_back(t, index);
+      }
+      break;
+    }
+    case OpKind::Write:
+    case OpKind::Rmw: {
+      ObjectHistory& h = history(ev.objectIndex);
+      h.lastWrite = index;
+      h.readersSinceWrite.clear();
+      if (options_.detectRaces) {
+        h.lastWriteEvent = index;
+        h.lastReadPerThread.clear();
+      }
+      break;
+    }
+    case OpKind::Lock: {
+      ObjectHistory& h = history(ev.objectIndex);
+      h.lastChainOp = index;
+      h.chain.push_back(index);
+      h.mutexOpsSinceTryLock.push_back(index);
+      break;
+    }
+    case OpKind::Unlock: {
+      ObjectHistory& h = history(ev.objectIndex);
+      h.lastChainOp = index;
+      h.chain.push_back(index);
+      h.mutexOpsSinceTryLock.push_back(index);
+      h.lastReleaseEvent = index;
+      break;
+    }
+    case OpKind::TryLock: {
+      ObjectHistory& h = history(ev.objectIndex);
+      h.lastChainOp = index;
+      h.chain.push_back(index);
+      h.lastTryLock = index;
+      h.mutexOpsSinceTryLock.clear();
+      break;
+    }
+    case OpKind::Wait: {
+      ObjectHistory& cv = history(ev.objectIndex);
+      cv.lastChainOp = index;
+      cv.chain.push_back(index);
+      ObjectHistory& m = history(ev.mutexIndex);
+      m.lastChainOp = index;
+      m.chain.push_back(index);
+      m.mutexOpsSinceTryLock.push_back(index);
+      m.lastReleaseEvent = index;  // wait releases the mutex
+      break;
+    }
+    case OpKind::Reacquire: {
+      ObjectHistory& cv = history(ev.objectIndex);
+      cv.lastChainOp = index;
+      cv.chain.push_back(index);
+      ObjectHistory& m = history(ev.mutexIndex);
+      m.lastChainOp = index;
+      m.chain.push_back(index);
+      m.mutexOpsSinceTryLock.push_back(index);
+      break;
+    }
+    case OpKind::Signal:
+    case OpKind::Broadcast:
+    case OpKind::SemAcquire:
+    case OpKind::SemRelease:
+    case OpKind::Spawn:
+    case OpKind::Join: {
+      ObjectHistory& h = history(ev.objectIndex);
+      h.lastChainOp = index;
+      h.chain.push_back(index);
+      break;
+    }
+    case OpKind::Yield:
+      break;
+  }
+
+  threads_[tIdx].sync = data.sync;
+  threads_[tIdx].full = data.full;
+  threads_[tIdx].lazy = data.lazy;
+  threads_[tIdx].lastEvent = index;
+  ++eventCount_;
+}
+
+void TraceRecorder::checkRace(const runtime::Execution& exec, const EventRecord& ev,
+                              const EventData& data) {
+  ObjectHistory& h = history(ev.objectIndex);
+  auto happensBefore = [&](std::int32_t earlier) {
+    const EventData& e = events_[static_cast<std::size_t>(earlier)];
+    const int et = e.record.threadIndex;
+    return e.sync.get(et) <= data.sync.get(et);
+  };
+  auto report = [&](std::int32_t earlier) {
+    for (const RaceReport& r : races_) {
+      if (r.objectUid == ev.objectUid) return;  // one report per object per run
+    }
+    RaceReport race;
+    race.objectUid = ev.objectUid;
+    race.objectName = exec.object(ev.objectIndex).name;
+    race.firstEvent = earlier;
+    race.secondEvent = static_cast<std::int32_t>(eventCount_);
+    races_.push_back(std::move(race));
+  };
+  // Any access races with a sync-concurrent earlier write.
+  if (h.lastWriteEvent >= 0 && !happensBefore(h.lastWriteEvent)) {
+    report(h.lastWriteEvent);
+    return;
+  }
+  // A write additionally races with sync-concurrent earlier reads.
+  if (ev.kind != OpKind::Read) {
+    for (const auto& [tid, readEvent] : h.lastReadPerThread) {
+      if (tid != ev.threadIndex && !happensBefore(readEvent)) {
+        report(readEvent);
+        return;
+      }
+    }
+  }
+}
+
+void TraceRecorder::onExecutionEnd(const runtime::Execution&, runtime::Outcome) {}
+
+support::Hash128 TraceRecorder::fingerprint(Relation r) const {
+  switch (r) {
+    case Relation::Full: return prefixFull_.digest();
+    case Relation::Lazy: return prefixLazy_.digest();
+    case Relation::Sync: break;
+  }
+  LAZYHB_UNREACHABLE("no fingerprint is maintained for the sync relation");
+}
+
+const runtime::EventRecord& TraceRecorder::eventRecord(std::int32_t index) const {
+  LAZYHB_CHECK(index >= 0 && static_cast<std::size_t>(index) < eventCount_);
+  return events_[static_cast<std::size_t>(index)].record;
+}
+
+const VectorClock& TraceRecorder::eventClock(Relation r, std::int32_t index) const {
+  LAZYHB_CHECK(index >= 0 && static_cast<std::size_t>(index) < eventCount_);
+  const EventData& e = events_[static_cast<std::size_t>(index)];
+  switch (r) {
+    case Relation::Sync: return e.sync;
+    case Relation::Full: return e.full;
+    case Relation::Lazy: return e.lazy;
+  }
+  LAZYHB_UNREACHABLE("bad relation");
+}
+
+support::Hash128 TraceRecorder::eventHash(Relation r, std::int32_t index) const {
+  LAZYHB_CHECK(index >= 0 && static_cast<std::size_t>(index) < eventCount_);
+  const EventData& e = events_[static_cast<std::size_t>(index)];
+  switch (r) {
+    case Relation::Full: return e.fullHash;
+    case Relation::Lazy: return e.lazyHash;
+    case Relation::Sync: break;
+  }
+  LAZYHB_UNREACHABLE("no hash is maintained for the sync relation");
+}
+
+const std::vector<std::int32_t>& TraceRecorder::eventPredecessors(
+    Relation r, std::int32_t index) const {
+  LAZYHB_CHECK(options_.keepPredecessors);
+  LAZYHB_CHECK(index >= 0 && static_cast<std::size_t>(index) < eventCount_);
+  const EventData& e = events_[static_cast<std::size_t>(index)];
+  switch (r) {
+    case Relation::Sync: return e.syncPreds;
+    case Relation::Full: return e.fullPreds;
+    case Relation::Lazy: return e.lazyPreds;
+  }
+  LAZYHB_UNREACHABLE("bad relation");
+}
+
+const VectorClock& TraceRecorder::threadClock(Relation r, int tid) const {
+  static const VectorClock kEmpty;
+  const auto i = static_cast<std::size_t>(tid);
+  if (i >= threadCount_) return kEmpty;
+  switch (r) {
+    case Relation::Sync: return threads_[i].sync;
+    case Relation::Full: return threads_[i].full;
+    case Relation::Lazy: return threads_[i].lazy;
+  }
+  LAZYHB_UNREACHABLE("bad relation");
+}
+
+void TraceRecorder::collectConflicts(const runtime::Execution& exec, int tid,
+                                     std::vector<std::int32_t>& out) const {
+  out.clear();
+  const runtime::PendingOp& op = exec.pending(tid);
+  if (!op.valid) return;
+  auto push = [&](std::int32_t p) {
+    if (p >= 0) out.push_back(p);
+  };
+  auto chained = [&](std::int32_t objectIndex) {
+    if (objectIndex >= 0 && static_cast<std::size_t>(objectIndex) < objectCount_) {
+      push(objects_[static_cast<std::size_t>(objectIndex)].lastChainOp);
+    }
+  };
+  switch (op.kind) {
+    case OpKind::Read: {
+      if (op.object >= 0 && static_cast<std::size_t>(op.object) < objectCount_) {
+        push(objects_[static_cast<std::size_t>(op.object)].lastWrite);
+      }
+      break;
+    }
+    case OpKind::Write:
+    case OpKind::Rmw: {
+      if (op.object >= 0 && static_cast<std::size_t>(op.object) < objectCount_) {
+        const ObjectHistory& h = objects_[static_cast<std::size_t>(op.object)];
+        push(h.lastWrite);
+        for (const std::int32_t r : h.readersSinceWrite) push(r);
+      }
+      break;
+    }
+    case OpKind::Lock:
+    case OpKind::Unlock:
+    case OpKind::TryLock:
+      chained(op.object);
+      break;
+    case OpKind::Wait:
+    case OpKind::Reacquire:
+      chained(op.object);       // condvar chain
+      chained(op.mutexObject);  // mutex chain
+      break;
+    case OpKind::Signal:
+    case OpKind::Broadcast:
+    case OpKind::SemAcquire:
+    case OpKind::SemRelease:
+      chained(op.object);
+      break;
+    case OpKind::Spawn:
+    case OpKind::Join:
+    case OpKind::Yield:
+      break;  // not reorderable in a way DPOR can exploit
+  }
+  sortUnique(out);
+}
+
+const std::vector<std::int32_t>& TraceRecorder::chainEvents(std::int32_t objectIndex) const {
+  static const std::vector<std::int32_t> kEmpty;
+  if (objectIndex < 0 || static_cast<std::size_t>(objectIndex) >= objectCount_) {
+    return kEmpty;
+  }
+  return objects_[static_cast<std::size_t>(objectIndex)].chain;
+}
+
+std::string TraceRecorder::objectName(runtime::Uid uid) const {
+  const auto it = names_.find(uid);
+  return it != names_.end() ? it->second : std::string("obj-") + std::to_string(uid % 10000);
+}
+
+}  // namespace lazyhb::trace

@@ -1,0 +1,198 @@
+// lazyhb/trace/trace_recorder.hpp
+//
+// Online computation of the three happens-before relations of one execution:
+//
+//   Sync  — program order + spawn/join + mutex release->acquire + condvar
+//           signal->wakeup. Used by the data-race detector.
+//   Full  — the paper's HBR: Sync edges plus conflict edges between events
+//           that access the same variable/mutex with at least one
+//           modification (every mutex/condvar/semaphore op is treated as a
+//           modification of its object).
+//   Lazy  — the paper's lazy HBR: Full minus the inter-thread edges induced
+//           by blocking lock/unlock (and condvar wait's hidden unlock/lock).
+//           TryLock edges are retained: a trylock observes the mutex state,
+//           so erasing them would break Theorem 2.2 (see DESIGN.md).
+//
+// For the Full and Lazy relations the recorder maintains an incremental
+// canonical fingerprint of the executed *prefix*: each event's causal hash
+// mixes its schedule-invariant label with the hashes of its direct
+// predecessors under the relation, and the prefix fingerprint is an
+// order-independent multiset combine of all event hashes. Two prefixes have
+// equal fingerprints iff (modulo 128-bit collisions) they are linearizations
+// of the same labelled partial order — this is what HBR caching and lazy
+// HBR caching key on, and what the terminal-HBR counts of Figures 2 and 3
+// de-duplicate by.
+//
+// The recorder is an ExecutionObserver and is reset on every
+// onExecutionStart, so one instance can monitor millions of executions with
+// no steady-state allocation.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "runtime/execution.hpp"
+#include "runtime/operation.hpp"
+#include "support/hash.hpp"
+#include "trace/vector_clock.hpp"
+
+namespace lazyhb::trace {
+
+/// Which happens-before relation to consult.
+enum class Relation : std::uint8_t { Sync, Full, Lazy };
+
+[[nodiscard]] const char* relationName(Relation r) noexcept;
+
+/// A detected data race: two sync-concurrent accesses to one variable with
+/// at least one write.
+struct RaceReport {
+  runtime::Uid objectUid = 0;
+  std::string objectName;
+  std::int32_t firstEvent = -1;
+  std::int32_t secondEvent = -1;
+};
+
+class TraceRecorder final : public runtime::ExecutionObserver {
+ public:
+  struct Options {
+    /// Record per-event direct-predecessor lists (needed by the Foata
+    /// canonicaliser, the HB graph export and the tests; not needed by the
+    /// experiment explorers, which only use fingerprints).
+    bool keepPredecessors = false;
+    /// Run the sync-HB data-race detector.
+    bool detectRaces = false;
+  };
+
+  TraceRecorder();  // default options
+  explicit TraceRecorder(Options options);
+
+  // --- ExecutionObserver ----------------------------------------------------
+  void onExecutionStart(const runtime::Execution& exec) override;
+  void onObjectRegistered(const runtime::Execution& exec, std::int32_t index,
+                          runtime::Uid uid, runtime::ObjectKind kind,
+                          const std::string& name) override;
+  void onEvent(const runtime::Execution& exec,
+               const runtime::EventRecord& event) override;
+  void onExecutionEnd(const runtime::Execution& exec,
+                      runtime::Outcome outcome) override;
+
+  // --- prefix fingerprints (valid after every event) -------------------------
+  [[nodiscard]] support::Hash128 fingerprint(Relation r) const;
+  [[nodiscard]] std::size_t eventCount() const noexcept { return eventCount_; }
+
+  // --- per-event data (valid until the next onExecutionStart) ----------------
+  [[nodiscard]] const runtime::EventRecord& eventRecord(std::int32_t index) const;
+  [[nodiscard]] const VectorClock& eventClock(Relation r, std::int32_t index) const;
+  [[nodiscard]] support::Hash128 eventHash(Relation r, std::int32_t index) const;
+  [[nodiscard]] const std::vector<std::int32_t>& eventPredecessors(
+      Relation r, std::int32_t index) const;
+
+  /// Clock of thread `tid`'s most recent event (zero clock if none).
+  [[nodiscard]] const VectorClock& threadClock(Relation r, int tid) const;
+
+  /// Event indices of already-executed events that conflict (under the Full
+  /// relation) with the given pending operation — the candidate backtracking
+  /// points DPOR examines, most recent last.
+  void collectConflicts(const runtime::Execution& exec, int tid,
+                        std::vector<std::int32_t>& out) const;
+
+  /// All events so far on an object's conflict chain (mutex / condvar /
+  /// semaphore / thread objects), in schedule order. DPOR walks these from
+  /// the back: the most recent chain event may fail the co-enabledness
+  /// filter (e.g. an unlock against a pending lock) while an earlier one
+  /// (the matching lock) is the real backtracking candidate.
+  [[nodiscard]] const std::vector<std::int32_t>& chainEvents(std::int32_t objectIndex) const;
+
+  // --- races ------------------------------------------------------------------
+  [[nodiscard]] const std::vector<RaceReport>& races() const noexcept { return races_; }
+
+  /// Human-readable object name for a UID seen in the current execution.
+  [[nodiscard]] std::string objectName(runtime::Uid uid) const;
+
+ private:
+  struct EventData {
+    runtime::EventRecord record;
+    support::Hash128 fullHash;
+    support::Hash128 lazyHash;
+    VectorClock sync;
+    VectorClock full;
+    VectorClock lazy;
+    std::vector<std::int32_t> fullPreds;
+    std::vector<std::int32_t> lazyPreds;
+    std::vector<std::int32_t> syncPreds;
+  };
+
+  struct ObjectHistory {
+    runtime::Uid uid = 0;
+    runtime::ObjectKind kind = runtime::ObjectKind::Var;
+    // Variables:
+    std::int32_t lastWrite = -1;
+    std::vector<std::int32_t> readersSinceWrite;
+    // Chained objects (mutex Full chain, condvar, semaphore, thread):
+    std::int32_t lastChainOp = -1;
+    std::vector<std::int32_t> chain;  ///< every chain event, schedule order
+    // Mutex Lazy-relation trylock bookkeeping:
+    std::int32_t lastTryLock = -1;
+    std::vector<std::int32_t> mutexOpsSinceTryLock;
+    // Sync relation: last release (unlock/wait) event on this mutex.
+    std::int32_t lastReleaseEvent = -1;
+    // Race detection:
+    std::int32_t lastWriteEvent = -1;
+    std::vector<std::pair<int, std::int32_t>> lastReadPerThread;  // (tid, event)
+
+    void reset(runtime::Uid u, runtime::ObjectKind k) {
+      uid = u;
+      kind = k;
+      lastWrite = -1;
+      readersSinceWrite.clear();
+      lastChainOp = -1;
+      chain.clear();
+      lastTryLock = -1;
+      mutexOpsSinceTryLock.clear();
+      lastReleaseEvent = -1;
+      lastWriteEvent = -1;
+      lastReadPerThread.clear();
+    }
+  };
+
+  struct ThreadClocks {
+    VectorClock sync;
+    VectorClock full;
+    VectorClock lazy;
+    std::int32_t lastEvent = -1;
+    void reset() {
+      sync.clear();
+      full.clear();
+      lazy.clear();
+      lastEvent = -1;
+    }
+  };
+
+  EventData& slot(std::size_t index);
+  ObjectHistory& history(std::int32_t objectIndex);
+  void checkRace(const runtime::Execution& exec,
+                 const runtime::EventRecord& event, const EventData& data);
+
+  Options options_;
+  std::vector<EventData> events_;     // pooled; eventCount_ are live
+  std::size_t eventCount_ = 0;
+  std::vector<ObjectHistory> objects_;
+  std::size_t objectCount_ = 0;
+  std::vector<ThreadClocks> threads_;
+  std::size_t threadCount_ = 0;
+  support::MultisetHash prefixFull_;
+  support::MultisetHash prefixLazy_;
+  std::vector<RaceReport> races_;
+  std::unordered_map<runtime::Uid, std::string> names_;
+
+  // Scratch buffers reused across events (no hot-path allocation).
+  std::vector<std::int32_t> scratchFull_;
+  std::vector<std::int32_t> scratchLazy_;
+  std::vector<std::int32_t> scratchSync_;
+};
+
+}  // namespace lazyhb::trace

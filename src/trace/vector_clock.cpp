@@ -1,0 +1,13 @@
+#include "trace/vector_clock.hpp"
+
+namespace lazyhb::trace {
+
+bool operator==(const VectorClock& a, const VectorClock& b) {
+  const std::size_t n = std::max(a.components_.size(), b.components_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a.get(static_cast<int>(i)) != b.get(static_cast<int>(i))) return false;
+  }
+  return true;
+}
+
+}  // namespace lazyhb::trace

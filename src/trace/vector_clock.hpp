@@ -1,0 +1,69 @@
+// lazyhb/trace/vector_clock.hpp
+//
+// Vector clocks over execution-local thread indices.
+//
+// A clock maps thread index -> number of that thread's events known to have
+// happened before (and including) the owning point. Clocks are compared and
+// joined pointwise; a missing component is zero. Widths grow as threads are
+// spawned, so clocks from different moments of one execution interoperate.
+// Clocks are never compared across executions (fingerprints are the
+// cross-execution currency).
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace lazyhb::trace {
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+
+  /// Component for thread `tid` (zero if beyond current width).
+  [[nodiscard]] std::uint32_t get(int tid) const noexcept {
+    const auto i = static_cast<std::size_t>(tid);
+    return i < components_.size() ? components_[i] : 0;
+  }
+
+  void set(int tid, std::uint32_t value) {
+    const auto i = static_cast<std::size_t>(tid);
+    if (i >= components_.size()) components_.resize(i + 1, 0);
+    components_[i] = value;
+  }
+
+  /// Pointwise maximum with another clock.
+  void joinWith(const VectorClock& other) {
+    if (other.components_.size() > components_.size()) {
+      components_.resize(other.components_.size(), 0);
+    }
+    for (std::size_t i = 0; i < other.components_.size(); ++i) {
+      components_[i] = std::max(components_[i], other.components_[i]);
+    }
+  }
+
+  /// True iff this clock is pointwise <= other (this happened-before-or-
+  /// equals other's point of view).
+  [[nodiscard]] bool leq(const VectorClock& other) const noexcept {
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+      if (components_[i] > other.get(static_cast<int>(i))) return false;
+    }
+    return true;
+  }
+
+  void clear() noexcept { components_.clear(); }
+
+  [[nodiscard]] std::size_t width() const noexcept { return components_.size(); }
+
+  friend bool operator==(const VectorClock&, const VectorClock&);
+
+ private:
+  std::vector<std::uint32_t> components_;
+};
+
+[[nodiscard]] bool operator==(const VectorClock& a, const VectorClock& b);
+
+}  // namespace lazyhb::trace

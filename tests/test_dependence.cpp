@@ -1,0 +1,144 @@
+// Unit tests for the dependence (conflict) relation — the definitional core
+// of both HBRs — and for the co-enabledness approximation DPOR relies on.
+
+#include <gtest/gtest.h>
+
+#include "core/dependence.hpp"
+
+namespace {
+
+using namespace lazyhb;
+using core::OpSig;
+using runtime::OpKind;
+using trace::Relation;
+
+OpSig sig(OpKind kind, int thread, std::int32_t object, std::int32_t mutex = -1) {
+  OpSig s;
+  s.kind = kind;
+  s.thread = thread;
+  s.object = object;
+  s.mutexObject = mutex;
+  return s;
+}
+
+TEST(Dependence, SameThreadNeverConflictsButIsDependent) {
+  const OpSig a = sig(OpKind::Write, 0, 1);
+  const OpSig b = sig(OpKind::Write, 0, 1);
+  EXPECT_FALSE(core::conflicting(a, b, Relation::Full));
+  EXPECT_TRUE(core::dependent(a, b, Relation::Full));
+}
+
+TEST(Dependence, VariableConflictsNeedAWrite) {
+  const OpSig r1 = sig(OpKind::Read, 0, 5);
+  const OpSig r2 = sig(OpKind::Read, 1, 5);
+  const OpSig w = sig(OpKind::Write, 2, 5);
+  const OpSig rmw = sig(OpKind::Rmw, 3, 5);
+  EXPECT_FALSE(core::conflicting(r1, r2, Relation::Full));
+  EXPECT_FALSE(core::conflicting(r1, r2, Relation::Lazy));
+  EXPECT_TRUE(core::conflicting(r1, w, Relation::Full));
+  EXPECT_TRUE(core::conflicting(r1, w, Relation::Lazy));
+  EXPECT_TRUE(core::conflicting(w, rmw, Relation::Full));
+  EXPECT_TRUE(core::conflicting(rmw, r2, Relation::Lazy));
+}
+
+TEST(Dependence, DistinctObjectsNeverConflict) {
+  const OpSig w1 = sig(OpKind::Write, 0, 5);
+  const OpSig w2 = sig(OpKind::Write, 1, 6);
+  EXPECT_FALSE(core::conflicting(w1, w2, Relation::Full));
+  const OpSig l1 = sig(OpKind::Lock, 0, 7);
+  const OpSig l2 = sig(OpKind::Lock, 1, 8);
+  EXPECT_FALSE(core::conflicting(l1, l2, Relation::Full));
+}
+
+TEST(Dependence, MutexBlockingPairsEraseInLazyOnly) {
+  const OpSig lock = sig(OpKind::Lock, 0, 3);
+  const OpSig unlock = sig(OpKind::Unlock, 1, 3);
+  EXPECT_TRUE(core::conflicting(lock, unlock, Relation::Full));
+  EXPECT_FALSE(core::conflicting(lock, unlock, Relation::Lazy));  // the paper
+
+  const OpSig trylock = sig(OpKind::TryLock, 1, 3);
+  EXPECT_TRUE(core::conflicting(lock, trylock, Relation::Full));
+  EXPECT_TRUE(core::conflicting(lock, trylock, Relation::Lazy));  // retained
+  const OpSig trylockOther = sig(OpKind::TryLock, 2, 3);
+  EXPECT_TRUE(core::conflicting(trylock, trylockOther, Relation::Lazy));
+}
+
+TEST(Dependence, WaitTouchesBothCondvarAndMutex) {
+  const OpSig wait = sig(OpKind::Wait, 0, /*cv=*/10, /*mutex=*/3);
+  const OpSig lock = sig(OpKind::Lock, 1, 3);
+  const OpSig signal = sig(OpKind::Signal, 1, 10);
+  EXPECT_TRUE(core::conflicting(wait, lock, Relation::Full));    // via the mutex
+  EXPECT_FALSE(core::conflicting(wait, lock, Relation::Lazy));   // mutex erased
+  EXPECT_TRUE(core::conflicting(wait, signal, Relation::Full));  // via the condvar
+  EXPECT_TRUE(core::conflicting(wait, signal, Relation::Lazy));  // condvars kept
+}
+
+TEST(Dependence, SemaphoreAndThreadObjectsConflictInBothRelations) {
+  const OpSig acq = sig(OpKind::SemAcquire, 0, 4);
+  const OpSig rel = sig(OpKind::SemRelease, 1, 4);
+  EXPECT_TRUE(core::conflicting(acq, rel, Relation::Full));
+  EXPECT_TRUE(core::conflicting(acq, rel, Relation::Lazy));
+
+  const OpSig spawnOp = sig(OpKind::Spawn, 0, 9);
+  const OpSig joinOp = sig(OpKind::Join, 1, 9);
+  EXPECT_TRUE(core::conflicting(spawnOp, joinOp, Relation::Full));
+  EXPECT_TRUE(core::conflicting(spawnOp, joinOp, Relation::Lazy));
+}
+
+TEST(Dependence, YieldConflictsWithNothing) {
+  const OpSig y = sig(OpKind::Yield, 0, -1);
+  EXPECT_FALSE(core::conflicting(y, sig(OpKind::Write, 1, 5), Relation::Full));
+  EXPECT_FALSE(core::conflicting(y, sig(OpKind::Lock, 1, 3), Relation::Full));
+}
+
+TEST(CoEnabled, MutexRoleConstraints) {
+  const OpSig lock = sig(OpKind::Lock, 0, 3);
+  const OpSig lock2 = sig(OpKind::Lock, 1, 3);
+  const OpSig unlock = sig(OpKind::Unlock, 1, 3);
+  const OpSig unlock2 = sig(OpKind::Unlock, 0, 3);
+  // Two locks on a free mutex: co-enabled.
+  EXPECT_TRUE(core::mayBeCoEnabled(lock, lock2));
+  // A lock needs the mutex free; an unlock needs it held by the caller.
+  EXPECT_FALSE(core::mayBeCoEnabled(lock, unlock));
+  // Two unlocks require two owners: impossible.
+  EXPECT_FALSE(core::mayBeCoEnabled(unlock, unlock2));
+  // Wait behaves as needs-held; reacquire as needs-free.
+  const OpSig wait = sig(OpKind::Wait, 0, 10, 3);
+  const OpSig reacquire = sig(OpKind::Reacquire, 1, 10, 3);
+  EXPECT_FALSE(core::mayBeCoEnabled(wait, unlock));
+  EXPECT_FALSE(core::mayBeCoEnabled(wait, reacquire));
+  EXPECT_TRUE(core::mayBeCoEnabled(reacquire, lock));  // both need it free
+}
+
+TEST(CoEnabled, UnrelatedMutexesAreIndependentConstraints) {
+  const OpSig unlockA = sig(OpKind::Unlock, 0, 3);
+  const OpSig lockB = sig(OpKind::Lock, 1, 4);
+  EXPECT_TRUE(core::mayBeCoEnabled(unlockA, lockB));
+}
+
+TEST(CoEnabled, VariableAccessesAlwaysCoEnabled) {
+  EXPECT_TRUE(core::mayBeCoEnabled(sig(OpKind::Write, 0, 5), sig(OpKind::Read, 1, 5)));
+  EXPECT_TRUE(core::mayBeCoEnabled(sig(OpKind::TryLock, 0, 3), sig(OpKind::Lock, 1, 3)));
+}
+
+TEST(Dependence, SymmetricInBothRelations) {
+  // Conflict must be symmetric; sweep a small matrix of signatures.
+  const OpSig sigs[] = {
+      sig(OpKind::Read, 0, 1),        sig(OpKind::Write, 1, 1),
+      sig(OpKind::Lock, 2, 2),        sig(OpKind::Unlock, 3, 2),
+      sig(OpKind::TryLock, 4, 2),     sig(OpKind::Wait, 5, 3, 2),
+      sig(OpKind::Signal, 6, 3),      sig(OpKind::SemAcquire, 7, 4),
+      sig(OpKind::SemRelease, 8, 4),  sig(OpKind::Spawn, 9, 5),
+      sig(OpKind::Join, 10, 5),       sig(OpKind::Yield, 11, -1),
+  };
+  for (const auto relation : {Relation::Full, Relation::Lazy}) {
+    for (const OpSig& a : sigs) {
+      for (const OpSig& b : sigs) {
+        EXPECT_EQ(core::conflicting(a, b, relation), core::conflicting(b, a, relation))
+            << runtime::opKindName(a.kind) << " vs " << runtime::opKindName(b.kind);
+      }
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,68 @@
+// Shared helpers for the lazyhb test suite.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "explore/caching_explorer.hpp"
+#include "explore/dfs_explorer.hpp"
+#include "explore/dpor_explorer.hpp"
+#include "explore/explorer.hpp"
+#include "explore/random_explorer.hpp"
+#include "runtime/api.hpp"
+
+namespace lazyhb::testing {
+
+inline explore::ExplorerOptions smallOptions(std::uint64_t limit = 200'000) {
+  explore::ExplorerOptions options;
+  options.scheduleLimit = limit;
+  options.maxEventsPerSchedule = 4096;
+  options.checkTheorems = true;
+  return options;
+}
+
+inline explore::ExplorationResult runDfs(const explore::Program& p,
+                                         std::uint64_t limit = 200'000) {
+  explore::DfsExplorer explorer(smallOptions(limit));
+  return explorer.explore(p);
+}
+
+inline explore::ExplorationResult runDpor(const explore::Program& p, bool sleepSets = true,
+                                          std::uint64_t limit = 200'000) {
+  explore::DporOptions dpor;
+  dpor.sleepSets = sleepSets;
+  explore::DporExplorer explorer(smallOptions(limit), dpor);
+  return explorer.explore(p);
+}
+
+inline explore::ExplorationResult runCaching(const explore::Program& p, trace::Relation r,
+                                             std::uint64_t limit = 200'000) {
+  explore::CachingExplorer explorer(smallOptions(limit), r);
+  return explorer.explore(p);
+}
+
+/// The exact program of the paper's Figure 1 (plus the spawn/join scaffold a
+/// real program needs): T1 locks m, reads x, unlocks m, writes y; T2 writes
+/// z, locks m, reads x, unlocks m.
+inline void figure1Program() {
+  using namespace lazyhb;
+  Shared<int> x{7, "x"};
+  Shared<int> y{0, "y"};
+  Shared<int> z{0, "z"};
+  Mutex m("m");
+  auto t2 = spawn([&] {
+    z.store(1);
+    m.lock();
+    (void)x.load();
+    m.unlock();
+  });
+  m.lock();
+  (void)x.load();
+  m.unlock();
+  y.store(1);
+  t2.join();
+}
+
+}  // namespace lazyhb::testing

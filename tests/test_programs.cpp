@@ -1,0 +1,96 @@
+// Benchmark-corpus tests: registry integrity, per-benchmark sanity under a
+// budgeted exploration (the §3 counting chain and Theorems 2.1/2.2 must hold
+// on every benchmark), and bug/no-bug classification: DPOR must find the
+// violation in every known-buggy benchmark and must find none elsewhere.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/redundancy.hpp"
+#include "explore/dpor_explorer.hpp"
+#include "programs/registry.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace lazyhb;
+
+TEST(Registry, HasExactly79UniqueBenchmarks) {
+  const auto& corpus = programs::all();
+  ASSERT_EQ(corpus.size(), 79u);
+  std::set<std::string> names;
+  for (const auto& spec : corpus) {
+    EXPECT_TRUE(names.insert(spec.name).second) << "duplicate name " << spec.name;
+    EXPECT_FALSE(spec.family.empty());
+    EXPECT_FALSE(spec.description.empty());
+    EXPECT_TRUE(static_cast<bool>(spec.body));
+  }
+  EXPECT_EQ(corpus.front().id, 1);
+  EXPECT_EQ(corpus.back().id, 79);
+}
+
+TEST(Registry, LookupByNameAndFamily) {
+  EXPECT_NE(programs::byName("disjoint-lock-2"), nullptr);
+  EXPECT_EQ(programs::byName("no-such-benchmark"), nullptr);
+  EXPECT_FALSE(programs::byFamily("deadlock").empty());
+  for (const auto* spec : programs::byFamily("deadlock")) {
+    EXPECT_TRUE(spec->hasKnownBug);
+  }
+}
+
+class CorpusSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorpusSweep, CountingChainAndTheoremsHold) {
+  const auto& spec = programs::all()[static_cast<std::size_t>(GetParam())];
+
+  explore::ExplorerOptions options;
+  options.scheduleLimit = 1500;
+  options.maxEventsPerSchedule = 4096;
+  options.checkTheorems = true;
+  explore::DporExplorer explorer(options, explore::DporOptions{});
+  const auto result = explorer.explore(spec.body);
+
+  // Every benchmark must actually run: schedules executed, events committed,
+  // and no API usage errors.
+  EXPECT_GT(result.schedulesExecuted, 0u) << spec.name;
+  EXPECT_GT(result.totalEvents, 0u) << spec.name;
+  for (const auto& v : result.violations) {
+    EXPECT_NE(v.kind, runtime::Outcome::UsageError) << spec.name << ": " << v.message;
+  }
+
+  // The paper's §3 counting chain.
+  core::BenchmarkCounts counts;
+  counts.name = spec.name;
+  counts.schedules = result.schedulesExecuted;
+  counts.hbrs = result.distinctHbrs;
+  counts.lazyHbrs = result.distinctLazyHbrs;
+  counts.states = result.distinctStates;
+  EXPECT_EQ(core::checkCountingChain(counts, options.scheduleLimit), "") << spec.name;
+
+  // Theorems 2.1 and 2.2 on every terminal schedule seen.
+  EXPECT_EQ(result.theorem21.conflicts, 0u) << spec.name;
+  EXPECT_EQ(result.theorem22.conflicts, 0u) << spec.name;
+
+  // Bug classification: known-buggy benchmarks must reveal a violation
+  // within the budget; sound benchmarks must not.
+  if (spec.hasKnownBug) {
+    EXPECT_TRUE(result.foundViolation()) << spec.name << " bug not found";
+  } else {
+    EXPECT_FALSE(result.foundViolation())
+        << spec.name << " unexpected violation: "
+        << (result.violations.empty() ? "" : result.violations.front().message);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, CorpusSweep, ::testing::Range(0, 79),
+    [](const ::testing::TestParamInfo<int>& info) {
+      std::string name = programs::all()[static_cast<std::size_t>(info.param)].name;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace

@@ -1,0 +1,291 @@
+// Deeper runtime-engine tests: condvar FIFO and broadcast semantics,
+// semaphore counting, nested spawn identity, stack-pool reuse, teardown
+// robustness when executions are pruned at every possible depth, and
+// enabled-set correctness around blocking operations.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "explore/dfs_explorer.hpp"
+#include "explore/replay.hpp"
+#include "runtime/api.hpp"
+#include "runtime/fiber.hpp"
+
+namespace {
+
+using namespace lazyhb;
+using runtime::Config;
+using runtime::Execution;
+using runtime::Outcome;
+using runtime::StackPool;
+
+class FirstEnabled final : public runtime::Scheduler {
+ public:
+  int pick(Execution& exec) override { return exec.enabled().first(); }
+};
+
+/// Picks the highest-numbered enabled thread: children drain before the
+/// main thread proceeds (used where main would otherwise starve them by
+/// spinning on a condition they have not yet had a chance to establish).
+class LastEnabled final : public runtime::Scheduler {
+ public:
+  int pick(Execution& exec) override {
+    const support::ThreadSet enabled = exec.enabled();
+    int tid = enabled.first();
+    for (int next = enabled.next(tid); next != -1; next = enabled.next(tid)) {
+      tid = next;
+    }
+    return tid;
+  }
+};
+
+Outcome run(const std::function<void()>& body, runtime::Scheduler& s,
+            Execution* out = nullptr) {
+  StackPool pool;
+  Execution exec(Config{}, pool, nullptr);
+  const Outcome outcome = exec.run(body, s);
+  if (out != nullptr) {
+    // Execution is not copyable; callers use the pointer variant below.
+  }
+  return outcome;
+}
+
+TEST(Runtime, CondVarWakesInFifoOrder) {
+  // Three waiters park in order; three signals must wake them in the same
+  // order (deterministic wakeup is part of the schedule-invariance story).
+  LastEnabled sched;
+  StackPool pool;
+  Execution exec(Config{}, pool, nullptr);
+  const Outcome outcome = exec.run(
+      [] {
+        Mutex m("m");
+        CondVar cv("cv");
+        Shared<int> wokenOrder{0, "order"};
+        Shared<int> parked{0, "parked"};
+        std::vector<ThreadHandle> waiters;
+        for (int i = 1; i <= 3; ++i) {
+          waiters.push_back(spawn([&, i] {
+            LockGuard guard(m);
+            parked.fetchAdd(1);
+            cv.wait(m);
+            // Encode wake order in base 10: first-woken contributes the
+            // most significant digit.
+            wokenOrder.store(wokenOrder.load() * 10 + i);
+          }));
+        }
+        // Wait until all three are parked (first-enabled scheduling runs
+        // each spawned thread to its wait before the main thread proceeds,
+        // but the loop makes the invariant explicit).
+        while (parked.load() < 3) {
+          yield();
+        }
+        for (int i = 0; i < 3; ++i) {
+          LockGuard guard(m);
+          cv.signal();
+        }
+        for (auto& w : waiters) w.join();
+        checkAlways(wokenOrder.load() == 123, "FIFO wakeup");
+      },
+      sched);
+  EXPECT_EQ(outcome, Outcome::Terminal);
+}
+
+TEST(Runtime, BroadcastWakesAllWaiters) {
+  LastEnabled sched;
+  EXPECT_EQ(run(
+                [] {
+                  Mutex m("m");
+                  CondVar cv("cv");
+                  Shared<int> parked{0, "parked"};
+                  Shared<int> woken{0, "woken"};
+                  std::vector<ThreadHandle> waiters;
+                  for (int i = 0; i < 3; ++i) {
+                    waiters.push_back(spawn([&] {
+                      LockGuard guard(m);
+                      parked.fetchAdd(1);
+                      cv.wait(m);
+                      woken.fetchAdd(1);
+                    }));
+                  }
+                  while (parked.load() < 3) yield();
+                  {
+                    LockGuard guard(m);
+                    cv.broadcast();
+                  }
+                  for (auto& w : waiters) w.join();
+                  checkAlways(woken.load() == 3, "all woken");
+                },
+                sched),
+            Outcome::Terminal);
+}
+
+TEST(Runtime, SemaphoreCountsPermits) {
+  FirstEnabled sched;
+  EXPECT_EQ(run(
+                [] {
+                  Semaphore sem(2, "sem");
+                  sem.acquire();
+                  sem.acquire();  // both immediate permits consumed
+                  auto t = spawn([&] { sem.release(); });
+                  sem.acquire();  // must block until the child releases
+                  t.join();
+                },
+                sched),
+            Outcome::Terminal);
+}
+
+TEST(Runtime, NestedSpawnIdentityIsStable) {
+  // Grandchildren spawned from a child must get schedule-invariant UIDs:
+  // two different schedules of the same program agree on every event's
+  // thread UID (checked via the trace fingerprint of a fixed replay).
+  auto body = [] {
+    Shared<int> sum{0, "sum"};
+    auto child = spawn([&] {
+      auto grandchild = spawn([&] { sum.fetchAdd(1); });
+      grandchild.join();
+      sum.fetchAdd(10);
+    });
+    sum.fetchAdd(100);
+    child.join();
+  };
+  // Two different interleavings that both complete.
+  const auto a = explore::replaySchedule(body, {});
+  ASSERT_EQ(a.outcome, Outcome::Terminal);
+  // All schedules reach the same final sum, and the HBR machinery never
+  // confuses the grandchild across schedules (same state fingerprint).
+  explore::ExplorerOptions options;
+  options.scheduleLimit = 100000;
+  explore::DfsExplorer explorer(options);
+  const auto result = explorer.explore(body);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.distinctStates, 1u);
+}
+
+TEST(Runtime, StackPoolReusesStacks) {
+  StackPool pool(64 * 1024);
+  EXPECT_EQ(pool.pooledCount(), 0u);
+  {
+    runtime::Fiber fiber(pool, [] {});
+    fiber.resume();
+    EXPECT_TRUE(fiber.finished());
+  }
+  EXPECT_EQ(pool.pooledCount(), 1u);  // returned on destruction
+  {
+    runtime::Fiber fiber(pool, [] {});
+    EXPECT_EQ(pool.pooledCount(), 0u);  // reused, not reallocated
+    fiber.resume();
+  }
+  EXPECT_EQ(pool.pooledCount(), 1u);
+}
+
+/// Abandon an execution after exactly k events; used to sweep teardown
+/// through every possible prune depth.
+class AbandonAfter final : public runtime::Scheduler {
+ public:
+  explicit AbandonAfter(std::size_t k) : k_(k) {}
+  int pick(Execution& exec) override {
+    if (exec.choices().size() >= k_) return kAbandon;
+    return exec.enabled().first();
+  }
+
+ private:
+  std::size_t k_;
+};
+
+TEST(Runtime, TeardownSafeAtEveryDepth) {
+  // A program using every synchronisation feature; pruning it after each
+  // possible event count must neither crash, hang, nor leak fibers.
+  auto body = [] {
+    Shared<int> x{0, "x"};
+    Mutex m("m");
+    CondVar cv("cv");
+    Semaphore sem(1, "sem");
+    auto t1 = spawn([&] {
+      LockGuard guard(m);
+      while (x.load() == 0) cv.wait(m);
+      sem.acquire();
+      sem.release();
+    });
+    auto t2 = spawn([&] {
+      LockGuard guard(m);
+      x.store(1);
+      cv.signal();
+    });
+    if (m.tryLock()) m.unlock();
+    t1.join();
+    t2.join();
+  };
+  StackPool pool;
+  for (std::size_t k = 0; k < 40; ++k) {
+    Execution exec(Config{}, pool, nullptr);
+    AbandonAfter sched(k);
+    const Outcome outcome = exec.run(body, sched);
+    EXPECT_TRUE(outcome == Outcome::Abandoned || outcome == Outcome::Terminal)
+        << "k=" << k;
+  }
+}
+
+TEST(Runtime, EnabledSetTracksBlocking) {
+  // Drive a specific schedule and observe enabled() transitions around a
+  // lock conflict.
+  StackPool pool;
+  Execution exec(Config{}, pool, nullptr);
+  struct Probe final : runtime::Scheduler {
+    bool sawBlockedLock = false;
+    int pick(Execution& e) override {
+      // While some thread holds m and another has a pending lock on it,
+      // that other thread must not be enabled.
+      for (int tid = 0; tid < e.threadCount(); ++tid) {
+        const auto& op = e.pending(tid);
+        if (op.valid && op.kind == runtime::OpKind::Lock &&
+            e.object(op.object).a != -1 && !e.enabled().contains(tid)) {
+          sawBlockedLock = true;
+        }
+      }
+      return e.enabled().first();
+    }
+  } sched;
+  const Outcome outcome = exec.run(
+      [] {
+        Mutex m("m");
+        Shared<int> x{0, "x"};
+        auto t = spawn([&] {
+          LockGuard guard(m);
+          x.store(1);
+        });
+        LockGuard guard(m);
+        x.store(2);
+        // Give the child a chance to be blocked on m while we hold it.
+        yield();
+        t.join();
+      },
+      sched);
+  // The schedule above deadlocks: main holds m and joins t while t waits
+  // for m... actually main unlocks at scope exit after join -> deadlock.
+  // Either way the probe must have observed the disabled pending lock.
+  (void)outcome;
+  EXPECT_TRUE(sched.sawBlockedLock);
+}
+
+TEST(Runtime, ViolationSchedulesReplayExactly) {
+  auto body = [] {
+    Shared<int> x{0, "x"};
+    auto t = spawn([&] { x.store(1); });
+    const int seen = x.load();
+    t.join();
+    checkAlways(seen == 0, "main read before child wrote");  // fails sometimes
+  };
+  explore::ExplorerOptions options;
+  options.scheduleLimit = 1000;
+  options.stopOnFirstViolation = true;
+  explore::DfsExplorer explorer(options);
+  const auto result = explorer.explore(body);
+  ASSERT_TRUE(result.foundViolation());
+  const auto replay = explore::replaySchedule(body, result.violations[0].schedule);
+  EXPECT_EQ(replay.outcome, Outcome::AssertionFailure);
+  EXPECT_EQ(replay.violationMessage, result.violations[0].message);
+}
+
+}  // namespace

@@ -1,0 +1,189 @@
+// Unit tests for the support layer: hashing, multiset accumulators, thread
+// sets, RNG determinism, tables and option parsing.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "support/hash.hpp"
+#include "support/options.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/thread_set.hpp"
+
+namespace {
+
+using namespace lazyhb::support;
+
+TEST(Hash, Mix64IsInjectiveOnSamples) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(seen.insert(mix64(i)).second);
+  }
+}
+
+TEST(Hash, Hash128DiffersAcrossInputsAndStreams) {
+  EXPECT_NE(hash128(1), hash128(2));
+  EXPECT_NE(hash128(1).lo, hash128(1).hi);
+  EXPECT_EQ(hash128(7, 9), hash128(7, 9));
+  EXPECT_NE(hash128(7, 9), hash128(9, 7));
+}
+
+TEST(Hash, ToHexRoundTripFormat) {
+  const Hash128 h{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  EXPECT_EQ(h.toHex().size(), 32u);
+  EXPECT_EQ(h.toHex(), "fedcba98765432100123456789abcdef");
+}
+
+TEST(MultisetHash, OrderIndependent) {
+  MultisetHash a;
+  MultisetHash b;
+  const Hash128 x = hash128(1);
+  const Hash128 y = hash128(2);
+  const Hash128 z = hash128(3);
+  a.add(x); a.add(y); a.add(z);
+  b.add(z); b.add(x); b.add(y);
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(MultisetHash, DuplicatesMatter) {
+  MultisetHash once;
+  MultisetHash twice;
+  const Hash128 x = hash128(42);
+  once.add(x);
+  twice.add(x);
+  twice.add(x);
+  EXPECT_NE(once.digest(), twice.digest());  // XOR-style hashing would collide
+}
+
+TEST(MultisetHash, RemoveUndoesAdd) {
+  MultisetHash acc;
+  acc.add(hash128(1));
+  const Hash128 before = acc.digest();
+  acc.add(hash128(2));
+  acc.remove(hash128(2));
+  EXPECT_EQ(acc.digest(), before);
+}
+
+TEST(MultisetHash, EmptyVsNonEmpty) {
+  MultisetHash empty;
+  MultisetHash one;
+  one.add(Hash128{0, 0});  // all-zero element still changes the count
+  EXPECT_NE(empty.digest(), one.digest());
+}
+
+TEST(ThreadSet, BasicSetAlgebra) {
+  ThreadSet s;
+  EXPECT_TRUE(s.empty());
+  s.insert(3);
+  s.insert(17);
+  s.insert(63);
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_TRUE(s.contains(17));
+  EXPECT_FALSE(s.contains(16));
+  EXPECT_EQ(s.first(), 3);
+  EXPECT_EQ(s.next(3), 17);
+  EXPECT_EQ(s.next(17), 63);
+  EXPECT_EQ(s.next(63), -1);
+  s.erase(17);
+  EXPECT_FALSE(s.contains(17));
+}
+
+TEST(ThreadSet, UnionIntersectMinus) {
+  ThreadSet a = ThreadSet::single(1).unionWith(ThreadSet::single(2));
+  ThreadSet b = ThreadSet::single(2).unionWith(ThreadSet::single(3));
+  EXPECT_EQ(a.intersect(b), ThreadSet::single(2));
+  EXPECT_EQ(a.minus(b), ThreadSet::single(1));
+  EXPECT_EQ(a.unionWith(b).size(), 3);
+}
+
+TEST(ThreadSet, FirstNAndIteration) {
+  const ThreadSet s = ThreadSet::firstN(5);
+  EXPECT_EQ(s.size(), 5);
+  std::vector<int> seen;
+  for (const int tid : s) seen.push_back(tid);
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(ThreadSet::firstN(64).size(), 64);
+  EXPECT_TRUE(ThreadSet::firstN(0).empty());
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123);
+  Rng b(123);
+  Rng c(124);
+  bool allEqual = true;
+  bool anyDiffer = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.nextU64();
+    allEqual = allEqual && va == b.nextU64();
+    anyDiffer = anyDiffer || va != c.nextU64();
+  }
+  EXPECT_TRUE(allEqual);
+  EXPECT_TRUE(anyDiffer);
+}
+
+TEST(Rng, BelowIsInRangeAndCoversRange) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.below(5);
+    ASSERT_LT(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Table, AlignmentAndCsv) {
+  Table t({"name", "count"});
+  t.beginRow();
+  t.cell(std::string("alpha"));
+  t.cell(static_cast<std::int64_t>(42));
+  t.beginRow();
+  t.cell(std::string("b"));
+  t.cell(static_cast<std::int64_t>(7));
+  const std::string text = t.toText();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_EQ(t.toCsv(), "name,count\nalpha,42\nb,7\n");
+  EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, WithCommas) {
+  EXPECT_EQ(withCommas(0), "0");
+  EXPECT_EQ(withCommas(999), "999");
+  EXPECT_EQ(withCommas(1000), "1,000");
+  EXPECT_EQ(withCommas(910007), "910,007");
+  EXPECT_EQ(withCommas(1234567890), "1,234,567,890");
+}
+
+TEST(Options, ParsesIntFlagString) {
+  Options options("test", "test options");
+  options.addInt("limit", 100, "limit");
+  options.addFlag("verbose", "verbose");
+  options.addString("name", "default", "name");
+  const char* argv[] = {"test", "--limit", "42", "--verbose", "--name=hello", "extra"};
+  ASSERT_TRUE(options.parse(6, const_cast<char**>(argv)));
+  EXPECT_EQ(options.getInt("limit"), 42);
+  EXPECT_TRUE(options.getFlag("verbose"));
+  EXPECT_EQ(options.getString("name"), "hello");
+  ASSERT_EQ(options.positional().size(), 1u);
+  EXPECT_EQ(options.positional()[0], "extra");
+}
+
+TEST(Options, RejectsUnknownOption) {
+  Options options("test", "test options");
+  options.addInt("limit", 100, "limit");
+  const char* argv[] = {"test", "--nope"};
+  EXPECT_FALSE(options.parse(2, const_cast<char**>(argv)));
+  EXPECT_TRUE(options.parseError());
+}
+
+TEST(Options, RejectsNonIntegerValue) {
+  Options options("test", "test options");
+  options.addInt("limit", 100, "limit");
+  const char* argv[] = {"test", "--limit", "abc"};
+  EXPECT_FALSE(options.parse(3, const_cast<char**>(argv)));
+  EXPECT_TRUE(options.parseError());
+}
+
+}  // namespace

@@ -1,0 +1,292 @@
+// Trace-layer tests: vector clocks, the three happens-before relations on
+// hand-constructed scenarios, exact canonical forms, the equivalence of the
+// incremental fingerprints with the exact forms across entire schedule
+// spaces, and sync-HB race detection.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "explore/dfs_explorer.hpp"
+#include "explore/replay.hpp"
+#include "runtime/api.hpp"
+#include "test_helpers.hpp"
+#include "trace/foata.hpp"
+#include "trace/hb_graph.hpp"
+#include "trace/trace_recorder.hpp"
+#include "trace/vector_clock.hpp"
+
+namespace {
+
+using namespace lazyhb;
+using trace::Relation;
+using trace::TraceRecorder;
+using trace::VectorClock;
+
+TEST(VectorClock, GetSetJoinLeq) {
+  VectorClock a;
+  a.set(0, 3);
+  a.set(2, 1);
+  EXPECT_EQ(a.get(0), 3u);
+  EXPECT_EQ(a.get(1), 0u);
+  EXPECT_EQ(a.get(5), 0u);  // beyond width
+
+  VectorClock b;
+  b.set(1, 2);
+  b.set(2, 4);
+  VectorClock joined = a;
+  joined.joinWith(b);
+  EXPECT_EQ(joined.get(0), 3u);
+  EXPECT_EQ(joined.get(1), 2u);
+  EXPECT_EQ(joined.get(2), 4u);
+
+  EXPECT_TRUE(a.leq(joined));
+  EXPECT_TRUE(b.leq(joined));
+  EXPECT_FALSE(joined.leq(a));
+}
+
+TEST(VectorClock, EqualityIgnoresTrailingZeros) {
+  VectorClock a;
+  a.set(0, 1);
+  VectorClock b;
+  b.set(0, 1);
+  b.set(3, 0);
+  EXPECT_TRUE(a == b);
+}
+
+/// Record one execution of `body` (first-enabled schedule) with full
+/// predecessor tracking and hand it to `inspect`.
+void recordOnce(const std::function<void()>& body,
+                const std::function<void(const TraceRecorder&)>& inspect,
+                bool detectRaces = false) {
+  TraceRecorder recorder(TraceRecorder::Options{true, detectRaces});
+  runtime::StackPool pool;
+  runtime::Execution exec(runtime::Config{}, pool, &recorder);
+  explore::FixedScheduler scheduler({});
+  (void)exec.run(body, scheduler);
+  inspect(recorder);
+}
+
+TEST(Relations, MutexEdgesPresentInFullAbsentInLazy) {
+  recordOnce(lazyhb::testing::figure1Program, [](const TraceRecorder& recorder) {
+    // Figure 1, T1-first schedule: T2's lock must depend on T1's unlock in
+    // the Full relation but not in the Lazy relation.
+    const int fullEdges = trace::interThreadEdgeCount(recorder, Relation::Full);
+    const int lazyEdges = trace::interThreadEdgeCount(recorder, Relation::Lazy);
+    EXPECT_GT(fullEdges, lazyEdges);
+    // Lazy keeps only the spawn/join scaffold here (x is read-only, y/z
+    // disjoint, all mutex edges erased): exactly 2 inter-thread edges.
+    EXPECT_EQ(lazyEdges, 2);
+  });
+}
+
+TEST(Relations, SpawnJoinEdgesInEveryRelation) {
+  auto body = [] {
+    Shared<int> x{0, "x"};
+    auto t = spawn([&] { x.store(1); });
+    t.join();
+  };
+  recordOnce(body, [](const TraceRecorder& recorder) {
+    // Events: spawn(T0), write(T1), join(T0). The write's spawn predecessor
+    // and the join's target-last-event predecessor must appear in all three
+    // relations.
+    ASSERT_EQ(recorder.eventCount(), 3u);
+    for (const auto relation : {Relation::Sync, Relation::Full, Relation::Lazy}) {
+      EXPECT_EQ(recorder.eventPredecessors(relation, 1), std::vector<std::int32_t>{0})
+          << trace::relationName(relation);
+      // join's predecessors: its own thread's previous event (0) and the
+      // child's last event (1).
+      EXPECT_EQ(recorder.eventPredecessors(relation, 2),
+                (std::vector<std::int32_t>{0, 1}))
+          << trace::relationName(relation);
+    }
+  });
+}
+
+TEST(Relations, TryLockKeepsLazyEdges) {
+  auto body = [] {
+    Mutex m("m");
+    m.lock();
+    m.unlock();
+    if (m.tryLock()) {
+      m.unlock();
+    }
+  };
+  recordOnce(body, [](const TraceRecorder& recorder) {
+    // Events: lock(0) unlock(1) trylock(2) unlock(3). The trylock must be
+    // lazily ordered after the preceding lock AND unlock (it observes the
+    // mutex state); the plain lock/unlock chain is lazily erased.
+    ASSERT_EQ(recorder.eventCount(), 4u);
+    EXPECT_EQ(recorder.eventPredecessors(Relation::Lazy, 2),
+              (std::vector<std::int32_t>{0, 1}));
+    // Full keeps the chain: each event depends on its chain predecessor.
+    EXPECT_EQ(recorder.eventPredecessors(Relation::Full, 2),
+              (std::vector<std::int32_t>{1}));
+  });
+}
+
+TEST(Races, DetectedOnUnsyncAccessMissedUnderLock) {
+  auto racy = [] {
+    Shared<int> x{0, "x"};
+    auto t = spawn([&] { x.store(1); });
+    x.store(2);
+    t.join();
+  };
+  recordOnce(racy, [](const TraceRecorder& recorder) {
+    ASSERT_EQ(recorder.races().size(), 1u);
+    EXPECT_EQ(recorder.races()[0].objectName, "x");
+  }, /*detectRaces=*/true);
+
+  auto locked = [] {
+    Shared<int> x{0, "x"};
+    Mutex m("m");
+    auto t = spawn([&] {
+      LockGuard guard(m);
+      x.store(1);
+    });
+    {
+      LockGuard guard(m);
+      x.store(2);
+    }
+    t.join();
+  };
+  recordOnce(locked, [](const TraceRecorder& recorder) {
+    EXPECT_TRUE(recorder.races().empty());
+  }, /*detectRaces=*/true);
+}
+
+TEST(Races, SemaphoreSynchronizes) {
+  auto body = [] {
+    Shared<int> data{0, "data"};
+    Semaphore ready{0, "sem"};
+    auto t = spawn([&] {
+      data.store(1);
+      ready.release();
+    });
+    ready.acquire();
+    data.store(2);
+    t.join();
+  };
+  recordOnce(body, [](const TraceRecorder& recorder) {
+    EXPECT_TRUE(recorder.races().empty());
+  }, /*detectRaces=*/true);
+}
+
+TEST(Foata, LevelsRespectDependencies) {
+  auto body = [] {
+    Shared<int> x{0, "x"};
+    auto t = spawn([&] { x.store(1); });
+    x.store(2);
+    t.join();
+  };
+  recordOnce(body, [](const TraceRecorder& recorder) {
+    const auto levels = trace::foataLevels(recorder, Relation::Full);
+    ASSERT_EQ(levels.size(), recorder.eventCount());
+    // Every event sits strictly above all of its predecessors.
+    for (std::int32_t i = 0; i < static_cast<std::int32_t>(levels.size()); ++i) {
+      for (const std::int32_t p : recorder.eventPredecessors(Relation::Full, i)) {
+        EXPECT_LT(levels[static_cast<std::size_t>(p)],
+                  levels[static_cast<std::size_t>(i)]);
+      }
+    }
+  });
+}
+
+TEST(HbGraph, RenderContainsEventsAndDot) {
+  recordOnce(lazyhb::testing::figure1Program, [](const TraceRecorder& recorder) {
+    const std::string text = trace::renderSchedule(recorder, Relation::Full);
+    EXPECT_NE(text.find("lock(m)"), std::string::npos);
+    EXPECT_NE(text.find("write(y)"), std::string::npos);
+    const std::string dot = trace::renderDot(recorder, Relation::Full);
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("->"), std::string::npos);
+  });
+}
+
+// The central canonicity property: across the ENTIRE schedule space of a
+// program, two schedules get the same incremental fingerprint iff they have
+// the same exact canonical form — for both relations, with the Foata normal
+// form and the clock-derived explicit relation as independent oracles.
+class FingerprintCanonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(FingerprintCanonicity, FingerprintEqualsIffExactFormEqual) {
+  const explore::Program program = [&]() -> explore::Program {
+    switch (GetParam()) {
+      case 0: return lazyhb::testing::figure1Program;
+      case 1:
+        return [] {  // racy writes + mutex
+          Shared<int> x{0, "x"};
+          Mutex m("m");
+          auto t = spawn([&] {
+            x.store(1);
+            LockGuard guard(m);
+          });
+          {
+            LockGuard guard(m);
+          }
+          x.store(2);
+          t.join();
+        };
+      case 2:
+        return [] {  // three threads, two vars
+          Shared<int> a{0, "a"};
+          Shared<int> b{0, "b"};
+          auto t1 = spawn([&] { a.store(1); });
+          auto t2 = spawn([&] {
+            b.store(1);
+            (void)a.load();
+          });
+          a.store(2);
+          t1.join();
+          t2.join();
+        };
+      default:
+        return [] {};
+    }
+  }();
+
+  // Enumerate every schedule; for each terminal one, record (fingerprint,
+  // exact form) pairs per relation and check the bijection.
+  TraceRecorder recorder(TraceRecorder::Options{true, false});
+  runtime::StackPool pool;
+  explore::TreeSearchState state;
+  std::map<std::vector<std::uint64_t>, support::Hash128> foataToFp[2];
+  std::map<std::vector<std::uint64_t>, support::Hash128> explicitToFp[2];
+  std::map<support::Hash128, std::vector<std::uint64_t>,
+           decltype([](const support::Hash128& a, const support::Hash128& b) {
+             return a.lo != b.lo ? a.lo < b.lo : a.hi < b.hi;
+           })>
+      fpToFoata[2];
+  int schedules = 0;
+  for (;;) {
+    runtime::Execution exec(runtime::Config{}, pool, &recorder);
+    explore::TreeScheduler scheduler(state);
+    const auto outcome = exec.run(program, scheduler);
+    ++schedules;
+    ASSERT_LT(schedules, 100000) << "space too large for the test";
+    if (outcome == runtime::Outcome::Terminal) {
+      for (const auto relation : {Relation::Full, Relation::Lazy}) {
+        const int r = relation == Relation::Full ? 0 : 1;
+        const auto fp = recorder.fingerprint(relation);
+        const auto foata = trace::foataNormalForm(recorder, relation);
+        const auto exact = trace::explicitRelation(recorder, relation);
+        auto [itF, insertedF] = foataToFp[r].emplace(foata, fp);
+        EXPECT_EQ(itF->second, fp) << "same Foata NF, different fingerprint";
+        auto [itE, insertedE] = explicitToFp[r].emplace(exact, fp);
+        EXPECT_EQ(itE->second, fp) << "same explicit relation, different fingerprint";
+        auto [itR, insertedR] = fpToFoata[r].emplace(fp, foata);
+        EXPECT_EQ(itR->second, foata) << "same fingerprint, different Foata NF";
+      }
+    }
+    if (!state.advance()) break;
+  }
+  // Foata NF and the explicit relation must agree on the class count too.
+  EXPECT_EQ(foataToFp[0].size(), explicitToFp[0].size());
+  EXPECT_EQ(foataToFp[1].size(), explicitToFp[1].size());
+  EXPECT_GT(schedules, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallPrograms, FingerprintCanonicity, ::testing::Range(0, 3));
+
+}  // namespace
