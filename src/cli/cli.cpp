@@ -1,0 +1,367 @@
+#include "cli/cli.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "explore/caching_explorer.hpp"
+#include "explore/dfs_explorer.hpp"
+#include "explore/dpor_explorer.hpp"
+#include "explore/random_explorer.hpp"
+#include "explore/replay.hpp"
+#include "programs/registry.hpp"
+#include "support/options.hpp"
+#include "support/table.hpp"
+
+namespace lazyhb::cli {
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitViolation = 1;
+constexpr int kExitUsage = 2;
+
+void printTopLevelUsage() {
+  std::printf(
+      "lazyhb — systematic concurrency testing with the lazy happens-before "
+      "relation\n"
+      "\n"
+      "Usage: lazyhb <command> [options]\n"
+      "\n"
+      "Commands:\n"
+      "  list      print the registered program corpus\n"
+      "  explore   run one program under one explorer and report stats\n"
+      "  compare   run one program under all five explorers, one row each\n"
+      "  replay    re-execute a recorded schedule and render its trace\n"
+      "\n"
+      "Run `lazyhb <command> --help` for the command's options.\n"
+      "Explorer modes: dfs, random, dpor, caching-full, caching-lazy\n");
+}
+
+/// Look up --program, printing candidates on failure.
+const programs::ProgramSpec* resolveProgram(const std::string& name) {
+  if (name.empty()) {
+    std::fprintf(stderr, "lazyhb: --program is required (try `lazyhb list`)\n");
+    return nullptr;
+  }
+  const programs::ProgramSpec* spec = programs::byName(name);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "lazyhb: unknown program '%s' (try `lazyhb list`)\n",
+                 name.c_str());
+  }
+  return spec;
+}
+
+explore::ExplorerOptions explorerOptionsFrom(const support::Options& options) {
+  explore::ExplorerOptions eo;
+  eo.scheduleLimit = static_cast<std::uint64_t>(options.getInt("limit"));
+  eo.maxEventsPerSchedule = static_cast<std::uint32_t>(options.getInt("max-events"));
+  eo.detectRaces = options.getFlag("races");
+  eo.checkTheorems = options.getFlag("theorems");
+  eo.stopOnFirstViolation = options.getFlag("stop-on-violation");
+  return eo;
+}
+
+void addExplorerFlags(support::Options& options) {
+  options.addInt("limit", 10000, "schedule budget (paper: 100000)");
+  options.addInt("max-events", 65536, "per-schedule event budget");
+  options.addInt("seed", 42, "random explorer seed");
+  options.addFlag("races", "run the sync-HB data-race detector");
+  options.addFlag("theorems", "feed terminal schedules to the theorem checkers");
+  options.addFlag("stop-on-violation", "stop at the first violation");
+}
+
+void printViolations(const explore::ExplorationResult& result) {
+  for (const explore::ViolationRecord& v : result.violations) {
+    std::string schedule;
+    for (std::size_t i = 0; i < v.schedule.size(); ++i) {
+      if (i > 0) schedule += ",";
+      schedule += std::to_string(v.schedule[i]);
+    }
+    std::printf("violation [%s] %s\n  schedule: %s\n",
+                runtime::outcomeName(v.kind), v.message.c_str(), schedule.c_str());
+  }
+}
+
+void printRaces(const explore::ExplorationResult& result) {
+  for (const trace::RaceReport& race : result.races) {
+    std::printf("race on %s (events %d and %d)\n", race.objectName.c_str(),
+                race.firstEvent, race.secondEvent);
+  }
+}
+
+void addResultRow(support::Table& table, const std::string& label,
+                  const explore::ExplorationResult& result) {
+  table.beginRow();
+  table.cell(label);
+  table.cell(result.schedulesExecuted);
+  table.cell(result.terminalSchedules);
+  table.cell(result.prunedSchedules);
+  table.cell(result.violationSchedules);
+  table.cell(result.distinctHbrs);
+  table.cell(result.distinctLazyHbrs);
+  table.cell(result.distinctStates);
+  table.cell(std::string(result.complete ? "yes" : result.hitScheduleLimit ? "limit" : "no"));
+}
+
+std::vector<std::string> resultHeaders() {
+  return {"explorer", "schedules", "terminal", "pruned", "violations",
+          "hbrs",     "lazy-hbrs", "states",   "complete"};
+}
+
+// --- list --------------------------------------------------------------------
+
+int cmdList(int argc, char** argv) {
+  support::Options options("lazyhb list", "print the registered program corpus");
+  options.addString("family", "", "only programs of this family");
+  options.addFlag("buggy", "only programs with a known reachable bug");
+  options.addFlag("csv", "emit CSV instead of an aligned table");
+  if (!options.parse(argc, argv)) return options.parseError() ? kExitUsage : kExitOk;
+
+  const std::string family = options.getString("family");
+  support::Table table({"id", "name", "family", "bug", "description"});
+  for (const programs::ProgramSpec& spec : programs::all()) {
+    if (!family.empty() && spec.family != family) continue;
+    if (options.getFlag("buggy") && !spec.hasKnownBug) continue;
+    table.beginRow();
+    table.cell(static_cast<std::int64_t>(spec.id));
+    table.cell(spec.name);
+    table.cell(spec.family);
+    table.cell(std::string(spec.hasKnownBug ? "yes" : ""));
+    table.cell(spec.description);
+  }
+  std::fputs((options.getFlag("csv") ? table.toCsv() : table.toText()).c_str(),
+             stdout);
+  std::printf("%zu program(s)\n", table.rowCount());
+  return kExitOk;
+}
+
+// --- explore -----------------------------------------------------------------
+
+int cmdExplore(int argc, char** argv) {
+  support::Options options("lazyhb explore",
+                           "run one program under one explorer and report stats");
+  options.addString("program", "", "program name (see `lazyhb list`)");
+  options.addString("explorer", "dfs",
+                    "dfs | random | dpor | caching-full | caching-lazy");
+  addExplorerFlags(options);
+  options.addFlag("fail-on-violation", "exit 1 if any violation was found");
+  if (!options.parse(argc, argv)) return options.parseError() ? kExitUsage : kExitOk;
+
+  const programs::ProgramSpec* spec = resolveProgram(options.getString("program"));
+  if (spec == nullptr) return kExitUsage;
+
+  const std::string mode = options.getString("explorer");
+  auto explorer = makeExplorer(mode, explorerOptionsFrom(options),
+                               static_cast<std::uint64_t>(options.getInt("seed")));
+  if (explorer == nullptr) {
+    std::fprintf(stderr,
+                 "lazyhb: unknown explorer '%s' (expected dfs, random, dpor, "
+                 "caching-full or caching-lazy)\n",
+                 mode.c_str());
+    return kExitUsage;
+  }
+
+  const explore::ExplorationResult result = explorer->explore(spec->body);
+
+  std::printf("program %s (%s): %s\n", spec->name.c_str(), spec->family.c_str(),
+              spec->description.c_str());
+  support::Table table(resultHeaders());
+  addResultRow(table, mode, result);
+  std::fputs(table.toText().c_str(), stdout);
+  std::printf("total events: %s\n",
+              support::withCommas(result.totalEvents).c_str());
+  if (options.getFlag("theorems")) {
+    std::printf(
+        "theorem 2.1 (full HBR -> state): %llu schedules, %llu classes, "
+        "%llu states, %llu conflicts\n",
+        static_cast<unsigned long long>(result.theorem21.schedules),
+        static_cast<unsigned long long>(result.theorem21.classes),
+        static_cast<unsigned long long>(result.theorem21.states),
+        static_cast<unsigned long long>(result.theorem21.conflicts));
+    std::printf(
+        "theorem 2.2 (lazy HBR -> state): %llu schedules, %llu classes, "
+        "%llu states, %llu conflicts\n",
+        static_cast<unsigned long long>(result.theorem22.schedules),
+        static_cast<unsigned long long>(result.theorem22.classes),
+        static_cast<unsigned long long>(result.theorem22.states),
+        static_cast<unsigned long long>(result.theorem22.conflicts));
+  }
+  printViolations(result);
+  printRaces(result);
+  if (options.getFlag("fail-on-violation") && result.foundViolation()) {
+    return kExitViolation;
+  }
+  return kExitOk;
+}
+
+// --- compare -----------------------------------------------------------------
+
+int cmdCompare(int argc, char** argv) {
+  support::Options options(
+      "lazyhb compare", "run one program under all five explorers, one row each");
+  options.addString("program", "", "program name (see `lazyhb list`)");
+  addExplorerFlags(options);
+  options.addFlag("csv", "emit CSV instead of an aligned table");
+  if (!options.parse(argc, argv)) return options.parseError() ? kExitUsage : kExitOk;
+
+  const programs::ProgramSpec* spec = resolveProgram(options.getString("program"));
+  if (spec == nullptr) return kExitUsage;
+
+  std::printf("program %s (%s): %s\n", spec->name.c_str(), spec->family.c_str(),
+              spec->description.c_str());
+  support::Table table(resultHeaders());
+  for (const char* mode : kExplorerModes) {
+    auto explorer = makeExplorer(mode, explorerOptionsFrom(options),
+                                 static_cast<std::uint64_t>(options.getInt("seed")));
+    const explore::ExplorationResult result = explorer->explore(spec->body);
+    addResultRow(table, mode, result);
+  }
+  std::fputs((options.getFlag("csv") ? table.toCsv() : table.toText()).c_str(),
+             stdout);
+  return kExitOk;
+}
+
+// --- replay ------------------------------------------------------------------
+
+/// Parse "0,1,1,0" (or "0 1 1 0") into thread indices. Every token must be
+/// an integer in full — "1-2" or "1x" is rejected, not truncated.
+bool parseSchedule(const std::string& text, std::vector<int>& out) {
+  std::string token;
+  for (const char c : text + ",") {
+    if (c == ',' || c == ' ') {
+      if (token.empty()) continue;
+      try {
+        std::size_t consumed = 0;
+        const int value = std::stoi(token, &consumed);
+        if (consumed != token.size()) return false;
+        out.push_back(value);
+      } catch (const std::exception&) {
+        return false;
+      }
+      token.clear();
+      continue;
+    }
+    const bool leadingMinus = (c == '-' && token.empty());
+    if (!leadingMinus && (c < '0' || c > '9')) return false;
+    token += c;
+  }
+  return true;
+}
+
+int cmdReplay(int argc, char** argv) {
+  support::Options options("lazyhb replay",
+                           "re-execute a recorded schedule and render its trace");
+  options.addString("program", "", "program name (see `lazyhb list`)");
+  options.addString("schedule", "",
+                    "comma-separated thread picks, e.g. 0,1,1,0 (empty: "
+                    "first-enabled everywhere)");
+  options.addString("relation", "full", "relation to render: sync | full | lazy");
+  options.addInt("max-events", 65536, "per-schedule event budget");
+  options.addFlag("races", "run the sync-HB data-race detector");
+  options.addFlag("no-trace", "skip the rendered trace, print fingerprints only");
+  if (!options.parse(argc, argv)) return options.parseError() ? kExitUsage : kExitOk;
+
+  const programs::ProgramSpec* spec = resolveProgram(options.getString("program"));
+  if (spec == nullptr) return kExitUsage;
+
+  std::vector<int> schedule;
+  if (!parseSchedule(options.getString("schedule"), schedule)) {
+    std::fprintf(stderr, "lazyhb: --schedule expects comma-separated integers\n");
+    return kExitUsage;
+  }
+
+  explore::ReplayOptions replayOptions;
+  replayOptions.renderTrace = !options.getFlag("no-trace");
+  replayOptions.detectRaces = options.getFlag("races");
+  replayOptions.maxEventsPerSchedule =
+      static_cast<std::uint32_t>(options.getInt("max-events"));
+  const std::string relation = options.getString("relation");
+  if (relation == "sync") {
+    replayOptions.renderRelation = trace::Relation::Sync;
+  } else if (relation == "full") {
+    replayOptions.renderRelation = trace::Relation::Full;
+  } else if (relation == "lazy") {
+    replayOptions.renderRelation = trace::Relation::Lazy;
+  } else {
+    std::fprintf(stderr, "lazyhb: unknown relation '%s'\n", relation.c_str());
+    return kExitUsage;
+  }
+
+  const explore::ReplayResult result =
+      explore::replaySchedule(spec->body, schedule, replayOptions);
+
+  if (result.outcome == runtime::Outcome::Abandoned) {
+    std::fprintf(stderr,
+                 "lazyhb: schedule does not apply to '%s' — a pick named a "
+                 "thread that was not enabled at that point\n",
+                 spec->name.c_str());
+    return kExitUsage;
+  }
+  std::printf("program %s: outcome %s, %zu event(s)\n", spec->name.c_str(),
+              runtime::outcomeName(result.outcome), result.eventCount);
+  if (!result.violationMessage.empty()) {
+    std::printf("violation: %s\n", result.violationMessage.c_str());
+  }
+  std::printf("hbr %016llx%016llx  lazy %016llx%016llx  state %016llx%016llx\n",
+              static_cast<unsigned long long>(result.hbrFingerprint.hi),
+              static_cast<unsigned long long>(result.hbrFingerprint.lo),
+              static_cast<unsigned long long>(result.lazyFingerprint.hi),
+              static_cast<unsigned long long>(result.lazyFingerprint.lo),
+              static_cast<unsigned long long>(result.stateFingerprint.hi),
+              static_cast<unsigned long long>(result.stateFingerprint.lo));
+  if (replayOptions.renderTrace) {
+    std::fputs(result.renderedTrace.c_str(), stdout);
+  }
+  for (const trace::RaceReport& race : result.races) {
+    std::printf("race on %s (events %d and %d)\n", race.objectName.c_str(),
+                race.firstEvent, race.secondEvent);
+  }
+  return runtime::isViolation(result.outcome) ? kExitViolation : kExitOk;
+}
+
+}  // namespace
+
+std::unique_ptr<explore::ExplorerBase> makeExplorer(
+    const std::string& mode, const explore::ExplorerOptions& options,
+    std::uint64_t seed) {
+  if (mode == "dfs") {
+    return std::make_unique<explore::DfsExplorer>(options);
+  }
+  if (mode == "random") {
+    return std::make_unique<explore::RandomExplorer>(options, seed);
+  }
+  if (mode == "dpor") {
+    return std::make_unique<explore::DporExplorer>(options);
+  }
+  if (mode == "caching-full") {
+    return std::make_unique<explore::CachingExplorer>(options,
+                                                      trace::Relation::Full);
+  }
+  if (mode == "caching-lazy") {
+    return std::make_unique<explore::CachingExplorer>(options,
+                                                      trace::Relation::Lazy);
+  }
+  return nullptr;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0 ||
+      std::strcmp(argv[1], "-h") == 0 || std::strcmp(argv[1], "help") == 0) {
+    printTopLevelUsage();
+    return argc < 2 ? kExitUsage : kExitOk;
+  }
+  const std::string command = argv[1];
+  // Each subcommand re-parses from its own argv[0] == the command name.
+  const int subArgc = argc - 1;
+  char** subArgv = argv + 1;
+  if (command == "list") return cmdList(subArgc, subArgv);
+  if (command == "explore") return cmdExplore(subArgc, subArgv);
+  if (command == "compare") return cmdCompare(subArgc, subArgv);
+  if (command == "replay") return cmdReplay(subArgc, subArgv);
+  std::fprintf(stderr, "lazyhb: unknown command '%s'\n\n", command.c_str());
+  printTopLevelUsage();
+  return kExitUsage;
+}
+
+}  // namespace lazyhb::cli

@@ -1,0 +1,39 @@
+// lazyhb/cli/cli.hpp
+//
+// The unified `lazyhb` command-line driver. Subcommands:
+//
+//   lazyhb list     — print the registered program corpus
+//   lazyhb explore  — run one program under one explorer, print stats
+//   lazyhb compare  — run one program under every explorer, one row each
+//   lazyhb replay   — re-execute a recorded schedule and render its trace
+//
+// Every subcommand builds on support::Options, so `lazyhb <cmd> --help`
+// prints the full flag table. The explorer modes accepted by --explorer are
+// dfs, random, dpor, caching-full and caching-lazy (see makeExplorer).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "explore/explorer.hpp"
+
+namespace lazyhb::cli {
+
+/// The five explorer modes the driver exposes.
+constexpr const char* kExplorerModes[] = {"dfs", "random", "dpor", "caching-full",
+                                          "caching-lazy"};
+
+/// Construct the explorer named by `mode` (one of kExplorerModes).
+/// Returns nullptr for an unknown mode. `seed` is only used by `random`.
+[[nodiscard]] std::unique_ptr<explore::ExplorerBase> makeExplorer(
+    const std::string& mode, const explore::ExplorerOptions& options,
+    std::uint64_t seed);
+
+/// Entry point: dispatch argv[1] to a subcommand. Returns the process exit
+/// status (0 on success, 2 on usage errors, 1 when a violation was found by
+/// `explore --fail-on-violation` or a replay ends in a violation).
+[[nodiscard]] int run(int argc, char** argv);
+
+}  // namespace lazyhb::cli

@@ -1,0 +1,3 @@
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) { return lazyhb::cli::run(argc, argv); }

@@ -9,7 +9,9 @@ int FixedScheduler::pick(runtime::Execution& exec) {
   const support::ThreadSet enabled = exec.enabled();
   if (step_ < choices_.size()) {
     const int tid = choices_[step_++];
-    LAZYHB_CHECK(enabled.contains(tid));
+    if (tid < 0 || tid >= support::kMaxThreads || !enabled.contains(tid)) {
+      return kAbandon;
+    }
     return tid;
   }
   return enabled.first();

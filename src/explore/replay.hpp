@@ -16,7 +16,9 @@
 namespace lazyhb::explore {
 
 /// Scheduler that follows a fixed choice list, then falls back to the
-/// lowest-numbered enabled thread once the list is exhausted.
+/// lowest-numbered enabled thread once the list is exhausted. A choice that
+/// is not currently enabled (e.g. a schedule recorded for a different
+/// program) abandons the execution (Outcome::Abandoned) rather than abort.
 class FixedScheduler final : public runtime::Scheduler {
  public:
   explicit FixedScheduler(std::vector<int> choices) : choices_(std::move(choices)) {}

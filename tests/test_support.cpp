@@ -186,4 +186,109 @@ TEST(Options, RejectsNonIntegerValue) {
   EXPECT_TRUE(options.parseError());
 }
 
+TEST(Options, EqualsAndSpaceFormsAreEquivalent) {
+  Options spaced("test", "test options");
+  spaced.addInt("limit", 100, "limit");
+  spaced.addString("name", "default", "name");
+  const char* spacedArgv[] = {"test", "--limit", "42", "--name", "hello"};
+  ASSERT_TRUE(spaced.parse(5, const_cast<char**>(spacedArgv)));
+
+  Options inlined("test", "test options");
+  inlined.addInt("limit", 100, "limit");
+  inlined.addString("name", "default", "name");
+  const char* inlinedArgv[] = {"test", "--limit=42", "--name=hello"};
+  ASSERT_TRUE(inlined.parse(3, const_cast<char**>(inlinedArgv)));
+
+  EXPECT_EQ(spaced.getInt("limit"), inlined.getInt("limit"));
+  EXPECT_EQ(spaced.getString("name"), inlined.getString("name"));
+}
+
+TEST(Options, InlineValueMayContainEquals) {
+  Options options("test", "test options");
+  options.addString("filter", "", "filter");
+  const char* argv[] = {"test", "--filter=key=value"};
+  ASSERT_TRUE(options.parse(2, const_cast<char**>(argv)));
+  EXPECT_EQ(options.getString("filter"), "key=value");
+}
+
+TEST(Options, FlagAcceptsInlineBoolean) {
+  Options options("test", "test options");
+  options.addFlag("verbose", "verbose");
+  options.addFlag("quiet", "quiet");
+  options.addFlag("loud", "loud");
+  const char* argv[] = {"test", "--verbose=false", "--quiet=1", "--loud=true"};
+  ASSERT_TRUE(options.parse(4, const_cast<char**>(argv)));
+  EXPECT_FALSE(options.getFlag("verbose"));
+  EXPECT_TRUE(options.getFlag("quiet"));
+  EXPECT_TRUE(options.getFlag("loud"));
+}
+
+TEST(Options, FlagDoesNotConsumeFollowingArgument) {
+  Options options("test", "test options");
+  options.addFlag("verbose", "verbose");
+  const char* argv[] = {"test", "--verbose", "positional"};
+  ASSERT_TRUE(options.parse(3, const_cast<char**>(argv)));
+  EXPECT_TRUE(options.getFlag("verbose"));
+  ASSERT_EQ(options.positional().size(), 1u);
+  EXPECT_EQ(options.positional()[0], "positional");
+}
+
+TEST(Options, MissingValueAtEndOfArgvIsAnError) {
+  Options options("test", "test options");
+  options.addInt("limit", 100, "limit");
+  const char* argv[] = {"test", "--limit"};
+  EXPECT_FALSE(options.parse(2, const_cast<char**>(argv)));
+  EXPECT_TRUE(options.parseError());
+}
+
+TEST(Options, DefaultsSurviveWhenNotPassed) {
+  Options options("test", "test options");
+  options.addInt("limit", 100, "limit");
+  options.addFlag("verbose", "verbose");
+  options.addString("name", "default", "name");
+  const char* argv[] = {"test"};
+  ASSERT_TRUE(options.parse(1, const_cast<char**>(argv)));
+  EXPECT_EQ(options.getInt("limit"), 100);
+  EXPECT_FALSE(options.getFlag("verbose"));
+  EXPECT_EQ(options.getString("name"), "default");
+  EXPECT_FALSE(options.parseError());
+}
+
+TEST(Options, LastOccurrenceWins) {
+  Options options("test", "test options");
+  options.addInt("limit", 100, "limit");
+  const char* argv[] = {"test", "--limit", "1", "--limit=2"};
+  ASSERT_TRUE(options.parse(4, const_cast<char**>(argv)));
+  EXPECT_EQ(options.getInt("limit"), 2);
+}
+
+TEST(Options, HelpPrintsEveryOptionAndIsNotAnError) {
+  Options options("myprog", "does things");
+  options.addInt("limit", 100, "the schedule budget");
+  options.addFlag("verbose", "print more");
+  options.addString("name", "default", "a label");
+  const char* argv[] = {"myprog", "--help"};
+  testing::internal::CaptureStdout();
+  EXPECT_FALSE(options.parse(2, const_cast<char**>(argv)));  // caller should exit
+  const std::string usage = testing::internal::GetCapturedStdout();
+  EXPECT_FALSE(options.parseError());  // --help is a clean exit, not a failure
+  EXPECT_NE(usage.find("myprog"), std::string::npos);
+  EXPECT_NE(usage.find("does things"), std::string::npos);
+  EXPECT_NE(usage.find("--limit"), std::string::npos);
+  EXPECT_NE(usage.find("the schedule budget"), std::string::npos);
+  EXPECT_NE(usage.find("(default 100)"), std::string::npos);
+  EXPECT_NE(usage.find("--verbose"), std::string::npos);
+  EXPECT_NE(usage.find("--name"), std::string::npos);
+  EXPECT_NE(usage.find("(default 'default')"), std::string::npos);
+  EXPECT_NE(usage.find("--help"), std::string::npos);
+}
+
+TEST(Options, NegativeIntegerValues) {
+  Options options("test", "test options");
+  options.addInt("delta", 0, "delta");
+  const char* argv[] = {"test", "--delta", "-5"};
+  ASSERT_TRUE(options.parse(3, const_cast<char**>(argv)));
+  EXPECT_EQ(options.getInt("delta"), -5);
+}
+
 }  // namespace
