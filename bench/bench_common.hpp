@@ -2,6 +2,12 @@
 // over the 79-benchmark corpus (optionally in parallel — explorations of
 // distinct benchmarks are independent), and prints aligned tables plus
 // optional CSV for external plotting.
+//
+// Benches whose measurement is a plain (programs × explorers) matrix go
+// through the campaign layer (campaignOptions/maybeWriteReport below), so
+// their tables come from the same aggregator as `lazyhb bench` and they can
+// dump the same versioned BENCH_*.json via --out. Benches with bespoke
+// per-benchmark procedures keep using runCorpus.
 
 #pragma once
 
@@ -9,8 +15,11 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "campaign/campaign.hpp"
+#include "campaign/report.hpp"
 #include "explore/explorer.hpp"
 #include "programs/registry.hpp"
 #include "support/options.hpp"
@@ -53,6 +62,42 @@ std::vector<Result> runCorpus(
     results[i] = explore(*corpus[i]);
   });
   return results;
+}
+
+/// Build campaign options from the shared corpus flags for a matrix bench
+/// running `explorers` over the --only selection.
+inline campaign::CampaignOptions campaignOptions(
+    const support::Options& options,
+    std::vector<campaign::ExplorerSpec> explorers) {
+  campaign::CampaignOptions co;
+  co.explorers = std::move(explorers);
+  co.programs = selectCorpus(options);
+  co.explorer.scheduleLimit = static_cast<std::uint64_t>(options.getInt("limit"));
+  co.explorer.maxEventsPerSchedule =
+      static_cast<std::uint32_t>(options.getInt("max-events"));
+  co.jobs = static_cast<int>(options.getInt("jobs"));
+  return co;
+}
+
+/// Honour a bench's --out flag: write the campaign's versioned JSON report.
+/// The config block is echoed from the CampaignOptions the run actually
+/// used, so the report stays self-describing. Returns false when --out was
+/// given but the file could not be written — callers must fail their exit
+/// status, or a pipeline depending on the BENCH_*.json artifact sees
+/// success with no report.
+[[nodiscard]] inline bool maybeWriteReport(
+    const support::Options& options,
+    const campaign::CampaignOptions& campaignOptions,
+    const campaign::CampaignResult& result) {
+  const std::string out = options.getString("out");
+  if (out.empty()) return true;
+  campaign::ReportConfig config;
+  config.scheduleLimit = campaignOptions.explorer.scheduleLimit;
+  config.maxEventsPerSchedule = campaignOptions.explorer.maxEventsPerSchedule;
+  config.seed = campaignOptions.seed;
+  if (!campaign::writeReportFile(out, result, config)) return false;
+  if (out != "-") std::printf("report: %s\n", out.c_str());
+  return true;
 }
 
 inline void emit(const support::Table& table, bool csv) {

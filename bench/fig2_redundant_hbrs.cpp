@@ -10,76 +10,46 @@
 // the same *shape* (a large below-diagonal subset with a high redundancy
 // percentage), not the same absolute numbers (different corpus, budget and
 // substrate).
+//
+// The measurement runs on the campaign layer, so the table is computed from
+// the same aggregator as `lazyhb bench` and --out dumps the same versioned
+// BENCH_*.json report.
 
 #include <cstdio>
 
 #include "bench_common.hpp"
 #include "core/redundancy.hpp"
-#include "explore/dpor_explorer.hpp"
 
 using namespace lazyhb;
-
-namespace {
-
-struct Row {
-  core::BenchmarkCounts counts;
-  bool complete = false;
-};
-
-Row expledBenchmark(const programs::ProgramSpec& spec, std::uint64_t limit,
-                    std::uint32_t maxEvents) {
-  explore::ExplorerOptions options;
-  options.scheduleLimit = limit;
-  options.maxEventsPerSchedule = maxEvents;
-  explore::DporExplorer explorer(options, explore::DporOptions{});
-  const auto result = explorer.explore(spec.body);
-  Row row;
-  row.counts.name = spec.name;
-  row.counts.id = spec.id;
-  row.counts.schedules = result.schedulesExecuted;
-  row.counts.hbrs = result.distinctHbrs;
-  row.counts.lazyHbrs = result.distinctLazyHbrs;
-  row.counts.states = result.distinctStates;
-  row.counts.hitScheduleLimit = result.hitScheduleLimit;
-  row.complete = result.complete;
-  return row;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   auto options = bench::corpusOptions(
       "fig2_redundant_hbrs",
       "Figure 2: #HBRs vs #lazy HBRs explored by DPOR per benchmark");
+  options.addString("out", "", "also write the campaign JSON report here");
   if (!options.parse(argc, argv)) return options.parseError() ? 1 : 0;
 
-  const auto corpus = bench::selectCorpus(options);
-  const auto limit = static_cast<std::uint64_t>(options.getInt("limit"));
-  const auto maxEvents = static_cast<std::uint32_t>(options.getInt("max-events"));
+  auto campaignOptions =
+      bench::campaignOptions(options, {*campaign::parseExplorerSpec("dpor")});
+  std::printf(
+      "Figure 2 reproduction: DPOR with a %llu-schedule budget, %zu benchmarks\n\n",
+      static_cast<unsigned long long>(campaignOptions.explorer.scheduleLimit),
+      campaignOptions.programs.size());
 
-  std::printf("Figure 2 reproduction: DPOR with a %llu-schedule budget, %zu benchmarks\n\n",
-              static_cast<unsigned long long>(limit), corpus.size());
-
-  const auto rows = bench::runCorpus<Row>(
-      corpus, static_cast<int>(options.getInt("jobs")),
-      [&](const programs::ProgramSpec& spec) {
-        return expledBenchmark(spec, limit, maxEvents);
-      });
+  const campaign::CampaignResult result = campaign::runCampaign(campaignOptions);
+  const std::vector<core::BenchmarkCounts> counts = campaign::fig2Counts(result);
 
   support::Table table({"id", "benchmark", "schedules", "#HBRs", "#lazyHBRs",
                         "hit-limit", "below-diagonal"});
-  std::vector<core::BenchmarkCounts> counts;
-  counts.reserve(rows.size());
-  for (const Row& row : rows) {
-    counts.push_back(row.counts);
+  for (const core::BenchmarkCounts& row : counts) {
     table.beginRow();
-    table.cell(static_cast<std::int64_t>(row.counts.id));
-    table.cell(row.counts.name);
-    table.cell(row.counts.schedules);
-    table.cell(row.counts.hbrs);
-    table.cell(row.counts.lazyHbrs);
-    table.cell(std::string(row.counts.hitScheduleLimit ? "yes" : "no"));
-    table.cell(std::string(row.counts.lazyHbrs < row.counts.hbrs ? "BELOW" : "-"));
+    table.cell(static_cast<std::int64_t>(row.id));
+    table.cell(row.name);
+    table.cell(row.schedules);
+    table.cell(row.hbrs);
+    table.cell(row.lazyHbrs);
+    table.cell(std::string(row.hitScheduleLimit ? "yes" : "no"));
+    table.cell(std::string(row.lazyHbrs < row.hbrs ? "BELOW" : "-"));
   }
   bench::emit(table, options.getFlag("csv"));
 
@@ -92,5 +62,8 @@ int main(int argc, char** argv) {
               summary.redundantPercent);
   std::printf("Paper (Fig. 2):  33/79 benchmarks below the diagonal;"
               " 910,007 of the unique HBRs on them are redundant (80%%)\n");
-  return 0;
+  std::printf("Campaign: %.2fs wall (%.2fs cpu), %d job(s)\n",
+              result.wallSeconds, result.cpuSeconds, result.jobs);
+  if (!bench::maybeWriteReport(options, campaignOptions, result)) return 1;
+  return result.inequalityViolations == 0 ? 0 : 1;
 }

@@ -1,0 +1,255 @@
+#include "campaign/campaign.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "campaign/work_stealing_pool.hpp"
+#include "support/diagnostics.hpp"
+
+namespace lazyhb::campaign {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Find this program's cell for `explorerName` among its row of cells.
+const CellResult* cellFor(const std::vector<const CellResult*>& row,
+                          const std::string& explorerName) {
+  for (const CellResult* cell : row) {
+    if (cell->explorer == explorerName) return cell;
+  }
+  return nullptr;
+}
+
+ProgramSummary summarizeProgram(const std::vector<const CellResult*>& row) {
+  ProgramSummary s;
+  s.id = row.front()->programId;
+  s.program = row.front()->program;
+  s.family = row.front()->family;
+  for (const CellResult* cell : row) {
+    s.inequalityHolds = s.inequalityHolds && cell->inequalityHolds();
+  }
+
+  if (const CellResult* dpor = cellFor(row, "dpor")) {
+    s.hasDpor = true;
+    s.dporHbrs = dpor->stats.distinctHbrs;
+    s.dporLazyHbrs = dpor->stats.distinctLazyHbrs;
+    s.belowDiagonal = s.dporLazyHbrs < s.dporHbrs;
+    if (s.dporHbrs > 0) {
+      s.redundantHbrPercent = 100.0 *
+                              static_cast<double>(s.dporHbrs - s.dporLazyHbrs) /
+                              static_cast<double>(s.dporHbrs);
+    }
+  }
+
+  const CellResult* cachingFull = cellFor(row, "caching-full");
+  const CellResult* cachingLazy = cellFor(row, "caching-lazy");
+  if (cachingFull != nullptr && cachingLazy != nullptr) {
+    s.hasCachingPair = true;
+    s.lazyHbrsByFullCaching = cachingFull->stats.distinctLazyHbrs;
+    s.lazyHbrsByLazyCaching = cachingLazy->stats.distinctLazyHbrs;
+    s.cachingDiffers = s.lazyHbrsByLazyCaching > s.lazyHbrsByFullCaching;
+  }
+
+  const CellResult* dfs = cellFor(row, "dfs");
+  if (dfs != nullptr && dfs->stats.complete) {
+    s.hasDfsBaseline = true;
+    s.dfsSchedules = dfs->stats.schedulesExecuted;
+    const auto ratio = [&](const CellResult* cell) {
+      return (cell == nullptr || cell->stats.schedulesExecuted == 0)
+                 ? 0.0
+                 : static_cast<double>(s.dfsSchedules) /
+                       static_cast<double>(cell->stats.schedulesExecuted);
+    };
+    s.dporScheduleRatio = ratio(cellFor(row, "dpor"));
+    s.cachingLazyScheduleRatio = ratio(cachingLazy);
+  }
+  return s;
+}
+
+}  // namespace
+
+core::BenchmarkCounts CellResult::counts() const {
+  core::BenchmarkCounts c;
+  c.name = program;
+  c.id = programId;
+  c.schedules = stats.schedulesExecuted;
+  c.hbrs = stats.distinctHbrs;
+  c.lazyHbrs = stats.distinctLazyHbrs;
+  c.states = stats.distinctStates;
+  c.hitScheduleLimit = stats.hitScheduleLimit;
+  return c;
+}
+
+Aggregator::Aggregator(std::size_t programCount, std::size_t explorerCount)
+    : explorerCount_(explorerCount),
+      cells_(programCount * explorerCount),
+      filled_(programCount * explorerCount, false) {
+  LAZYHB_CHECK(explorerCount_ > 0);
+}
+
+void Aggregator::submit(std::size_t index, CellResult cell) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  LAZYHB_CHECK(index < cells_.size() && !filled_[index]);
+  cells_[index] = std::move(cell);
+  filled_[index] = true;
+}
+
+CampaignResult Aggregator::finish() {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  for (const bool filled : filled_) {
+    LAZYHB_CHECK(filled);  // finish() before every submit() is a runner bug
+  }
+  CampaignResult result;
+  result.cells = std::move(cells_);
+
+  // Per-explorer totals, keyed by position within each program's row so the
+  // order matches CampaignOptions::explorers.
+  result.perExplorer.resize(explorerCount_);
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const CellResult& cell = result.cells[i];
+    ExplorerTotals& totals = result.perExplorer[i % explorerCount_];
+    totals.explorer = cell.explorer;
+    ++totals.cells;
+    totals.schedules += cell.stats.schedulesExecuted;
+    totals.terminal += cell.stats.terminalSchedules;
+    totals.pruned += cell.stats.prunedSchedules;
+    totals.violations += cell.stats.violationSchedules;
+    totals.events += cell.stats.totalEvents;
+    totals.hbrs += cell.stats.distinctHbrs;
+    totals.lazyHbrs += cell.stats.distinctLazyHbrs;
+    totals.states += cell.stats.distinctStates;
+    totals.wallSeconds += cell.wallSeconds;
+    totals.cacheEntries += cell.stats.cacheStats.entries;
+    totals.cacheHits += cell.stats.cacheStats.hits;
+    totals.cacheApproxBytes += cell.stats.cacheStats.approxBytes;
+    if (!cell.inequalityHolds()) ++totals.inequalityViolations;
+
+    result.totalSchedules += cell.stats.schedulesExecuted;
+    result.totalEvents += cell.stats.totalEvents;
+    result.cpuSeconds += cell.wallSeconds;
+    if (!cell.inequalityHolds()) ++result.inequalityViolations;
+  }
+
+  // Per-program summaries from each row of the matrix.
+  const std::size_t programCount = result.cells.size() / explorerCount_;
+  result.programs.reserve(programCount);
+  std::vector<const CellResult*> row(explorerCount_);
+  for (std::size_t p = 0; p < programCount; ++p) {
+    for (std::size_t e = 0; e < explorerCount_; ++e) {
+      row[e] = &result.cells[p * explorerCount_ + e];
+    }
+    result.programs.push_back(summarizeProgram(row));
+  }
+  return result;
+}
+
+CampaignResult runCampaign(const CampaignOptions& options) {
+  const auto campaignStart = Clock::now();
+
+  std::vector<ExplorerSpec> explorers = options.explorers;
+  if (explorers.empty()) explorers = allExplorers();
+  std::vector<const programs::ProgramSpec*> corpus = options.programs;
+  if (corpus.empty()) {
+    for (const programs::ProgramSpec& spec : programs::all()) {
+      corpus.push_back(&spec);
+    }
+  }
+
+  int jobs = options.jobs;
+  if (jobs <= 0) {
+    jobs = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs <= 0) jobs = 1;
+  }
+
+  Aggregator aggregator(corpus.size(), explorers.size());
+  std::mutex progressMutex;
+  std::size_t cellsDone = 0;
+  const std::size_t totalCells = corpus.size() * explorers.size();
+
+  std::vector<WorkStealingPool::Task> tasks;
+  tasks.reserve(totalCells);
+  for (std::size_t p = 0; p < corpus.size(); ++p) {
+    for (std::size_t e = 0; e < explorers.size(); ++e) {
+      const programs::ProgramSpec* program = corpus[p];
+      const ExplorerSpec spec = explorers[e];
+      const std::size_t index = p * explorers.size() + e;
+      tasks.push_back([&, program, spec, index] {
+        CellResult cell;
+        cell.programId = program->id;
+        cell.program = program->name;
+        cell.family = program->family;
+        cell.explorer = spec.name;
+
+        const auto cellStart = Clock::now();
+        auto explorer = spec.create(options.explorer, options.seed);
+        cell.stats = explorer->explore(program->body);
+        cell.wallSeconds = secondsSince(cellStart);
+        if (cell.wallSeconds > 0.0) {
+          cell.eventsPerSecond =
+              static_cast<double>(cell.stats.totalEvents) / cell.wallSeconds;
+        }
+        cell.inequalityDiagnostic = core::checkCountingChain(
+            cell.counts(), options.explorer.scheduleLimit);
+
+        if (options.onCellDone) {
+          const std::lock_guard<std::mutex> guard(progressMutex);
+          options.onCellDone(cell, ++cellsDone, totalCells);
+        }
+        aggregator.submit(index, std::move(cell));
+      });
+    }
+  }
+
+  WorkStealingPool pool(jobs);
+  pool.run(std::move(tasks));
+
+  CampaignResult result = aggregator.finish();
+  result.wallSeconds = secondsSince(campaignStart);
+  result.tasksStolen = pool.tasksStolen();
+  result.jobs = pool.workerCount();
+  return result;
+}
+
+std::vector<core::BenchmarkCounts> fig2Counts(const CampaignResult& result) {
+  std::vector<core::BenchmarkCounts> rows;
+  rows.reserve(result.programs.size());
+  for (const CellResult& cell : result.cells) {
+    if (cell.explorer == "dpor") rows.push_back(cell.counts());
+  }
+  return rows;
+}
+
+std::vector<core::CachingCounts> fig3Counts(const CampaignResult& result) {
+  std::vector<core::CachingCounts> rows;
+  // Walk program rows; emit one row where both caching cells are present.
+  const std::size_t explorerCount =
+      result.programs.empty() ? 1 : result.cells.size() / result.programs.size();
+  for (std::size_t p = 0; p < result.programs.size(); ++p) {
+    const CellResult* full = nullptr;
+    const CellResult* lazy = nullptr;
+    for (std::size_t e = 0; e < explorerCount; ++e) {
+      const CellResult& cell = result.cells[p * explorerCount + e];
+      if (cell.explorer == "caching-full") full = &cell;
+      if (cell.explorer == "caching-lazy") lazy = &cell;
+    }
+    if (full == nullptr || lazy == nullptr) continue;
+    core::CachingCounts row;
+    row.name = full->program;
+    row.id = full->programId;
+    row.lazyHbrsByRegularCaching = full->stats.distinctLazyHbrs;
+    row.lazyHbrsByLazyCaching = lazy->stats.distinctLazyHbrs;
+    row.schedulesRegular = full->stats.schedulesExecuted;
+    row.schedulesLazy = lazy->stats.schedulesExecuted;
+    row.hitScheduleLimit =
+        full->stats.hitScheduleLimit || lazy->stats.hitScheduleLimit;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace lazyhb::campaign

@@ -1,0 +1,173 @@
+// lazyhb/campaign/campaign.hpp
+//
+// The corpus campaign layer: the paper's evaluation is a *campaign* — every
+// benchmark run under every technique, with the interesting quantities (the
+// §3 chain #states ≤ #lazyHBRs ≤ #HBRs ≤ #schedules, the Figure 2/3
+// redundancy gaps) emerging only from the aggregate. This layer owns the
+// (program × explorer) matrix: it fans the cells out across hardware
+// threads (WorkStealingPool), times each cell, feeds a thread-safe
+// Aggregator, and folds the cells into per-program and per-explorer
+// summaries plus campaign totals.
+//
+// Determinism contract: each cell constructs its own single-use explorer
+// from its ExplorerSpec, the engine under it is single-threaded, and
+// results land in a slot indexed by the cell's matrix position — so every
+// per-cell count is byte-identical whatever --jobs is. Only wall-clock
+// fields vary across runs.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "campaign/explorer_spec.hpp"
+#include "core/redundancy.hpp"
+#include "explore/explorer.hpp"
+#include "programs/registry.hpp"
+
+namespace lazyhb::campaign {
+
+/// One matrix cell: `program` explored once by `explorer`.
+struct CellResult {
+  int programId = 0;
+  std::string program;
+  std::string family;
+  std::string explorer;
+  explore::ExplorationResult stats;
+  double wallSeconds = 0.0;
+  double eventsPerSecond = 0.0;          ///< stats.totalEvents / wallSeconds
+  std::string inequalityDiagnostic;      ///< empty when the §3 chain holds
+
+  [[nodiscard]] bool inequalityHolds() const noexcept {
+    return inequalityDiagnostic.empty();
+  }
+  /// The cell's counts in the shape core::summarizeFig2 / checkCountingChain
+  /// consume.
+  [[nodiscard]] core::BenchmarkCounts counts() const;
+};
+
+/// One program's row across the campaign: the §3 check plus the reduction
+/// ratios the figures are built from, each section present only when the
+/// campaign ran the explorers it needs.
+struct ProgramSummary {
+  int id = 0;
+  std::string program;
+  std::string family;
+  bool inequalityHolds = true;  ///< across every cell of this program
+
+  // Figure 2 view (requires a "dpor" cell): unique HBRs the lazy relation
+  // proves redundant.
+  bool hasDpor = false;
+  std::uint64_t dporHbrs = 0;
+  std::uint64_t dporLazyHbrs = 0;
+  double redundantHbrPercent = 0.0;  ///< (hbrs - lazyHbrs) / hbrs * 100
+  bool belowDiagonal = false;        ///< lazyHbrs < hbrs
+
+  // Figure 3 view (requires both caching cells): terminal lazy HBRs reached
+  // within the budget by regular vs. lazy HBR caching.
+  bool hasCachingPair = false;
+  std::uint64_t lazyHbrsByFullCaching = 0;
+  std::uint64_t lazyHbrsByLazyCaching = 0;
+  bool cachingDiffers = false;  ///< lazy caching reached strictly more
+
+  // Schedule-reduction ratios against the naive DFS baseline (requires a
+  // complete "dfs" cell): how many times fewer schedules each reduction ran.
+  bool hasDfsBaseline = false;
+  std::uint64_t dfsSchedules = 0;
+  double dporScheduleRatio = 0.0;         ///< dfs / dpor (0 when dpor absent)
+  double cachingLazyScheduleRatio = 0.0;  ///< dfs / caching-lazy (0 when absent)
+};
+
+/// Aggregate over every cell of one explorer mode.
+struct ExplorerTotals {
+  std::string explorer;
+  std::uint64_t cells = 0;
+  std::uint64_t schedules = 0;
+  std::uint64_t terminal = 0;
+  std::uint64_t pruned = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t events = 0;
+  std::uint64_t hbrs = 0;      ///< summed distinct terminal HBRs
+  std::uint64_t lazyHbrs = 0;  ///< summed distinct terminal lazy HBRs
+  std::uint64_t states = 0;    ///< summed distinct terminal states
+  double wallSeconds = 0.0;    ///< summed per-cell wall time (CPU view)
+  std::uint64_t cacheEntries = 0;
+  std::uint64_t cacheHits = 0;
+  std::uint64_t cacheApproxBytes = 0;
+  int inequalityViolations = 0;
+};
+
+struct CampaignResult {
+  /// Program-major, explorer-minor — cells[p * explorers + e]. The order is
+  /// a function of the option lists alone, never of scheduling.
+  std::vector<CellResult> cells;
+  std::vector<ProgramSummary> programs;
+  std::vector<ExplorerTotals> perExplorer;
+  std::uint64_t totalSchedules = 0;
+  std::uint64_t totalEvents = 0;
+  int inequalityViolations = 0;  ///< cells whose §3 chain failed (expect 0)
+  double wallSeconds = 0.0;      ///< end-to-end campaign wall time
+  double cpuSeconds = 0.0;       ///< sum of per-cell wall times
+  std::uint64_t tasksStolen = 0; ///< work-stealing load-balance diagnostic
+  int jobs = 1;                  ///< worker threads actually used
+};
+
+struct CampaignOptions {
+  /// Explorer modes to run (empty: all five).
+  std::vector<ExplorerSpec> explorers;
+  /// Programs to run (empty: the whole registered corpus).
+  std::vector<const programs::ProgramSpec*> programs;
+  /// Per-cell exploration options (budget, event cap, ...).
+  explore::ExplorerOptions explorer;
+  /// Seed for the random explorer; identical in every cell so per-cell
+  /// results do not depend on matrix position.
+  std::uint64_t seed = 42;
+  /// Worker threads; <= 0 picks std::thread::hardware_concurrency().
+  int jobs = 0;
+  /// Progress hook, invoked after each finished cell (serialized, but from
+  /// worker threads). `done` counts finished cells, `total` the matrix size.
+  std::function<void(const CellResult& cell, std::size_t done, std::size_t total)>
+      onCellDone;
+};
+
+/// Collects finished cells from worker threads and folds them into the
+/// summaries above. submit() is thread-safe; finish() must be called once,
+/// after every cell has been submitted.
+class Aggregator {
+ public:
+  Aggregator(std::size_t programCount, std::size_t explorerCount);
+
+  /// Record the cell at matrix slot `index` (program-major order).
+  void submit(std::size_t index, CellResult cell);
+
+  [[nodiscard]] std::size_t cellCount() const noexcept {
+    return cells_.size();
+  }
+
+  /// Fold the matrix into summaries and totals. Consumes the aggregator.
+  [[nodiscard]] CampaignResult finish();
+
+ private:
+  std::size_t explorerCount_;
+  std::vector<CellResult> cells_;
+  std::vector<bool> filled_;
+  std::mutex mutex_;
+};
+
+/// Run the full (programs × explorers) matrix. The campaign entry point for
+/// the CLI's `bench` subcommand and the figure benches.
+[[nodiscard]] CampaignResult runCampaign(const CampaignOptions& options);
+
+/// Figure 2 rows (one per program) from a campaign that ran "dpor".
+[[nodiscard]] std::vector<core::BenchmarkCounts> fig2Counts(
+    const CampaignResult& result);
+
+/// Figure 3 rows (one per program) from a campaign that ran both
+/// "caching-full" and "caching-lazy".
+[[nodiscard]] std::vector<core::CachingCounts> fig3Counts(
+    const CampaignResult& result);
+
+}  // namespace lazyhb::campaign

@@ -1,0 +1,51 @@
+// lazyhb/campaign/explorer_spec.hpp
+//
+// The one explorer factory shared by the CLI, the figure benches and the
+// campaign runner. An ExplorerSpec is a *value* naming an explorer
+// configuration; `create()` builds a fresh explorer instance from it.
+// Because explorers are single-use (ExplorerBase::explore may run once),
+// every campaign cell constructs its own explorer from the spec — which is
+// also what makes the (program × explorer) matrix embarrassingly parallel.
+//
+// The canonical mode names are the strings the CLI accepts for --explorer /
+// --explorers: dfs, random, dpor, caching-full, caching-lazy.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "explore/explorer.hpp"
+
+namespace lazyhb::campaign {
+
+struct ExplorerSpec {
+  enum class Kind : std::uint8_t { Dfs, Random, Dpor, CachingFull, CachingLazy };
+
+  Kind kind = Kind::Dfs;
+  std::string name;  ///< canonical mode name, e.g. "caching-lazy"
+
+  /// Build a fresh single-use explorer. `seed` only affects Kind::Random.
+  [[nodiscard]] std::unique_ptr<explore::ExplorerBase> create(
+      const explore::ExplorerOptions& options, std::uint64_t seed) const;
+};
+
+/// The five canonical explorer modes, in the order tables print them.
+[[nodiscard]] const std::vector<ExplorerSpec>& allExplorers();
+
+/// Resolve a canonical mode name; nullopt for unknown names.
+[[nodiscard]] std::optional<ExplorerSpec> parseExplorerSpec(const std::string& name);
+
+/// Parse a comma-separated mode list ("dpor,caching-lazy"). An empty string
+/// selects every mode. Returns nullopt on the first unknown name, copying
+/// it into *badName (when non-null) for the error message.
+[[nodiscard]] std::optional<std::vector<ExplorerSpec>> parseExplorerList(
+    const std::string& csv, std::string* badName = nullptr);
+
+/// "dfs, random, dpor, caching-full, caching-lazy" — for usage strings.
+[[nodiscard]] std::string explorerNamesHelp();
+
+}  // namespace lazyhb::campaign

@@ -1,0 +1,173 @@
+#include "campaign/report.hpp"
+
+#include <cstdio>
+
+#include "support/json_writer.hpp"
+
+namespace lazyhb::campaign {
+namespace {
+
+void writeCell(support::JsonWriter& json, const CellResult& cell) {
+  json.beginObject();
+  json.field("program_id", cell.programId);
+  json.field("program", cell.program);
+  json.field("family", cell.family);
+  json.field("explorer", cell.explorer);
+  json.field("schedules", cell.stats.schedulesExecuted);
+  json.field("terminal", cell.stats.terminalSchedules);
+  json.field("pruned", cell.stats.prunedSchedules);
+  json.field("violations", cell.stats.violationSchedules);
+  json.field("hbrs", cell.stats.distinctHbrs);
+  json.field("lazy_hbrs", cell.stats.distinctLazyHbrs);
+  json.field("states", cell.stats.distinctStates);
+  json.field("events", cell.stats.totalEvents);
+  json.field("complete", cell.stats.complete);
+  json.field("hit_schedule_limit", cell.stats.hitScheduleLimit);
+  json.field("wall_seconds", cell.wallSeconds);
+  json.field("events_per_second", cell.eventsPerSecond);
+  json.key("inequality").beginObject();
+  json.field("holds", cell.inequalityHolds());
+  json.field("diagnostic", cell.inequalityDiagnostic);
+  json.endObject();
+  if (cell.stats.cacheStats.enabled) {
+    const explore::PrefixCacheStats& cache = cell.stats.cacheStats;
+    json.key("cache").beginObject();
+    json.field("lookups", cache.lookups);
+    json.field("hits", cache.hits);
+    json.field("insertions", cache.insertions);
+    json.field("entries", cache.entries);
+    json.field("approx_bytes", cache.approxBytes);
+    json.endObject();
+  }
+  json.endObject();
+}
+
+void writeProgram(support::JsonWriter& json, const ProgramSummary& program) {
+  json.beginObject();
+  json.field("id", program.id);
+  json.field("program", program.program);
+  json.field("family", program.family);
+  json.field("inequality_holds", program.inequalityHolds);
+  if (program.hasDpor) {
+    json.key("dpor").beginObject();
+    json.field("hbrs", program.dporHbrs);
+    json.field("lazy_hbrs", program.dporLazyHbrs);
+    json.field("redundant_hbr_percent", program.redundantHbrPercent);
+    json.field("below_diagonal", program.belowDiagonal);
+    json.endObject();
+  }
+  if (program.hasCachingPair) {
+    json.key("caching").beginObject();
+    json.field("lazy_hbrs_by_full_caching", program.lazyHbrsByFullCaching);
+    json.field("lazy_hbrs_by_lazy_caching", program.lazyHbrsByLazyCaching);
+    json.field("differs", program.cachingDiffers);
+    json.endObject();
+  }
+  if (program.hasDfsBaseline) {
+    json.key("dfs_baseline").beginObject();
+    json.field("schedules", program.dfsSchedules);
+    json.field("dpor_schedule_ratio", program.dporScheduleRatio);
+    json.field("caching_lazy_schedule_ratio", program.cachingLazyScheduleRatio);
+    json.endObject();
+  }
+  json.endObject();
+}
+
+void writeExplorerTotals(support::JsonWriter& json, const ExplorerTotals& t) {
+  json.beginObject();
+  json.field("explorer", t.explorer);
+  json.field("cells", t.cells);
+  json.field("schedules", t.schedules);
+  json.field("terminal", t.terminal);
+  json.field("pruned", t.pruned);
+  json.field("violations", t.violations);
+  json.field("events", t.events);
+  json.field("hbrs", t.hbrs);
+  json.field("lazy_hbrs", t.lazyHbrs);
+  json.field("states", t.states);
+  json.field("wall_seconds", t.wallSeconds);
+  json.field("cache_entries", t.cacheEntries);
+  json.field("cache_hits", t.cacheHits);
+  json.field("cache_approx_bytes", t.cacheApproxBytes);
+  json.field("inequality_violations",
+             static_cast<std::int64_t>(t.inequalityViolations));
+  json.endObject();
+}
+
+}  // namespace
+
+std::string writeReportJson(const CampaignResult& result,
+                            const ReportConfig& config) {
+  support::JsonWriter json;
+  json.beginObject();
+  json.field("schema", kReportSchemaName);
+  json.field("version", kReportSchemaVersion);
+
+  json.key("config").beginObject();
+  json.field("limit", config.scheduleLimit);
+  json.field("max_events", static_cast<std::uint64_t>(config.maxEventsPerSchedule));
+  json.field("seed", config.seed);
+  json.field("jobs", result.jobs);
+  json.field("quick", config.quick);
+  json.key("explorers").beginArray();
+  for (const ExplorerTotals& totals : result.perExplorer) {
+    json.value(totals.explorer);
+  }
+  json.endArray();
+  json.field("program_count", static_cast<std::uint64_t>(result.programs.size()));
+  json.endObject();
+
+  json.key("totals").beginObject();
+  json.field("cells", static_cast<std::uint64_t>(result.cells.size()));
+  json.field("schedules", result.totalSchedules);
+  json.field("events", result.totalEvents);
+  json.field("wall_seconds", result.wallSeconds);
+  json.field("cpu_seconds", result.cpuSeconds);
+  json.field("tasks_stolen", result.tasksStolen);
+  json.field("inequality_violations",
+             static_cast<std::int64_t>(result.inequalityViolations));
+  json.key("per_explorer").beginArray();
+  for (const ExplorerTotals& totals : result.perExplorer) {
+    writeExplorerTotals(json, totals);
+  }
+  json.endArray();
+  json.endObject();
+
+  json.key("programs").beginArray();
+  for (const ProgramSummary& program : result.programs) {
+    writeProgram(json, program);
+  }
+  json.endArray();
+
+  json.key("cells").beginArray();
+  for (const CellResult& cell : result.cells) {
+    writeCell(json, cell);
+  }
+  json.endArray();
+
+  json.endObject();
+  return json.str() + "\n";
+}
+
+bool writeReportFile(const std::string& path, const CampaignResult& result,
+                     const ReportConfig& config) {
+  const std::string document = writeReportJson(result, config);
+  if (path == "-") {
+    std::fputs(document.c_str(), stdout);
+    return true;
+  }
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "lazyhb: cannot write report to '%s'\n", path.c_str());
+    return false;
+  }
+  const bool ok =
+      std::fwrite(document.data(), 1, document.size(), file) == document.size();
+  std::fclose(file);
+  if (!ok) {
+    std::fprintf(stderr, "lazyhb: short write to '%s'\n", path.c_str());
+  }
+  return ok;
+}
+
+}  // namespace lazyhb::campaign

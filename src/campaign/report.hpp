@@ -1,0 +1,40 @@
+// lazyhb/campaign/report.hpp
+//
+// The versioned, machine-readable campaign report (BENCH_*.json). The
+// schema is documented in docs/bench-report-schema.md; bump
+// kReportSchemaVersion on any field change a consumer could observe.
+// Writing goes through support::JsonWriter — no third-party JSON
+// dependency.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "campaign/campaign.hpp"
+
+namespace lazyhb::campaign {
+
+inline constexpr const char* kReportSchemaName = "lazyhb-bench-report";
+inline constexpr int kReportSchemaVersion = 1;
+
+/// The campaign configuration echoed into the report, so a BENCH_*.json is
+/// self-describing and two reports are comparable at a glance.
+struct ReportConfig {
+  std::uint64_t scheduleLimit = 0;
+  std::uint32_t maxEventsPerSchedule = 0;
+  std::uint64_t seed = 0;
+  bool quick = false;
+};
+
+/// Serialize the campaign into the versioned report JSON (a full document,
+/// newline-terminated).
+[[nodiscard]] std::string writeReportJson(const CampaignResult& result,
+                                          const ReportConfig& config);
+
+/// Write the report to `path` ("-" means stdout). Returns false (with a
+/// message on stderr) when the file cannot be written.
+bool writeReportFile(const std::string& path, const CampaignResult& result,
+                     const ReportConfig& config);
+
+}  // namespace lazyhb::campaign

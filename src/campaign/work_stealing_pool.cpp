@@ -1,0 +1,111 @@
+#include "campaign/work_stealing_pool.hpp"
+
+#include <algorithm>
+
+#include "support/diagnostics.hpp"
+
+namespace lazyhb::campaign {
+
+WorkStealingPool::WorkStealingPool(int workers) {
+  const int n = std::max(1, workers);
+  deques_.reserve(static_cast<std::size_t>(n));
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    deques_.push_back(std::make_unique<WorkerDeque>());
+  }
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { workerLoop(static_cast<std::size_t>(i)); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    shuttingDown_ = true;
+  }
+  batchStart_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void WorkStealingPool::run(std::vector<Task> tasks) {
+  if (tasks.empty()) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  LAZYHB_CHECK(remaining_ == 0);  // not reentrant
+  tasks_ = std::move(tasks);
+  remaining_ = tasks_.size();
+  // Deal round-robin: task i goes to worker i % N, so with stealing off the
+  // matrix still spreads evenly and results never depend on who ran what.
+  // Each push takes the deque's own mutex: a straggler worker from the
+  // previous batch may still be scanning these deques for steal victims
+  // (remaining_ hits zero when the last task *finishes*, not when every
+  // worker has gone back to sleep).
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    WorkerDeque& deque = *deques_[i % deques_.size()];
+    const std::lock_guard<std::mutex> guard(deque.mutex);
+    deque.tasks.push_back(i);
+  }
+  ++generation_;
+  batchStart_.notify_all();
+  batchDone_.wait(lock, [this] { return remaining_ == 0; });
+  tasks_.clear();
+}
+
+bool WorkStealingPool::nextTask(std::size_t self, std::size_t& taskIndex) {
+  {
+    WorkerDeque& mine = *deques_[self];
+    const std::lock_guard<std::mutex> guard(mine.mutex);
+    if (!mine.tasks.empty()) {
+      taskIndex = mine.tasks.front();
+      mine.tasks.pop_front();
+      return true;
+    }
+  }
+  // Own deque drained: steal from the back of the longest victim deque
+  // (the back holds the tasks its owner would reach last, so stealing
+  // there minimises interleaving with the victim's own pops).
+  while (true) {
+    std::size_t victim = deques_.size();
+    std::size_t victimBacklog = 0;
+    for (std::size_t i = 0; i < deques_.size(); ++i) {
+      if (i == self) continue;
+      const std::lock_guard<std::mutex> guard(deques_[i]->mutex);
+      if (deques_[i]->tasks.size() > victimBacklog) {
+        victimBacklog = deques_[i]->tasks.size();
+        victim = i;
+      }
+    }
+    if (victim == deques_.size()) return false;  // frontier empty everywhere
+    const std::lock_guard<std::mutex> guard(deques_[victim]->mutex);
+    if (deques_[victim]->tasks.empty()) continue;  // raced; re-scan
+    taskIndex = deques_[victim]->tasks.back();
+    deques_[victim]->tasks.pop_back();
+    tasksStolen_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+}
+
+void WorkStealingPool::workerLoop(std::size_t self) {
+  std::uint64_t seenGeneration = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      batchStart_.wait(lock, [this, seenGeneration] {
+        return shuttingDown_ || generation_ != seenGeneration;
+      });
+      if (shuttingDown_) return;
+      seenGeneration = generation_;
+    }
+    std::size_t taskIndex = 0;
+    while (nextTask(self, taskIndex)) {
+      tasks_[taskIndex]();
+      const std::lock_guard<std::mutex> guard(mutex_);
+      if (--remaining_ == 0) {
+        batchDone_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace lazyhb::campaign

@@ -1,0 +1,91 @@
+// lazyhb/campaign/work_stealing_pool.hpp
+//
+// The campaign runner's executor: a fixed set of OS threads, one task deque
+// per worker, with work stealing. Campaign cells vary wildly in cost (a
+// complete DFS of a 2-thread program vs. 100,000 schedules of a contended
+// one), so a single shared queue serves long tasks tail-heavy: the last big
+// cell lands on one worker while the rest idle. Dealing the matrix
+// round-robin and letting idle workers steal from the *back* of a victim's
+// deque keeps every hardware thread busy until the global frontier drains.
+//
+// Tasks are independent and must not throw (support::ThreadPool's contract,
+// kept here): an experiment harness has no meaningful recovery from a lost
+// result, so an escaping exception terminates the process via noexcept.
+//
+// This pool is deliberately simple — mutex-per-deque, not a lock-free
+// Chase–Lev deque. Campaign tasks run for milliseconds to minutes, so
+// queue operations are nowhere near the contention regime that justifies
+// lock-free structures; what matters is the *stealing policy*, which is
+// what balances the matrix.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lazyhb::campaign {
+
+class WorkStealingPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Create `workers` OS threads (values < 1 clamp to 1). Threads persist
+  /// across run() batches and park on a condition variable between them.
+  explicit WorkStealingPool(int workers);
+
+  /// Joins all workers. Must not be called while run() is in flight.
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  /// Execute every task in `tasks`, blocking until all have finished.
+  /// Tasks are dealt round-robin across the worker deques; idle workers
+  /// steal from the back of the busiest remaining deque. Not reentrant.
+  void run(std::vector<Task> tasks);
+
+  [[nodiscard]] int workerCount() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Tasks executed by a worker other than the one they were dealt to,
+  /// accumulated across run() batches. A load-balance diagnostic.
+  [[nodiscard]] std::uint64_t tasksStolen() const noexcept {
+    return tasksStolen_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct WorkerDeque {
+    std::mutex mutex;
+    std::deque<std::size_t> tasks;  ///< indices into tasks_
+  };
+
+  void workerLoop(std::size_t self);
+
+  /// Pop from our own deque's front, else steal from the back of the
+  /// longest other deque. Returns false when the batch frontier is empty.
+  bool nextTask(std::size_t self, std::size_t& taskIndex);
+
+  std::vector<std::unique_ptr<WorkerDeque>> deques_;
+  std::vector<std::thread> workers_;
+  std::vector<Task> tasks_;
+
+  std::mutex mutex_;                  ///< guards batch lifecycle state below
+  std::condition_variable batchStart_;
+  std::condition_variable batchDone_;
+  std::uint64_t generation_ = 0;      ///< bumped once per run() batch
+  std::size_t remaining_ = 0;         ///< tasks not yet finished this batch
+  bool shuttingDown_ = false;
+
+  std::atomic<std::uint64_t> tasksStolen_{0};
+};
+
+}  // namespace lazyhb::campaign

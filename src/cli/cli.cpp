@@ -5,10 +5,9 @@
 #include <string>
 #include <vector>
 
-#include "explore/caching_explorer.hpp"
-#include "explore/dfs_explorer.hpp"
-#include "explore/dpor_explorer.hpp"
-#include "explore/random_explorer.hpp"
+#include "campaign/campaign.hpp"
+#include "campaign/explorer_spec.hpp"
+#include "campaign/report.hpp"
 #include "explore/replay.hpp"
 #include "programs/registry.hpp"
 #include "support/options.hpp"
@@ -20,6 +19,7 @@ namespace {
 constexpr int kExitOk = 0;
 constexpr int kExitViolation = 1;
 constexpr int kExitUsage = 2;
+constexpr int kExitIo = 3;  ///< correct arguments, but a file could not be written
 
 void printTopLevelUsage() {
   std::printf(
@@ -32,10 +32,13 @@ void printTopLevelUsage() {
       "  list      print the registered program corpus\n"
       "  explore   run one program under one explorer and report stats\n"
       "  compare   run one program under all five explorers, one row each\n"
+      "  bench     run the (program x explorer) campaign matrix in parallel\n"
+      "            and emit a machine-readable JSON report\n"
       "  replay    re-execute a recorded schedule and render its trace\n"
       "\n"
       "Run `lazyhb <command> --help` for the command's options.\n"
-      "Explorer modes: dfs, random, dpor, caching-full, caching-lazy\n");
+      "Explorer modes: %s\n",
+      campaign::explorerNamesHelp().c_str());
 }
 
 /// Look up --program, printing candidates on failure.
@@ -152,15 +155,15 @@ int cmdExplore(int argc, char** argv) {
   if (spec == nullptr) return kExitUsage;
 
   const std::string mode = options.getString("explorer");
-  auto explorer = makeExplorer(mode, explorerOptionsFrom(options),
-                               static_cast<std::uint64_t>(options.getInt("seed")));
-  if (explorer == nullptr) {
-    std::fprintf(stderr,
-                 "lazyhb: unknown explorer '%s' (expected dfs, random, dpor, "
-                 "caching-full or caching-lazy)\n",
-                 mode.c_str());
+  const auto explorerSpec = campaign::parseExplorerSpec(mode);
+  if (!explorerSpec) {
+    std::fprintf(stderr, "lazyhb: unknown explorer '%s' (expected %s)\n",
+                 mode.c_str(), campaign::explorerNamesHelp().c_str());
     return kExitUsage;
   }
+  auto explorer =
+      explorerSpec->create(explorerOptionsFrom(options),
+                           static_cast<std::uint64_t>(options.getInt("seed")));
 
   const explore::ExplorationResult result = explorer->explore(spec->body);
 
@@ -211,15 +214,200 @@ int cmdCompare(int argc, char** argv) {
   std::printf("program %s (%s): %s\n", spec->name.c_str(), spec->family.c_str(),
               spec->description.c_str());
   support::Table table(resultHeaders());
-  for (const char* mode : kExplorerModes) {
-    auto explorer = makeExplorer(mode, explorerOptionsFrom(options),
-                                 static_cast<std::uint64_t>(options.getInt("seed")));
+  for (const campaign::ExplorerSpec& mode : campaign::allExplorers()) {
+    auto explorer =
+        mode.create(explorerOptionsFrom(options),
+                    static_cast<std::uint64_t>(options.getInt("seed")));
     const explore::ExplorationResult result = explorer->explore(spec->body);
-    addResultRow(table, mode, result);
+    addResultRow(table, mode.name, result);
   }
   std::fputs((options.getFlag("csv") ? table.toCsv() : table.toText()).c_str(),
              stdout);
   return kExitOk;
+}
+
+// --- bench -------------------------------------------------------------------
+
+/// Resolve the --programs selector: a comma-separated list where each token
+/// is a program name or a family name. Empty selects the whole corpus.
+/// Returns false with *badToken set when a token matches nothing.
+bool selectPrograms(const std::string& csv,
+                    std::vector<const programs::ProgramSpec*>& out,
+                    std::string* badToken) {
+  if (csv.empty()) return true;  // campaign default: full corpus
+  std::vector<bool> taken(programs::all().size() + 1, false);
+  for (const std::string& token : support::splitCsv(csv)) {
+    std::vector<const programs::ProgramSpec*> matched;
+    if (const programs::ProgramSpec* byName = programs::byName(token)) {
+      matched.push_back(byName);
+    } else {
+      matched = programs::byFamily(token);
+    }
+    if (matched.empty()) {
+      *badToken = token;
+      return false;
+    }
+    for (const programs::ProgramSpec* spec : matched) {
+      // A family plus one of its members may both be named; keep one copy.
+      if (static_cast<std::size_t>(spec->id) < taken.size() && taken[spec->id]) {
+        continue;
+      }
+      taken[spec->id] = true;
+      out.push_back(spec);
+    }
+  }
+  return true;
+}
+
+int cmdBench(int argc, char** argv) {
+  support::Options options(
+      "lazyhb bench",
+      "run the (program x explorer) campaign matrix in parallel and emit a "
+      "machine-readable JSON report");
+  options.addString("explorers", "",
+                    "comma-separated explorer modes (default: all of " +
+                        campaign::explorerNamesHelp() + ")");
+  options.addString("programs", "",
+                    "comma-separated program or family names (default: the "
+                    "full corpus)");
+  options.addInt("jobs", 0, "worker threads (0: one per hardware thread)");
+  options.addInt("limit", 10000, "schedule budget per cell (paper: 100000)");
+  options.addInt("max-events", 65536, "per-schedule event budget");
+  options.addInt("seed", 42, "random explorer seed (same in every cell)");
+  options.addString("out", "",
+                    "write the JSON report to this path ('-': stdout; empty: "
+                    "no report file)");
+  options.addFlag("quick",
+                  "CI preset: cap the schedule budget at 200 (an explicit "
+                  "--limit wins)");
+  options.addFlag("progress", "print one line per finished cell");
+  options.addFlag("csv", "print the per-cell table as CSV");
+  if (!options.parse(argc, argv)) return options.parseError() ? kExitUsage : kExitOk;
+
+  std::string bad;
+  const auto explorers =
+      campaign::parseExplorerList(options.getString("explorers"), &bad);
+  if (!explorers) {
+    std::fprintf(stderr, "lazyhb: unknown explorer '%s' (expected %s)\n",
+                 bad.c_str(), campaign::explorerNamesHelp().c_str());
+    return kExitUsage;
+  }
+
+  campaign::CampaignOptions campaignOptions;
+  campaignOptions.explorers = *explorers;
+  if (!selectPrograms(options.getString("programs"), campaignOptions.programs,
+                      &bad)) {
+    std::fprintf(stderr,
+                 "lazyhb: '%s' names no program or family (try `lazyhb list`)\n",
+                 bad.c_str());
+    return kExitUsage;
+  }
+
+  std::uint64_t limit = static_cast<std::uint64_t>(options.getInt("limit"));
+  const bool quick = options.getFlag("quick");
+  if (quick && !options.wasSet("limit")) limit = 200;
+  campaignOptions.explorer.scheduleLimit = limit;
+  campaignOptions.explorer.maxEventsPerSchedule =
+      static_cast<std::uint32_t>(options.getInt("max-events"));
+  campaignOptions.seed = static_cast<std::uint64_t>(options.getInt("seed"));
+  campaignOptions.jobs = static_cast<int>(options.getInt("jobs"));
+  if (options.getFlag("progress")) {
+    campaignOptions.onCellDone = [](const campaign::CellResult& cell,
+                                    std::size_t done, std::size_t total) {
+      std::printf("[%zu/%zu] %s x %s: %llu schedules, %llu lazy-HBRs, %.3fs\n",
+                  done, total, cell.program.c_str(), cell.explorer.c_str(),
+                  static_cast<unsigned long long>(cell.stats.schedulesExecuted),
+                  static_cast<unsigned long long>(cell.stats.distinctLazyHbrs),
+                  cell.wallSeconds);
+      std::fflush(stdout);
+    };
+  }
+
+  const campaign::CampaignResult result = campaign::runCampaign(campaignOptions);
+
+  support::Table table({"explorer", "cells", "schedules", "terminal", "pruned",
+                        "violations", "hbrs", "lazy-hbrs", "states",
+                        "cache-entries", "cache-MB", "wall-s"});
+  for (const campaign::ExplorerTotals& t : result.perExplorer) {
+    table.beginRow();
+    table.cell(t.explorer);
+    table.cell(t.cells);
+    table.cell(t.schedules);
+    table.cell(t.terminal);
+    table.cell(t.pruned);
+    table.cell(t.violations);
+    table.cell(t.hbrs);
+    table.cell(t.lazyHbrs);
+    table.cell(t.states);
+    table.cell(t.cacheEntries);
+    table.cell(static_cast<double>(t.cacheApproxBytes) / (1024.0 * 1024.0));
+    table.cell(t.wallSeconds);
+  }
+  std::printf("campaign: %zu programs x %zu explorers = %zu cells, "
+              "%d job(s), %llu task(s) stolen\n",
+              result.programs.size(), result.perExplorer.size(),
+              result.cells.size(), result.jobs,
+              static_cast<unsigned long long>(result.tasksStolen));
+  std::fputs(table.toText().c_str(), stdout);
+  if (options.getFlag("csv")) {
+    support::Table cells({"program_id", "program", "family", "explorer",
+                          "schedules", "terminal", "pruned", "violations",
+                          "hbrs", "lazy_hbrs", "states", "events",
+                          "wall_seconds"});
+    for (const campaign::CellResult& cell : result.cells) {
+      cells.beginRow();
+      cells.cell(static_cast<std::int64_t>(cell.programId));
+      cells.cell(cell.program);
+      cells.cell(cell.family);
+      cells.cell(cell.explorer);
+      cells.cell(cell.stats.schedulesExecuted);
+      cells.cell(cell.stats.terminalSchedules);
+      cells.cell(cell.stats.prunedSchedules);
+      cells.cell(cell.stats.violationSchedules);
+      cells.cell(cell.stats.distinctHbrs);
+      cells.cell(cell.stats.distinctLazyHbrs);
+      cells.cell(cell.stats.distinctStates);
+      cells.cell(cell.stats.totalEvents);
+      cells.cell(cell.wallSeconds, 4);
+    }
+    std::fputs("\n--- CSV ---\n", stdout);
+    std::fputs(cells.toCsv().c_str(), stdout);
+  }
+  std::printf("totals: %s schedules, %s events, %.2fs wall (%.2fs cpu), "
+              "%.1fx parallel speedup\n",
+              support::withCommas(result.totalSchedules).c_str(),
+              support::withCommas(result.totalEvents).c_str(),
+              result.wallSeconds, result.cpuSeconds,
+              result.wallSeconds > 0.0 ? result.cpuSeconds / result.wallSeconds
+                                       : 0.0);
+  if (result.inequalityViolations == 0) {
+    std::printf("section-3 inequality (#states <= #lazyHBRs <= #HBRs <= "
+                "#schedules): holds on all %zu cells\n",
+                result.cells.size());
+  } else {
+    std::printf("section-3 inequality: VIOLATED on %d cell(s):\n",
+                result.inequalityViolations);
+    for (const campaign::CellResult& cell : result.cells) {
+      if (!cell.inequalityHolds()) {
+        std::printf("  %s x %s: %s\n", cell.program.c_str(),
+                    cell.explorer.c_str(), cell.inequalityDiagnostic.c_str());
+      }
+    }
+  }
+
+  campaign::ReportConfig reportConfig;
+  reportConfig.scheduleLimit = limit;
+  reportConfig.maxEventsPerSchedule = campaignOptions.explorer.maxEventsPerSchedule;
+  reportConfig.seed = campaignOptions.seed;
+  reportConfig.quick = quick;
+  const std::string out = options.getString("out");
+  if (!out.empty()) {
+    if (!campaign::writeReportFile(out, result, reportConfig)) {
+      return kExitIo;
+    }
+    if (out != "-") std::printf("report: %s\n", out.c_str());
+  }
+  return result.inequalityViolations == 0 ? kExitOk : kExitViolation;
 }
 
 // --- replay ------------------------------------------------------------------
@@ -322,29 +510,6 @@ int cmdReplay(int argc, char** argv) {
 
 }  // namespace
 
-std::unique_ptr<explore::ExplorerBase> makeExplorer(
-    const std::string& mode, const explore::ExplorerOptions& options,
-    std::uint64_t seed) {
-  if (mode == "dfs") {
-    return std::make_unique<explore::DfsExplorer>(options);
-  }
-  if (mode == "random") {
-    return std::make_unique<explore::RandomExplorer>(options, seed);
-  }
-  if (mode == "dpor") {
-    return std::make_unique<explore::DporExplorer>(options);
-  }
-  if (mode == "caching-full") {
-    return std::make_unique<explore::CachingExplorer>(options,
-                                                      trace::Relation::Full);
-  }
-  if (mode == "caching-lazy") {
-    return std::make_unique<explore::CachingExplorer>(options,
-                                                      trace::Relation::Lazy);
-  }
-  return nullptr;
-}
-
 int run(int argc, char** argv) {
   if (argc < 2 || std::strcmp(argv[1], "--help") == 0 ||
       std::strcmp(argv[1], "-h") == 0 || std::strcmp(argv[1], "help") == 0) {
@@ -358,6 +523,7 @@ int run(int argc, char** argv) {
   if (command == "list") return cmdList(subArgc, subArgv);
   if (command == "explore") return cmdExplore(subArgc, subArgv);
   if (command == "compare") return cmdCompare(subArgc, subArgv);
+  if (command == "bench") return cmdBench(subArgc, subArgv);
   if (command == "replay") return cmdReplay(subArgc, subArgv);
   std::fprintf(stderr, "lazyhb: unknown command '%s'\n\n", command.c_str());
   printTopLevelUsage();

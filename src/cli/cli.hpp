@@ -5,35 +5,25 @@
 //   lazyhb list     — print the registered program corpus
 //   lazyhb explore  — run one program under one explorer, print stats
 //   lazyhb compare  — run one program under every explorer, one row each
+//   lazyhb bench    — run the (program × explorer) campaign matrix in
+//                     parallel and emit a machine-readable JSON report
 //   lazyhb replay   — re-execute a recorded schedule and render its trace
 //
 // Every subcommand builds on support::Options, so `lazyhb <cmd> --help`
-// prints the full flag table. The explorer modes accepted by --explorer are
-// dfs, random, dpor, caching-full and caching-lazy (see makeExplorer).
+// prints the full flag table. Explorer construction goes through the shared
+// campaign::ExplorerSpec factory (campaign/explorer_spec.hpp), so the CLI,
+// the figure benches and the campaign runner accept the same mode names:
+// dfs, random, dpor, caching-full, caching-lazy.
 
 #pragma once
 
-#include <cstdint>
-#include <memory>
-#include <string>
-
-#include "explore/explorer.hpp"
-
 namespace lazyhb::cli {
 
-/// The five explorer modes the driver exposes.
-constexpr const char* kExplorerModes[] = {"dfs", "random", "dpor", "caching-full",
-                                          "caching-lazy"};
-
-/// Construct the explorer named by `mode` (one of kExplorerModes).
-/// Returns nullptr for an unknown mode. `seed` is only used by `random`.
-[[nodiscard]] std::unique_ptr<explore::ExplorerBase> makeExplorer(
-    const std::string& mode, const explore::ExplorerOptions& options,
-    std::uint64_t seed);
-
 /// Entry point: dispatch argv[1] to a subcommand. Returns the process exit
-/// status (0 on success, 2 on usage errors, 1 when a violation was found by
-/// `explore --fail-on-violation` or a replay ends in a violation).
+/// status: 0 on success, 2 on usage errors, 1 when a violation was found by
+/// `explore --fail-on-violation`, a replay ends in a violation, or a bench
+/// campaign sees a §3 inequality violation, and 3 when the arguments were
+/// fine but a requested output file (bench --out) could not be written.
 [[nodiscard]] int run(int argc, char** argv);
 
 }  // namespace lazyhb::cli

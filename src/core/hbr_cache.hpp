@@ -51,6 +51,17 @@ class HbrCache {
   [[nodiscard]] std::size_t size() const noexcept { return set_.size(); }
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
+  /// Approximate heap footprint in bytes: the bucket array plus one hash
+  /// node per fingerprint (value + next pointer + cached hash, the node
+  /// layout of the common std::unordered_set implementations). Deliberately
+  /// ignores allocator overhead — this is a growth signal for campaign
+  /// reports, not a memory audit.
+  [[nodiscard]] std::size_t approxMemoryBytes() const noexcept {
+    return set_.bucket_count() * sizeof(void*) +
+           set_.size() *
+               (sizeof(support::Hash128) + sizeof(void*) + sizeof(std::size_t));
+  }
+
   void clear() {
     set_.clear();
     stats_ = Stats{};

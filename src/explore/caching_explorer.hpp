@@ -32,6 +32,9 @@ class CachingExplorer final : public ExplorerBase {
 
  protected:
   void runSearch(const Program& program) override;
+  [[nodiscard]] const core::HbrCache* prefixCache() const noexcept override {
+    return &cache_;
+  }
 
  private:
   trace::Relation relation_;

@@ -51,6 +51,9 @@ class DporExplorer final : public ExplorerBase {
 
  protected:
   void runSearch(const Program& program) override;
+  [[nodiscard]] const core::HbrCache* prefixCache() const noexcept override {
+    return dpor_.cachePrefixes ? &cache_ : nullptr;
+  }
 
  private:
   struct DporNode {

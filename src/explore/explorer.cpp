@@ -21,6 +21,14 @@ ExplorationResult ExplorerBase::explore(const Program& program) {
     result_.theorem22 = thm22_.stats();
   }
   result_.races = raceAggregator_.distinctRaces();
+  if (const core::HbrCache* cache = prefixCache()) {
+    result_.cacheStats.enabled = true;
+    result_.cacheStats.lookups = cache->stats().lookups;
+    result_.cacheStats.hits = cache->stats().hits;
+    result_.cacheStats.insertions = cache->stats().insertions;
+    result_.cacheStats.entries = cache->size();
+    result_.cacheStats.approxBytes = cache->approxMemoryBytes();
+  }
   return result_;
 }
 

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/equivalence.hpp"
+#include "core/hbr_cache.hpp"
 #include "core/race_detector.hpp"
 #include "runtime/execution.hpp"
 #include "support/hash.hpp"
@@ -63,6 +64,18 @@ struct ViolationRecord {
   std::vector<int> schedule;  ///< thread picked at each step; replayable
 };
 
+/// Snapshot of an explorer's HBR prefix cache at the end of the search.
+/// All-zero (enabled == false) for strategies that consult no cache; the
+/// approximate footprint makes cache growth visible per campaign cell.
+struct PrefixCacheStats {
+  bool enabled = false;
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;        ///< prefixes pruned as already seen
+  std::uint64_t insertions = 0;
+  std::uint64_t entries = 0;     ///< fingerprints resident at the end
+  std::uint64_t approxBytes = 0; ///< HbrCache::approxMemoryBytes()
+};
+
 struct ExplorationResult {
   std::uint64_t schedulesExecuted = 0;
   std::uint64_t terminalSchedules = 0;
@@ -78,6 +91,7 @@ struct ExplorationResult {
   core::EquivalenceChecker::Stats theorem21;  ///< full HBR -> state (if enabled)
   core::EquivalenceChecker::Stats theorem22;  ///< lazy HBR -> state (if enabled)
   std::vector<trace::RaceReport> races;
+  PrefixCacheStats cacheStats;  ///< zero unless the strategy uses an HbrCache
 
   [[nodiscard]] bool foundViolation() const noexcept { return !violations.empty(); }
 };
@@ -100,6 +114,12 @@ class ExplorerBase {
  protected:
   /// Strategy hook: run schedules (via executeSchedule) until done.
   virtual void runSearch(const Program& program) = 0;
+
+  /// Strategy hook: the HBR prefix cache the search consulted, if any.
+  /// explore() snapshots it into ExplorationResult::cacheStats.
+  [[nodiscard]] virtual const core::HbrCache* prefixCache() const noexcept {
+    return nullptr;
+  }
 
   /// Execute one schedule under `scheduler`, updating all statistics.
   /// Returns the outcome.

@@ -8,6 +8,20 @@
 
 namespace lazyhb::support {
 
+std::vector<std::string> splitCsv(const std::string& csv) {
+  std::vector<std::string> tokens;
+  std::string token;
+  for (const char c : csv + ",") {
+    if (c == ',') {
+      if (!token.empty()) tokens.push_back(std::move(token));
+      token.clear();
+    } else if (c != ' ') {
+      token += c;
+    }
+  }
+  return tokens;
+}
+
 void Options::addInt(const std::string& name, std::int64_t defaultValue,
                      const std::string& help) {
   Entry e;
@@ -61,6 +75,7 @@ bool Options::parse(int argc, char** argv) {
       return false;
     }
     Entry& entry = it->second;
+    entry.set = true;
     auto takeValue = [&]() -> std::optional<std::string> {
       if (inlineValue) return inlineValue;
       if (i + 1 < argc) return std::string(argv[++i]);
@@ -111,6 +126,12 @@ bool Options::getFlag(const std::string& name) const {
   const auto it = entries_.find(name);
   LAZYHB_CHECK(it != entries_.end() && it->second.kind == Entry::Kind::Flag);
   return it->second.flagValue;
+}
+
+bool Options::wasSet(const std::string& name) const {
+  const auto it = entries_.find(name);
+  LAZYHB_CHECK(it != entries_.end());
+  return it->second.set;
 }
 
 const std::string& Options::getString(const std::string& name) const {

@@ -15,6 +15,12 @@
 
 namespace lazyhb::support {
 
+/// Split a comma-separated option value ("a,b, c") into tokens, stripping
+/// spaces and skipping empty tokens. The one tokenizer behind every
+/// list-valued flag (--explorers, --programs), so their parsing quirks
+/// cannot drift apart.
+[[nodiscard]] std::vector<std::string> splitCsv(const std::string& csv);
+
 class Options {
  public:
   Options(std::string programName, std::string description)
@@ -39,6 +45,11 @@ class Options {
   [[nodiscard]] const std::string& getString(const std::string& name) const;
   [[nodiscard]] bool parseError() const noexcept { return parseError_; }
 
+  /// True when the user supplied the option on the command line (as opposed
+  /// to the declared default being in effect). Lets presets like --quick
+  /// yield to an explicit --limit.
+  [[nodiscard]] bool wasSet(const std::string& name) const;
+
   /// Positional arguments left over after option parsing.
   [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
     return positional_;
@@ -53,6 +64,7 @@ class Options {
     std::int64_t intValue = 0;
     bool flagValue = false;
     std::string stringValue;
+    bool set = false;  ///< supplied on the command line
   };
 
   std::string programName_;

@@ -1,0 +1,423 @@
+// Tests for the campaign layer: the shared ExplorerSpec factory, the JSON
+// writer, the work-stealing pool, determinism of the parallel campaign
+// (identical per-cell counts whatever --jobs is), aggregation, and the
+// versioned report — including the HbrCache footprint stat it surfaces.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <limits>
+#include <thread>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "campaign/explorer_spec.hpp"
+#include "campaign/report.hpp"
+#include "campaign/work_stealing_pool.hpp"
+#include "core/hbr_cache.hpp"
+#include "programs/registry.hpp"
+#include "support/json_writer.hpp"
+
+namespace {
+
+using namespace lazyhb;
+
+// --- ExplorerSpec factory ----------------------------------------------------
+
+TEST(ExplorerSpec, ParsesEveryCanonicalName) {
+  for (const campaign::ExplorerSpec& spec : campaign::allExplorers()) {
+    const auto parsed = campaign::parseExplorerSpec(spec.name);
+    ASSERT_TRUE(parsed.has_value()) << spec.name;
+    EXPECT_EQ(parsed->kind, spec.kind);
+    EXPECT_EQ(parsed->name, spec.name);
+  }
+  EXPECT_EQ(campaign::allExplorers().size(), 5u);
+}
+
+TEST(ExplorerSpec, RejectsUnknownNames) {
+  EXPECT_FALSE(campaign::parseExplorerSpec("").has_value());
+  EXPECT_FALSE(campaign::parseExplorerSpec("bfs").has_value());
+  EXPECT_FALSE(campaign::parseExplorerSpec("caching").has_value());
+  EXPECT_FALSE(campaign::parseExplorerSpec("DFS").has_value());  // case matters
+  EXPECT_FALSE(campaign::parseExplorerSpec("dfs ").has_value());
+}
+
+TEST(ExplorerSpec, ParseListSplitsAndValidates) {
+  const auto all = campaign::parseExplorerList("");
+  ASSERT_TRUE(all.has_value());
+  EXPECT_EQ(all->size(), 5u);
+
+  const auto two = campaign::parseExplorerList("dpor, caching-lazy");
+  ASSERT_TRUE(two.has_value());
+  ASSERT_EQ(two->size(), 2u);
+  EXPECT_EQ((*two)[0].name, "dpor");
+  EXPECT_EQ((*two)[1].name, "caching-lazy");
+
+  std::string bad;
+  EXPECT_FALSE(campaign::parseExplorerList("dpor,warp,dfs", &bad).has_value());
+  EXPECT_EQ(bad, "warp");
+}
+
+TEST(ExplorerSpec, CreatedExplorersAreFresh) {
+  explore::ExplorerOptions options;
+  options.scheduleLimit = 50;
+  const programs::ProgramSpec* program = programs::byName("disjoint-lock-2");
+  ASSERT_NE(program, nullptr);
+  for (const campaign::ExplorerSpec& spec : campaign::allExplorers()) {
+    auto first = spec.create(options, 7);
+    auto second = spec.create(options, 7);
+    ASSERT_NE(first, nullptr);
+    // Each instance is single-use; both must run without tripping the
+    // explore-once check, and identical configs give identical counts.
+    const auto a = first->explore(program->body);
+    const auto b = second->explore(program->body);
+    EXPECT_EQ(a.schedulesExecuted, b.schedulesExecuted) << spec.name;
+    EXPECT_EQ(a.distinctLazyHbrs, b.distinctLazyHbrs) << spec.name;
+  }
+}
+
+// --- JSON writer -------------------------------------------------------------
+
+/// Minimal unescaper for round-trip checks (handles exactly what jsonEscape
+/// emits: the shorthand escapes and \u00xx).
+std::string jsonUnescape(const std::string& s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        const int code = std::stoi(s.substr(i + 1, 4), nullptr, 16);
+        out += static_cast<char>(code);
+        i += 4;
+        break;
+      }
+      default: ADD_FAILURE() << "unexpected escape \\" << s[i];
+    }
+  }
+  return out;
+}
+
+TEST(JsonWriter, EscapingRoundTrips) {
+  const std::string nasty =
+      "quote:\" backslash:\\ newline:\n tab:\t cr:\r bell:\x07 nul-adjacent:\x1f";
+  const std::string escaped = support::jsonEscape(nasty);
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  EXPECT_EQ(escaped.find('\t'), std::string::npos);
+  EXPECT_NE(escaped.find("\\u0007"), std::string::npos);
+  EXPECT_NE(escaped.find("\\u001f"), std::string::npos);
+  EXPECT_EQ(jsonUnescape(escaped), nasty);
+}
+
+TEST(JsonWriter, NestedStructure) {
+  support::JsonWriter json;
+  json.beginObject();
+  json.field("name", std::string("a\"b"));
+  json.field("count", std::uint64_t{18446744073709551615ull});
+  json.field("signed", std::int64_t{-3});
+  json.field("ratio", 0.5);
+  json.field("flag", true);
+  json.key("list").beginArray();
+  json.value(std::uint64_t{1});
+  json.beginObject().field("inner", std::string("x")).endObject();
+  json.endArray();
+  json.key("empty").beginObject().endObject();
+  json.endObject();
+
+  const std::string doc = json.str();
+  EXPECT_EQ(doc,
+            "{\n"
+            "  \"name\": \"a\\\"b\",\n"
+            "  \"count\": 18446744073709551615,\n"
+            "  \"signed\": -3,\n"
+            "  \"ratio\": 0.5,\n"
+            "  \"flag\": true,\n"
+            "  \"list\": [\n"
+            "    1,\n"
+            "    {\n"
+            "      \"inner\": \"x\"\n"
+            "    }\n"
+            "  ],\n"
+            "  \"empty\": {}\n"
+            "}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  support::JsonWriter json;
+  json.beginArray();
+  json.value(std::numeric_limits<double>::infinity());
+  json.value(std::numeric_limits<double>::quiet_NaN());
+  json.endArray();
+  EXPECT_EQ(json.str(), "[\n  null,\n  null\n]");
+}
+
+// --- work-stealing pool ------------------------------------------------------
+
+TEST(WorkStealingPool, RunsEveryTaskExactlyOnce) {
+  campaign::WorkStealingPool pool(4);
+  EXPECT_EQ(pool.workerCount(), 4);
+  constexpr std::size_t kTasks = 200;
+  std::vector<std::atomic<int>> ran(kTasks);
+  std::vector<campaign::WorkStealingPool::Task> tasks;
+  tasks.reserve(kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    tasks.push_back([&ran, i] { ran[i].fetch_add(1); });
+  }
+  pool.run(std::move(tasks));
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(ran[i].load(), 1) << i;
+  }
+}
+
+TEST(WorkStealingPool, ReusableAcrossBatchesAndClampsWorkers) {
+  campaign::WorkStealingPool pool(0);  // clamps to 1
+  EXPECT_EQ(pool.workerCount(), 1);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    std::vector<campaign::WorkStealingPool::Task> tasks;
+    for (int i = 0; i < 10; ++i) {
+      tasks.push_back([&counter] { counter.fetch_add(1); });
+    }
+    pool.run(std::move(tasks));
+  }
+  EXPECT_EQ(counter.load(), 30);
+  pool.run({});  // empty batch is a no-op
+  EXPECT_EQ(counter.load(), 30);
+}
+
+TEST(WorkStealingPool, BackToBackBatchesWithManyWorkers) {
+  // Regression: run() deals the next batch into the deques while straggler
+  // workers from the previous batch may still be scanning them for steal
+  // victims — every push must take the deque mutex.
+  campaign::WorkStealingPool pool(8);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 50; ++batch) {
+    std::vector<campaign::WorkStealingPool::Task> tasks;
+    for (int i = 0; i < 16; ++i) {
+      tasks.push_back([&counter] { counter.fetch_add(1); });
+    }
+    pool.run(std::move(tasks));
+  }
+  EXPECT_EQ(counter.load(), 50 * 16);
+}
+
+TEST(WorkStealingPool, UnevenTasksGetStolen) {
+  // Worker 0 is dealt one long task plus most of the short ones (round
+  // robin); with 4 workers something must be stolen to finish.
+  campaign::WorkStealingPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<campaign::WorkStealingPool::Task> tasks;
+  for (int i = 0; i < 64; ++i) {
+    tasks.push_back([&counter] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      counter.fetch_add(1);
+    });
+  }
+  pool.run(std::move(tasks));
+  EXPECT_EQ(counter.load(), 64);
+  // Stealing is timing-dependent; only assert the counter is sane.
+  EXPECT_LE(pool.tasksStolen(), 64u);
+}
+
+// --- campaign runner ---------------------------------------------------------
+
+campaign::CampaignOptions smallCampaign(int jobs) {
+  campaign::CampaignOptions options;
+  options.explorers = *campaign::parseExplorerList("");
+  for (const char* name :
+       {"disjoint-lock-2", "disjoint-lock-3", "counter-lock-3", "lost-signal"}) {
+    const programs::ProgramSpec* spec = programs::byName(name);
+    EXPECT_NE(spec, nullptr) << name;
+    if (spec != nullptr) options.programs.push_back(spec);
+  }
+  options.explorer.scheduleLimit = 150;
+  options.jobs = jobs;
+  return options;
+}
+
+TEST(Campaign, MatrixShapeAndOrderIsProgramMajor) {
+  const auto result = campaign::runCampaign(smallCampaign(2));
+  ASSERT_EQ(result.programs.size(), 4u);
+  ASSERT_EQ(result.perExplorer.size(), 5u);
+  ASSERT_EQ(result.cells.size(), 20u);
+  for (std::size_t p = 0; p < 4; ++p) {
+    for (std::size_t e = 0; e < 5; ++e) {
+      const campaign::CellResult& cell = result.cells[p * 5 + e];
+      EXPECT_EQ(cell.program, result.programs[p].program);
+      EXPECT_EQ(cell.explorer, result.perExplorer[e].explorer);
+    }
+  }
+}
+
+TEST(Campaign, PerCellCountsIdenticalAcrossJobCounts) {
+  const auto serial = campaign::runCampaign(smallCampaign(1));
+  const auto parallel = campaign::runCampaign(smallCampaign(8));
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    const campaign::CellResult& a = serial.cells[i];
+    const campaign::CellResult& b = parallel.cells[i];
+    const std::string label = a.program + " x " + a.explorer;
+    EXPECT_EQ(a.program, b.program) << label;
+    EXPECT_EQ(a.explorer, b.explorer) << label;
+    EXPECT_EQ(a.stats.schedulesExecuted, b.stats.schedulesExecuted) << label;
+    EXPECT_EQ(a.stats.terminalSchedules, b.stats.terminalSchedules) << label;
+    EXPECT_EQ(a.stats.prunedSchedules, b.stats.prunedSchedules) << label;
+    EXPECT_EQ(a.stats.violationSchedules, b.stats.violationSchedules) << label;
+    EXPECT_EQ(a.stats.distinctHbrs, b.stats.distinctHbrs) << label;
+    EXPECT_EQ(a.stats.distinctLazyHbrs, b.stats.distinctLazyHbrs) << label;
+    EXPECT_EQ(a.stats.distinctStates, b.stats.distinctStates) << label;
+    EXPECT_EQ(a.stats.totalEvents, b.stats.totalEvents) << label;
+    EXPECT_EQ(a.stats.complete, b.stats.complete) << label;
+    EXPECT_EQ(a.stats.cacheStats.entries, b.stats.cacheStats.entries) << label;
+    EXPECT_EQ(a.inequalityDiagnostic, b.inequalityDiagnostic) << label;
+  }
+  EXPECT_EQ(serial.totalSchedules, parallel.totalSchedules);
+  EXPECT_EQ(serial.totalEvents, parallel.totalEvents);
+}
+
+TEST(Campaign, InequalityHoldsAndTotalsAddUp) {
+  const auto result = campaign::runCampaign(smallCampaign(3));
+  EXPECT_EQ(result.inequalityViolations, 0);
+  std::uint64_t schedules = 0;
+  for (const campaign::CellResult& cell : result.cells) {
+    EXPECT_TRUE(cell.inequalityHolds())
+        << cell.program << " x " << cell.explorer << ": "
+        << cell.inequalityDiagnostic;
+    schedules += cell.stats.schedulesExecuted;
+  }
+  EXPECT_EQ(result.totalSchedules, schedules);
+  std::uint64_t perExplorerSchedules = 0;
+  for (const campaign::ExplorerTotals& totals : result.perExplorer) {
+    EXPECT_EQ(totals.cells, 4u);
+    perExplorerSchedules += totals.schedules;
+  }
+  EXPECT_EQ(perExplorerSchedules, schedules);
+}
+
+TEST(Campaign, ProgramSummariesCarryFigureViews) {
+  const auto result = campaign::runCampaign(smallCampaign(2));
+  for (const campaign::ProgramSummary& program : result.programs) {
+    EXPECT_TRUE(program.inequalityHolds) << program.program;
+    ASSERT_TRUE(program.hasDpor) << program.program;
+    EXPECT_LE(program.dporLazyHbrs, program.dporHbrs) << program.program;
+    ASSERT_TRUE(program.hasCachingPair) << program.program;
+    // Within the same budget lazy caching reaches at least as many terminal
+    // lazy HBRs (the Figure 3 direction).
+    EXPECT_GE(program.lazyHbrsByLazyCaching, program.lazyHbrsByFullCaching)
+        << program.program;
+  }
+  // disjoint-lock programs are the paper's motivating case: strictly below
+  // the diagonal under DPOR.
+  EXPECT_TRUE(result.programs[0].belowDiagonal);
+  EXPECT_GT(result.programs[0].redundantHbrPercent, 0.0);
+}
+
+TEST(Campaign, CacheStatsSurfaceFootprint) {
+  const auto result = campaign::runCampaign(smallCampaign(2));
+  for (const campaign::CellResult& cell : result.cells) {
+    const explore::PrefixCacheStats& cache = cell.stats.cacheStats;
+    if (cell.explorer == "caching-full" || cell.explorer == "caching-lazy") {
+      EXPECT_TRUE(cache.enabled) << cell.program;
+      EXPECT_GT(cache.entries, 0u) << cell.program;
+      EXPECT_GT(cache.approxBytes, 0u) << cell.program;
+      EXPECT_EQ(cache.insertions, cache.entries) << cell.program;
+    } else {
+      EXPECT_FALSE(cache.enabled) << cell.program << " x " << cell.explorer;
+      EXPECT_EQ(cache.approxBytes, 0u);
+    }
+  }
+}
+
+TEST(Campaign, Fig2AndFig3ViewsMatchCells) {
+  const auto result = campaign::runCampaign(smallCampaign(2));
+  const auto fig2 = campaign::fig2Counts(result);
+  ASSERT_EQ(fig2.size(), result.programs.size());
+  for (std::size_t p = 0; p < fig2.size(); ++p) {
+    EXPECT_EQ(fig2[p].name, result.programs[p].program);
+    EXPECT_EQ(fig2[p].hbrs, result.programs[p].dporHbrs);
+    EXPECT_EQ(fig2[p].lazyHbrs, result.programs[p].dporLazyHbrs);
+  }
+  const auto fig3 = campaign::fig3Counts(result);
+  ASSERT_EQ(fig3.size(), result.programs.size());
+  for (std::size_t p = 0; p < fig3.size(); ++p) {
+    EXPECT_EQ(fig3[p].lazyHbrsByRegularCaching,
+              result.programs[p].lazyHbrsByFullCaching);
+    EXPECT_EQ(fig3[p].lazyHbrsByLazyCaching,
+              result.programs[p].lazyHbrsByLazyCaching);
+  }
+}
+
+TEST(Campaign, ProgressCallbackSeesEveryCell) {
+  auto options = smallCampaign(4);
+  std::vector<std::size_t> doneValues;
+  std::size_t observedTotal = 0;
+  options.onCellDone = [&](const campaign::CellResult&, std::size_t done,
+                           std::size_t total) {
+    doneValues.push_back(done);
+    observedTotal = total;
+  };
+  const auto result = campaign::runCampaign(options);
+  EXPECT_EQ(doneValues.size(), result.cells.size());
+  EXPECT_EQ(observedTotal, result.cells.size());
+  // The serialized callback counts monotonically 1..N.
+  for (std::size_t i = 0; i < doneValues.size(); ++i) {
+    EXPECT_EQ(doneValues[i], i + 1);
+  }
+}
+
+// --- report ------------------------------------------------------------------
+
+TEST(Report, VersionedAndStructurallySound) {
+  const auto result = campaign::runCampaign(smallCampaign(2));
+  campaign::ReportConfig config;
+  config.scheduleLimit = 150;
+  config.maxEventsPerSchedule = 1u << 16;
+  config.seed = 42;
+  const std::string json = campaign::writeReportJson(result, config);
+
+  EXPECT_NE(json.find("\"schema\": \"lazyhb-bench-report\""), std::string::npos);
+  EXPECT_NE(json.find("\"version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"inequality_violations\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"explorer\": \"caching-lazy\""), std::string::npos);
+  EXPECT_NE(json.find("\"approx_bytes\""), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+
+  // Structural sanity without a parser: balanced braces/brackets outside
+  // strings (the writer never emits braces inside these cells' strings).
+  int braces = 0;
+  int brackets = 0;
+  for (const char c : json) {
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(Report, HbrCacheFootprintGrowsWithInsertions) {
+  core::HbrCache cache;
+  const std::size_t empty = cache.approxMemoryBytes();
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    cache.insert(support::hash128(i));
+  }
+  EXPECT_EQ(cache.size(), 1000u);
+  EXPECT_GT(cache.approxMemoryBytes(), empty);
+  EXPECT_GE(cache.approxMemoryBytes(), 1000 * sizeof(support::Hash128));
+  cache.clear();
+  EXPECT_LT(cache.approxMemoryBytes(), 1000 * sizeof(support::Hash128));
+}
+
+}  // namespace

@@ -262,6 +262,23 @@ TEST(Options, LastOccurrenceWins) {
   EXPECT_EQ(options.getInt("limit"), 2);
 }
 
+TEST(Options, WasSetDistinguishesDefaultsFromExplicit) {
+  Options options("test", "test options");
+  options.addInt("limit", 100, "limit");
+  options.addFlag("verbose", "verbose");
+  const char* argv[] = {"test", "--limit", "100"};
+  ASSERT_TRUE(options.parse(3, const_cast<char**>(argv)));
+  EXPECT_TRUE(options.wasSet("limit"));  // explicit, even if == default
+  EXPECT_FALSE(options.wasSet("verbose"));
+}
+
+TEST(Options, SplitCsvStripsSpacesAndEmptyTokens) {
+  EXPECT_TRUE(splitCsv("").empty());
+  EXPECT_EQ(splitCsv("a"), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(splitCsv("a, b ,,c,"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(splitCsv(", ,"), std::vector<std::string>{});
+}
+
 TEST(Options, HelpPrintsEveryOptionAndIsNotAnError) {
   Options options("myprog", "does things");
   options.addInt("limit", 100, "the schedule budget");
