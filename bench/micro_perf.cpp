@@ -14,6 +14,7 @@
 #include "runtime/api.hpp"
 #include "runtime/fiber.hpp"
 #include "support/rng.hpp"
+#include "trace/clock_arena.hpp"
 #include "trace/foata.hpp"
 #include "trace/vector_clock.hpp"
 
@@ -111,6 +112,76 @@ void BM_VectorClockJoin(benchmark::State& state) {
 }
 BENCHMARK(BM_VectorClockJoin)->Arg(4)->Arg(16)->Arg(64);
 
+void BM_ClockArenaJoin(benchmark::State& state) {
+  // The recorder's actual clock primitive: a branch-free span join between
+  // two arena rows (compare against BM_VectorClockJoin above, the owning
+  // fallback the Foata/test layers use).
+  const auto width = static_cast<std::uint32_t>(state.range(0));
+  trace::ClockArena arena{width};
+  support::Rng rng(7);
+  (void)arena.appendRow();
+  (void)arena.appendRow();  // may reallocate: take row pointers only now
+  auto* a = const_cast<std::uint32_t*>(arena.row(0));
+  auto* b = const_cast<std::uint32_t*>(arena.row(1));
+  for (std::uint32_t i = 0; i < width; ++i) {
+    a[i] = static_cast<std::uint32_t>(rng.below(1000));
+    b[i] = static_cast<std::uint32_t>(rng.below(1000));
+  }
+  for (auto _ : state) {
+    trace::joinClockSpans(a, b, width);
+    benchmark::DoNotOptimize(a[0]);
+  }
+}
+BENCHMARK(BM_ClockArenaJoin)->Arg(4)->Arg(16)->Arg(64);
+
+// --- recorder hot loop ---------------------------------------------------------
+
+/// Captures the observer stream of one execution so the recorder can be
+/// benchmarked in isolation (no fibers, no scheduling — just onEvent).
+struct CapturedTrace : runtime::ExecutionObserver {
+  struct Registration {
+    std::int32_t index;
+    runtime::Uid uid;
+    runtime::ObjectKind kind;
+    std::string name;
+  };
+  std::vector<Registration> registrations;
+  std::vector<runtime::EventRecord> events;
+
+  void onObjectRegistered(const runtime::Execution&, std::int32_t index,
+                          runtime::Uid uid, runtime::ObjectKind kind,
+                          const std::string& name) override {
+    registrations.push_back({index, uid, kind, name});
+  }
+  void onEvent(const runtime::Execution&, const runtime::EventRecord& ev) override {
+    events.push_back(ev);
+  }
+};
+
+void BM_TraceRecorderOnEvent(benchmark::State& state) {
+  runtime::StackPool pool;
+  CapturedTrace captured;
+  runtime::Execution source(runtime::Config{}, pool, &captured);
+  explore::FixedScheduler scheduler({});
+  (void)source.run(incrementProgram, scheduler);
+
+  trace::TraceRecorder recorder;
+  runtime::Execution dummy(runtime::Config{}, pool, nullptr);  // never run
+  for (auto _ : state) {
+    recorder.onExecutionStart(dummy);
+    for (const auto& reg : captured.registrations) {
+      recorder.onObjectRegistered(dummy, reg.index, reg.uid, reg.kind, reg.name);
+    }
+    for (const auto& ev : captured.events) {
+      recorder.onEvent(dummy, ev);
+    }
+    benchmark::DoNotOptimize(recorder.fingerprint(trace::Relation::Lazy));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * captured.events.size()));
+}
+BENCHMARK(BM_TraceRecorderOnEvent);
+
 // --- fingerprints ---------------------------------------------------------------
 
 void BM_MultisetHashAdd(benchmark::State& state) {
@@ -131,6 +202,19 @@ void BM_HbrCacheCheckAndInsert(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HbrCacheCheckAndInsert);
+
+void BM_HbrCacheHitAtSize(benchmark::State& state) {
+  // Steady-state lookups against a populated table (the caching explorers'
+  // common case late in a campaign: nearly every probe is a hit).
+  const auto entries = static_cast<std::uint64_t>(state.range(0));
+  core::HbrCache cache;
+  for (std::uint64_t i = 0; i < entries; ++i) cache.insert(support::hash128(i));
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.contains(support::hash128(i++ % entries)));
+  }
+}
+BENCHMARK(BM_HbrCacheHitAtSize)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
 
 // --- exact canonical forms -------------------------------------------------------
 

@@ -135,6 +135,17 @@ CampaignResult Aggregator::finish() {
     if (!cell.inequalityHolds()) ++result.inequalityViolations;
   }
 
+  for (ExplorerTotals& totals : result.perExplorer) {
+    if (totals.wallSeconds > 0.0) {
+      totals.eventsPerSecond =
+          static_cast<double>(totals.events) / totals.wallSeconds;
+    }
+  }
+  if (result.cpuSeconds > 0.0) {
+    result.eventsPerSecond =
+        static_cast<double>(result.totalEvents) / result.cpuSeconds;
+  }
+
   // Per-program summaries from each row of the matrix.
   const std::size_t programCount = result.cells.size() / explorerCount_;
   result.programs.reserve(programCount);

@@ -94,6 +94,7 @@ struct ExplorerTotals {
   std::uint64_t lazyHbrs = 0;  ///< summed distinct terminal lazy HBRs
   std::uint64_t states = 0;    ///< summed distinct terminal states
   double wallSeconds = 0.0;    ///< summed per-cell wall time (CPU view)
+  double eventsPerSecond = 0.0;  ///< events / wallSeconds (this explorer's throughput)
   std::uint64_t cacheEntries = 0;
   std::uint64_t cacheHits = 0;
   std::uint64_t cacheApproxBytes = 0;
@@ -108,6 +109,7 @@ struct CampaignResult {
   std::vector<ExplorerTotals> perExplorer;
   std::uint64_t totalSchedules = 0;
   std::uint64_t totalEvents = 0;
+  double eventsPerSecond = 0.0;  ///< totalEvents / cpuSeconds (per-core view)
   int inequalityViolations = 0;  ///< cells whose §3 chain failed (expect 0)
   double wallSeconds = 0.0;      ///< end-to-end campaign wall time
   double cpuSeconds = 0.0;       ///< sum of per-cell wall times

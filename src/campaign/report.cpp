@@ -86,6 +86,7 @@ void writeExplorerTotals(support::JsonWriter& json, const ExplorerTotals& t) {
   json.field("lazy_hbrs", t.lazyHbrs);
   json.field("states", t.states);
   json.field("wall_seconds", t.wallSeconds);
+  json.field("events_per_second", t.eventsPerSecond);
   json.field("cache_entries", t.cacheEntries);
   json.field("cache_hits", t.cacheHits);
   json.field("cache_approx_bytes", t.cacheApproxBytes);
@@ -123,6 +124,7 @@ std::string writeReportJson(const CampaignResult& result,
   json.field("events", result.totalEvents);
   json.field("wall_seconds", result.wallSeconds);
   json.field("cpu_seconds", result.cpuSeconds);
+  json.field("events_per_second", result.eventsPerSecond);
   json.field("tasks_stolen", result.tasksStolen);
   json.field("inequality_violations",
              static_cast<std::int64_t>(result.inequalityViolations));

@@ -16,7 +16,7 @@
 namespace lazyhb::campaign {
 
 inline constexpr const char* kReportSchemaName = "lazyhb-bench-report";
-inline constexpr int kReportSchemaVersion = 1;
+inline constexpr int kReportSchemaVersion = 2;
 
 /// The campaign configuration echoed into the report, so a BENCH_*.json is
 /// self-describing and two reports are comparable at a glance.

@@ -34,8 +34,8 @@ class EquivalenceChecker {
 
   /// Record one terminal schedule. Returns false iff this schedule's state
   /// differs from an earlier schedule with the same relation fingerprint.
-  bool record(const support::Hash128& relationFingerprint,
-              const support::Hash128& stateFingerprint) {
+  bool record(support::Hash128 relationFingerprint,
+              support::Hash128 stateFingerprint) {
     ++stats_.schedules;
     auto [it, inserted] = classToState_.emplace(relationFingerprint, stateFingerprint);
     if (states_.insert(stateFingerprint).second) ++stats_.states;

@@ -8,11 +8,20 @@
 // of it stops. The same class serves regular HBR caching (keyed on full-HBR
 // fingerprints) and lazy HBR caching (keyed on lazy-HBR fingerprints) — the
 // choice of key *is* the technique.
+//
+// The store is a power-of-two open-addressing table of raw Hash128 values
+// with tombstone-free linear probing (the cache only ever grows; nothing is
+// erased). A lookup is one cache line in the common case: the fingerprints
+// are already uniformly distributed, so the low word is the probe start as
+// is — no re-hashing, no per-entry nodes, no pointer chase. This sits on
+// the caching explorers' per-event path (one checkAndInsert per scheduling
+// point), where the previous std::unordered_set's node allocation and
+// bucket indirection were measurable.
 
 #pragma once
 
 #include <cstdint>
-#include <unordered_set>
+#include <vector>
 
 #include "support/hash.hpp"
 
@@ -26,12 +35,13 @@ class HbrCache {
     std::uint64_t insertions = 0;
   };
 
+  HbrCache() { slots_.resize(kInitialCapacity); }
+
   /// Look up `fingerprint`; if absent, insert it. Returns true on a hit
   /// (the prefix was seen before and the caller should prune).
-  bool checkAndInsert(const support::Hash128& fingerprint) {
+  bool checkAndInsert(support::Hash128 fingerprint) {
     ++stats_.lookups;
-    const bool inserted = set_.insert(fingerprint).second;
-    if (inserted) {
+    if (insertUncounted(fingerprint)) {
       ++stats_.insertions;
       return false;
     }
@@ -40,35 +50,79 @@ class HbrCache {
   }
 
   /// Insert without counting a lookup (used to seed replayed prefixes).
-  void insert(const support::Hash128& fingerprint) {
-    if (set_.insert(fingerprint).second) ++stats_.insertions;
+  void insert(support::Hash128 fingerprint) {
+    if (insertUncounted(fingerprint)) ++stats_.insertions;
   }
 
-  [[nodiscard]] bool contains(const support::Hash128& fingerprint) const {
-    return set_.count(fingerprint) != 0;
+  [[nodiscard]] bool contains(support::Hash128 fingerprint) const {
+    if (fingerprint.isZero()) return hasZero_;
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = fingerprint.lo & mask;; i = (i + 1) & mask) {
+      const support::Hash128& slot = slots_[i];
+      if (slot == fingerprint) return true;
+      if (slot.isZero()) return false;
+    }
   }
 
-  [[nodiscard]] std::size_t size() const noexcept { return set_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
-  /// Approximate heap footprint in bytes: the bucket array plus one hash
-  /// node per fingerprint (value + next pointer + cached hash, the node
-  /// layout of the common std::unordered_set implementations). Deliberately
-  /// ignores allocator overhead — this is a growth signal for campaign
-  /// reports, not a memory audit.
+  /// Approximate heap footprint in bytes: the flat slot array (the table is
+  /// the storage — there are no per-entry nodes). Deliberately ignores
+  /// allocator overhead — this is a growth signal for campaign reports, not
+  /// a memory audit.
   [[nodiscard]] std::size_t approxMemoryBytes() const noexcept {
-    return set_.bucket_count() * sizeof(void*) +
-           set_.size() *
-               (sizeof(support::Hash128) + sizeof(void*) + sizeof(std::size_t));
+    return slots_.size() * sizeof(support::Hash128);
   }
 
   void clear() {
-    set_.clear();
+    std::vector<support::Hash128>(kInitialCapacity).swap(slots_);
+    hasZero_ = false;
+    size_ = 0;
     stats_ = Stats{};
   }
 
  private:
-  std::unordered_set<support::Hash128, support::Hash128Hasher> set_;
+  static constexpr std::size_t kInitialCapacity = 512;  // power of two
+
+  /// True when the fingerprint was newly inserted, false when present.
+  bool insertUncounted(support::Hash128 fingerprint) {
+    // The all-zero hash doubles as the empty-slot sentinel; an actual zero
+    // fingerprint (probability 2^-128, but cheap to be exact about) is
+    // tracked out of band.
+    if (fingerprint.isZero()) [[unlikely]] {
+      if (hasZero_) return false;
+      hasZero_ = true;
+      ++size_;
+      return true;
+    }
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = fingerprint.lo & mask;; i = (i + 1) & mask) {
+      support::Hash128& slot = slots_[i];
+      if (slot == fingerprint) return false;
+      if (slot.isZero()) {
+        slot = fingerprint;
+        if (++size_ * 10 >= slots_.size() * 7) grow();  // 0.7 load factor
+        return true;
+      }
+    }
+  }
+
+  void grow() {
+    std::vector<support::Hash128> old(slots_.size() * 2);
+    old.swap(slots_);
+    const std::size_t mask = slots_.size() - 1;
+    for (const support::Hash128& h : old) {
+      if (h.isZero()) continue;
+      std::size_t i = h.lo & mask;
+      while (!slots_[i].isZero()) i = (i + 1) & mask;
+      slots_[i] = h;
+    }
+  }
+
+  std::vector<support::Hash128> slots_;
+  std::size_t size_ = 0;     ///< resident fingerprints (including the zero key)
+  bool hasZero_ = false;
   Stats stats_;
 };
 

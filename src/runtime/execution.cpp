@@ -48,6 +48,7 @@ Outcome Execution::run(const std::function<void()>& body, Scheduler& scheduler) 
     }
     ThreadRec root;
     root.uid = kRootThreadUid;
+    root.objectIndex = 0;
     root.fiber = std::make_unique<Fiber>(stackPool_, [&body] { body(); });
     threads_.push_back(std::move(root));
   }
@@ -429,10 +430,22 @@ int Execution::spawnThread(std::function<void()> fn) {
     ThreadRec& me = threads_[static_cast<std::size_t>(currentThread_)];
     childUid = deriveUid(me.uid, me.creationSeq++, ObjectKind::Thread);
   }
+  // Thread names are drawn from a process-wide table: one "thread-N" string
+  // per index, built once, so the millions of spawns an exploration performs
+  // do not each allocate a name.
+  static const std::vector<std::string> threadNames = [] {
+    std::vector<std::string> names;
+    names.reserve(static_cast<std::size_t>(support::kMaxThreads));
+    for (int i = 0; i < support::kMaxThreads; ++i) {
+      names.push_back("thread-" + std::to_string(i));
+    }
+    return names;
+  }();
+
   ObjectInfo childObj;
   childObj.uid = childUid;
   childObj.kind = ObjectKind::Thread;
-  childObj.name = "thread-" + std::to_string(childIndex);
+  childObj.name = threadNames[static_cast<std::size_t>(childIndex)];
   childObj.a = childIndex;
   const auto objIndex = static_cast<std::int32_t>(objects_.size());
   objects_.push_back(std::move(childObj));
@@ -446,6 +459,7 @@ int Execution::spawnThread(std::function<void()> fn) {
   ThreadRec child;
   child.uid = childUid;
   child.spawnPredecessor = spawnEvent;
+  child.objectIndex = objIndex;
   child.fiber = std::make_unique<Fiber>(stackPool_, std::move(fn));
   threads_.push_back(std::move(child));
 
@@ -455,18 +469,10 @@ int Execution::spawnThread(std::function<void()> fn) {
 
 void Execution::joinThread(int tid) {
   LAZYHB_CHECK(tid >= 0 && tid < threadCount());
-  // Resolve the target's thread-object entry up front so the pending
-  // operation carries it (DPOR reasons about join-join reorderings via the
-  // thread object's conflict chain).
-  const Uid targetUid = threads_[static_cast<std::size_t>(tid)].uid;
-  std::int32_t objIndex = -1;
-  for (std::int32_t i = 0; i < static_cast<std::int32_t>(objects_.size()); ++i) {
-    const ObjectInfo& obj = objects_[static_cast<std::size_t>(i)];
-    if (obj.kind == ObjectKind::Thread && obj.uid == targetUid) {
-      objIndex = i;
-      break;
-    }
-  }
+  // The target's thread-object entry rides in the pending operation (DPOR
+  // reasons about join-join reorderings via the thread object's conflict
+  // chain); every thread records its own object index at creation.
+  const std::int32_t objIndex = threads_[static_cast<std::size_t>(tid)].objectIndex;
   LAZYHB_CHECK(objIndex >= 0);
   publishAndPark(OpKind::Join, objIndex, -1, tid, 0);
   if (abandoning_) return;

@@ -203,6 +203,7 @@ class Execution {
     std::int32_t signalPredecessor = -1;  ///< consumed by the Reacquire event
     std::int32_t joinPredecessor = -1;    ///< staged just before a Join event
     std::int32_t lastEventIndex = -1;
+    std::int32_t objectIndex = -1;        ///< this thread's own Thread object
   };
 
   /// Run tid's fiber until it publishes its next operation or finishes.

@@ -24,34 +24,6 @@ void StackPool::release(std::unique_ptr<char[]> stack) {
   free_.push_back(std::move(stack));
 }
 
-Fiber::Fiber(StackPool& pool, std::function<void()> entry)
-    : pool_(pool), stack_(pool.acquire()), entry_(std::move(entry)) {
-  LAZYHB_CHECK(getcontext(&fiberContext_) == 0);
-  fiberContext_.uc_stack.ss_sp = stack_.get();
-  fiberContext_.uc_stack.ss_size = pool_.stackBytes();
-  fiberContext_.uc_link = nullptr;  // entry never falls off: run() swaps back
-  // makecontext only passes ints; split the pointer into two 32-bit halves.
-  const auto self = reinterpret_cast<std::uintptr_t>(this);
-  makecontext(&fiberContext_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
-              static_cast<unsigned>(self >> 32),
-              static_cast<unsigned>(self & 0xffffffffu));
-}
-
-Fiber::~Fiber() {
-  // An unfinished fiber being destroyed would leak whatever RAII state its
-  // stack holds; the engine always abandons fibers before destruction.
-  LAZYHB_CHECK(finished_ || !started_);
-  pool_.release(std::move(stack_));
-}
-
-void Fiber::trampoline(unsigned hi, unsigned lo) {
-  auto* self = reinterpret_cast<Fiber*>(
-      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo));
-  self->run();
-  // Unreachable: run() performs the final swap back to the host.
-  LAZYHB_UNREACHABLE("fiber trampoline fell through");
-}
-
 // --- sanitizer fiber-switch protocol ----------------------------------------
 // Every switch A->B must bracket as: A calls startSwitch(&A.fakeSave,
 // B.stack); B, immediately after gaining control, calls
@@ -67,6 +39,140 @@ void Fiber::trampoline(unsigned hi, unsigned lo) {
 #define LAZYHB_ASAN_START(saveSlot, bottom, size) ((void)0)
 #define LAZYHB_ASAN_FINISH(save, bottomOut, sizeOut) ((void)0)
 #endif
+
+#if defined(LAZYHB_FAST_FIBER)
+
+// --- fast switch (x86-64 SysV) ----------------------------------------------
+// A switch pushes the six callee-saved GP registers onto the running stack,
+// publishes the resulting stack pointer through *saveSp, adopts restoreSp
+// and pops the target's register file. The FP environment (mxcsr/x87 control
+// words) is deliberately not saved: all fibers share one OS thread and the
+// engine never alters it between switches.
+//
+// A brand-new fiber's stack is fabricated so the first switch "returns" into
+// fiberEntryThunk with the Fiber* parked in %r12. Frame layout, low to high,
+// matching the pop sequence: r15 r14 r13 r12 rbx rbp <thunk address>. The
+// frame base is 16-byte aligned, so after the seven 8-byte pops the thunk
+// starts with %rsp aligned and the ABI call alignment holds.
+
+extern "C" {
+void lazyhbFiberSwitch(void** saveSp, void* restoreSp);
+void lazyhbFiberEntryThunk();
+void lazyhbFiberEntry(void* self);
+}
+
+asm(R"(
+.text
+.p2align 4
+.globl lazyhbFiberSwitch
+.type lazyhbFiberSwitch, @function
+lazyhbFiberSwitch:
+  pushq %rbp
+  pushq %rbx
+  pushq %r12
+  pushq %r13
+  pushq %r14
+  pushq %r15
+  movq %rsp, (%rdi)
+  movq %rsi, %rsp
+  popq %r15
+  popq %r14
+  popq %r13
+  popq %r12
+  popq %rbx
+  popq %rbp
+  ret
+.size lazyhbFiberSwitch, .-lazyhbFiberSwitch
+
+.p2align 4
+.globl lazyhbFiberEntryThunk
+.type lazyhbFiberEntryThunk, @function
+lazyhbFiberEntryThunk:
+  movq %r12, %rdi
+  callq lazyhbFiberEntry
+  ud2
+.size lazyhbFiberEntryThunk, .-lazyhbFiberEntryThunk
+)");
+
+namespace {
+constexpr std::size_t kEntryFrameWords = 7;  // six registers + thunk address
+}  // namespace
+
+void fiberEntryThunkTarget(void* self) { static_cast<Fiber*>(self)->run(); }
+
+extern "C" void lazyhbFiberEntry(void* self) {
+  fiberEntryThunkTarget(self);
+  LAZYHB_UNREACHABLE("fiber entry fell through");
+}
+
+Fiber::Fiber(StackPool& pool, std::function<void()> entry)
+    : pool_(pool), stack_(pool.acquire()), entry_(std::move(entry)) {
+  const auto top = reinterpret_cast<std::uintptr_t>(stack_.get()) + pool_.stackBytes();
+  auto* frame = reinterpret_cast<std::uint64_t*>(top & ~std::uintptr_t{15});
+  *--frame = reinterpret_cast<std::uint64_t>(&lazyhbFiberEntryThunk);
+  *--frame = 0;                                        // rbp
+  *--frame = 0;                                        // rbx
+  *--frame = reinterpret_cast<std::uint64_t>(this);    // r12
+  *--frame = 0;                                        // r13
+  *--frame = 0;                                        // r14
+  *--frame = 0;                                        // r15
+  static_assert(kEntryFrameWords == 7);
+  fiberSp_ = frame;
+}
+
+void Fiber::run() {
+  // First entry: complete the switch started by resume() and capture the
+  // host stack bounds for the return switches.
+  LAZYHB_ASAN_FINISH(nullptr, &hostStackBottom_, &hostStackSize_);
+  try {
+    entry_();
+  } catch (const AbandonExecution&) {
+    // Normal teardown path for pruned executions: user destructors have run.
+  }
+  finished_ = true;
+  // Dying fiber: null save slot tells the sanitizer to destroy its fake
+  // stack rather than expect a return.
+  LAZYHB_ASAN_START(nullptr, hostStackBottom_, hostStackSize_);
+  lazyhbFiberSwitch(&fiberSp_, hostSp_);
+  LAZYHB_UNREACHABLE("resumed a finished fiber");
+}
+
+void Fiber::resume() {
+  LAZYHB_CHECK(!finished_);
+  started_ = true;
+  LAZYHB_ASAN_START(&hostFakeStack_, stack_.get(), pool_.stackBytes());
+  lazyhbFiberSwitch(&hostSp_, fiberSp_);
+  LAZYHB_ASAN_FINISH(hostFakeStack_, nullptr, nullptr);
+}
+
+void Fiber::yieldToHost() {
+  LAZYHB_ASAN_START(&fiberFakeStack_, hostStackBottom_, hostStackSize_);
+  lazyhbFiberSwitch(&fiberSp_, hostSp_);
+  LAZYHB_ASAN_FINISH(fiberFakeStack_, nullptr, nullptr);
+}
+
+#else  // !LAZYHB_FAST_FIBER: POSIX ucontext fallback
+
+Fiber::Fiber(StackPool& pool, std::function<void()> entry)
+    : pool_(pool), stack_(pool.acquire()), entry_(std::move(entry)) {
+  LAZYHB_CHECK(getcontext(&fiberContext_) == 0);
+  fiberContext_.uc_stack.ss_sp = stack_.get();
+  fiberContext_.uc_stack.ss_size = pool_.stackBytes();
+  fiberContext_.uc_link = nullptr;  // entry never falls off: run() swaps back
+  // makecontext only passes ints; split the pointer into two 32-bit halves.
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  makecontext(&fiberContext_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+              static_cast<unsigned>(self >> 32),
+              static_cast<unsigned>(self & 0xffffffffu));
+}
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  auto* self = reinterpret_cast<Fiber*>(
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo));
+  self->run();
+  // Unreachable: run() performs the final swap back to the host.
+  LAZYHB_UNREACHABLE("fiber trampoline fell through");
+}
 
 void Fiber::run() {
   // First entry: complete the switch started by resume() and capture the
@@ -97,6 +203,15 @@ void Fiber::yieldToHost() {
   LAZYHB_ASAN_START(&fiberFakeStack_, hostStackBottom_, hostStackSize_);
   LAZYHB_CHECK(swapcontext(&fiberContext_, &hostContext_) == 0);
   LAZYHB_ASAN_FINISH(fiberFakeStack_, nullptr, nullptr);
+}
+
+#endif  // LAZYHB_FAST_FIBER
+
+Fiber::~Fiber() {
+  // An unfinished fiber being destroyed would leak whatever RAII state its
+  // stack holds; the engine always abandons fibers before destruction.
+  LAZYHB_CHECK(finished_ || !started_);
+  pool_.release(std::move(stack_));
 }
 
 #undef LAZYHB_ASAN_START

@@ -1,12 +1,14 @@
 // lazyhb/runtime/fiber.hpp
 //
-// Stackful cooperative fibers built on POSIX ucontext.
+// Stackful cooperative fibers.
 //
 // Each logical thread of a program under test runs on a fiber; the scheduler
-// runs on the host context. A fiber switch is two register-file swaps
-// (~100 ns), which is what makes exploring 10^5 schedules per benchmark
-// practical — the whole engine stays on one OS thread, so there is no kernel
-// involvement and no data race in the engine itself (CP.2, Per.30).
+// runs on the host context. On x86-64 the switch is a hand-rolled swap of the
+// callee-saved register file (~10 ns, no kernel involvement); elsewhere it
+// falls back to POSIX ucontext, whose swapcontext carries a rt_sigprocmask
+// syscall per switch (~25% of campaign wall time when it is the switch
+// primitive — see docs/performance.md). Either way the whole engine stays on
+// one OS thread, so there is no data race in the engine itself.
 //
 // Stacks are pooled and reused across the millions of short executions an
 // exploration performs (Per.14: minimise allocations).
@@ -22,12 +24,19 @@
 
 #pragma once
 
-#include <ucontext.h>
-
 #include <cstddef>
 #include <functional>
 #include <memory>
 #include <vector>
+
+// The fast switch assumes the SysV x86-64 ABI (callee-saved GP registers
+// only; the engine is single-OS-threaded and never changes the FP control
+// words between switches). Any other target uses ucontext.
+#if defined(__x86_64__) && !defined(_WIN32) && !defined(LAZYHB_FORCE_UCONTEXT)
+#define LAZYHB_FAST_FIBER 1
+#else
+#include <ucontext.h>
+#endif
 
 namespace lazyhb::runtime {
 
@@ -80,14 +89,20 @@ class Fiber {
   [[nodiscard]] bool finished() const noexcept { return finished_; }
 
  private:
-  static void trampoline(unsigned hi, unsigned lo);
   void run();
 
   StackPool& pool_;
   std::unique_ptr<char[]> stack_;
   std::function<void()> entry_;
+#if defined(LAZYHB_FAST_FIBER)
+  friend void fiberEntryThunkTarget(void* self);
+  void* fiberSp_ = nullptr;  ///< fiber's saved stack pointer while suspended
+  void* hostSp_ = nullptr;   ///< host's saved stack pointer while the fiber runs
+#else
+  static void trampoline(unsigned hi, unsigned lo);
   ucontext_t fiberContext_{};
   ucontext_t hostContext_{};
+#endif
   bool started_ = false;
   bool finished_ = false;
   // Sanitizer fiber-switch bookkeeping (unused in plain builds).

@@ -30,3 +30,11 @@ namespace lazyhb::support {
 
 #define LAZYHB_UNREACHABLE(msg) \
   ::lazyhb::support::checkFailed("unreachable: " msg, __FILE__, __LINE__)
+
+// Debug-only assertion for per-event hot paths where even a predictable
+// branch is measurable. Library invariants off the hot path use LAZYHB_CHECK.
+#ifdef NDEBUG
+#define LAZYHB_ASSERT(expr) ((void)0)
+#else
+#define LAZYHB_ASSERT(expr) LAZYHB_CHECK(expr)
+#endif

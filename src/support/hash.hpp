@@ -44,8 +44,10 @@ struct Hash128 {
 
   friend constexpr bool operator==(const Hash128&, const Hash128&) = default;
 
-  /// Order-sensitive combine of two 128-bit hashes.
-  [[nodiscard]] constexpr Hash128 mixedWith(const Hash128& o) const noexcept {
+  /// Order-sensitive combine of two 128-bit hashes. By value throughout:
+  /// Hash128 is two registers under the SysV ABI, so indirection would only
+  /// add a load on the per-event fingerprint path.
+  [[nodiscard]] constexpr Hash128 mixedWith(Hash128 o) const noexcept {
     return Hash128{hashCombine(lo, o.lo), hashCombine(hi ^ 0xabcdef0123456789ULL, o.hi)};
   }
 
@@ -97,7 +99,7 @@ struct MultisetHash {
   std::uint64_t zip = 0;
   std::uint64_t count = 0;
 
-  constexpr void add(const Hash128& h) noexcept {
+  constexpr void add(Hash128 h) noexcept {
     sumLo += h.lo;
     sumHi += h.hi;
     zip += mix64(h.lo ^ (h.hi * 0x9e3779b97f4a7c15ULL));
@@ -105,7 +107,7 @@ struct MultisetHash {
   }
 
   /// Remove a previously-added element (sum/zip are abelian-group valued).
-  constexpr void remove(const Hash128& h) noexcept {
+  constexpr void remove(Hash128 h) noexcept {
     sumLo -= h.lo;
     sumHi -= h.hi;
     zip -= mix64(h.lo ^ (h.hi * 0x9e3779b97f4a7c15ULL));
@@ -124,7 +126,7 @@ struct MultisetHash {
 
 /// std::hash adaptor so Hash128 can key unordered containers directly.
 struct Hash128Hasher {
-  [[nodiscard]] std::size_t operator()(const Hash128& h) const noexcept {
+  [[nodiscard]] std::size_t operator()(Hash128 h) const noexcept {
     return static_cast<std::size_t>(h.lo ^ mix64(h.hi));
   }
 };

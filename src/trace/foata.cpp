@@ -81,7 +81,7 @@ std::vector<std::uint64_t> explicitRelation(const TraceRecorder& recorder, Relat
     out.push_back(~0ULL);  // record separator
     appendLabel(out, recorder.eventRecord(i));
     preds.clear();
-    const VectorClock& clockI = recorder.eventClock(r, i);
+    const ClockView clockI = recorder.eventClock(r, i);
     for (std::int32_t j = 0; j < n; ++j) {
       if (j == i) continue;
       const int tj = recorder.eventRecord(j).threadIndex;

@@ -1,6 +1,7 @@
 #include "trace/trace_recorder.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "support/diagnostics.hpp"
 
@@ -21,15 +22,22 @@ const char* relationName(Relation r) noexcept {
 
 TraceRecorder::TraceRecorder() : TraceRecorder(Options{}) {}
 
-TraceRecorder::TraceRecorder(Options options) : options_(options) {}
+TraceRecorder::TraceRecorder(Options options) : options_(options) {
+  scratchFull_.reserve(16);
+  scratchLazy_.reserve(16);
+  scratchSync_.reserve(16);
+}
 
 void TraceRecorder::onExecutionStart(const runtime::Execution&) {
   eventCount_ = 0;
   objectCount_ = 0;
-  for (std::size_t t = 0; t < threadCount_; ++t) {
-    threads_[t].reset();
-  }
   threadCount_ = 0;
+  fullHash_.clear();
+  lazyHash_.clear();
+  records_.clear();
+  syncClocks_.reset();
+  fullClocks_.reset();
+  lazyClocks_.reset();
   prefixFull_ = support::MultisetHash{};
   prefixLazy_ = support::MultisetHash{};
   races_.clear();
@@ -45,20 +53,6 @@ void TraceRecorder::onObjectRegistered(const runtime::Execution&, std::int32_t i
   }
 }
 
-TraceRecorder::EventData& TraceRecorder::slot(std::size_t index) {
-  if (index >= events_.size()) {
-    events_.resize(index + 1);
-  }
-  EventData& data = events_[index];
-  data.sync.clear();
-  data.full.clear();
-  data.lazy.clear();
-  data.fullPreds.clear();
-  data.lazyPreds.clear();
-  data.syncPreds.clear();
-  return data;
-}
-
 TraceRecorder::ObjectHistory& TraceRecorder::history(std::int32_t objectIndex) {
   const auto i = static_cast<std::size_t>(objectIndex);
   if (i >= objects_.size()) {
@@ -68,6 +62,15 @@ TraceRecorder::ObjectHistory& TraceRecorder::history(std::int32_t objectIndex) {
   return objects_[i];
 }
 
+const ClockArena& TraceRecorder::arena(Relation r) const noexcept {
+  switch (r) {
+    case Relation::Sync: return syncClocks_;
+    case Relation::Full: return fullClocks_;
+    case Relation::Lazy: return lazyClocks_;
+  }
+  LAZYHB_UNREACHABLE("bad relation");
+}
+
 namespace {
 
 void sortUnique(std::vector<std::int32_t>& v) {
@@ -75,22 +78,50 @@ void sortUnique(std::vector<std::int32_t>& v) {
   v.erase(std::unique(v.begin(), v.end()), v.end());
 }
 
+/// Build one event's clock row: copy the thread's running clock (its
+/// previous event's row, or zeros for a thread's first event), join the
+/// direct predecessors, then tick the thread's own component. All span
+/// loops are branch-free over the arena's fixed stride.
+void buildClockRow(ClockArena& arena, std::int32_t copyFrom,
+                   const std::vector<std::int32_t>& preds, int tid,
+                   std::uint32_t tick) {
+  std::uint32_t* row = arena.appendRow();
+  const std::uint32_t stride = arena.stride();
+  const std::size_t bytes = stride * sizeof(std::uint32_t);
+  if (copyFrom >= 0) {
+    std::memcpy(row, arena.row(static_cast<std::size_t>(copyFrom)), bytes);
+  } else {
+    std::memset(row, 0, bytes);
+  }
+  for (const std::int32_t p : preds) {
+    joinClockSpans(row, arena.row(static_cast<std::size_t>(p)), stride);
+  }
+  row[tid] = tick;
+}
+
 }  // namespace
 
 void TraceRecorder::onEvent(const runtime::Execution& exec, const EventRecord& ev) {
   const int t = ev.threadIndex;
   const auto tIdx = static_cast<std::size_t>(t);
-  if (tIdx >= threads_.size()) {
-    threads_.resize(tIdx + 1);
+  if (tIdx >= threadCount_) {
+    if (threadLastEvent_.size() <= tIdx) {
+      threadLastEvent_.resize(tIdx + 1, -1);
+    }
+    for (std::size_t i = threadCount_; i <= tIdx; ++i) threadLastEvent_[i] = -1;
+    threadCount_ = tIdx + 1;
   }
-  while (threadCount_ <= tIdx) {
-    threads_[threadCount_].reset();
-    ++threadCount_;
+  if (static_cast<std::uint32_t>(t) >= syncClocks_.stride()) {
+    // Thread capacity exceeded: widen all three matrices together (they
+    // always share a stride). Rounded up so repeated spawns re-stride once.
+    const std::uint32_t stride = (static_cast<std::uint32_t>(t) + 8u) & ~7u;
+    syncClocks_.widen(stride);
+    fullClocks_.widen(stride);
+    lazyClocks_.widen(stride);
   }
 
   const auto index = static_cast<std::int32_t>(eventCount_);
-  EventData& data = slot(eventCount_);
-  data.record = ev;
+  records_.push_back(ev);
 
   scratchFull_.clear();
   scratchLazy_.clear();
@@ -109,12 +140,11 @@ void TraceRecorder::onEvent(const runtime::Execution& exec, const EventRecord& e
     }
   };
 
-  // Program order: the previous event of this thread, via its clock.
-  // (threads_[t] clocks already encode it; for the hash we need the index.)
+  // Program order: the previous event of this thread. The clocks encode it
+  // implicitly (the running clock is copied below); the hash needs the index.
+  const std::int32_t prevEvent = threadLastEvent_[tIdx];
   if (ev.indexInThread > 0) {
-    // The thread's previous event index is recoverable from its clock width
-    // only with bookkeeping; track it directly in the thread record.
-    predAll(threads_[tIdx].lastEvent);
+    predAll(prevEvent);
   }
 
   // Special predecessors participate in every relation.
@@ -196,28 +226,18 @@ void TraceRecorder::onEvent(const runtime::Execution& exec, const EventRecord& e
   sortUnique(scratchLazy_);
   sortUnique(scratchSync_);
 
-  // Clocks: start from this thread's running clock, join predecessors, then
-  // tick our own component.
-  data.sync = threads_[tIdx].sync;
-  data.full = threads_[tIdx].full;
-  data.lazy = threads_[tIdx].lazy;
-  for (const std::int32_t p : scratchSync_) {
-    data.sync.joinWith(events_[static_cast<std::size_t>(p)].sync);
-  }
-  for (const std::int32_t p : scratchFull_) {
-    data.full.joinWith(events_[static_cast<std::size_t>(p)].full);
-  }
-  for (const std::int32_t p : scratchLazy_) {
-    data.lazy.joinWith(events_[static_cast<std::size_t>(p)].lazy);
-  }
-  data.sync.set(t, ev.indexInThread + 1);
-  data.full.set(t, ev.indexInThread + 1);
-  data.lazy.set(t, ev.indexInThread + 1);
+  // Clocks: one arena row per relation, built from the thread's running
+  // clock (its previous event's row) and the direct predecessors' rows.
+  const std::int32_t copyFrom = ev.indexInThread > 0 ? prevEvent : -1;
+  const auto tick = ev.indexInThread + 1;
+  buildClockRow(syncClocks_, copyFrom, scratchSync_, t, tick);
+  buildClockRow(fullClocks_, copyFrom, scratchFull_, t, tick);
+  buildClockRow(lazyClocks_, copyFrom, scratchLazy_, t, tick);
 
   // Data-race detection uses the sync clock, against pre-update histories.
   if (options_.detectRaces &&
       (ev.kind == OpKind::Read || ev.kind == OpKind::Write || ev.kind == OpKind::Rmw)) {
-    checkRace(exec, ev, data);
+    checkRace(exec, ev, index);
   }
 
   // Causal hashes: label mixed with the multiset of direct predecessors'
@@ -225,25 +245,27 @@ void TraceRecorder::onEvent(const runtime::Execution& exec, const EventRecord& e
   {
     support::MultisetHash acc;
     for (const std::int32_t p : scratchFull_) {
-      acc.add(events_[static_cast<std::size_t>(p)].fullHash);
+      acc.add(fullHash_[static_cast<std::size_t>(p)]);
     }
-    data.fullHash = ev.labelHash().mixedWith(acc.digest());
-    prefixFull_.add(data.fullHash);
+    fullHash_.push_back(ev.labelHash().mixedWith(acc.digest()));
+    prefixFull_.add(fullHash_.back());
   }
   {
     support::MultisetHash acc;
     for (const std::int32_t p : scratchLazy_) {
-      acc.add(events_[static_cast<std::size_t>(p)].lazyHash);
+      acc.add(lazyHash_[static_cast<std::size_t>(p)]);
     }
-    data.lazyHash =
-        ev.labelHash().mixedWith(acc.digest()).mixedWith(support::hash128(0x1a2bULL));
-    prefixLazy_.add(data.lazyHash);
+    lazyHash_.push_back(
+        ev.labelHash().mixedWith(acc.digest()).mixedWith(support::hash128(0x1a2bULL)));
+    prefixLazy_.add(lazyHash_.back());
   }
 
   if (options_.keepPredecessors) {
-    data.fullPreds = scratchFull_;
-    data.lazyPreds = scratchLazy_;
-    data.syncPreds = scratchSync_;
+    if (preds_.size() <= eventCount_) preds_.resize(eventCount_ + 1);
+    EventPreds& p = preds_[eventCount_];
+    p.full.assign(scratchFull_.begin(), scratchFull_.end());
+    p.lazy.assign(scratchLazy_.begin(), scratchLazy_.end());
+    p.sync.assign(scratchSync_.begin(), scratchSync_.end());
   }
 
   // History updates (after race checks and hashes).
@@ -334,20 +356,18 @@ void TraceRecorder::onEvent(const runtime::Execution& exec, const EventRecord& e
       break;
   }
 
-  threads_[tIdx].sync = data.sync;
-  threads_[tIdx].full = data.full;
-  threads_[tIdx].lazy = data.lazy;
-  threads_[tIdx].lastEvent = index;
+  threadLastEvent_[tIdx] = index;
   ++eventCount_;
 }
 
 void TraceRecorder::checkRace(const runtime::Execution& exec, const EventRecord& ev,
-                              const EventData& data) {
+                              std::int32_t index) {
   ObjectHistory& h = history(ev.objectIndex);
+  const ClockView myClock = syncClocks_.view(static_cast<std::size_t>(index));
   auto happensBefore = [&](std::int32_t earlier) {
-    const EventData& e = events_[static_cast<std::size_t>(earlier)];
-    const int et = e.record.threadIndex;
-    return e.sync.get(et) <= data.sync.get(et);
+    const int et = records_[static_cast<std::size_t>(earlier)].threadIndex;
+    return syncClocks_.view(static_cast<std::size_t>(earlier)).get(et) <=
+           myClock.get(et);
   };
   auto report = [&](std::int32_t earlier) {
     for (const RaceReport& r : races_) {
@@ -357,7 +377,7 @@ void TraceRecorder::checkRace(const runtime::Execution& exec, const EventRecord&
     race.objectUid = ev.objectUid;
     race.objectName = exec.object(ev.objectIndex).name;
     race.firstEvent = earlier;
-    race.secondEvent = static_cast<std::int32_t>(eventCount_);
+    race.secondEvent = index;
     races_.push_back(std::move(race));
   };
   // Any access races with a sync-concurrent earlier write.
@@ -389,26 +409,19 @@ support::Hash128 TraceRecorder::fingerprint(Relation r) const {
 
 const runtime::EventRecord& TraceRecorder::eventRecord(std::int32_t index) const {
   LAZYHB_CHECK(index >= 0 && static_cast<std::size_t>(index) < eventCount_);
-  return events_[static_cast<std::size_t>(index)].record;
+  return records_[static_cast<std::size_t>(index)];
 }
 
-const VectorClock& TraceRecorder::eventClock(Relation r, std::int32_t index) const {
+ClockView TraceRecorder::eventClock(Relation r, std::int32_t index) const {
   LAZYHB_CHECK(index >= 0 && static_cast<std::size_t>(index) < eventCount_);
-  const EventData& e = events_[static_cast<std::size_t>(index)];
-  switch (r) {
-    case Relation::Sync: return e.sync;
-    case Relation::Full: return e.full;
-    case Relation::Lazy: return e.lazy;
-  }
-  LAZYHB_UNREACHABLE("bad relation");
+  return arena(r).view(static_cast<std::size_t>(index));
 }
 
 support::Hash128 TraceRecorder::eventHash(Relation r, std::int32_t index) const {
   LAZYHB_CHECK(index >= 0 && static_cast<std::size_t>(index) < eventCount_);
-  const EventData& e = events_[static_cast<std::size_t>(index)];
   switch (r) {
-    case Relation::Full: return e.fullHash;
-    case Relation::Lazy: return e.lazyHash;
+    case Relation::Full: return fullHash_[static_cast<std::size_t>(index)];
+    case Relation::Lazy: return lazyHash_[static_cast<std::size_t>(index)];
     case Relation::Sync: break;
   }
   LAZYHB_UNREACHABLE("no hash is maintained for the sync relation");
@@ -418,25 +431,19 @@ const std::vector<std::int32_t>& TraceRecorder::eventPredecessors(
     Relation r, std::int32_t index) const {
   LAZYHB_CHECK(options_.keepPredecessors);
   LAZYHB_CHECK(index >= 0 && static_cast<std::size_t>(index) < eventCount_);
-  const EventData& e = events_[static_cast<std::size_t>(index)];
+  const EventPreds& p = preds_[static_cast<std::size_t>(index)];
   switch (r) {
-    case Relation::Sync: return e.syncPreds;
-    case Relation::Full: return e.fullPreds;
-    case Relation::Lazy: return e.lazyPreds;
+    case Relation::Sync: return p.sync;
+    case Relation::Full: return p.full;
+    case Relation::Lazy: return p.lazy;
   }
   LAZYHB_UNREACHABLE("bad relation");
 }
 
-const VectorClock& TraceRecorder::threadClock(Relation r, int tid) const {
-  static const VectorClock kEmpty;
+ClockView TraceRecorder::threadClock(Relation r, int tid) const {
   const auto i = static_cast<std::size_t>(tid);
-  if (i >= threadCount_) return kEmpty;
-  switch (r) {
-    case Relation::Sync: return threads_[i].sync;
-    case Relation::Full: return threads_[i].full;
-    case Relation::Lazy: return threads_[i].lazy;
-  }
-  LAZYHB_UNREACHABLE("bad relation");
+  if (i >= threadCount_ || threadLastEvent_[i] < 0) return ClockView{};
+  return arena(r).view(static_cast<std::size_t>(threadLastEvent_[i]));
 }
 
 void TraceRecorder::collectConflicts(const runtime::Execution& exec, int tid,

@@ -23,9 +23,22 @@
 // HBR caching key on, and what the terminal-HBR counts of Figures 2 and 3
 // de-duplicate by.
 //
+// Storage is structure-of-arrays, sized for the per-event loop that runs
+// once per committed event of every explored schedule:
+//   hot  — per-event causal hashes (one flat array per relation) and the
+//          per-relation clock rows, which live in flat ClockArena matrices
+//          (trace/clock_arena.hpp); a thread's running clock is simply its
+//          last event's row, so no per-thread clock storage exists at all.
+//   cold — EventRecords (consulted by DPOR's race analysis and the race
+//          reports, not by the fingerprint loop) and per-event predecessor
+//          lists, the latter populated only under keepPredecessors.
+// Clock accessors deal in ClockView spans; the owning VectorClock class
+// remains for the Foata/graph/test layers.
+//
 // The recorder is an ExecutionObserver and is reset on every
 // onExecutionStart, so one instance can monitor millions of executions with
-// no steady-state allocation.
+// no steady-state allocation: every array, arena, object history and scratch
+// buffer keeps its capacity across executions.
 
 #pragma once
 
@@ -38,6 +51,7 @@
 #include "runtime/execution.hpp"
 #include "runtime/operation.hpp"
 #include "support/hash.hpp"
+#include "trace/clock_arena.hpp"
 #include "trace/vector_clock.hpp"
 
 namespace lazyhb::trace {
@@ -86,13 +100,13 @@ class TraceRecorder final : public runtime::ExecutionObserver {
 
   // --- per-event data (valid until the next onExecutionStart) ----------------
   [[nodiscard]] const runtime::EventRecord& eventRecord(std::int32_t index) const;
-  [[nodiscard]] const VectorClock& eventClock(Relation r, std::int32_t index) const;
+  [[nodiscard]] ClockView eventClock(Relation r, std::int32_t index) const;
   [[nodiscard]] support::Hash128 eventHash(Relation r, std::int32_t index) const;
   [[nodiscard]] const std::vector<std::int32_t>& eventPredecessors(
       Relation r, std::int32_t index) const;
 
   /// Clock of thread `tid`'s most recent event (zero clock if none).
-  [[nodiscard]] const VectorClock& threadClock(Relation r, int tid) const;
+  [[nodiscard]] ClockView threadClock(Relation r, int tid) const;
 
   /// Event indices of already-executed events that conflict (under the Full
   /// relation) with the given pending operation — the candidate backtracking
@@ -114,16 +128,12 @@ class TraceRecorder final : public runtime::ExecutionObserver {
   [[nodiscard]] std::string objectName(runtime::Uid uid) const;
 
  private:
-  struct EventData {
-    runtime::EventRecord record;
-    support::Hash128 fullHash;
-    support::Hash128 lazyHash;
-    VectorClock sync;
-    VectorClock full;
-    VectorClock lazy;
-    std::vector<std::int32_t> fullPreds;
-    std::vector<std::int32_t> lazyPreds;
-    std::vector<std::int32_t> syncPreds;
+  /// Per-event predecessor lists, populated only under keepPredecessors.
+  /// Pooled: the outer vector never shrinks, so inner capacity is reused.
+  struct EventPreds {
+    std::vector<std::int32_t> full;
+    std::vector<std::int32_t> lazy;
+    std::vector<std::int32_t> sync;
   };
 
   struct ObjectHistory {
@@ -144,6 +154,8 @@ class TraceRecorder final : public runtime::ExecutionObserver {
     std::int32_t lastWriteEvent = -1;
     std::vector<std::pair<int, std::int32_t>> lastReadPerThread;  // (tid, event)
 
+    /// Clears per-execution state; every vector keeps its capacity, so a
+    /// steady-state execution allocates nothing here.
     void reset(runtime::Uid u, runtime::ObjectKind k) {
       uid = u;
       kind = k;
@@ -159,31 +171,32 @@ class TraceRecorder final : public runtime::ExecutionObserver {
     }
   };
 
-  struct ThreadClocks {
-    VectorClock sync;
-    VectorClock full;
-    VectorClock lazy;
-    std::int32_t lastEvent = -1;
-    void reset() {
-      sync.clear();
-      full.clear();
-      lazy.clear();
-      lastEvent = -1;
-    }
-  };
-
-  EventData& slot(std::size_t index);
   ObjectHistory& history(std::int32_t objectIndex);
+  [[nodiscard]] const ClockArena& arena(Relation r) const noexcept;
   void checkRace(const runtime::Execution& exec,
-                 const runtime::EventRecord& event, const EventData& data);
+                 const runtime::EventRecord& event, std::int32_t index);
 
   Options options_;
-  std::vector<EventData> events_;     // pooled; eventCount_ are live
   std::size_t eventCount_ = 0;
+
+  // Hot per-event arrays (indexed by event).
+  std::vector<support::Hash128> fullHash_;
+  std::vector<support::Hash128> lazyHash_;
+  ClockArena syncClocks_;
+  ClockArena fullClocks_;
+  ClockArena lazyClocks_;
+
+  // Cold per-event arrays.
+  std::vector<runtime::EventRecord> records_;
+  std::vector<EventPreds> preds_;  // eventCount_ entries live iff keepPredecessors
+
+  // Per-thread state: index of the thread's latest event (its running clock
+  // is that event's arena row).
+  std::vector<std::int32_t> threadLastEvent_;
+  std::size_t threadCount_ = 0;
+
   std::vector<ObjectHistory> objects_;
   std::size_t objectCount_ = 0;
-  std::vector<ThreadClocks> threads_;
-  std::size_t threadCount_ = 0;
   support::MultisetHash prefixFull_;
   support::MultisetHash prefixLazy_;
   std::vector<RaceReport> races_;

@@ -3,11 +3,7 @@
 namespace lazyhb::trace {
 
 bool operator==(const VectorClock& a, const VectorClock& b) {
-  const std::size_t n = std::max(a.components_.size(), b.components_.size());
-  for (std::size_t i = 0; i < n; ++i) {
-    if (a.get(static_cast<int>(i)) != b.get(static_cast<int>(i))) return false;
-  }
-  return true;
+  return a.view() == b.view();
 }
 
 }  // namespace lazyhb::trace

@@ -33,6 +33,53 @@ TEST(HbrCache, SilentInsertAndClear) {
   EXPECT_FALSE(cache.contains(hash128(7)));
 }
 
+TEST(HbrCache, SurvivesGrowthAcrossLoadFactor) {
+  // Push well past several doublings of the open-addressing table; every
+  // fingerprint inserted must remain resident and no phantom member appears.
+  core::HbrCache cache;
+  constexpr std::uint64_t kCount = 10000;
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    EXPECT_FALSE(cache.checkAndInsert(hash128(i)));
+  }
+  EXPECT_EQ(cache.size(), kCount);
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    EXPECT_TRUE(cache.contains(hash128(i))) << i;
+  }
+  EXPECT_FALSE(cache.contains(hash128(kCount + 1)));
+  // The table is the storage: footprint stays within the load factor's
+  // slack of one slot per entry (capacity <= entries / 0.7 rounded up to a
+  // power of two, i.e. < 4x entries even right after a doubling).
+  EXPECT_LT(cache.approxMemoryBytes(), 4 * kCount * sizeof(support::Hash128));
+}
+
+TEST(HbrCache, ZeroFingerprintIsAValidKey) {
+  // The all-zero hash doubles as the empty-slot sentinel internally; it must
+  // still behave as an ordinary key at the interface.
+  core::HbrCache cache;
+  const support::Hash128 zero{};
+  EXPECT_FALSE(cache.contains(zero));
+  EXPECT_FALSE(cache.checkAndInsert(zero));
+  EXPECT_TRUE(cache.checkAndInsert(zero));
+  EXPECT_TRUE(cache.contains(zero));
+  EXPECT_EQ(cache.size(), 1u);
+  cache.clear();
+  EXPECT_FALSE(cache.contains(zero));
+}
+
+TEST(HbrCache, CollidingProbeStartsChainCorrectly) {
+  // Fingerprints whose low words collide modulo the table size probe
+  // linearly; membership must be exact for every member of the cluster.
+  core::HbrCache cache;
+  std::vector<support::Hash128> cluster;
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    cluster.push_back(support::Hash128{0x40, 0x1000 + i});  // identical .lo
+  }
+  for (const auto& h : cluster) EXPECT_FALSE(cache.checkAndInsert(h));
+  for (const auto& h : cluster) EXPECT_TRUE(cache.contains(h));
+  EXPECT_EQ(cache.size(), cluster.size());
+  EXPECT_FALSE(cache.contains(support::Hash128{0x40, 0x9999}));
+}
+
 TEST(EquivalenceChecker, DetectsTheoremConflicts) {
   core::EquivalenceChecker checker;
   EXPECT_TRUE(checker.record(hash128(1), hash128(100)));  // new class

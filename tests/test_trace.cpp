@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <map>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "explore/replay.hpp"
 #include "runtime/api.hpp"
 #include "test_helpers.hpp"
+#include "trace/clock_arena.hpp"
 #include "trace/foata.hpp"
 #include "trace/hb_graph.hpp"
 #include "trace/trace_recorder.hpp"
@@ -53,6 +55,51 @@ TEST(VectorClock, EqualityIgnoresTrailingZeros) {
   b.set(0, 1);
   b.set(3, 0);
   EXPECT_TRUE(a == b);
+}
+
+TEST(ClockView, ViewsInteroperateAcrossWidths) {
+  const std::uint32_t narrow[] = {3, 1};
+  const std::uint32_t wide[] = {3, 2, 0, 5};
+  const trace::ClockView a{narrow, 2};
+  const trace::ClockView b{wide, 4};
+  EXPECT_EQ(a.get(0), 3u);
+  EXPECT_EQ(a.get(3), 0u);         // beyond width: zero by convention
+  EXPECT_TRUE(a.leq(b));           // pointwise over the implicit zeros
+  EXPECT_FALSE(b.leq(a));          // b[3]=5 exceeds a's implicit zero
+  const std::uint32_t bumped[] = {3, 3};
+  EXPECT_FALSE((trace::ClockView{bumped, 2}.leq(b)));  // 3 > b[1]=2
+  // Default view is the zero clock: leq everything, equal to explicit zeros.
+  EXPECT_TRUE(trace::ClockView{}.leq(a));
+  const std::uint32_t zeros[] = {0, 0};
+  EXPECT_TRUE((trace::ClockView{} == trace::ClockView{zeros, 2}));
+  // Round trip through the owning class.
+  const VectorClock owned{b};
+  EXPECT_TRUE(owned.view() == b);
+}
+
+TEST(ClockArena, AppendJoinAndWiden) {
+  trace::ClockArena arena{4};
+  std::uint32_t* r0 = arena.appendRow();
+  for (std::uint32_t i = 0; i < 4; ++i) r0[i] = i + 1;  // 1 2 3 4
+  std::uint32_t* r1 = arena.appendRow();
+  for (std::uint32_t i = 0; i < 4; ++i) r1[i] = 4 - i;  // 4 3 2 1
+  trace::joinClockSpans(r1, arena.row(0), 4);
+  EXPECT_TRUE((arena.view(1) == trace::ClockView{
+                   std::array<std::uint32_t, 4>{4, 3, 3, 4}.data(), 4}));
+
+  // Widening re-strides in place and zero-pads: no clock changes value.
+  const VectorClock before0{arena.view(0)};
+  const VectorClock before1{arena.view(1)};
+  arena.widen(8);
+  EXPECT_EQ(arena.stride(), 8u);
+  EXPECT_TRUE(arena.view(0) == before0.view());
+  EXPECT_TRUE(arena.view(1) == before1.view());
+  EXPECT_EQ(arena.view(0).get(7), 0u);
+
+  // reset keeps stride and storage, drops rows.
+  arena.reset();
+  EXPECT_EQ(arena.rows(), 0u);
+  EXPECT_EQ(arena.stride(), 8u);
 }
 
 /// Record one execution of `body` (first-enabled schedule) with full

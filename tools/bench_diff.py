@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Compare two lazyhb-bench-report JSONs.
+
+The determinism contract of `lazyhb bench` is that every per-cell *count* is
+a pure function of (corpus, explorer list, budget, seed) — independent of
+--jobs, hardware and, crucially, of performance refactors. This tool is how
+that contract is enforced: it exits non-zero if any count differs between
+two reports, and reports the per-explorer eventsPerSecond deltas (geometric
+mean over cells) so perf PRs have a standard scoreboard.
+
+Usage:
+    tools/bench_diff.py BASELINE.json CANDIDATE.json [--counts-only]
+
+Either argument may be a plain lazyhb-bench-report or a BENCH_PR*.json
+before/after wrapper ({"before": <report>, "after": <report>}); for a
+wrapper the "after" report is used.
+
+Exit status: 0 when all counts match, 1 on any count mismatch (or on cell
+sets that do not line up), 2 on usage/schema errors.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+# The per-cell fields that must be byte-identical between runs. Wall-clock
+# fields (wall_seconds, events_per_second) are deliberately absent.
+COUNT_FIELDS = [
+    "schedules",
+    "terminal",
+    "pruned",
+    "violations",
+    "hbrs",
+    "lazy_hbrs",
+    "states",
+    "events",
+    "complete",
+    "hit_schedule_limit",
+]
+
+# Cache counts are also deterministic, but only present for caching cells.
+CACHE_COUNT_FIELDS = ["lookups", "hits", "insertions", "entries"]
+
+
+def load_report(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_diff: cannot read '{path}': {e}")
+    if "after" in doc and "schema" not in doc:
+        doc = doc["after"]  # BENCH_PR*.json before/after wrapper
+    if doc.get("schema") != "lazyhb-bench-report":
+        sys.exit(f"bench_diff: '{path}' is not a lazyhb-bench-report "
+                 f"(schema={doc.get('schema')!r})")
+    return doc
+
+
+def cell_key(cell):
+    return (cell["program"], cell["explorer"])
+
+
+def cell_counts(cell):
+    counts = {f: cell[f] for f in COUNT_FIELDS}
+    if "cache" in cell:
+        counts["cache"] = {f: cell["cache"][f] for f in CACHE_COUNT_FIELDS}
+    return counts
+
+
+def geomean(ratios):
+    return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="compare two lazyhb bench reports")
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--counts-only", action="store_true",
+                        help="skip the eventsPerSecond delta table "
+                             "(e.g. when the runs used different hardware)")
+    args = parser.parse_args()
+
+    base = load_report(args.baseline)
+    cand = load_report(args.candidate)
+
+    base_cells = {cell_key(c): c for c in base["cells"]}
+    cand_cells = {cell_key(c): c for c in cand["cells"]}
+
+    failed = False
+    only_base = sorted(base_cells.keys() - cand_cells.keys())
+    only_cand = sorted(cand_cells.keys() - base_cells.keys())
+    for key in only_base:
+        print(f"MISSING in candidate: {key[0]} x {key[1]}")
+        failed = True
+    for key in only_cand:
+        print(f"EXTRA in candidate:   {key[0]} x {key[1]}")
+        failed = True
+
+    shared = sorted(base_cells.keys() & cand_cells.keys())
+    mismatches = 0
+    for key in shared:
+        a = cell_counts(base_cells[key])
+        b = cell_counts(cand_cells[key])
+        if a != b:
+            mismatches += 1
+            failed = True
+            diffs = {f: (a[f], b[f]) for f in a if f in b and a[f] != b[f]}
+            print(f"COUNT MISMATCH {key[0]} x {key[1]}: "
+                  + ", ".join(f"{f} {was} -> {now}"
+                              for f, (was, now) in diffs.items()))
+
+    print(f"counts: {len(shared)} cells compared, {mismatches} mismatch(es)")
+
+    if not args.counts_only and shared:
+        by_explorer = {}
+        for key in shared:
+            a = base_cells[key]["events_per_second"]
+            b = cand_cells[key]["events_per_second"]
+            if a > 0 and b > 0:
+                by_explorer.setdefault(key[1], []).append(b / a)
+        print("\neventsPerSecond (candidate / baseline, geomean over cells):")
+        all_ratios = []
+        for explorer in sorted(by_explorer):
+            ratios = by_explorer[explorer]
+            all_ratios.extend(ratios)
+            print(f"  {explorer:<14} {geomean(ratios):6.2f}x  "
+                  f"({len(ratios)} cells)")
+        if all_ratios:
+            print(f"  {'overall':<14} {geomean(all_ratios):6.2f}x  "
+                  f"({len(all_ratios)} cells)")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
