@@ -120,6 +120,8 @@ CampaignResult Aggregator::finish() {
     totals.pruned += cell.stats.prunedSchedules;
     totals.violations += cell.stats.violationSchedules;
     totals.events += cell.stats.totalEvents;
+    totals.eventsElided += cell.stats.eventsElided;
+    totals.eventsReplayed += cell.stats.eventsReplayed;
     totals.hbrs += cell.stats.distinctHbrs;
     totals.lazyHbrs += cell.stats.distinctLazyHbrs;
     totals.states += cell.stats.distinctStates;
@@ -131,6 +133,8 @@ CampaignResult Aggregator::finish() {
 
     result.totalSchedules += cell.stats.schedulesExecuted;
     result.totalEvents += cell.stats.totalEvents;
+    result.totalEventsElided += cell.stats.eventsElided;
+    result.totalEventsReplayed += cell.stats.eventsReplayed;
     result.cpuSeconds += cell.wallSeconds;
     if (!cell.inequalityHolds()) ++result.inequalityViolations;
   }
@@ -139,11 +143,17 @@ CampaignResult Aggregator::finish() {
     if (totals.wallSeconds > 0.0) {
       totals.eventsPerSecond =
           static_cast<double>(totals.events) / totals.wallSeconds;
+      totals.executedEventsPerSecond =
+          static_cast<double>(totals.events - totals.eventsElided) /
+          totals.wallSeconds;
     }
   }
   if (result.cpuSeconds > 0.0) {
     result.eventsPerSecond =
         static_cast<double>(result.totalEvents) / result.cpuSeconds;
+    result.executedEventsPerSecond =
+        static_cast<double>(result.totalEvents - result.totalEventsElided) /
+        result.cpuSeconds;
   }
 
   // Per-program summaries from each row of the matrix.
@@ -196,13 +206,22 @@ CampaignResult runCampaign(const CampaignOptions& options) {
         cell.family = program->family;
         cell.explorer = spec.name;
 
+        // Per-cell options: the checkpointable contract is a property of
+        // the program, not of the campaign.
+        explore::ExplorerOptions cellOptions = options.explorer;
+        cellOptions.checkpointable = program->checkpointable;
+
         const auto cellStart = Clock::now();
-        auto explorer = spec.create(options.explorer, options.seed);
+        auto explorer = spec.create(cellOptions, options.seed);
         cell.stats = explorer->explore(program->body);
         cell.wallSeconds = secondsSince(cellStart);
         if (cell.wallSeconds > 0.0) {
           cell.eventsPerSecond =
               static_cast<double>(cell.stats.totalEvents) / cell.wallSeconds;
+          cell.executedEventsPerSecond =
+              static_cast<double>(cell.stats.totalEvents -
+                                  cell.stats.eventsElided) /
+              cell.wallSeconds;
         }
         cell.inequalityDiagnostic = core::checkCountingChain(
             cell.counts(), options.explorer.scheduleLimit);

@@ -38,7 +38,13 @@ struct CellResult {
   std::string explorer;
   explore::ExplorationResult stats;
   double wallSeconds = 0.0;
-  double eventsPerSecond = 0.0;          ///< stats.totalEvents / wallSeconds
+  /// Exploration throughput: logical events (elided ones included) per
+  /// second — the v2-compatible headline rate; incremental replay raises it
+  /// by eliding re-execution.
+  double eventsPerSecond = 0.0;
+  /// Hardware throughput: executed (non-elided) events per second — the
+  /// per-event-cost view, immune to elision inflating the numerator.
+  double executedEventsPerSecond = 0.0;
   std::string inequalityDiagnostic;      ///< empty when the §3 chain holds
 
   [[nodiscard]] bool inequalityHolds() const noexcept {
@@ -90,11 +96,14 @@ struct ExplorerTotals {
   std::uint64_t pruned = 0;
   std::uint64_t violations = 0;
   std::uint64_t events = 0;
+  std::uint64_t eventsElided = 0;    ///< prefix events skipped via rollback
+  std::uint64_t eventsReplayed = 0;  ///< prefix events re-executed to diverge
   std::uint64_t hbrs = 0;      ///< summed distinct terminal HBRs
   std::uint64_t lazyHbrs = 0;  ///< summed distinct terminal lazy HBRs
   std::uint64_t states = 0;    ///< summed distinct terminal states
   double wallSeconds = 0.0;    ///< summed per-cell wall time (CPU view)
-  double eventsPerSecond = 0.0;  ///< events / wallSeconds (this explorer's throughput)
+  double eventsPerSecond = 0.0;          ///< logical events / wallSeconds
+  double executedEventsPerSecond = 0.0;  ///< (events - eventsElided) / wallSeconds
   std::uint64_t cacheEntries = 0;
   std::uint64_t cacheHits = 0;
   std::uint64_t cacheApproxBytes = 0;
@@ -109,7 +118,10 @@ struct CampaignResult {
   std::vector<ExplorerTotals> perExplorer;
   std::uint64_t totalSchedules = 0;
   std::uint64_t totalEvents = 0;
-  double eventsPerSecond = 0.0;  ///< totalEvents / cpuSeconds (per-core view)
+  std::uint64_t totalEventsElided = 0;    ///< summed over all cells
+  std::uint64_t totalEventsReplayed = 0;  ///< summed over all cells
+  double eventsPerSecond = 0.0;          ///< logical events / cpuSeconds
+  double executedEventsPerSecond = 0.0;  ///< executed events / cpuSeconds
   int inequalityViolations = 0;  ///< cells whose §3 chain failed (expect 0)
   double wallSeconds = 0.0;      ///< end-to-end campaign wall time
   double cpuSeconds = 0.0;       ///< sum of per-cell wall times

@@ -21,10 +21,13 @@ void writeCell(support::JsonWriter& json, const CellResult& cell) {
   json.field("lazy_hbrs", cell.stats.distinctLazyHbrs);
   json.field("states", cell.stats.distinctStates);
   json.field("events", cell.stats.totalEvents);
+  json.field("events_elided", cell.stats.eventsElided);
+  json.field("events_replayed", cell.stats.eventsReplayed);
   json.field("complete", cell.stats.complete);
   json.field("hit_schedule_limit", cell.stats.hitScheduleLimit);
   json.field("wall_seconds", cell.wallSeconds);
   json.field("events_per_second", cell.eventsPerSecond);
+  json.field("executed_events_per_second", cell.executedEventsPerSecond);
   json.key("inequality").beginObject();
   json.field("holds", cell.inequalityHolds());
   json.field("diagnostic", cell.inequalityDiagnostic);
@@ -82,11 +85,14 @@ void writeExplorerTotals(support::JsonWriter& json, const ExplorerTotals& t) {
   json.field("pruned", t.pruned);
   json.field("violations", t.violations);
   json.field("events", t.events);
+  json.field("events_elided", t.eventsElided);
+  json.field("events_replayed", t.eventsReplayed);
   json.field("hbrs", t.hbrs);
   json.field("lazy_hbrs", t.lazyHbrs);
   json.field("states", t.states);
   json.field("wall_seconds", t.wallSeconds);
   json.field("events_per_second", t.eventsPerSecond);
+  json.field("executed_events_per_second", t.executedEventsPerSecond);
   json.field("cache_entries", t.cacheEntries);
   json.field("cache_hits", t.cacheHits);
   json.field("cache_approx_bytes", t.cacheApproxBytes);
@@ -110,6 +116,7 @@ std::string writeReportJson(const CampaignResult& result,
   json.field("seed", config.seed);
   json.field("jobs", result.jobs);
   json.field("quick", config.quick);
+  json.field("incremental", config.incremental);
   json.key("explorers").beginArray();
   for (const ExplorerTotals& totals : result.perExplorer) {
     json.value(totals.explorer);
@@ -122,9 +129,12 @@ std::string writeReportJson(const CampaignResult& result,
   json.field("cells", static_cast<std::uint64_t>(result.cells.size()));
   json.field("schedules", result.totalSchedules);
   json.field("events", result.totalEvents);
+  json.field("events_elided", result.totalEventsElided);
+  json.field("events_replayed", result.totalEventsReplayed);
   json.field("wall_seconds", result.wallSeconds);
   json.field("cpu_seconds", result.cpuSeconds);
   json.field("events_per_second", result.eventsPerSecond);
+  json.field("executed_events_per_second", result.executedEventsPerSecond);
   json.field("tasks_stolen", result.tasksStolen);
   json.field("inequality_violations",
              static_cast<std::int64_t>(result.inequalityViolations));

@@ -16,7 +16,7 @@
 namespace lazyhb::campaign {
 
 inline constexpr const char* kReportSchemaName = "lazyhb-bench-report";
-inline constexpr int kReportSchemaVersion = 2;
+inline constexpr int kReportSchemaVersion = 3;
 
 /// The campaign configuration echoed into the report, so a BENCH_*.json is
 /// self-describing and two reports are comparable at a glance.
@@ -25,6 +25,7 @@ struct ReportConfig {
   std::uint32_t maxEventsPerSchedule = 0;
   std::uint64_t seed = 0;
   bool quick = false;
+  bool incremental = true;  ///< --incremental toggle the campaign ran with
 };
 
 /// Serialize the campaign into the versioned report JSON (a full document,

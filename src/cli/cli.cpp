@@ -55,6 +55,23 @@ const programs::ProgramSpec* resolveProgram(const std::string& name) {
   return spec;
 }
 
+/// Parse the --incremental on|off toggle into *enabled. Prints a usage
+/// error and returns false for anything else.
+bool parseIncremental(const support::Options& options, bool* enabled) {
+  const std::string value = options.getString("incremental");
+  if (value == "on") {
+    *enabled = true;
+    return true;
+  }
+  if (value == "off") {
+    *enabled = false;
+    return true;
+  }
+  std::fprintf(stderr, "lazyhb: --incremental expects 'on' or 'off', got '%s'\n",
+               value.c_str());
+  return false;
+}
+
 explore::ExplorerOptions explorerOptionsFrom(const support::Options& options) {
   explore::ExplorerOptions eo;
   eo.scheduleLimit = static_cast<std::uint64_t>(options.getInt("limit"));
@@ -69,6 +86,8 @@ void addExplorerFlags(support::Options& options) {
   options.addInt("limit", 10000, "schedule budget (paper: 100000)");
   options.addInt("max-events", 65536, "per-schedule event budget");
   options.addInt("seed", 42, "random explorer seed");
+  options.addString("incremental", "on",
+                    "incremental prefix replay (checkpoint/rollback): on | off");
   options.addFlag("races", "run the sync-HB data-race detector");
   options.addFlag("theorems", "feed terminal schedules to the theorem checkers");
   options.addFlag("stop-on-violation", "stop at the first violation");
@@ -161,8 +180,11 @@ int cmdExplore(int argc, char** argv) {
                  mode.c_str(), campaign::explorerNamesHelp().c_str());
     return kExitUsage;
   }
+  explore::ExplorerOptions explorerOptions = explorerOptionsFrom(options);
+  if (!parseIncremental(options, &explorerOptions.incremental)) return kExitUsage;
+  explorerOptions.checkpointable = spec->checkpointable;
   auto explorer =
-      explorerSpec->create(explorerOptionsFrom(options),
+      explorerSpec->create(explorerOptions,
                            static_cast<std::uint64_t>(options.getInt("seed")));
 
   const explore::ExplorationResult result = explorer->explore(spec->body);
@@ -172,8 +194,10 @@ int cmdExplore(int argc, char** argv) {
   support::Table table(resultHeaders());
   addResultRow(table, mode, result);
   std::fputs(table.toText().c_str(), stdout);
-  std::printf("total events: %s\n",
-              support::withCommas(result.totalEvents).c_str());
+  std::printf("total events: %s (%s elided, %s replayed)\n",
+              support::withCommas(result.totalEvents).c_str(),
+              support::withCommas(result.eventsElided).c_str(),
+              support::withCommas(result.eventsReplayed).c_str());
   if (options.getFlag("theorems")) {
     std::printf(
         "theorem 2.1 (full HBR -> state): %llu schedules, %llu classes, "
@@ -211,12 +235,16 @@ int cmdCompare(int argc, char** argv) {
   const programs::ProgramSpec* spec = resolveProgram(options.getString("program"));
   if (spec == nullptr) return kExitUsage;
 
+  explore::ExplorerOptions explorerOptions = explorerOptionsFrom(options);
+  if (!parseIncremental(options, &explorerOptions.incremental)) return kExitUsage;
+  explorerOptions.checkpointable = spec->checkpointable;
+
   std::printf("program %s (%s): %s\n", spec->name.c_str(), spec->family.c_str(),
               spec->description.c_str());
   support::Table table(resultHeaders());
   for (const campaign::ExplorerSpec& mode : campaign::allExplorers()) {
     auto explorer =
-        mode.create(explorerOptionsFrom(options),
+        mode.create(explorerOptions,
                     static_cast<std::uint64_t>(options.getInt("seed")));
     const explore::ExplorationResult result = explorer->explore(spec->body);
     addResultRow(table, mode.name, result);
@@ -274,12 +302,17 @@ int cmdBench(int argc, char** argv) {
   options.addInt("limit", 10000, "schedule budget per cell (paper: 100000)");
   options.addInt("max-events", 65536, "per-schedule event budget");
   options.addInt("seed", 42, "random explorer seed (same in every cell)");
+  options.addString("incremental", "on",
+                    "incremental prefix replay (checkpoint/rollback): on | off");
   options.addString("out", "",
                     "write the JSON report to this path ('-': stdout; empty: "
                     "no report file)");
   options.addFlag("quick",
                   "CI preset: cap the schedule budget at 200 (an explicit "
                   "--limit wins)");
+  options.addFlag("paper",
+                  "nightly preset: the paper's 100000-schedule budget (an "
+                  "explicit --limit wins)");
   options.addFlag("progress", "print one line per finished cell");
   options.addFlag("csv", "print the per-cell table as CSV");
   if (!options.parse(argc, argv)) return options.parseError() ? kExitUsage : kExitOk;
@@ -303,10 +336,19 @@ int cmdBench(int argc, char** argv) {
     return kExitUsage;
   }
 
-  std::uint64_t limit = static_cast<std::uint64_t>(options.getInt("limit"));
   const bool quick = options.getFlag("quick");
+  const bool paper = options.getFlag("paper");
+  if (quick && paper) {
+    std::fprintf(stderr, "lazyhb: --quick and --paper are mutually exclusive\n");
+    return kExitUsage;
+  }
+  std::uint64_t limit = static_cast<std::uint64_t>(options.getInt("limit"));
   if (quick && !options.wasSet("limit")) limit = 200;
+  if (paper && !options.wasSet("limit")) limit = 100'000;
   campaignOptions.explorer.scheduleLimit = limit;
+  if (!parseIncremental(options, &campaignOptions.explorer.incremental)) {
+    return kExitUsage;
+  }
   campaignOptions.explorer.maxEventsPerSchedule =
       static_cast<std::uint32_t>(options.getInt("max-events"));
   campaignOptions.seed = static_cast<std::uint64_t>(options.getInt("seed"));
@@ -373,10 +415,12 @@ int cmdBench(int argc, char** argv) {
     std::fputs("\n--- CSV ---\n", stdout);
     std::fputs(cells.toCsv().c_str(), stdout);
   }
-  std::printf("totals: %s schedules, %s events, %.2fs wall (%.2fs cpu), "
-              "%.1fx parallel speedup\n",
+  std::printf("totals: %s schedules, %s events (%s elided, %s replayed), "
+              "%.2fs wall (%.2fs cpu), %.1fx parallel speedup\n",
               support::withCommas(result.totalSchedules).c_str(),
               support::withCommas(result.totalEvents).c_str(),
+              support::withCommas(result.totalEventsElided).c_str(),
+              support::withCommas(result.totalEventsReplayed).c_str(),
               result.wallSeconds, result.cpuSeconds,
               result.wallSeconds > 0.0 ? result.cpuSeconds / result.wallSeconds
                                        : 0.0);
@@ -400,6 +444,7 @@ int cmdBench(int argc, char** argv) {
   reportConfig.maxEventsPerSchedule = campaignOptions.explorer.maxEventsPerSchedule;
   reportConfig.seed = campaignOptions.seed;
   reportConfig.quick = quick;
+  reportConfig.incremental = campaignOptions.explorer.incremental;
   const std::string out = options.getString("out");
   if (!out.empty()) {
     if (!campaign::writeReportFile(out, result, reportConfig)) {

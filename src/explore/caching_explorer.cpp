@@ -11,6 +11,7 @@ CachingExplorer::CachingExplorer(ExplorerOptions options, trace::Relation relati
 
 void CachingExplorer::runSearch(const Program& program) {
   TreeSearchState state;
+  std::size_t startDepth = 0;
   for (;;) {
     if (budgetExhausted()) {
       result().hitScheduleLimit = true;
@@ -19,9 +20,10 @@ void CachingExplorer::runSearch(const Program& program) {
     if (shouldStopForViolation()) {
       return;
     }
-    TreeScheduler scheduler(state, [this] {
-      return cache_.checkAndInsert(recorder().fingerprint(relation_));
-    });
+    TreeScheduler scheduler(
+        state,
+        [this] { return cache_.checkAndInsert(recorder().fingerprint(relation_)); },
+        &prefixEngine(), startDepth);
     const runtime::Outcome outcome = executeSchedule(program, scheduler);
     if (outcome != runtime::Outcome::Abandoned && recorder().eventCount() > 0) {
       // The final event's prefix is never tested by the scheduler (there is
@@ -32,6 +34,7 @@ void CachingExplorer::runSearch(const Program& program) {
       markComplete();
       return;
     }
+    startDepth = prefixEngine().prepareNext(state.checkFromDepth);
   }
 }
 

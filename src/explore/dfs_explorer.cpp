@@ -19,8 +19,12 @@ bool TreeSearchState::advance() {
   return false;
 }
 
-TreeScheduler::TreeScheduler(TreeSearchState& state, std::function<bool()> prunePrefix)
-    : state_(state), prunePrefix_(std::move(prunePrefix)) {}
+TreeScheduler::TreeScheduler(TreeSearchState& state, std::function<bool()> prunePrefix,
+                             PrefixReplayEngine* engine, std::size_t startDepth)
+    : state_(state),
+      prunePrefix_(std::move(prunePrefix)),
+      engine_(engine),
+      depth_(startDepth) {}
 
 int TreeScheduler::pick(runtime::Execution& exec) {
   // The event committed by the previous pick is the deepest prefix; test it
@@ -33,6 +37,13 @@ int TreeScheduler::pick(runtime::Execution& exec) {
   if (depth_ < state_.nodes.size()) {
     const SearchNode& node = state_.nodes[depth_];
     LAZYHB_CHECK(exec.enabled().contains(node.chosen));
+    // A replayed node with unexplored siblings left is a future divergence
+    // point: keep it checkpointed.
+    if (engine_ != nullptr &&
+        !node.enabled.minus(node.done).minus(support::ThreadSet::single(node.chosen))
+             .empty()) {
+      engine_->stageCheckpoint(exec, depth_);
+    }
     ++depth_;
     return node.chosen;
   }
@@ -40,12 +51,16 @@ int TreeScheduler::pick(runtime::Execution& exec) {
   node.enabled = exec.enabled();
   node.chosen = node.enabled.first();
   state_.nodes.push_back(node);
+  if (engine_ != nullptr && node.enabled.size() > 1) {
+    engine_->stageCheckpoint(exec, depth_);
+  }
   ++depth_;
   return node.chosen;
 }
 
 void DfsExplorer::runSearch(const Program& program) {
   TreeSearchState state;
+  std::size_t startDepth = 0;
   for (;;) {
     if (budgetExhausted()) {
       result().hitScheduleLimit = true;
@@ -54,12 +69,13 @@ void DfsExplorer::runSearch(const Program& program) {
     if (shouldStopForViolation()) {
       return;
     }
-    TreeScheduler scheduler(state);
+    TreeScheduler scheduler(state, {}, &prefixEngine(), startDepth);
     (void)executeSchedule(program, scheduler);
     if (!state.advance()) {
       markComplete();
       return;
     }
+    startDepth = prefixEngine().prepareNext(state.checkFromDepth);
   }
 }
 

@@ -5,11 +5,17 @@
 // caching explorers build on.
 //
 // The search tree has one node per scheduling point; a node's children are
-// the enabled threads at that point. Exploration is stateless: to visit a
-// sibling subtree the program is re-executed from scratch with the prefix of
-// choices replayed. TreeScheduler distinguishes the replayed prefix from the
-// new suffix (checkFromDepth) so prune hooks — the HBR caches — never test a
-// schedule against its own previously explored path.
+// the enabled threads at that point. The walk is driven by a persistent
+// schedule-tree cursor: advance() names the divergence depth of the next
+// schedule, and the prefix-replay engine (explore/prefix_replay.hpp)
+// decides how to get back there — rolling a persistent execution back to a
+// staged checkpoint (nothing before the divergence is re-executed), or
+// re-executing with the prefix of choices replayed (the stateless
+// fallback). TreeScheduler replays any residual prefix from its start
+// depth, stages checkpoints at nodes the search will revisit, and
+// distinguishes replays from the new suffix (checkFromDepth) so prune
+// hooks — the HBR caches — never test a schedule against its own
+// previously explored path.
 
 #pragma once
 
@@ -17,6 +23,7 @@
 #include <vector>
 
 #include "explore/explorer.hpp"
+#include "explore/prefix_replay.hpp"
 #include "support/thread_set.hpp"
 
 namespace lazyhb::explore {
@@ -44,16 +51,23 @@ struct TreeSearchState {
 /// Scheduler that replays `state.nodes` and extends the tree depth-first.
 /// `prunePrefix`, when set, is consulted once after every *new* (non-replay)
 /// event; returning true abandons the execution (subtree pruned).
+/// `engine`, when set, is asked to stage a checkpoint at every node the
+/// search will revisit; `startDepth` is the absolute depth a rolled-back
+/// execution resumes from (0 for a fresh run).
 class TreeScheduler final : public runtime::Scheduler {
  public:
-  TreeScheduler(TreeSearchState& state, std::function<bool()> prunePrefix = {});
+  explicit TreeScheduler(TreeSearchState& state,
+                         std::function<bool()> prunePrefix = {},
+                         PrefixReplayEngine* engine = nullptr,
+                         std::size_t startDepth = 0);
 
   int pick(runtime::Execution& exec) override;
 
  private:
   TreeSearchState& state_;
   std::function<bool()> prunePrefix_;
-  std::size_t depth_ = 0;
+  PrefixReplayEngine* engine_;
+  std::size_t depth_;
 };
 
 /// Naive systematic enumeration: visits every schedule (up to the limit).

@@ -12,7 +12,8 @@ using trace::Relation;
 /// nodes_[i] is the state from which event i was chosen.
 class DporScheduler final : public runtime::Scheduler {
  public:
-  explicit DporScheduler(DporExplorer& owner) : owner_(owner) {}
+  DporScheduler(DporExplorer& owner, std::size_t startDepth)
+      : owner_(owner), depth_(startDepth) {}
 
   int pick(runtime::Execution& exec) override {
     // Experimental §4 combination: prune on cached (lazy) HBR prefixes.
@@ -28,6 +29,14 @@ class DporScheduler final : public runtime::Scheduler {
       // Replay (or enter the flipped sibling at the deepest retained node).
       const auto& node = owner_.nodes_[depth_];
       LAZYHB_CHECK(exec.enabled().contains(node.chosen));
+      // Conservative revisit test: the backtrack set can still grow from
+      // deeper race analyses, so any node with an unexplored *enabled*
+      // sibling is a potential divergence point worth keeping checkpointed.
+      if (!node.enabled.minus(node.done)
+               .minus(support::ThreadSet::single(node.chosen))
+               .empty()) {
+        owner_.prefixEngine().stageCheckpoint(exec, depth_);
+      }
       stashChildSleep(exec, depth_, node.chosen);
       ++depth_;
       return node.chosen;
@@ -48,6 +57,9 @@ class DporScheduler final : public runtime::Scheduler {
     node.chosen = candidates.first();
     node.backtrack = support::ThreadSet::single(node.chosen);
     owner_.nodes_.push_back(node);
+    if (node.enabled.size() > 1) {
+      owner_.prefixEngine().stageCheckpoint(exec, depth_);
+    }
     stashChildSleep(exec, depth_, node.chosen);
     ++depth_;
     return node.chosen;
@@ -183,7 +195,7 @@ class DporScheduler final : public runtime::Scheduler {
   }
 
   DporExplorer& owner_;
-  std::size_t depth_ = 0;
+  std::size_t depth_;
   support::ThreadSet pendingSleep_;
   std::vector<std::int32_t> conflictScratch_;
 };
@@ -210,6 +222,7 @@ bool DporExplorer::advance() {
 void DporExplorer::runSearch(const Program& program) {
   nodes_.clear();
   checkFromDepth_ = 0;
+  std::size_t startDepth = 0;
   for (;;) {
     if (budgetExhausted()) {
       result().hitScheduleLimit = true;
@@ -218,7 +231,7 @@ void DporExplorer::runSearch(const Program& program) {
     if (shouldStopForViolation()) {
       return;
     }
-    DporScheduler scheduler(*this);
+    DporScheduler scheduler(*this, startDepth);
     const runtime::Outcome outcome = executeSchedule(program, scheduler);
     if (dpor_.cachePrefixes && outcome != runtime::Outcome::Abandoned &&
         recorder().eventCount() > 0) {
@@ -228,6 +241,7 @@ void DporExplorer::runSearch(const Program& program) {
       markComplete();
       return;
     }
+    startDepth = prefixEngine().prepareNext(checkFromDepth_);
   }
 }
 

@@ -7,7 +7,10 @@ namespace lazyhb::explore {
 ExplorerBase::ExplorerBase(ExplorerOptions options)
     : options_(options),
       recorder_(trace::TraceRecorder::Options{options.keepPredecessors,
-                                              options.detectRaces}) {}
+                                              options.detectRaces}),
+      engine_(stackPool_, recorder_, options.incremental,
+              options.checkpointable &&
+                  runtime::Execution::checkpointingSupported()) {}
 
 ExplorationResult ExplorerBase::explore(const Program& program) {
   LAZYHB_CHECK(!explored_);
@@ -16,6 +19,8 @@ ExplorationResult ExplorerBase::explore(const Program& program) {
   result_.distinctHbrs = terminalHbrs_.size();
   result_.distinctLazyHbrs = terminalLazyHbrs_.size();
   result_.distinctStates = terminalStates_.size();
+  result_.eventsElided = engine_.eventsElided();
+  result_.eventsReplayed = engine_.eventsReplayed();
   if (options_.checkTheorems) {
     result_.theorem21 = thm21_.stats();
     result_.theorem22 = thm22_.stats();
@@ -47,8 +52,10 @@ runtime::Outcome ExplorerBase::executeSchedule(const Program& program,
   }
   runtime::Config config;
   config.maxEventsPerSchedule = options_.maxEventsPerSchedule;
-  runtime::Execution exec(config, stackPool_, &recorder_);
-  const runtime::Outcome outcome = exec.run(program, scheduler);
+  const PrefixReplayEngine::Session session = engine_.beginSchedule(config, &recorder_);
+  runtime::Execution& exec = *session.exec;
+  const runtime::Outcome outcome =
+      session.resumed ? exec.resume(scheduler) : exec.run(program, scheduler);
 
   ++result_.schedulesExecuted;
   result_.totalEvents += exec.events().size();

@@ -28,6 +28,7 @@
 #include "core/equivalence.hpp"
 #include "core/hbr_cache.hpp"
 #include "core/race_detector.hpp"
+#include "explore/prefix_replay.hpp"
 #include "runtime/execution.hpp"
 #include "support/hash.hpp"
 #include "trace/trace_recorder.hpp"
@@ -55,6 +56,18 @@ struct ExplorerOptions {
   bool checkTheorems = false;
   /// Keep at most this many violation records.
   std::uint32_t maxViolationsKept = 16;
+  /// Incremental prefix replay (explore/prefix_replay.hpp): tree searches
+  /// checkpoint at revisitable scheduling points and roll back instead of
+  /// re-running the shared prefix of consecutive schedules. Counts are
+  /// byte-identical either way; only wall time changes.
+  bool incremental = true;
+  /// The program under test satisfies the checkpointable contract
+  /// (runtime/execution.hpp): all cross-schedule state in registered lazyhb
+  /// objects or trivially-copyable stack locals. Enables full runtime
+  /// rollback on fast-fiber builds; without it (or under ASan/ucontext)
+  /// incremental mode still elides the recorder's share of replayed
+  /// prefixes.
+  bool checkpointable = false;
 };
 
 /// A recorded property violation with the schedule that reproduces it.
@@ -81,7 +94,15 @@ struct ExplorationResult {
   std::uint64_t terminalSchedules = 0;
   std::uint64_t violationSchedules = 0;
   std::uint64_t prunedSchedules = 0;   ///< abandoned mid-run (cache/sleep)
-  std::uint64_t totalEvents = 0;
+  std::uint64_t totalEvents = 0;       ///< logical events, elided ones included
+  /// Prefix events never re-executed thanks to runtime rollback. The
+  /// honest throughput metric divides executed events (totalEvents -
+  /// eventsElided) by wall time, so elision is not double-counted as speed.
+  std::uint64_t eventsElided = 0;
+  /// Prefix events re-executed to reach a divergence point (the residual
+  /// redundancy; their recording cost is elided whenever a recorder
+  /// checkpoint covered them).
+  std::uint64_t eventsReplayed = 0;
   std::uint64_t distinctHbrs = 0;      ///< terminal full-HBR fingerprints
   std::uint64_t distinctLazyHbrs = 0;  ///< terminal lazy-HBR fingerprints
   std::uint64_t distinctStates = 0;    ///< terminal state fingerprints
@@ -121,10 +142,18 @@ class ExplorerBase {
     return nullptr;
   }
 
-  /// Execute one schedule under `scheduler`, updating all statistics.
-  /// Returns the outcome.
+  /// Execute one schedule under `scheduler`, updating all statistics. In
+  /// incremental mode the execution may be the persistent rolled-back one
+  /// (see prefixEngine()); statistics are identical either way. Returns
+  /// the outcome.
   runtime::Outcome executeSchedule(const Program& program,
                                    runtime::Scheduler& scheduler);
+
+  /// The incremental prefix-replay engine. Tree-search strategies hand it
+  /// to their schedulers (checkpoint staging) and call prepareNext() with
+  /// each divergence depth; the returned start depth seeds the next
+  /// scheduler.
+  [[nodiscard]] PrefixReplayEngine& prefixEngine() noexcept { return engine_; }
 
   /// True when the schedule budget is exhausted (strategies must stop).
   [[nodiscard]] bool budgetExhausted() const noexcept;
@@ -149,6 +178,7 @@ class ExplorerBase {
   core::EquivalenceChecker thm21_;
   core::EquivalenceChecker thm22_;
   core::RaceAggregator raceAggregator_;
+  PrefixReplayEngine engine_;  ///< after stackPool_/recorder_: destroyed first
   bool explored_ = false;
 };
 

@@ -1,0 +1,78 @@
+#include "explore/prefix_replay.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace lazyhb::explore {
+
+PrefixReplayEngine::PrefixReplayEngine(runtime::StackPool& stackPool,
+                                       trace::TraceRecorder& recorder,
+                                       bool incremental, bool runtimeRollback)
+    : stackPool_(stackPool),
+      recorder_(recorder),
+      incremental_(incremental),
+      runtimeRollback_(incremental && runtimeRollback) {
+  LAZYHB_CHECK(!runtimeRollback_ || runtime::Execution::checkpointingSupported());
+}
+
+void PrefixReplayEngine::stageCheckpoint(runtime::Execution& exec, std::size_t depth) {
+  if (!incremental_) return;
+  // While the recorder is skipping a replayed prefix its depth lags the
+  // scheduler's; those depths are already staged from an earlier schedule.
+  if (recorder_.eventCount() == depth) {
+    recorder_.checkpoint();
+  }
+  if (runtimeRollback_) {
+    LAZYHB_CHECK(&exec == exec_.get());
+    exec.checkpoint();
+  }
+}
+
+std::size_t PrefixReplayEngine::prepareNext(std::size_t divergenceDepth) {
+  pendingResume_ = false;
+  pendingStart_ = 0;
+  pendingElided_ = 0;
+  pendingReplayed_ = divergenceDepth;
+  if (!incremental_) return 0;
+
+  if (runtimeRollback_ && exec_ != nullptr) {
+    const std::size_t depth = exec_->deepestCheckpointAtOrBelow(divergenceDepth);
+    if (depth != runtime::Execution::kNoCheckpoint && depth > 0) {
+      exec_->rollbackTo(depth);
+      recorder_.rollbackTo(depth);
+      pendingResume_ = true;
+      pendingStart_ = depth;
+      pendingElided_ = depth;
+      pendingReplayed_ = divergenceDepth - depth;
+      ++rollbacks_;
+      return depth;
+    }
+    // No usable runtime checkpoint: retire the persistent execution (its
+    // destructor runs the leftover fibers forward) and re-execute, still
+    // eliding the recorder's share of the prefix below.
+    exec_.reset();
+    ++fullRestarts_;
+  }
+
+  const std::size_t depth = recorder_.deepestCheckpointAtOrBelow(divergenceDepth);
+  if (depth != trace::TraceRecorder::kNoCheckpoint && depth > 0) {
+    recorder_.armResume(depth);
+  }
+  return 0;
+}
+
+PrefixReplayEngine::Session PrefixReplayEngine::beginSchedule(
+    const runtime::Config& config, runtime::ExecutionObserver* observer) {
+  eventsElided_ += pendingElided_;
+  eventsReplayed_ += pendingReplayed_;
+  pendingElided_ = 0;
+  pendingReplayed_ = 0;
+  if (pendingResume_) {
+    pendingResume_ = false;
+    return Session{exec_.get(), true, pendingStart_};
+  }
+  exec_ = std::make_unique<runtime::Execution>(config, stackPool_, observer);
+  if (runtimeRollback_) exec_->enableResumable();
+  return Session{exec_.get(), false, 0};
+}
+
+}  // namespace lazyhb::explore

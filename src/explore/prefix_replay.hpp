@@ -1,0 +1,116 @@
+// lazyhb/explore/prefix_replay.hpp
+//
+// The incremental prefix-replay engine: the piece that lets a tree search
+// pay only for the *suffix* of each schedule past its divergence point.
+//
+// Tree searches (DFS, the caching explorers, DPOR) visit schedules in an
+// order where consecutive schedules share a — usually deep — prefix: the
+// next schedule is "the previous one up to depth d, then a different
+// sibling". Classic stateless exploration re-runs the program from scratch
+// and replays the prefix choices; everything about that replay (fiber
+// switches, engine bookkeeping, recorder clock/hash work) recomputes values
+// that are already known.
+//
+// This engine removes that cost in two tiers:
+//
+//   * Full runtime rollback (checkpointable programs, fast-fiber builds):
+//     one persistent resumable Execution survives across schedules. At
+//     every scheduling point that the search will revisit (a node with
+//     unexplored siblings), the engine stages an Execution checkpoint and a
+//     TraceRecorder checkpoint in lockstep. To start the next schedule it
+//     rolls both back to the divergence depth and resumes — the prefix is
+//     never re-executed at all ("elided" events).
+//
+//   * Recorder elision (every other program/build): the program is
+//     re-executed from scratch as before, but the recorder is rolled back
+//     to its staged checkpoint and *skips* the replayed prefix events
+//     instead of recomputing clock rows, hashes and histories for them
+//     ("replayed" events; only their recording cost disappears).
+//
+// Both tiers leave every observable count byte-identical to a
+// non-incremental run: rollback restores exactly the state the prefix
+// produces, and the re-extension is the same deterministic computation.
+// tests/test_incremental.cpp holds the equivalence properties; the golden
+// count suite runs the corpus matrix in both modes.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "runtime/execution.hpp"
+#include "trace/trace_recorder.hpp"
+
+namespace lazyhb::explore {
+
+class PrefixReplayEngine {
+ public:
+  /// What one upcoming schedule execution should do.
+  struct Session {
+    runtime::Execution* exec = nullptr;
+    bool resumed = false;        ///< true: call exec->resume(), else exec->run()
+    std::size_t startDepth = 0;  ///< scheduler starts at this absolute depth
+  };
+
+  /// `incremental` turns the engine on at all; `runtimeRollback`
+  /// additionally enables the full tier (the caller is responsible for
+  /// checking the program's checkpointable contract and
+  /// Execution::checkpointingSupported()).
+  PrefixReplayEngine(runtime::StackPool& stackPool, trace::TraceRecorder& recorder,
+                     bool incremental, bool runtimeRollback);
+
+  PrefixReplayEngine(const PrefixReplayEngine&) = delete;
+  PrefixReplayEngine& operator=(const PrefixReplayEngine&) = delete;
+
+  [[nodiscard]] bool incremental() const noexcept { return incremental_; }
+  [[nodiscard]] bool runtimeRollback() const noexcept { return runtimeRollback_; }
+
+  /// Scheduler hook: called from Scheduler::pick at a node the search may
+  /// revisit (unexplored siblings remain), with `depth` == the number of
+  /// committed events. Stages recorder and (full tier) execution
+  /// checkpoints; no-ops while the recorder is still skipping a replayed
+  /// prefix, or when the depth is already staged.
+  void stageCheckpoint(runtime::Execution& exec, std::size_t depth);
+
+  /// Plan the next schedule given the divergence depth the search's
+  /// advance() chose. Performs the rollback (full tier) or arms the
+  /// recorder resume (elision tier). Returns the Session::startDepth the
+  /// next scheduler must be constructed with.
+  std::size_t prepareNext(std::size_t divergenceDepth);
+
+  /// Hand out the execution for the next schedule: the rolled-back
+  /// persistent one, or a fresh single-use one. Also commits the pending
+  /// elided/replayed accounting planned by prepareNext.
+  Session beginSchedule(const runtime::Config& config,
+                        runtime::ExecutionObserver* observer);
+
+  // --- accounting -------------------------------------------------------------
+
+  /// Prefix events never re-executed (full runtime rollback).
+  [[nodiscard]] std::uint64_t eventsElided() const noexcept { return eventsElided_; }
+  /// Prefix events re-executed to reach a divergence point (their recording
+  /// was skipped whenever a recorder checkpoint covered them).
+  [[nodiscard]] std::uint64_t eventsReplayed() const noexcept { return eventsReplayed_; }
+  /// Successful runtime rollbacks / cold restarts of the persistent execution.
+  [[nodiscard]] std::uint64_t rollbacks() const noexcept { return rollbacks_; }
+  [[nodiscard]] std::uint64_t fullRestarts() const noexcept { return fullRestarts_; }
+
+ private:
+  runtime::StackPool& stackPool_;
+  trace::TraceRecorder& recorder_;
+  bool incremental_;
+  bool runtimeRollback_;
+
+  std::unique_ptr<runtime::Execution> exec_;
+  bool pendingResume_ = false;
+  std::size_t pendingStart_ = 0;
+  std::uint64_t pendingElided_ = 0;
+  std::uint64_t pendingReplayed_ = 0;
+
+  std::uint64_t eventsElided_ = 0;
+  std::uint64_t eventsReplayed_ = 0;
+  std::uint64_t rollbacks_ = 0;
+  std::uint64_t fullRestarts_ = 0;
+};
+
+}  // namespace lazyhb::explore

@@ -4,8 +4,6 @@
 // diagonal of Figure 2 and keep the corpus honest about where the lazy HBR
 // does NOT help.
 
-#include <memory>
-#include <vector>
 
 #include "programs/registry.hpp"
 #include "runtime/api.hpp"
@@ -20,9 +18,9 @@ using namespace lazyhb;
 explore::Program racyCounter(int threads) {
   return [threads] {
     Shared<int> counter{0, "counter"};
-    std::vector<ThreadHandle> workers;
+    InlineVec<ThreadHandle, 8> workers;
     for (int i = 0; i < threads; ++i) {
-      workers.push_back(spawn([&] {
+      workers.push(spawn([&] {
         const int v = counter.load();
         counter.store(v + 1);
       }));
@@ -136,21 +134,21 @@ explore::Program litmusMessagePassing() {
 /// wide racy read fan-in with many distinct HBRs and states.
 explore::Program sharedFlags(int threads) {
   return [threads] {
-    std::vector<std::unique_ptr<Shared<int>>> flags;
-    std::vector<std::unique_ptr<Shared<int>>> seen;
+    InlineVec<Shared<int>, 8> flags;
+    InlineVec<Shared<int>, 8> seen;
     for (int i = 0; i < threads; ++i) {
-      flags.push_back(std::make_unique<Shared<int>>(0, "flag"));
-      seen.push_back(std::make_unique<Shared<int>>(0, "seen"));
+      flags.emplace(0, "flag");
+      seen.emplace(0, "seen");
     }
-    std::vector<ThreadHandle> workers;
+    InlineVec<ThreadHandle, 8> workers;
     for (int i = 0; i < threads; ++i) {
-      workers.push_back(spawn([&, i] {
-        flags[static_cast<std::size_t>(i)]->store(1);
+      workers.push(spawn([&, i] {
+        flags[static_cast<std::size_t>(i)].store(1);
         int count = 0;
         for (int j = 0; j < threads; ++j) {
-          count += flags[static_cast<std::size_t>(j)]->load();
+          count += flags[static_cast<std::size_t>(j)].load();
         }
-        seen[static_cast<std::size_t>(i)]->store(count);
+        seen[static_cast<std::size_t>(i)].store(count);
         checkAlways(count >= 1, "a thread always sees its own flag");
       }));
     }
@@ -162,20 +160,20 @@ explore::Program sharedFlags(int threads) {
 /// reader scans for the last zero; racy but assertion-free.
 explore::Program lastZero(int writers) {
   return [writers] {
-    std::vector<std::unique_ptr<Shared<int>>> slots;
+    InlineVec<Shared<int>, 8> slots;
     for (int i = 0; i <= writers; ++i) {
-      slots.push_back(std::make_unique<Shared<int>>(0, "slot"));
+      slots.emplace(0, "slot");
     }
     Shared<int> lastSeenZero{-1, "lastZero"};
-    std::vector<ThreadHandle> workers;
+    InlineVec<ThreadHandle, 8> workers;
     for (int i = 1; i <= writers; ++i) {
-      workers.push_back(spawn([&, i] {
+      workers.push(spawn([&, i] {
         const auto prev = static_cast<std::size_t>(i - 1);
-        slots[static_cast<std::size_t>(i)]->store(slots[prev]->load() + 1);
+        slots[static_cast<std::size_t>(i)].store(slots[prev].load() + 1);
       }));
     }
     for (int i = writers; i >= 0; --i) {
-      if (slots[static_cast<std::size_t>(i)]->load() == 0) {
+      if (slots[static_cast<std::size_t>(i)].load() == 0) {
         lastSeenZero.store(i);
         break;
       }
@@ -219,14 +217,14 @@ explore::Program twoPhase(int threadsPerPhase) {
   return [threadsPerPhase] {
     Shared<int> phase1{0, "phase1"};
     Shared<int> phase2{0, "phase2"};
-    std::vector<ThreadHandle> wave1;
+    InlineVec<ThreadHandle, 8> wave1;
     for (int i = 0; i < threadsPerPhase; ++i) {
-      wave1.push_back(spawn([&] { phase1.fetchAdd(1); }));
+      wave1.push(spawn([&] { phase1.fetchAdd(1); }));
     }
     for (auto& w : wave1) w.join();
-    std::vector<ThreadHandle> wave2;
+    InlineVec<ThreadHandle, 8> wave2;
     for (int i = 0; i < threadsPerPhase; ++i) {
-      wave2.push_back(spawn([&] { phase2.fetchAdd(phase1.load()); }));
+      wave2.push(spawn([&] { phase2.fetchAdd(phase1.load()); }));
     }
     for (auto& w : wave2) w.join();
   };
@@ -243,6 +241,7 @@ void appendClassicPrograms(std::vector<ProgramSpec>& out) {
     spec.description = std::move(description);
     spec.body = std::move(body);
     spec.hasKnownBug = bug;
+    spec.checkpointable = true;  // bodies use InlineVec: no heap on fiber stacks
     out.push_back(std::move(spec));
   };
 

@@ -3,8 +3,6 @@
 // These mix mutex-protected state (lazy-reducible) with genuine signalling
 // order (kept by every relation).
 
-#include <memory>
-#include <vector>
 
 #include "programs/registry.hpp"
 #include "runtime/api.hpp"
@@ -29,9 +27,9 @@ explore::Program producerConsumer(int producers, int consumers, int capacity,
     const int total = producers * itemsPerProducer;
     const int perConsumer = total / consumers;
 
-    std::vector<ThreadHandle> workers;
+    InlineVec<ThreadHandle, 8> workers;
     for (int p = 0; p < producers; ++p) {
-      workers.push_back(spawn([&] {
+      workers.push(spawn([&] {
         for (int i = 0; i < itemsPerProducer; ++i) {
           LockGuard guard(m);
           while (count.load() == capacity) notFull.wait(m);
@@ -42,7 +40,7 @@ explore::Program producerConsumer(int producers, int consumers, int capacity,
       }));
     }
     for (int c = 0; c < consumers; ++c) {
-      workers.push_back(spawn([&, perConsumer] {
+      workers.push(spawn([&, perConsumer] {
         for (int i = 0; i < perConsumer; ++i) {
           LockGuard guard(m);
           while (count.load() == 0) notEmpty.wait(m);
@@ -65,13 +63,13 @@ explore::Program barrier(int threads) {
     Mutex m("barrier-lock");
     CondVar cv("barrier-cv");
     Shared<int> arrived{0, "arrived"};
-    std::vector<std::unique_ptr<Shared<int>>> results;
+    InlineVec<Shared<int>, 8> results;
     for (int i = 0; i < threads; ++i) {
-      results.push_back(std::make_unique<Shared<int>>(0, "result"));
+      results.emplace(0, "result");
     }
-    std::vector<ThreadHandle> workers;
+    InlineVec<ThreadHandle, 8> workers;
     for (int i = 0; i < threads; ++i) {
-      workers.push_back(spawn([&, i] {
+      workers.push(spawn([&, i] {
         {
           LockGuard guard(m);
           arrived.store(arrived.load() + 1);
@@ -81,7 +79,7 @@ explore::Program barrier(int threads) {
             while (arrived.load() < threads) cv.wait(m);
           }
         }
-        results[static_cast<std::size_t>(i)]->store(i + 1);
+        results[static_cast<std::size_t>(i)].store(i + 1);
       }));
     }
     for (auto& w : workers) w.join();
@@ -97,13 +95,13 @@ explore::Program barrierWork(int threads, int reps) {
     CondVar cv("barrier-cv");
     Shared<int> arrived{0, "arrived"};
     Mutex workLock("work-lock");
-    std::vector<std::unique_ptr<Shared<int>>> results;
+    InlineVec<Shared<int>, 8> results;
     for (int i = 0; i < threads; ++i) {
-      results.push_back(std::make_unique<Shared<int>>(0, "result"));
+      results.emplace(0, "result");
     }
-    std::vector<ThreadHandle> workers;
+    InlineVec<ThreadHandle, 8> workers;
     for (int i = 0; i < threads; ++i) {
-      workers.push_back(spawn([&, i, reps] {
+      workers.push(spawn([&, i, reps] {
         {
           LockGuard guard(barrierLock);
           arrived.store(arrived.load() + 1);
@@ -115,7 +113,7 @@ explore::Program barrierWork(int threads, int reps) {
         }
         for (int r = 0; r < reps; ++r) {
           LockGuard guard(workLock);
-          results[static_cast<std::size_t>(i)]->store(r + 1);
+          results[static_cast<std::size_t>(i)].store(r + 1);
         }
       }));
     }
@@ -157,8 +155,8 @@ explore::Program readersWriter(int readers) {
     Shared<int> a{0, "a"};
     Shared<int> b{0, "b"};
 
-    std::vector<ThreadHandle> workers;
-    workers.push_back(spawn([&] {  // writer
+    InlineVec<ThreadHandle, 8> workers;
+    workers.push(spawn([&] {  // writer
       {
         LockGuard guard(m);
         while (activeReaders.load() > 0) cv.wait(m);
@@ -173,7 +171,7 @@ explore::Program readersWriter(int readers) {
       }
     }));
     for (int r = 0; r < readers; ++r) {
-      workers.push_back(spawn([&] {
+      workers.push(spawn([&] {
         {
           LockGuard guard(m);
           while (writerActive.load() == 1) cv.wait(m);
@@ -217,9 +215,9 @@ explore::Program semMultiplex(int threads, int permits) {
   return [threads, permits] {
     Semaphore sem(permits, "permits");
     Shared<int> inside{0, "inside"};
-    std::vector<ThreadHandle> workers;
+    InlineVec<ThreadHandle, 8> workers;
     for (int i = 0; i < threads; ++i) {
-      workers.push_back(spawn([&, permits] {
+      workers.push(spawn([&, permits] {
         sem.acquire();
         const int occupancy = inside.fetchAdd(1) + 1;
         checkAlways(occupancy <= permits, "semaphore bounds occupancy");
@@ -263,6 +261,7 @@ void appendCondvarPrograms(std::vector<ProgramSpec>& out) {
     spec.family = std::move(family);
     spec.description = std::move(description);
     spec.body = std::move(body);
+    spec.checkpointable = true;  // bodies use InlineVec: no heap on fiber stacks
     out.push_back(std::move(spec));
   };
 

@@ -4,8 +4,6 @@
 // the trylock programs exercise the conservative retained-edge rule the
 // lazy HBR needs for soundness.
 
-#include <memory>
-#include <vector>
 
 #include "programs/registry.hpp"
 #include "runtime/api.hpp"
@@ -21,9 +19,9 @@ explore::Program casCounter(int threads, int attempts) {
   return [threads, attempts] {
     Shared<int> counter{0, "counter"};
     Shared<int> successes{0, "successes"};
-    std::vector<ThreadHandle> workers;
+    InlineVec<ThreadHandle, 8> workers;
     for (int i = 0; i < threads; ++i) {
-      workers.push_back(spawn([&, attempts] {
+      workers.push(spawn([&, attempts] {
         for (int a = 0; a < attempts; ++a) {
           const int seen = counter.load();
           if (counter.compareExchange(seen, seen + 1)) {
@@ -43,16 +41,16 @@ explore::Program casCounter(int threads, int attempts) {
 explore::Program treiberStack(int pushers) {
   return [pushers] {
     Shared<int> top{0, "top"};
-    std::vector<std::unique_ptr<Shared<int>>> slots;
+    InlineVec<Shared<int>, 8> slots;
     for (int i = 0; i <= pushers; ++i) {
-      slots.push_back(std::make_unique<Shared<int>>(0, "slot"));
+      slots.emplace(0, "slot");
     }
-    std::vector<ThreadHandle> workers;
+    InlineVec<ThreadHandle, 8> workers;
     for (int p = 0; p < pushers; ++p) {
-      workers.push_back(spawn([&, p] {
+      workers.push(spawn([&, p] {
         for (int attempt = 0; attempt < 3; ++attempt) {
           const int oldTop = top.load();
-          slots[static_cast<std::size_t>(oldTop + 1) % slots.size()]->store(p + 1);
+          slots[static_cast<std::size_t>(oldTop + 1) % slots.size()].store(p + 1);
           if (top.compareExchange(oldTop, oldTop + 1)) break;
         }
       }));
@@ -69,15 +67,15 @@ explore::Program seqlock(int readers) {
     Shared<int> seq{0, "seq"};
     Shared<int> d1{0, "d1"};
     Shared<int> d2{0, "d2"};
-    std::vector<ThreadHandle> workers;
-    workers.push_back(spawn([&] {  // writer
+    InlineVec<ThreadHandle, 8> workers;
+    workers.push(spawn([&] {  // writer
       seq.store(1);
       d1.store(10);
       d2.store(10);
       seq.store(2);
     }));
     for (int r = 0; r < readers; ++r) {
-      workers.push_back(spawn([&] {
+      workers.push(spawn([&] {
         for (int attempt = 0; attempt < 2; ++attempt) {
           const int before = seq.load();
           if (before % 2 != 0) continue;
@@ -101,9 +99,9 @@ explore::Program trylockFallback(int threads) {
     Mutex m("opt");
     Shared<int> fast{0, "fast"};
     Shared<int> slow{0, "slow"};
-    std::vector<ThreadHandle> workers;
+    InlineVec<ThreadHandle, 8> workers;
     for (int i = 0; i < threads; ++i) {
-      workers.push_back(spawn([&] {
+      workers.push(spawn([&] {
         if (m.tryLock()) {
           fast.store(fast.load() + 1);
           m.unlock();
@@ -189,21 +187,21 @@ explore::Program workStealing() {
 explore::Program consensus(int threads) {
   return [threads] {
     Shared<int> decision{0, "decision"};
-    std::vector<std::unique_ptr<Shared<int>>> agreed;
+    InlineVec<Shared<int>, 8> agreed;
     for (int i = 0; i < threads; ++i) {
-      agreed.push_back(std::make_unique<Shared<int>>(0, "agreed"));
+      agreed.emplace(0, "agreed");
     }
-    std::vector<ThreadHandle> workers;
+    InlineVec<ThreadHandle, 8> workers;
     for (int i = 0; i < threads; ++i) {
-      workers.push_back(spawn([&, i] {
+      workers.push(spawn([&, i] {
         (void)decision.compareExchange(0, i + 1);
-        agreed[static_cast<std::size_t>(i)]->store(decision.load());
+        agreed[static_cast<std::size_t>(i)].store(decision.load());
         checkAlways(decision.load() != 0, "a winner exists after any CAS");
       }));
     }
     for (auto& w : workers) w.join();
     for (int i = 1; i < threads; ++i) {
-      checkAlways(agreed[0]->peek() == agreed[static_cast<std::size_t>(i)]->peek(),
+      checkAlways(agreed[0].peek() == agreed[static_cast<std::size_t>(i)].peek(),
                   "all threads agree");
     }
   };
@@ -219,6 +217,7 @@ void appendLockfreePrograms(std::vector<ProgramSpec>& out) {
     spec.family = std::move(family);
     spec.description = std::move(description);
     spec.body = std::move(body);
+    spec.checkpointable = true;  // bodies use InlineVec: no heap on fiber stacks
     out.push_back(std::move(spec));
   };
 

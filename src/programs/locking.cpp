@@ -6,8 +6,6 @@
 // lazy HBR recognises that critical sections over disjoint (or read-only)
 // data commute.
 
-#include <memory>
-#include <vector>
 
 #include "programs/registry.hpp"
 #include "runtime/api.hpp"
@@ -25,18 +23,16 @@ using namespace lazyhb;
 explore::Program disjointLock(int threads, int reps) {
   return [threads, reps] {
     Mutex m("g");
-    std::vector<std::unique_ptr<Shared<int>>> vars;
-    vars.reserve(static_cast<std::size_t>(threads));
+    InlineVec<Shared<int>, 8> vars;
     for (int i = 0; i < threads; ++i) {
-      vars.push_back(std::make_unique<Shared<int>>(0, "v"));
+      vars.emplace(0, "v");
     }
-    std::vector<ThreadHandle> workers;
-    workers.reserve(static_cast<std::size_t>(threads));
+    InlineVec<ThreadHandle, 8> workers;
     for (int i = 0; i < threads; ++i) {
-      workers.push_back(spawn([&, i] {
+      workers.push(spawn([&, i] {
         for (int r = 0; r < reps; ++r) {
           LockGuard guard(m);
-          vars[static_cast<std::size_t>(i)]->store(r + 1);
+          vars[static_cast<std::size_t>(i)].store(r + 1);
         }
       }));
     }
@@ -50,9 +46,9 @@ explore::Program readonlyLock(int threads, int reps = 1) {
   return [threads, reps] {
     Mutex m("g");
     Shared<int> config{42, "config"};
-    std::vector<ThreadHandle> workers;
+    InlineVec<ThreadHandle, 8> workers;
     for (int i = 0; i < threads; ++i) {
-      workers.push_back(spawn([&, reps] {
+      workers.push(spawn([&, reps] {
         for (int r = 0; r < reps; ++r) {
           LockGuard guard(m);
           checkAlways(config.load() == 42, "config is constant");
@@ -70,16 +66,16 @@ explore::Program readonlyLock(int threads, int reps = 1) {
 explore::Program indexerCoarse(int threads, int insertsPerThread) {
   return [threads, insertsPerThread] {
     Mutex tableLock("table");
-    std::vector<std::unique_ptr<Shared<int>>> table;
+    InlineVec<Shared<int>, 8> table;
     for (int i = 0; i < threads * insertsPerThread; ++i) {
-      table.push_back(std::make_unique<Shared<int>>(0, "bucket"));
+      table.emplace(0, "bucket");
     }
-    std::vector<ThreadHandle> workers;
+    InlineVec<ThreadHandle, 8> workers;
     for (int t = 0; t < threads; ++t) {
-      workers.push_back(spawn([&, t] {
+      workers.push(spawn([&, t] {
         for (int k = 0; k < insertsPerThread; ++k) {
           LockGuard guard(tableLock);
-          table[static_cast<std::size_t>(t * insertsPerThread + k)]->store(t + 1);
+          table[static_cast<std::size_t>(t * insertsPerThread + k)].store(t + 1);
         }
       }));
     }
@@ -98,9 +94,9 @@ explore::Program noisyCounter(int threads, int noise) {
   return [threads, noise] {
     Mutex m("noise");
     Shared<int> counter{0, "counter"};
-    std::vector<ThreadHandle> workers;
+    InlineVec<ThreadHandle, 8> workers;
     for (int i = 0; i < threads; ++i) {
-      workers.push_back(spawn([&, noise] {
+      workers.push(spawn([&, noise] {
         // Racy variety first, noise second: depth-first search backtracks
         // deepest choices first, so a budgeted regular-HBR-caching run
         // exhausts itself re-ordering the (lazy-equivalent) critical
@@ -125,21 +121,21 @@ explore::Program noisyCounter(int threads, int noise) {
 explore::Program noisyFlags(int threads, int noise) {
   return [threads, noise] {
     Mutex m("noise");
-    std::vector<std::unique_ptr<Shared<int>>> flags;
-    std::vector<std::unique_ptr<Shared<int>>> seen;
+    InlineVec<Shared<int>, 8> flags;
+    InlineVec<Shared<int>, 8> seen;
     for (int i = 0; i < threads; ++i) {
-      flags.push_back(std::make_unique<Shared<int>>(0, "flag"));
-      seen.push_back(std::make_unique<Shared<int>>(0, "seen"));
+      flags.emplace(0, "flag");
+      seen.emplace(0, "seen");
     }
-    std::vector<ThreadHandle> workers;
+    InlineVec<ThreadHandle, 8> workers;
     for (int i = 0; i < threads; ++i) {
-      workers.push_back(spawn([&, i, noise] {
-        flags[static_cast<std::size_t>(i)]->store(1);
+      workers.push(spawn([&, i, noise] {
+        flags[static_cast<std::size_t>(i)].store(1);
         int count = 0;
         for (int j = 0; j < threads; ++j) {
-          count += flags[static_cast<std::size_t>(j)]->load();
+          count += flags[static_cast<std::size_t>(j)].load();
         }
-        seen[static_cast<std::size_t>(i)]->store(count);
+        seen[static_cast<std::size_t>(i)].store(count);
         for (int k = 0; k < noise; ++k) {
           LockGuard guard(m);  // empty critical section
         }
@@ -156,9 +152,9 @@ explore::Program counterLock(int threads) {
   return [threads] {
     Mutex m("g");
     Shared<int> counter{0, "counter"};
-    std::vector<ThreadHandle> workers;
+    InlineVec<ThreadHandle, 8> workers;
     for (int i = 0; i < threads; ++i) {
-      workers.push_back(spawn([&] {
+      workers.push(spawn([&] {
         LockGuard guard(m);
         counter.store(counter.load() + 1);
       }));
@@ -173,15 +169,15 @@ explore::Program counterLock(int threads) {
 explore::Program accountsCoarse(int threads) {
   return [threads] {
     Mutex bankLock("bank");
-    std::vector<std::unique_ptr<Shared<int>>> accounts;
+    InlineVec<Shared<int>, 8> accounts;
     for (int i = 0; i < 2 * threads; ++i) {
-      accounts.push_back(std::make_unique<Shared<int>>(100, "acct"));
+      accounts.emplace(100, "acct");
     }
-    std::vector<ThreadHandle> workers;
+    InlineVec<ThreadHandle, 8> workers;
     for (int i = 0; i < threads; ++i) {
-      workers.push_back(spawn([&, i] {
-        Shared<int>& from = *accounts[static_cast<std::size_t>(2 * i)];
-        Shared<int>& to = *accounts[static_cast<std::size_t>(2 * i + 1)];
+      workers.push(spawn([&, i] {
+        Shared<int>& from = accounts[static_cast<std::size_t>(2 * i)];
+        Shared<int>& to = accounts[static_cast<std::size_t>(2 * i + 1)];
         LockGuard guard(bankLock);
         const int amount = 30;
         from.store(from.load() - amount);
@@ -199,16 +195,16 @@ explore::Program accountsShared(int threads) {
   return [threads] {
     Mutex bankLock("bank");
     Shared<int> hub{1000, "hub"};
-    std::vector<std::unique_ptr<Shared<int>>> accounts;
+    InlineVec<Shared<int>, 8> accounts;
     for (int i = 0; i < threads; ++i) {
-      accounts.push_back(std::make_unique<Shared<int>>(0, "acct"));
+      accounts.emplace(0, "acct");
     }
-    std::vector<ThreadHandle> workers;
+    InlineVec<ThreadHandle, 8> workers;
     for (int i = 0; i < threads; ++i) {
-      workers.push_back(spawn([&, i] {
+      workers.push(spawn([&, i] {
         LockGuard guard(bankLock);
         hub.store(hub.load() - 10);
-        auto& mine = *accounts[static_cast<std::size_t>(i)];
+        auto& mine = accounts[static_cast<std::size_t>(i)];
         mine.store(mine.load() + 10);
       }));
     }
@@ -223,20 +219,20 @@ explore::Program accountsShared(int threads) {
 /// within a bucket.
 explore::Program indexer(int threads, int insertsPerThread, int buckets) {
   return [threads, insertsPerThread, buckets] {
-    std::vector<std::unique_ptr<Mutex>> locks;
-    std::vector<std::unique_ptr<Shared<int>>> table;
+    InlineVec<Mutex, 8> locks;
+    InlineVec<Shared<int>, 8> table;
     for (int b = 0; b < buckets; ++b) {
-      locks.push_back(std::make_unique<Mutex>("bucket-lock"));
-      table.push_back(std::make_unique<Shared<int>>(0, "bucket"));
+      locks.emplace("bucket-lock");
+      table.emplace(0, "bucket");
     }
-    std::vector<ThreadHandle> workers;
+    InlineVec<ThreadHandle, 8> workers;
     for (int t = 0; t < threads; ++t) {
-      workers.push_back(spawn([&, t] {
+      workers.push(spawn([&, t] {
         for (int k = 0; k < insertsPerThread; ++k) {
           const int key = t * insertsPerThread + k + 1;
           const int bucket = (key * 7) % buckets;
-          LockGuard guard(*locks[static_cast<std::size_t>(bucket)]);
-          auto& slot = *table[static_cast<std::size_t>(bucket)];
+          LockGuard guard(locks[static_cast<std::size_t>(bucket)]);
+          auto& slot = table[static_cast<std::size_t>(bucket)];
           if (slot.load() == 0) {
             slot.store(key);
           }
@@ -251,29 +247,29 @@ explore::Program indexer(int threads, int insertsPerThread, int buckets) {
 /// busy flag, and if free lock a block and claim both.
 explore::Program filesystem(int threads, int inodes, int blocks) {
   return [threads, inodes, blocks] {
-    std::vector<std::unique_ptr<Mutex>> inodeLocks;
-    std::vector<std::unique_ptr<Shared<int>>> inodeBusy;
+    InlineVec<Mutex, 8> inodeLocks;
+    InlineVec<Shared<int>, 8> inodeBusy;
     for (int i = 0; i < inodes; ++i) {
-      inodeLocks.push_back(std::make_unique<Mutex>("inode-lock"));
-      inodeBusy.push_back(std::make_unique<Shared<int>>(0, "inode"));
+      inodeLocks.emplace("inode-lock");
+      inodeBusy.emplace(0, "inode");
     }
-    std::vector<std::unique_ptr<Mutex>> blockLocks;
-    std::vector<std::unique_ptr<Shared<int>>> blockUsed;
+    InlineVec<Mutex, 8> blockLocks;
+    InlineVec<Shared<int>, 8> blockUsed;
     for (int b = 0; b < blocks; ++b) {
-      blockLocks.push_back(std::make_unique<Mutex>("block-lock"));
-      blockUsed.push_back(std::make_unique<Shared<int>>(0, "block"));
+      blockLocks.emplace("block-lock");
+      blockUsed.emplace(0, "block");
     }
-    std::vector<ThreadHandle> workers;
+    InlineVec<ThreadHandle, 8> workers;
     for (int t = 0; t < threads; ++t) {
-      workers.push_back(spawn([&, t] {
+      workers.push(spawn([&, t] {
         const auto i = static_cast<std::size_t>(t % inodes);
-        LockGuard inodeGuard(*inodeLocks[i]);
-        if (inodeBusy[i]->load() == 0) {
+        LockGuard inodeGuard(inodeLocks[i]);
+        if (inodeBusy[i].load() == 0) {
           const auto b = static_cast<std::size_t>((t * 2) % blocks);
-          LockGuard blockGuard(*blockLocks[b]);
-          if (blockUsed[b]->load() == 0) {
-            blockUsed[b]->store(t + 1);
-            inodeBusy[i]->store(1);
+          LockGuard blockGuard(blockLocks[b]);
+          if (blockUsed[b].load() == 0) {
+            blockUsed[b].store(t + 1);
+            inodeBusy[i].store(1);
           }
         }
       }));
@@ -286,21 +282,21 @@ explore::Program filesystem(int threads, int inodes, int blocks) {
 /// free); thread i moves money between its own pair.
 explore::Program accountsFine(int threads) {
   return [threads] {
-    std::vector<std::unique_ptr<Mutex>> locks;
-    std::vector<std::unique_ptr<Shared<int>>> balance;
+    InlineVec<Mutex, 8> locks;
+    InlineVec<Shared<int>, 8> balance;
     for (int i = 0; i < 2 * threads; ++i) {
-      locks.push_back(std::make_unique<Mutex>("acct-lock"));
-      balance.push_back(std::make_unique<Shared<int>>(50, "balance"));
+      locks.emplace("acct-lock");
+      balance.emplace(50, "balance");
     }
-    std::vector<ThreadHandle> workers;
+    InlineVec<ThreadHandle, 8> workers;
     for (int i = 0; i < threads; ++i) {
-      workers.push_back(spawn([&, i] {
+      workers.push(spawn([&, i] {
         const auto a = static_cast<std::size_t>(2 * i);
         const auto b = static_cast<std::size_t>(2 * i + 1);
-        LockGuard guardA(*locks[a]);
-        LockGuard guardB(*locks[b]);
-        balance[a]->store(balance[a]->load() - 5);
-        balance[b]->store(balance[b]->load() + 5);
+        LockGuard guardA(locks[a]);
+        LockGuard guardB(locks[b]);
+        balance[a].store(balance[a].load() - 5);
+        balance[b].store(balance[b].load() + 5);
       }));
     }
     for (auto& w : workers) w.join();
@@ -312,22 +308,22 @@ explore::Program accountsFine(int threads) {
 /// forks but full reduction between non-adjacent philosophers.
 explore::Program diningOrdered(int philosophers) {
   return [philosophers] {
-    std::vector<std::unique_ptr<Mutex>> forks;
-    std::vector<std::unique_ptr<Shared<int>>> meals;
+    InlineVec<Mutex, 8> forks;
+    InlineVec<Shared<int>, 8> meals;
     for (int i = 0; i < philosophers; ++i) {
-      forks.push_back(std::make_unique<Mutex>("fork"));
-      meals.push_back(std::make_unique<Shared<int>>(0, "meals"));
+      forks.emplace("fork");
+      meals.emplace(0, "meals");
     }
-    std::vector<ThreadHandle> workers;
+    InlineVec<ThreadHandle, 8> workers;
     for (int i = 0; i < philosophers; ++i) {
-      workers.push_back(spawn([&, i] {
+      workers.push(spawn([&, i] {
         const auto left = static_cast<std::size_t>(i);
         const auto right = static_cast<std::size_t>((i + 1) % philosophers);
         const auto first = left < right ? left : right;
         const auto second = left < right ? right : left;
-        LockGuard firstGuard(*forks[first]);
-        LockGuard secondGuard(*forks[second]);
-        meals[static_cast<std::size_t>(i)]->store(1);
+        LockGuard firstGuard(forks[first]);
+        LockGuard secondGuard(forks[second]);
+        meals[static_cast<std::size_t>(i)].store(1);
       }));
     }
     for (auto& w : workers) w.join();
@@ -340,16 +336,16 @@ explore::Program diningOrdered(int philosophers) {
 explore::Program pipelineLocked(int stages) {
   return [stages] {
     Mutex m("pipe");
-    std::vector<std::unique_ptr<Shared<int>>> values;
+    InlineVec<Shared<int>, 8> values;
     for (int i = 0; i <= stages; ++i) {
-      values.push_back(std::make_unique<Shared<int>>(i == 0 ? 1 : 0, "stage"));
+      values.emplace(i == 0 ? 1 : 0, "stage");
     }
-    std::vector<ThreadHandle> workers;
+    InlineVec<ThreadHandle, 8> workers;
     for (int i = 1; i <= stages; ++i) {
-      workers.push_back(spawn([&, i] {
+      workers.push(spawn([&, i] {
         LockGuard guard(m);
-        const int upstream = values[static_cast<std::size_t>(i - 1)]->load();
-        values[static_cast<std::size_t>(i)]->store(upstream + 1);
+        const int upstream = values[static_cast<std::size_t>(i - 1)].load();
+        values[static_cast<std::size_t>(i)].store(upstream + 1);
       }));
     }
     for (auto& w : workers) w.join();
@@ -366,6 +362,7 @@ void appendLockingPrograms(std::vector<ProgramSpec>& out) {
     spec.family = std::move(family);
     spec.description = std::move(description);
     spec.body = std::move(body);
+    spec.checkpointable = true;  // bodies use InlineVec: no heap on fiber stacks
     out.push_back(std::move(spec));
   };
 

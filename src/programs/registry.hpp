@@ -36,6 +36,12 @@ struct ProgramSpec {
   std::string description;  ///< one line for tables/docs
   explore::Program body;
   bool hasKnownBug = false; ///< an assertion failure or deadlock is reachable
+  /// The body satisfies the checkpointable contract (runtime/execution.hpp):
+  /// no heap-owning state on fiber stacks (lazyhb::InlineVec instead of
+  /// std::vector), enabling full runtime rollback under incremental
+  /// exploration. Heap-using programs still run incrementally, via
+  /// re-execution with recorder-side prefix elision.
+  bool checkpointable = false;
 };
 
 /// All 79 benchmarks, in id order (ids are 1..79).

@@ -25,7 +25,9 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
+#include <new>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -56,7 +58,102 @@ struct ValueHash {
   }
 };
 
+/// True when Shared<T> keeps its value in the engine's object table rather
+/// than inline (see Shared below).
+template <typename T>
+inline constexpr bool kEngineResidentShared =
+    std::is_trivially_copyable_v<T> && std::is_default_constructible_v<T> &&
+    sizeof(T) <= sizeof(std::int64_t);
+
+template <typename T>
+[[nodiscard]] inline std::int64_t valueToBits(const T& value) noexcept {
+  static_assert(kEngineResidentShared<T>);
+  std::int64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(T));
+  return bits;
+}
+
+template <typename T>
+[[nodiscard]] inline T bitsToValue(std::int64_t bits) noexcept {
+  static_assert(kEngineResidentShared<T>);
+  T value{};
+  std::memcpy(&value, &bits, sizeof(T));
+  return value;
+}
+
+/// Inline value storage for Shared<T> when T is too big (or not trivially
+/// copyable) for the engine's object table; the engine-resident case
+/// stores nothing here.
+template <typename T, bool EngineResident>
+struct SharedStorage {
+  T value;
+  explicit SharedStorage(T&& v) : value(std::move(v)) {}
+};
+template <typename T>
+struct SharedStorage<T, true> {
+  explicit SharedStorage(T&&) noexcept {}
+};
+
 }  // namespace detail
+
+/// A fixed-capacity, stack-resident sequence: the checkpointable-contract
+/// alternative to std::vector for program bodies (see execution.hpp —
+/// resumable executions snapshot fiber stacks as raw bytes, so program
+/// state must not own heap memory). Elements are constructed in place in
+/// inline storage and destroyed in reverse order; capacity overflow is a
+/// program bug and aborts the execution via checkAlways-style failure.
+///
+/// Deliberately minimal: emplace/push, indexing and range-for — exactly
+/// what the benchmark corpus needs to build its object tables and worker
+/// lists without touching the heap.
+template <typename T, std::size_t N>
+class InlineVec {
+ public:
+  InlineVec() = default;
+  ~InlineVec() {
+    for (std::size_t i = size_; i-- > 0;) ptr(i)->~T();
+  }
+
+  InlineVec(const InlineVec&) = delete;
+  InlineVec& operator=(const InlineVec&) = delete;
+
+  template <typename... Args>
+  T& emplace(Args&&... args) {
+    LAZYHB_CHECK(size_ < N);
+    T* slot = new (static_cast<void*>(storage_ + size_ * sizeof(T)))
+        T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void push(T value) { emplace(std::move(value)); }
+
+  [[nodiscard]] T& operator[](std::size_t i) {
+    LAZYHB_CHECK(i < size_);
+    return *ptr(i);
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    LAZYHB_CHECK(i < size_);
+    return *ptr(i);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] T* begin() noexcept { return ptr(0); }
+  [[nodiscard]] T* end() noexcept { return ptr(0) + size_; }
+  [[nodiscard]] const T* begin() const noexcept { return ptr(0); }
+  [[nodiscard]] const T* end() const noexcept { return ptr(0) + size_; }
+
+ private:
+  [[nodiscard]] T* ptr(std::size_t i) noexcept {
+    return std::launder(reinterpret_cast<T*>(storage_ + i * sizeof(T)));
+  }
+  [[nodiscard]] const T* ptr(std::size_t i) const noexcept {
+    return std::launder(reinterpret_cast<const T*>(storage_ + i * sizeof(T)));
+  }
+
+  alignas(T) unsigned char storage_[N * sizeof(T)];
+  std::size_t size_ = 0;
+};
 
 /// Handle to a spawned thread. join() blocks until the thread finishes and
 /// establishes a happens-before edge from its last event.
@@ -195,13 +292,26 @@ class Semaphore {
 /// A shared variable of type T. Every access is a visible operation and a
 /// conflict-edge source in both the regular and the lazy HBR. T must be
 /// copyable and hashable (std::hash or a ValueHash specialisation).
+///
+/// Storage: small trivially-copyable values live in the *engine's* object
+/// table — the simulation's shared memory — not in this object. Fiber
+/// stacks then hold no bytes another thread can mutate, which is what lets
+/// resumable executions (a) version fiber snapshots by how often the fiber
+/// ran and (b) capture every shared value in the object-table snapshot.
+/// Larger or non-trivial T falls back to inline storage; such a variable
+/// accessed across threads is outside the checkpointable contract.
 template <typename T>
 class Shared {
+  static constexpr bool kEngineResident = detail::kEngineResidentShared<T>;
+
  public:
   explicit Shared(T initial, const char* name = "var")
-      : exec_(&detail::currentExecution()), value_(std::move(initial)),
-        index_(exec_->registerObject(runtime::ObjectKind::Var, name,
-                                     detail::ValueHash<T>{}(value_), -1)) {}
+      : exec_(&detail::currentExecution()), storage_(T(initial)) {
+    std::int64_t initialBits = -1;
+    if constexpr (kEngineResident) initialBits = detail::valueToBits(initial);
+    index_ = exec_->registerObject(runtime::ObjectKind::Var, name,
+                                   detail::ValueHash<T>{}(initial), initialBits);
+  }
 
   Shared(const Shared&) = delete;
   Shared& operator=(const Shared&) = delete;
@@ -209,7 +319,7 @@ class Shared {
   /// Visible read.
   [[nodiscard]] T load() {
     exec_->varPublish(index_, runtime::OpKind::Read);
-    T result = value_;
+    T result = get();
     exec_->varCommit(index_, runtime::OpKind::Read, 0);
     return result;
   }
@@ -217,17 +327,18 @@ class Shared {
   /// Visible write.
   void store(T desired) {
     exec_->varPublish(index_, runtime::OpKind::Write);
-    value_ = std::move(desired);
-    exec_->varCommit(index_, runtime::OpKind::Write, detail::ValueHash<T>{}(value_));
+    set(std::move(desired));
+    exec_->varCommit(index_, runtime::OpKind::Write, detail::ValueHash<T>{}(get()));
   }
 
   /// Atomic read-modify-write; returns the previous value.
   template <typename F>
   T modify(F&& f) {
     exec_->varPublish(index_, runtime::OpKind::Rmw);
-    T previous = value_;
-    value_ = std::forward<F>(f)(std::move(value_));
-    exec_->varCommit(index_, runtime::OpKind::Rmw, detail::ValueHash<T>{}(value_));
+    T previous = get();
+    T current = previous;
+    set(std::forward<F>(f)(std::move(current)));
+    exec_->varCommit(index_, runtime::OpKind::Rmw, detail::ValueHash<T>{}(get()));
     return previous;
   }
 
@@ -252,13 +363,36 @@ class Shared {
 
   /// Non-instrumented peek: no event, no scheduling point. Only safe where
   /// no other thread can be mutating the variable (e.g. after joining all
-  /// writers); provided for assertions and result extraction.
-  [[nodiscard]] const T& peek() const noexcept { return value_; }
+  /// writers); provided for assertions and result extraction. Returns by
+  /// value for engine-resident T, by const reference otherwise.
+  [[nodiscard]] decltype(auto) peek() const noexcept(kEngineResident) {
+    if constexpr (kEngineResident) {
+      return detail::bitsToValue<T>(exec_->varBits(index_));
+    } else {
+      return static_cast<const T&>(storage_.value);
+    }
+  }
 
  private:
+  [[nodiscard]] T get() const noexcept(kEngineResident) {
+    if constexpr (kEngineResident) {
+      return detail::bitsToValue<T>(exec_->varBits(index_));
+    } else {
+      return storage_.value;
+    }
+  }
+
+  void set(T v) {
+    if constexpr (kEngineResident) {
+      exec_->setVarBits(index_, detail::valueToBits(v));
+    } else {
+      storage_.value = std::move(v);
+    }
+  }
+
   runtime::Execution* exec_;
-  T value_;
-  std::int32_t index_;
+  detail::SharedStorage<T, kEngineResident> storage_;
+  std::int32_t index_ = -1;
 };
 
 }  // namespace lazyhb

@@ -19,11 +19,26 @@ Execution::Execution(const Config& config, StackPool& stackPool,
     : config_(config), stackPool_(stackPool), observer_(observer) {}
 
 Execution::~Execution() {
-  // run() tears all fibers down before returning; if run() was never called
-  // there are no fibers.
+  // In resumable mode end-of-run teardown is deferred (fibers stay restorable
+  // between schedules); run whatever is left forward now so destructors in
+  // the program under test execute normally.
+  if (resumable_ && ran_ && !abandoning_) {
+    LAZYHB_CHECK(g_current == nullptr);
+    g_current = this;
+    teardownUnfinished();
+    g_current = nullptr;
+  }
+  // Otherwise run() tears all fibers down before returning; if run() was
+  // never called there are no fibers.
   for (const auto& t : threads_) {
     LAZYHB_CHECK(!t.fiber || t.fiber->finished());
   }
+}
+
+void Execution::enableResumable() {
+  LAZYHB_CHECK(!ran_);
+  LAZYHB_CHECK(checkpointingSupported());
+  resumable_ = true;
 }
 
 Outcome Execution::run(const std::function<void()>& body, Scheduler& scheduler) {
@@ -53,7 +68,19 @@ Outcome Execution::run(const std::function<void()>& body, Scheduler& scheduler) 
     threads_.push_back(std::move(root));
   }
   advance(0);
+  driveLoop(scheduler);
+  return finishRun();
+}
 
+Outcome Execution::resume(Scheduler& scheduler) {
+  LAZYHB_CHECK(ran_ && resumable_ && !done_);
+  LAZYHB_CHECK(g_current == nullptr);
+  g_current = this;
+  driveLoop(scheduler);
+  return finishRun();
+}
+
+void Execution::driveLoop(Scheduler& scheduler) {
   for (;;) {
     if (violation_.kind != Outcome::Terminal) {
       outcome_ = violation_.kind;
@@ -89,18 +116,169 @@ Outcome Execution::run(const std::function<void()>& body, Scheduler& scheduler) 
     choices_.push_back(tid);
     advance(tid);
   }
+}
 
+Outcome Execution::finishRun() {
   finalFingerprint_ = computeStateFingerprint();
   done_ = true;
-  teardownUnfinished();
+  // Resumable executions stay restorable: teardown is deferred until the
+  // destructor (or never needed, when the schedule ended with every fiber
+  // finished naturally).
+  if (!resumable_) teardownUnfinished();
   if (observer_ != nullptr) observer_->onExecutionEnd(*this, outcome_);
   g_current = nullptr;
   return outcome_;
 }
 
+std::size_t Execution::checkpoint() {
+  // Only legal at a scheduling point: the host loop is asking the scheduler
+  // for a pick, so every fiber is suspended at its publish/park site.
+  LAZYHB_CHECK(resumable_ && !done_ && currentThread_ == -1);
+  const std::size_t depth = events_.size();
+  LAZYHB_CHECK(choices_.size() == depth);
+  if (!snapshots_.empty() && snapshots_.back().depth == depth) {
+    return depth;  // already staged at this depth
+  }
+  LAZYHB_CHECK(snapshots_.empty() || snapshots_.back().depth < depth);
+  if (snapshotPool_.empty()) {
+    snapshots_.emplace_back();
+  } else {
+    snapshots_.push_back(std::move(snapshotPool_.back()));
+    snapshotPool_.pop_back();
+  }
+  ExecSnapshot& s = snapshots_.back();
+  s.depth = depth;
+  s.threadCount = threads_.size();
+  s.objectCount = objects_.size();
+  if (s.threads.size() < s.threadCount) s.threads.resize(s.threadCount);
+  if (imageCache_.size() < threads_.size()) imageCache_.resize(threads_.size());
+  for (std::size_t i = 0; i < s.threadCount; ++i) {
+    const ThreadRec& t = threads_[i];
+    ThreadSnapshot& ts = s.threads[i];
+    ts.status = t.status;
+    ts.pendingOp = t.pendingOp;
+    ts.eventsExecuted = t.eventsExecuted;
+    ts.creationSeq = t.creationSeq;
+    ts.advanceCount = t.advanceCount;
+    ts.spawnPredecessor = t.spawnPredecessor;
+    ts.signalPredecessor = t.signalPredecessor;
+    ts.joinPredecessor = t.joinPredecessor;
+    ts.lastEventIndex = t.lastEventIndex;
+    if (t.status == ThreadStatus::Finished) {
+      // A finished thread never runs again on any suffix of this prefix;
+      // its continuation is irrelevant and its stack bytes stay dead.
+      ts.image = nullptr;
+      continue;
+    }
+    // Image sharing: the stack only changes when the fiber is advanced, so
+    // a cached image at the same advanceCount is byte-identical — only the
+    // (usually one) thread that moved since the last checkpoint is copied.
+    ImageCacheEntry& cached = imageCache_[i];
+    if (cached.version != t.advanceCount || cached.image == nullptr) {
+      auto image = std::make_shared<ThreadImage>();
+      t.fiber->snapshotTo(image->fiber);
+      image->pendingSpawnFn = t.pendingSpawnFn;
+      cached.version = t.advanceCount;
+      cached.image = std::move(image);
+    }
+    ts.image = cached.image;
+  }
+  if (s.objects.size() < s.objectCount) s.objects.resize(s.objectCount);
+  for (std::size_t i = 0; i < s.objectCount; ++i) {
+    const ObjectInfo& o = objects_[i];
+    ObjectSnapshot& os = s.objects[i];
+    os.valueHash = o.valueHash;
+    os.a = o.a;
+    os.waiters.assign(o.waiters.begin(), o.waiters.end());
+  }
+  return depth;
+}
+
+std::size_t Execution::deepestCheckpointAtOrBelow(std::size_t depth) const noexcept {
+  for (auto it = snapshots_.rbegin(); it != snapshots_.rend(); ++it) {
+    if (it->depth <= depth) return it->depth;
+  }
+  return kNoCheckpoint;
+}
+
+void Execution::rollbackTo(std::size_t depth) {
+  LAZYHB_CHECK(resumable_ && ran_ && done_);
+  LAZYHB_CHECK(g_current == nullptr);
+  while (!snapshots_.empty() && snapshots_.back().depth > depth) {
+    snapshotPool_.push_back(std::move(snapshots_.back()));
+    snapshots_.pop_back();
+  }
+  LAZYHB_CHECK(!snapshots_.empty() && snapshots_.back().depth == depth);
+  const ExecSnapshot& s = snapshots_.back();
+
+  // Threads spawned past the checkpoint are discarded outright: their
+  // stacks are dropped as raw bytes (checkpointable-program contract), and
+  // their engine resources (stack buffer, parked closure) are freed by the
+  // Fiber destructor.
+  while (threads_.size() > s.threadCount) {
+    threads_.back().fiber->abandonForRollback();
+    threads_.pop_back();
+    if (imageCache_.size() > threads_.size()) {
+      imageCache_.back() = ImageCacheEntry{};
+      imageCache_.pop_back();
+    }
+  }
+  for (std::size_t i = 0; i < s.threadCount; ++i) {
+    ThreadRec& t = threads_[i];
+    const ThreadSnapshot& ts = s.threads[i];
+    t.status = ts.status;
+    t.pendingOp = ts.pendingOp;
+    t.eventsExecuted = ts.eventsExecuted;
+    t.creationSeq = ts.creationSeq;
+    t.spawnPredecessor = ts.spawnPredecessor;
+    t.signalPredecessor = ts.signalPredecessor;
+    t.joinPredecessor = ts.joinPredecessor;
+    t.lastEventIndex = ts.lastEventIndex;
+    if (ts.status == ThreadStatus::Finished) {
+      t.fiber->abandonForRollback();  // stays finished
+      t.advanceCount = ts.advanceCount;
+      continue;
+    }
+    if (t.advanceCount == ts.advanceCount) {
+      // The thread has not been advanced since this snapshot was taken:
+      // its stack (and spawn slot) are already exactly the snapshot state.
+      LAZYHB_ASSERT(!t.fiber->finished());
+      continue;
+    }
+    t.fiber->restoreFrom(ts.image->fiber);
+    t.pendingSpawnFn = ts.image->pendingSpawnFn;  // copy; snapshot stays reusable
+    t.advanceCount = ts.advanceCount;
+    // The cached image (if any) was taken further along the abandoned
+    // suffix; at this advanceCount it is only valid if it *is* this
+    // snapshot's image.
+    if (imageCache_[i].version != ts.advanceCount) {
+      imageCache_[i] = ImageCacheEntry{};
+    }
+  }
+
+  objects_.resize(s.objectCount);
+  for (std::size_t i = 0; i < s.objectCount; ++i) {
+    ObjectInfo& o = objects_[i];
+    const ObjectSnapshot& os = s.objects[i];
+    o.valueHash = os.valueHash;
+    o.a = os.a;
+    o.waiters.assign(os.waiters.begin(), os.waiters.end());
+  }
+
+  events_.resize(depth);
+  choices_.resize(depth);
+  done_ = false;
+  outcome_ = Outcome::Terminal;
+  violation_ = Violation{};
+  finalFingerprint_ = support::Hash128{};
+  teardownFuel_ = 0;
+  LAZYHB_CHECK(!abandoning_);
+}
+
 void Execution::advance(int tid) {
   const int previous = currentThread_;
   currentThread_ = tid;
+  ++threads_[static_cast<std::size_t>(tid)].advanceCount;
   threads_[static_cast<std::size_t>(tid)].fiber->resume();
   if (threads_[static_cast<std::size_t>(tid)].fiber->finished()) {
     threads_[static_cast<std::size_t>(tid)].status = ThreadStatus::Finished;
@@ -419,8 +597,16 @@ int Execution::spawnThread(std::function<void()> fn) {
     failUsage("thread limit exceeded (" + std::to_string(support::kMaxThreads) + ")");
     return -1;
   }
+  // Park the closure in the engine-side slot *before* publishing: while the
+  // spawner waits for the grant a checkpoint may snapshot its stack, and a
+  // stack temporary owning heap (a big-capture std::function) would dangle
+  // after a rollback. The slot is part of the snapshot instead.
+  threads_[static_cast<std::size_t>(currentThread_)].pendingSpawnFn = std::move(fn);
   publishAndPark(OpKind::Spawn, -1, -1, -1, 0);
-  if (abandoning_) return -1;
+  if (abandoning_) {
+    threads_[static_cast<std::size_t>(currentThread_)].pendingSpawnFn = nullptr;
+    return -1;
+  }
 
   // Commit: derive the child's schedule-invariant identity, register it as
   // an object, create its fiber, then run it to its first visible operation.
@@ -460,8 +646,13 @@ int Execution::spawnThread(std::function<void()> fn) {
   child.uid = childUid;
   child.spawnPredecessor = spawnEvent;
   child.objectIndex = objIndex;
-  child.fiber = std::make_unique<Fiber>(stackPool_, std::move(fn));
+  child.fiber = std::make_unique<Fiber>(
+      stackPool_,
+      std::move(threads_[static_cast<std::size_t>(currentThread_)].pendingSpawnFn));
   threads_.push_back(std::move(child));
+  // Disarm the slot explicitly: a moved-from std::function is only
+  // "unspecified but valid", and later snapshots copy the slot.
+  threads_[static_cast<std::size_t>(currentThread_)].pendingSpawnFn = nullptr;
 
   advance(childIndex);
   return childIndex;

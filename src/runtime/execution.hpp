@@ -12,6 +12,29 @@
 // This structure gives explorers exactly what dynamic partial-order
 // reduction needs: at every scheduling point, the pending operation of every
 // live thread is known *before* anything is committed.
+//
+// Resumable executions (incremental prefix replay). A tree search's
+// consecutive schedules share a prefix; re-running it costs fibers, engine
+// bookkeeping and recorder work just to get back to the divergence point.
+// In resumable mode an execution can instead *fork itself at a scheduling
+// point*: checkpoint() snapshots every thread's suspended continuation
+// (fiber stack bytes restored in place — see fiber.hpp), the object table
+// and the append-only event/choice logs; rollbackTo(depth) restores the
+// snapshot after the schedule completes, and resume() drives the host loop
+// onward along a different suffix. Threads spawned past the checkpoint are
+// discarded, threads that existed resume exactly where they were parked.
+//
+// Soundness contract (the "checkpointable program" contract): restore
+// rewrites fiber stacks as raw bytes, so the program under test must keep
+// all its cross-schedule-varying state either in registered lazyhb objects
+// (Shared/Mutex/CondVar/Semaphore — snapshotted by the engine) or in
+// trivially-copyable stack locals. A program whose stack owns heap memory
+// (std::vector, std::string, ...) must not run in resumable mode: the heap
+// is not versioned, so a restored stack would resurrect stale owners.
+// Closures passed to spawn are exempt — spawnThread parks them in an
+// engine-side slot before publishing, and the snapshot copies the slot.
+// Explorers fall back to full re-execution (with recorder-side replay
+// elision) for programs that do not declare the contract.
 
 #pragma once
 
@@ -76,7 +99,9 @@ struct PendingOp {
 
 /// Registry entry for a shared object. `a` is kind-dependent scalar state:
 /// mutex owner thread index (-1 free), semaphore count, thread index for
-/// Thread entries; `valueHash` is the current value hash for Var entries.
+/// Thread entries, and the engine-resident value bits for Var entries
+/// (small trivially-copyable Shared<T> values live here — see api.hpp);
+/// `valueHash` is the current value hash for Var entries.
 struct ObjectInfo {
   Uid uid = 0;
   ObjectKind kind = ObjectKind::Var;
@@ -107,6 +132,41 @@ class Execution {
 
   /// Run `body` as thread 0 under `scheduler` control. May be called once.
   Outcome run(const std::function<void()>& body, Scheduler& scheduler);
+
+  // --- resumable mode (incremental prefix replay) ---------------------------
+
+  /// Sentinel for "no staged checkpoint".
+  static constexpr std::size_t kNoCheckpoint = static_cast<std::size_t>(-1);
+
+  /// True when this build can snapshot/restore executions (fast-fiber
+  /// switch, no AddressSanitizer).
+  [[nodiscard]] static constexpr bool checkpointingSupported() noexcept {
+    return Fiber::kSnapshotSupported;
+  }
+
+  /// Switch this execution into resumable mode. Must be called before
+  /// run(). End-of-run teardown is deferred (fibers keep their state so
+  /// checkpoints can be restored); the destructor tears down whatever is
+  /// left. Requires checkpointingSupported().
+  void enableResumable();
+
+  /// Stage a snapshot at the current scheduling point (only callable from
+  /// Scheduler::pick, when every fiber is suspended). Checkpoints form a
+  /// stack ordered by depth; staging at the top's depth is a no-op.
+  /// Returns the staged depth (== events().size()).
+  std::size_t checkpoint();
+
+  /// Deepest staged checkpoint at depth <= `depth`, or kNoCheckpoint.
+  [[nodiscard]] std::size_t deepestCheckpointAtOrBelow(std::size_t depth) const noexcept;
+
+  /// After run()/resume() has returned: restore the staged checkpoint at
+  /// exactly `depth`, discarding deeper ones (they stay staged for reuse —
+  /// a node can be rolled back to once per remaining sibling).
+  void rollbackTo(std::size_t depth);
+
+  /// Continue a rolled-back execution under `scheduler` from its restored
+  /// scheduling point. Returns like run().
+  Outcome resume(Scheduler& scheduler);
 
   // --- introspection for schedulers/explorers -------------------------------
 
@@ -162,6 +222,16 @@ class Execution {
   void varPublish(std::int32_t object, OpKind kind);
   void varCommit(std::int32_t object, OpKind kind, std::uint64_t newValueHash);
 
+  /// Engine-resident Var value bits (api.hpp Shared<T> keeps small
+  /// trivially-copyable values in the object table, so they are part of
+  /// checkpoints and never live on a fiber stack).
+  [[nodiscard]] std::int64_t varBits(std::int32_t object) const noexcept {
+    return objects_[static_cast<std::size_t>(object)].a;
+  }
+  void setVarBits(std::int32_t object, std::int64_t bits) noexcept {
+    objects_[static_cast<std::size_t>(object)].a = bits;
+  }
+
   void mutexLock(std::int32_t object);
   void mutexUnlock(std::int32_t object);
   [[nodiscard]] bool mutexTryLock(std::int32_t object);
@@ -204,10 +274,73 @@ class Execution {
     std::int32_t joinPredecessor = -1;    ///< staged just before a Join event
     std::int32_t lastEventIndex = -1;
     std::int32_t objectIndex = -1;        ///< this thread's own Thread object
+    /// Times this thread's fiber has been resumed. The stack is a pure
+    /// function of (shared prefix, advanceCount), which makes this the
+    /// version tag for snapshot image sharing.
+    std::uint32_t advanceCount = 0;
+    /// A closure handed to spawnThread is parked here, engine-side, before
+    /// the Spawn is published — so no fiber stack owns heap at a
+    /// suspension point and checkpoints can copy the slot instead.
+    std::function<void()> pendingSpawnFn;
+  };
+
+  /// The byte-level part of a thread's suspended state: fiber continuation
+  /// plus the armed spawn slot. Immutable once captured and shared between
+  /// adjacent snapshots — a thread's stack only changes when the thread is
+  /// advanced, so consecutive checkpoints along a descent reuse the same
+  /// image for every thread that did not move (advanceCount versioning).
+  struct ThreadImage {
+    FiberImage fiber;
+    std::function<void()> pendingSpawnFn;
+  };
+
+  /// Rollback snapshot of one thread.
+  struct ThreadSnapshot {
+    ThreadStatus status = ThreadStatus::Pending;
+    PendingOp pendingOp;
+    std::uint32_t eventsExecuted = 0;
+    std::uint32_t creationSeq = 0;
+    std::uint32_t advanceCount = 0;  ///< image version (see ThreadImage)
+    std::int32_t spawnPredecessor = -1;
+    std::int32_t signalPredecessor = -1;
+    std::int32_t joinPredecessor = -1;
+    std::int32_t lastEventIndex = -1;
+    std::shared_ptr<const ThreadImage> image;  ///< null for Finished threads
+  };
+
+  /// Per-thread cache of the latest captured image, keyed by advanceCount.
+  struct ImageCacheEntry {
+    std::uint32_t version = kInvalidVersion;
+    std::shared_ptr<const ThreadImage> image;
+  };
+  static constexpr std::uint32_t kInvalidVersion = static_cast<std::uint32_t>(-1);
+
+  /// Rollback snapshot of one object's mutable state (uid/kind/name are
+  /// immutable after registration and need no copy).
+  struct ObjectSnapshot {
+    std::uint64_t valueHash = 0;
+    std::int64_t a = -1;
+    std::vector<int> waiters;
+  };
+
+  /// One staged rollback point of the whole execution.
+  struct ExecSnapshot {
+    std::size_t depth = 0;  ///< events_.size() == choices_.size()
+    std::size_t threadCount = 0;
+    std::size_t objectCount = 0;
+    std::vector<ThreadSnapshot> threads;
+    std::vector<ObjectSnapshot> objects;
   };
 
   /// Run tid's fiber until it publishes its next operation or finishes.
   void advance(int tid);
+
+  /// The scheduling loop shared by run() and resume().
+  void driveLoop(Scheduler& scheduler);
+
+  /// Common tail of run()/resume(): fingerprint, teardown (unless
+  /// resumable), observer notification.
+  Outcome finishRun();
 
   /// Yield the current fiber until the scheduler grants its pending op.
   void publishAndPark(OpKind kind, std::int32_t object, std::int32_t mutexObject,
@@ -239,10 +372,17 @@ class Execution {
   bool ran_ = false;
   bool done_ = false;
   bool abandoning_ = false;
+  bool resumable_ = false;
   std::uint32_t teardownFuel_ = 0;
   Outcome outcome_ = Outcome::Terminal;
   Violation violation_;
   support::Hash128 finalFingerprint_;
+
+  // Staged rollback points (resumable mode), shallow -> deep; entries are
+  // pooled so their vectors keep capacity across restage cycles.
+  std::vector<ExecSnapshot> snapshots_;
+  std::vector<ExecSnapshot> snapshotPool_;
+  std::vector<ImageCacheEntry> imageCache_;  // per thread, advanceCount-keyed
 };
 
 }  // namespace lazyhb::runtime

@@ -1,6 +1,7 @@
 #include "runtime/fiber.hpp"
 
 #include <cstdint>
+#include <cstring>
 #include <utility>
 
 #include "support/diagnostics.hpp"
@@ -42,18 +43,16 @@ void StackPool::release(std::unique_ptr<char[]> stack) {
 
 #if defined(LAZYHB_FAST_FIBER)
 
-// --- fast switch (x86-64 SysV) ----------------------------------------------
-// A switch pushes the six callee-saved GP registers onto the running stack,
-// publishes the resulting stack pointer through *saveSp, adopts restoreSp
-// and pops the target's register file. The FP environment (mxcsr/x87 control
-// words) is deliberately not saved: all fibers share one OS thread and the
-// engine never alters it between switches.
+// --- fast switch ------------------------------------------------------------
+// A switch saves the psABI callee-saved register file onto the running
+// stack, publishes the resulting stack pointer through *saveSp, adopts
+// restoreSp and restores the target's register file. The FP environment
+// (mxcsr/x87 control words, FPCR) is deliberately not saved: all fibers
+// share one OS thread and the engine never alters it between switches.
 //
-// A brand-new fiber's stack is fabricated so the first switch "returns" into
-// fiberEntryThunk with the Fiber* parked in %r12. Frame layout, low to high,
-// matching the pop sequence: r15 r14 r13 r12 rbx rbp <thunk address>. The
-// frame base is 16-byte aligned, so after the seven 8-byte pops the thunk
-// starts with %rsp aligned and the ABI call alignment holds.
+// A brand-new fiber's stack is fabricated so the first switch "returns"
+// into fiberEntryThunk with the Fiber* parked in a callee-saved register
+// (%r12 on x86-64, x19 on aarch64).
 
 extern "C" {
 void lazyhbFiberSwitch(void** saveSp, void* restoreSp);
@@ -61,6 +60,12 @@ void lazyhbFiberEntryThunk();
 void lazyhbFiberEntry(void* self);
 }
 
+#if defined(__x86_64__)
+
+// x86-64 SysV: six callee-saved GP registers. Frame layout, low to high,
+// matching the pop sequence: r15 r14 r13 r12 rbx rbp <thunk address>. The
+// frame base is 16-byte aligned, so after the seven 8-byte pops the thunk
+// starts with %rsp aligned and the ABI call alignment holds.
 asm(R"(
 .text
 .p2align 4
@@ -94,9 +99,58 @@ lazyhbFiberEntryThunk:
 .size lazyhbFiberEntryThunk, .-lazyhbFiberEntryThunk
 )");
 
-namespace {
-constexpr std::size_t kEntryFrameWords = 7;  // six registers + thunk address
-}  // namespace
+#elif defined(__aarch64__)
+
+// AAPCS64: callee-saved x19-x28, the frame pair x29/x30, and the low 64
+// bits of v8-v15 (d8-d15) — 20 eight-byte slots, a 160-byte frame that
+// keeps sp 16-byte aligned throughout. `ret` branches to the restored x30,
+// which for a fabricated entry frame is the thunk; the thunk moves the
+// parked Fiber* from x19 into the argument register and calls the C++
+// entry. swapcontext on this path would additionally make the
+// rt_sigprocmask syscall per switch — the very tax this switch removes.
+asm(R"(
+.text
+.p2align 4
+.globl lazyhbFiberSwitch
+.type lazyhbFiberSwitch, @function
+lazyhbFiberSwitch:
+  stp x29, x30, [sp, #-160]!
+  stp x19, x20, [sp, #16]
+  stp x21, x22, [sp, #32]
+  stp x23, x24, [sp, #48]
+  stp x25, x26, [sp, #64]
+  stp x27, x28, [sp, #80]
+  stp d8,  d9,  [sp, #96]
+  stp d10, d11, [sp, #112]
+  stp d12, d13, [sp, #128]
+  stp d14, d15, [sp, #144]
+  mov x2, sp
+  str x2, [x0]
+  mov sp, x1
+  ldp x19, x20, [sp, #16]
+  ldp x21, x22, [sp, #32]
+  ldp x23, x24, [sp, #48]
+  ldp x25, x26, [sp, #64]
+  ldp x27, x28, [sp, #80]
+  ldp d8,  d9,  [sp, #96]
+  ldp d10, d11, [sp, #112]
+  ldp d12, d13, [sp, #128]
+  ldp d14, d15, [sp, #144]
+  ldp x29, x30, [sp], #160
+  ret
+.size lazyhbFiberSwitch, .-lazyhbFiberSwitch
+
+.p2align 4
+.globl lazyhbFiberEntryThunk
+.type lazyhbFiberEntryThunk, @function
+lazyhbFiberEntryThunk:
+  mov x0, x19
+  bl lazyhbFiberEntry
+  brk #0
+.size lazyhbFiberEntryThunk, .-lazyhbFiberEntryThunk
+)");
+
+#endif  // architecture
 
 void fiberEntryThunkTarget(void* self) { static_cast<Fiber*>(self)->run(); }
 
@@ -108,7 +162,9 @@ extern "C" void lazyhbFiberEntry(void* self) {
 Fiber::Fiber(StackPool& pool, std::function<void()> entry)
     : pool_(pool), stack_(pool.acquire()), entry_(std::move(entry)) {
   const auto top = reinterpret_cast<std::uintptr_t>(stack_.get()) + pool_.stackBytes();
-  auto* frame = reinterpret_cast<std::uint64_t*>(top & ~std::uintptr_t{15});
+  auto* base = reinterpret_cast<std::uint64_t*>(top & ~std::uintptr_t{15});
+#if defined(__x86_64__)
+  auto* frame = base;
   *--frame = reinterpret_cast<std::uint64_t>(&lazyhbFiberEntryThunk);
   *--frame = 0;                                        // rbp
   *--frame = 0;                                        // rbx
@@ -116,8 +172,14 @@ Fiber::Fiber(StackPool& pool, std::function<void()> entry)
   *--frame = 0;                                        // r13
   *--frame = 0;                                        // r14
   *--frame = 0;                                        // r15
-  static_assert(kEntryFrameWords == 7);
   fiberSp_ = frame;
+#elif defined(__aarch64__)
+  auto* frame = base - 20;  // 160-byte switch frame, 16-byte aligned
+  for (int i = 0; i < 20; ++i) frame[i] = 0;
+  frame[1] = reinterpret_cast<std::uint64_t>(&lazyhbFiberEntryThunk);  // x30
+  frame[2] = reinterpret_cast<std::uint64_t>(this);                    // x19
+  fiberSp_ = frame;
+#endif
 }
 
 void Fiber::run() {
@@ -213,6 +275,46 @@ Fiber::~Fiber() {
   LAZYHB_CHECK(finished_ || !started_);
   pool_.release(std::move(stack_));
 }
+
+#if defined(LAZYHB_FIBER_SNAPSHOT)
+
+void Fiber::snapshotTo(FiberImage& image) const {
+  // The continuation of a suspended fiber is exactly the bytes between its
+  // saved stack pointer and the stack top (the switch frame at fiberSp_
+  // holds the callee-saved registers; everything above it is live frames).
+  const char* top = stack_.get() + pool_.stackBytes();
+  const char* sp = static_cast<const char*>(fiberSp_);
+  LAZYHB_CHECK(sp > stack_.get() && sp <= top);
+  const auto used = static_cast<std::size_t>(top - sp);
+  image.bytes.resize(used);
+  std::memcpy(image.bytes.data(), sp, used);
+  image.fiberSp = const_cast<char*>(sp);
+  image.started = started_;
+  image.finished = finished_;
+}
+
+void Fiber::restoreFrom(const FiberImage& image) {
+  char* top = stack_.get() + pool_.stackBytes();
+  char* sp = static_cast<char*>(image.fiberSp);
+  LAZYHB_CHECK(sp > stack_.get() && sp <= top &&
+               static_cast<std::size_t>(top - sp) == image.bytes.size());
+  std::memcpy(sp, image.bytes.data(), image.bytes.size());
+  fiberSp_ = sp;
+  started_ = image.started;
+  finished_ = image.finished;
+}
+
+#else  // !LAZYHB_FIBER_SNAPSHOT
+
+void Fiber::snapshotTo(FiberImage&) const {
+  LAZYHB_UNREACHABLE("fiber snapshots are unsupported in this build");
+}
+
+void Fiber::restoreFrom(const FiberImage&) {
+  LAZYHB_UNREACHABLE("fiber snapshots are unsupported in this build");
+}
+
+#endif  // LAZYHB_FIBER_SNAPSHOT
 
 #undef LAZYHB_ASAN_START
 #undef LAZYHB_ASAN_FINISH

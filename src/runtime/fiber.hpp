@@ -3,12 +3,22 @@
 // Stackful cooperative fibers.
 //
 // Each logical thread of a program under test runs on a fiber; the scheduler
-// runs on the host context. On x86-64 the switch is a hand-rolled swap of the
-// callee-saved register file (~10 ns, no kernel involvement); elsewhere it
-// falls back to POSIX ucontext, whose swapcontext carries a rt_sigprocmask
-// syscall per switch (~25% of campaign wall time when it is the switch
-// primitive — see docs/performance.md). Either way the whole engine stays on
-// one OS thread, so there is no data race in the engine itself.
+// runs on the host context. On x86-64 and aarch64 the switch is a
+// hand-rolled swap of the callee-saved register file (~10 ns, no kernel
+// involvement); elsewhere it falls back to POSIX ucontext, whose swapcontext
+// carries a rt_sigprocmask syscall per switch (~25% of campaign wall time
+// when it is the switch primitive — see docs/performance.md). Either way the
+// whole engine stays on one OS thread, so there is no data race in the
+// engine itself.
+//
+// Fast-fiber builds additionally support *snapshotting*: while a fiber is
+// suspended (or finished), the used portion of its stack plus its saved
+// stack pointer fully determine its continuation, and because restore
+// copies the bytes back into the very same stack buffer, every pointer into
+// the stack stays valid. This is what lets a resumable Execution fork
+// itself at a scheduling point and later roll back (execution.hpp). Not
+// available under AddressSanitizer (fake-stack bookkeeping cannot be
+// rewound) or with the ucontext fallback.
 //
 // Stacks are pooled and reused across the millions of short executions an
 // exploration performs (Per.14: minimise allocations).
@@ -29,13 +39,29 @@
 #include <memory>
 #include <vector>
 
-// The fast switch assumes the SysV x86-64 ABI (callee-saved GP registers
-// only; the engine is single-OS-threaded and never changes the FP control
-// words between switches). Any other target uses ucontext.
+// The fast switch swaps exactly the registers the psABI makes callee-saved:
+// on x86-64 the six GP registers, on aarch64 x19-x28 + fp/lr and the low
+// halves of v8-v15. The FP control words are deliberately not saved (the
+// engine is single-OS-threaded and never changes them between switches).
+// Any other target uses ucontext.
 #if defined(__x86_64__) && !defined(_WIN32) && !defined(LAZYHB_FORCE_UCONTEXT)
+#define LAZYHB_FAST_FIBER 1
+#elif defined(__aarch64__) && defined(__ELF__) && !defined(LAZYHB_FORCE_UCONTEXT)
 #define LAZYHB_FAST_FIBER 1
 #else
 #include <ucontext.h>
+#endif
+
+// Snapshot/restore relies on raw stack bytes round-tripping through memcpy;
+// ASan's fake stacks and ucontext's opaque machine contexts both break that.
+#ifndef __has_feature
+#define LAZYHB_HAS_FEATURE(x) 0
+#else
+#define LAZYHB_HAS_FEATURE(x) __has_feature(x)
+#endif
+#if defined(LAZYHB_FAST_FIBER) && !defined(__SANITIZE_ADDRESS__) && \
+    !LAZYHB_HAS_FEATURE(address_sanitizer)
+#define LAZYHB_FIBER_SNAPSHOT 1
 #endif
 
 namespace lazyhb::runtime {
@@ -68,11 +94,32 @@ class StackPool {
   std::vector<std::unique_ptr<char[]>> free_;
 };
 
+/// Saved continuation of a suspended fiber: the used stack bytes plus the
+/// saved stack pointer. Only meaningful for the fiber it was taken from
+/// (restore writes the bytes back into the same stack buffer). The byte
+/// buffer is pooled by reuse: repeated snapshotTo calls into one image
+/// perform no allocation once its capacity covers the deepest stack seen.
+struct FiberImage {
+  std::vector<char> bytes;
+  void* fiberSp = nullptr;
+  bool started = false;
+  bool finished = false;
+};
+
 /// One stackful coroutine. resume() switches into the fiber until it calls
 /// yieldToHost() or its entry function returns; finished() reports the
 /// latter.
 class Fiber {
  public:
+  /// True when this build can snapshot/restore suspended fibers (fast-fiber
+  /// switch and no AddressSanitizer).
+  static constexpr bool kSnapshotSupported =
+#if defined(LAZYHB_FIBER_SNAPSHOT)
+      true;
+#else
+      false;
+#endif
+
   Fiber(StackPool& pool, std::function<void()> entry);
   ~Fiber();
 
@@ -87,6 +134,20 @@ class Fiber {
   void yieldToHost();
 
   [[nodiscard]] bool finished() const noexcept { return finished_; }
+
+  /// Capture the fiber's continuation. Must be called from the host while
+  /// the fiber is suspended (or finished). Requires kSnapshotSupported.
+  void snapshotTo(FiberImage& image) const;
+
+  /// Restore a continuation previously captured from *this* fiber. The
+  /// fiber's current state (suspended or finished) is discarded.
+  void restoreFrom(const FiberImage& image);
+
+  /// Discard a suspended fiber without running it to completion: the stack
+  /// is dropped as raw bytes. Only legitimate during an Execution rollback,
+  /// where everything the stack owns is engine-managed or covered by the
+  /// checkpointable-program contract (no owning pointers into the heap).
+  void abandonForRollback() noexcept { finished_ = true; }
 
  private:
   void run();

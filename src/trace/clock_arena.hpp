@@ -41,6 +41,15 @@ class ClockArena {
   /// executions perform no allocation here).
   void reset() noexcept { rowCount_ = 0; }
 
+  /// Drop every row past the first `rows` — the arena-side half of the
+  /// recorder's rollbackTo(depth). Rows are append-only, so rolling a
+  /// prefix back is pure truncation: the retained rows are untouched and
+  /// the storage stays allocated for the re-extension that follows.
+  void truncate(std::size_t rows) noexcept {
+    LAZYHB_ASSERT(rows <= rowCount_);
+    rowCount_ = rows;
+  }
+
   [[nodiscard]] std::uint32_t stride() const noexcept { return stride_; }
   [[nodiscard]] std::size_t rows() const noexcept { return rowCount_; }
 

@@ -29,9 +29,22 @@ TraceRecorder::TraceRecorder(Options options) : options_(options) {
 }
 
 void TraceRecorder::onExecutionStart(const runtime::Execution&) {
+  if (pendingResume_ != kNoCheckpoint) {
+    // Re-executed schedule with a shared prefix: rewind to the staged point
+    // and treat the first pendingResume_ events as replays to skip.
+    rollbackTo(pendingResume_);
+    skipEvents_ = pendingResume_;
+    pendingResume_ = kNoCheckpoint;
+    return;
+  }
+  resetAll();
+}
+
+void TraceRecorder::resetAll() {
   eventCount_ = 0;
   objectCount_ = 0;
   threadCount_ = 0;
+  skipEvents_ = 0;
   fullHash_.clear();
   lazyHash_.clear();
   records_.clear();
@@ -41,15 +54,122 @@ void TraceRecorder::onExecutionStart(const runtime::Execution&) {
   prefixFull_ = support::MultisetHash{};
   prefixLazy_ = support::MultisetHash{};
   races_.clear();
+  recycleCheckpoints();
 }
 
 void TraceRecorder::onObjectRegistered(const runtime::Execution&, std::int32_t index,
                                        runtime::Uid uid, runtime::ObjectKind kind,
                                        const std::string& name) {
+  if (skipEvents_ > 0) {
+    // Replayed registration of a prefix object: its rolled-back history is
+    // already correct, so resetting it would erase prefix state.
+    LAZYHB_ASSERT(static_cast<std::size_t>(index) < objects_.size() &&
+                  objects_[static_cast<std::size_t>(index)].uid == uid);
+    (void)index;
+    (void)uid;
+    return;
+  }
   ObjectHistory& h = history(index);
   h.reset(uid, kind);
   if (!name.empty()) {
     names_.emplace(uid, name);  // keeps the first name seen; stable across runs
+  }
+}
+
+std::size_t TraceRecorder::checkpoint() {
+  if (!checkpoints_.empty() && checkpoints_.back().eventCount == eventCount_) {
+    return eventCount_;  // already staged at this depth
+  }
+  LAZYHB_CHECK(checkpoints_.empty() || checkpoints_.back().eventCount < eventCount_);
+  if (checkpointPool_.empty()) {
+    checkpoints_.emplace_back();
+  } else {
+    checkpoints_.push_back(std::move(checkpointPool_.back()));
+    checkpointPool_.pop_back();
+  }
+  Checkpoint& cp = checkpoints_.back();
+  cp.eventCount = eventCount_;
+  cp.prefixFull = prefixFull_;
+  cp.prefixLazy = prefixLazy_;
+  cp.threadCount = threadCount_;
+  cp.threadLastEvent.assign(threadLastEvent_.begin(),
+                            threadLastEvent_.begin() +
+                                static_cast<std::ptrdiff_t>(threadCount_));
+  cp.objectCount = objectCount_;
+  if (cp.objects.size() < objectCount_) cp.objects.resize(objectCount_);
+  for (std::size_t i = 0; i < objectCount_; ++i) {
+    const ObjectHistory& h = objects_[i];
+    ObjectCursor& c = cp.objects[i];
+    c.lastWrite = h.lastWrite;
+    c.readersSinceWrite.assign(h.readersSinceWrite.begin(), h.readersSinceWrite.end());
+    c.lastChainOp = h.lastChainOp;
+    c.chainSize = h.chain.size();
+    c.lastTryLock = h.lastTryLock;
+    c.mutexOpsSinceTryLock.assign(h.mutexOpsSinceTryLock.begin(),
+                                  h.mutexOpsSinceTryLock.end());
+    c.lastReleaseEvent = h.lastReleaseEvent;
+    c.lastWriteEvent = h.lastWriteEvent;
+    c.lastReadPerThread.assign(h.lastReadPerThread.begin(), h.lastReadPerThread.end());
+  }
+  cp.raceCount = races_.size();
+  return eventCount_;
+}
+
+std::size_t TraceRecorder::deepestCheckpointAtOrBelow(std::size_t depth) const noexcept {
+  for (auto it = checkpoints_.rbegin(); it != checkpoints_.rend(); ++it) {
+    if (it->eventCount <= depth) return it->eventCount;
+  }
+  return kNoCheckpoint;
+}
+
+void TraceRecorder::rollbackTo(std::size_t depth) {
+  while (!checkpoints_.empty() && checkpoints_.back().eventCount > depth) {
+    checkpointPool_.push_back(std::move(checkpoints_.back()));
+    checkpoints_.pop_back();
+  }
+  LAZYHB_CHECK(!checkpoints_.empty() && checkpoints_.back().eventCount == depth);
+  const Checkpoint& cp = checkpoints_.back();
+  eventCount_ = depth;
+  fullHash_.resize(depth);
+  lazyHash_.resize(depth);
+  records_.resize(depth);
+  syncClocks_.truncate(depth);
+  fullClocks_.truncate(depth);
+  lazyClocks_.truncate(depth);
+  prefixFull_ = cp.prefixFull;
+  prefixLazy_ = cp.prefixLazy;
+  threadCount_ = cp.threadCount;
+  for (std::size_t i = 0; i < cp.threadCount; ++i) {
+    threadLastEvent_[i] = cp.threadLastEvent[i];
+  }
+  objectCount_ = cp.objectCount;
+  for (std::size_t i = 0; i < cp.objectCount; ++i) {
+    ObjectHistory& h = objects_[i];
+    const ObjectCursor& c = cp.objects[i];
+    h.lastWrite = c.lastWrite;
+    h.readersSinceWrite.assign(c.readersSinceWrite.begin(), c.readersSinceWrite.end());
+    h.lastChainOp = c.lastChainOp;
+    LAZYHB_ASSERT(h.chain.size() >= c.chainSize);
+    h.chain.resize(c.chainSize);
+    h.lastTryLock = c.lastTryLock;
+    h.mutexOpsSinceTryLock.assign(c.mutexOpsSinceTryLock.begin(),
+                                  c.mutexOpsSinceTryLock.end());
+    h.lastReleaseEvent = c.lastReleaseEvent;
+    h.lastWriteEvent = c.lastWriteEvent;
+    h.lastReadPerThread.assign(c.lastReadPerThread.begin(), c.lastReadPerThread.end());
+  }
+  races_.resize(cp.raceCount);
+}
+
+void TraceRecorder::armResume(std::size_t depth) {
+  LAZYHB_CHECK(deepestCheckpointAtOrBelow(depth) == depth);
+  pendingResume_ = depth;
+}
+
+void TraceRecorder::recycleCheckpoints() noexcept {
+  while (!checkpoints_.empty()) {
+    checkpointPool_.push_back(std::move(checkpoints_.back()));
+    checkpoints_.pop_back();
   }
 }
 
@@ -73,26 +193,68 @@ const ClockArena& TraceRecorder::arena(Relation r) const noexcept {
 
 namespace {
 
-void sortUnique(std::vector<std::int32_t>& v) {
-  std::sort(v.begin(), v.end());
-  v.erase(std::unique(v.begin(), v.end()), v.end());
+/// Branchless compare-exchange: leaves min(x, y) in x and max in y.
+inline void cmpSwap(std::int32_t& x, std::int32_t& y) noexcept {
+  const std::int32_t lo = x < y ? x : y;
+  const std::int32_t hi = x < y ? y : x;
+  x = lo;
+  y = hi;
 }
 
-/// Build one event's clock row: copy the thread's running clock (its
-/// previous event's row, or zeros for a thread's first event), join the
-/// direct predecessors, then tick the thread's own component. All span
-/// loops are branch-free over the arena's fixed stride.
-void buildClockRow(ClockArena& arena, std::int32_t copyFrom,
-                   const std::vector<std::int32_t>& preds, int tid,
-                   std::uint32_t tick) {
+/// Sort + dedup of a predecessor scratch list. An event has at most a
+/// handful of direct predecessors, so the common path is a branch-free
+/// 8-element Batcher sorting network followed by a branch-free adjacent
+/// compaction — no data-dependent branches for the branch predictor to
+/// mistrain on, unlike the introsort the long tail falls back to.
+void sortUnique(std::vector<std::int32_t>& v) {
+  const std::size_t n = v.size();
+  if (n <= 1) return;
+  if (n > 8) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    return;
+  }
+  std::int32_t a[8];
+  for (std::size_t i = 0; i < n; ++i) a[i] = v[i];
+  for (std::size_t i = n; i < 8; ++i) a[i] = INT32_MAX;  // pad sorts last
+  // Batcher odd-even mergesort network for 8 elements (19 comparators).
+  cmpSwap(a[0], a[1]); cmpSwap(a[2], a[3]); cmpSwap(a[4], a[5]); cmpSwap(a[6], a[7]);
+  cmpSwap(a[0], a[2]); cmpSwap(a[1], a[3]); cmpSwap(a[4], a[6]); cmpSwap(a[5], a[7]);
+  cmpSwap(a[1], a[2]); cmpSwap(a[5], a[6]);
+  cmpSwap(a[0], a[4]); cmpSwap(a[1], a[5]); cmpSwap(a[2], a[6]); cmpSwap(a[3], a[7]);
+  cmpSwap(a[2], a[4]); cmpSwap(a[3], a[5]);
+  cmpSwap(a[1], a[2]); cmpSwap(a[3], a[4]); cmpSwap(a[5], a[6]);
+  // Branch-free unique: the write index only advances on a new value.
+  v[0] = a[0];
+  std::size_t out = 1;
+  for (std::size_t i = 1; i < n; ++i) {
+    v[out] = a[i];
+    out += static_cast<std::size_t>(a[i] != a[i - 1]);
+  }
+  v.resize(out);
+}
+
+/// Start one event's clock row in `arena`: copy the thread's running clock
+/// (its previous event's row, or zeros for a thread's first event).
+std::uint32_t* startClockRow(ClockArena& arena, std::int32_t copyFrom) {
   std::uint32_t* row = arena.appendRow();
-  const std::uint32_t stride = arena.stride();
-  const std::size_t bytes = stride * sizeof(std::uint32_t);
+  const std::size_t bytes = arena.stride() * sizeof(std::uint32_t);
   if (copyFrom >= 0) {
     std::memcpy(row, arena.row(static_cast<std::size_t>(copyFrom)), bytes);
   } else {
     std::memset(row, 0, bytes);
   }
+  return row;
+}
+
+/// Build one event's clock row: running clock, join the direct
+/// predecessors, tick the thread's own component. All span loops are
+/// branch-free over the arena's fixed stride.
+void buildClockRow(ClockArena& arena, std::int32_t copyFrom,
+                   const std::vector<std::int32_t>& preds, int tid,
+                   std::uint32_t tick) {
+  std::uint32_t* row = startClockRow(arena, copyFrom);
+  const std::uint32_t stride = arena.stride();
   for (const std::int32_t p : preds) {
     joinClockSpans(row, arena.row(static_cast<std::size_t>(p)), stride);
   }
@@ -102,6 +264,17 @@ void buildClockRow(ClockArena& arena, std::int32_t copyFrom,
 }  // namespace
 
 void TraceRecorder::onEvent(const runtime::Execution& exec, const EventRecord& ev) {
+  if (skipEvents_ > 0) [[unlikely]] {
+    // Replay of an event the rollback retained: every per-event structure
+    // for it is already in place, byte-identical to what re-recording would
+    // produce (the replayed prefix is the same schedule of the same
+    // deterministic program).
+    LAZYHB_ASSERT(records_[eventCount_ - skipEvents_].threadIndex == ev.threadIndex &&
+                  records_[eventCount_ - skipEvents_].kind == ev.kind);
+    --skipEvents_;
+    ++replaysSkipped_;
+    return;
+  }
   const int t = ev.threadIndex;
   const auto tIdx = static_cast<std::size_t>(t);
   if (tIdx >= threadCount_) {
@@ -126,6 +299,12 @@ void TraceRecorder::onEvent(const runtime::Execution& exec, const EventRecord& e
   scratchFull_.clear();
   scratchLazy_.clear();
   scratchSync_.clear();
+  // Pred-set coincidence tracking: when every predecessor was pushed to all
+  // three relations (the common predAll-only case), or at least to both the
+  // Full and Lazy ones, the per-relation scratch lists are identical and the
+  // clock-row builds below fuse into one pass over a single list.
+  bool lazySameAsFull = true;  // scratchLazy_ would equal scratchFull_
+  bool syncSameAsFull = true;  // scratchSync_ would equal scratchFull_
   auto predAll = [&](std::int32_t p) {
     if (p >= 0) {
       scratchFull_.push_back(p);
@@ -137,6 +316,26 @@ void TraceRecorder::onEvent(const runtime::Execution& exec, const EventRecord& e
     if (p >= 0) {
       scratchFull_.push_back(p);
       scratchLazy_.push_back(p);
+      syncSameAsFull = false;
+    }
+  };
+  auto predFullOnly = [&](std::int32_t p) {
+    if (p >= 0) {
+      scratchFull_.push_back(p);
+      lazySameAsFull = false;
+      syncSameAsFull = false;
+    }
+  };
+  auto predLazyOnly = [&](std::int32_t p) {
+    if (p >= 0) {
+      scratchLazy_.push_back(p);
+      lazySameAsFull = false;
+    }
+  };
+  auto predSyncOnly = [&](std::int32_t p) {
+    if (p >= 0) {
+      scratchSync_.push_back(p);
+      syncSameAsFull = false;
     }
   };
 
@@ -169,35 +368,29 @@ void TraceRecorder::onEvent(const runtime::Execution& exec, const EventRecord& e
     case OpKind::Lock:
     case OpKind::Unlock: {
       ObjectHistory& h = history(ev.objectIndex);
-      if (h.lastChainOp >= 0) scratchFull_.push_back(h.lastChainOp);
-      if (h.lastTryLock >= 0) scratchLazy_.push_back(h.lastTryLock);
-      if (ev.kind == OpKind::Lock && h.lastReleaseEvent >= 0) {
-        scratchSync_.push_back(h.lastReleaseEvent);
-      }
+      predFullOnly(h.lastChainOp);
+      predLazyOnly(h.lastTryLock);
+      if (ev.kind == OpKind::Lock) predSyncOnly(h.lastReleaseEvent);
       break;
     }
     case OpKind::TryLock: {
       ObjectHistory& h = history(ev.objectIndex);
-      if (h.lastChainOp >= 0) scratchFull_.push_back(h.lastChainOp);
+      predFullOnly(h.lastChainOp);
       // Lazy: a trylock observes the whole lock history, so it is ordered
       // against every mutex op since (and including) the previous trylock.
-      for (const std::int32_t p : h.mutexOpsSinceTryLock) scratchLazy_.push_back(p);
-      if (h.lastTryLock >= 0) scratchLazy_.push_back(h.lastTryLock);
-      if (ev.aux == 1 && h.lastReleaseEvent >= 0) {
-        scratchSync_.push_back(h.lastReleaseEvent);
-      }
+      for (const std::int32_t p : h.mutexOpsSinceTryLock) predLazyOnly(p);
+      predLazyOnly(h.lastTryLock);
+      if (ev.aux == 1) predSyncOnly(h.lastReleaseEvent);
       break;
     }
     case OpKind::Wait:
     case OpKind::Reacquire: {
       ObjectHistory& cv = history(ev.objectIndex);
-      if (cv.lastChainOp >= 0) predConflict(cv.lastChainOp);  // condvar chain
+      predConflict(cv.lastChainOp);  // condvar chain
       ObjectHistory& m = history(ev.mutexIndex);
-      if (m.lastChainOp >= 0) scratchFull_.push_back(m.lastChainOp);
-      if (m.lastTryLock >= 0) scratchLazy_.push_back(m.lastTryLock);
-      if (ev.kind == OpKind::Reacquire && m.lastReleaseEvent >= 0) {
-        scratchSync_.push_back(m.lastReleaseEvent);
-      }
+      predFullOnly(m.lastChainOp);
+      predLazyOnly(m.lastTryLock);
+      if (ev.kind == OpKind::Reacquire) predSyncOnly(m.lastReleaseEvent);
       break;
     }
     case OpKind::Signal:
@@ -223,16 +416,47 @@ void TraceRecorder::onEvent(const runtime::Execution& exec, const EventRecord& e
   }
 
   sortUnique(scratchFull_);
-  sortUnique(scratchLazy_);
-  sortUnique(scratchSync_);
+  if (!lazySameAsFull) sortUnique(scratchLazy_);
+  if (!syncSameAsFull) sortUnique(scratchSync_);
+  const std::vector<std::int32_t>& lazyPreds =
+      lazySameAsFull ? scratchFull_ : scratchLazy_;
+  const std::vector<std::int32_t>& syncPreds =
+      syncSameAsFull ? scratchFull_ : scratchSync_;
 
   // Clocks: one arena row per relation, built from the thread's running
   // clock (its previous event's row) and the direct predecessors' rows.
+  // When the pred sets coincide the three builds fuse into a single pass
+  // over one list (one loop, one set of index loads, three joins per pred).
   const std::int32_t copyFrom = ev.indexInThread > 0 ? prevEvent : -1;
   const auto tick = ev.indexInThread + 1;
-  buildClockRow(syncClocks_, copyFrom, scratchSync_, t, tick);
-  buildClockRow(fullClocks_, copyFrom, scratchFull_, t, tick);
-  buildClockRow(lazyClocks_, copyFrom, scratchLazy_, t, tick);
+  if (lazySameAsFull && syncSameAsFull) {
+    std::uint32_t* syncRow = startClockRow(syncClocks_, copyFrom);
+    std::uint32_t* fullRow = startClockRow(fullClocks_, copyFrom);
+    std::uint32_t* lazyRow = startClockRow(lazyClocks_, copyFrom);
+    const std::uint32_t stride = syncClocks_.stride();
+    for (const std::int32_t p : scratchFull_) {
+      const auto row = static_cast<std::size_t>(p);
+      joinClockSpans(syncRow, syncClocks_.row(row), stride);
+      joinClockSpans(fullRow, fullClocks_.row(row), stride);
+      joinClockSpans(lazyRow, lazyClocks_.row(row), stride);
+    }
+    syncRow[t] = fullRow[t] = lazyRow[t] = tick;
+  } else if (lazySameAsFull) {
+    buildClockRow(syncClocks_, copyFrom, syncPreds, t, tick);
+    std::uint32_t* fullRow = startClockRow(fullClocks_, copyFrom);
+    std::uint32_t* lazyRow = startClockRow(lazyClocks_, copyFrom);
+    const std::uint32_t stride = fullClocks_.stride();
+    for (const std::int32_t p : scratchFull_) {
+      const auto row = static_cast<std::size_t>(p);
+      joinClockSpans(fullRow, fullClocks_.row(row), stride);
+      joinClockSpans(lazyRow, lazyClocks_.row(row), stride);
+    }
+    fullRow[t] = lazyRow[t] = tick;
+  } else {
+    buildClockRow(syncClocks_, copyFrom, syncPreds, t, tick);
+    buildClockRow(fullClocks_, copyFrom, scratchFull_, t, tick);
+    buildClockRow(lazyClocks_, copyFrom, lazyPreds, t, tick);
+  }
 
   // Data-race detection uses the sync clock, against pre-update histories.
   if (options_.detectRaces &&
@@ -252,7 +476,7 @@ void TraceRecorder::onEvent(const runtime::Execution& exec, const EventRecord& e
   }
   {
     support::MultisetHash acc;
-    for (const std::int32_t p : scratchLazy_) {
+    for (const std::int32_t p : lazyPreds) {
       acc.add(lazyHash_[static_cast<std::size_t>(p)]);
     }
     lazyHash_.push_back(
@@ -264,8 +488,8 @@ void TraceRecorder::onEvent(const runtime::Execution& exec, const EventRecord& e
     if (preds_.size() <= eventCount_) preds_.resize(eventCount_ + 1);
     EventPreds& p = preds_[eventCount_];
     p.full.assign(scratchFull_.begin(), scratchFull_.end());
-    p.lazy.assign(scratchLazy_.begin(), scratchLazy_.end());
-    p.sync.assign(scratchSync_.begin(), scratchSync_.end());
+    p.lazy.assign(lazyPreds.begin(), lazyPreds.end());
+    p.sync.assign(syncPreds.begin(), syncPreds.end());
   }
 
   // History updates (after race checks and hashes).

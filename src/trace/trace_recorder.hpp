@@ -39,6 +39,18 @@
 // onExecutionStart, so one instance can monitor millions of executions with
 // no steady-state allocation: every array, arena, object history and scratch
 // buffer keeps its capacity across executions.
+//
+// Incremental prefix replay: consecutive schedules of a tree search share a
+// prefix, and everything the recorder computes for that prefix is identical
+// across them. checkpoint() stages a rollback point at the current depth
+// (the per-event arrays are append-only, the clock matrices truncate in
+// place, and the prefix fingerprint accumulator is abelian — so a staged
+// point is just the handful of non-monotonic cursors); rollbackTo(depth)
+// rewinds the whole recorder to a staged point. Two consumers exist:
+// resumable executions re-extend directly after a rollback, and re-executed
+// schedules arm armResume(depth) so the next onExecutionStart rolls back
+// and then *skips* the first `depth` replayed events instead of recomputing
+// them — the recorder's share of the replay cost disappears.
 
 #pragma once
 
@@ -97,6 +109,33 @@ class TraceRecorder final : public runtime::ExecutionObserver {
   // --- prefix fingerprints (valid after every event) -------------------------
   [[nodiscard]] support::Hash128 fingerprint(Relation r) const;
   [[nodiscard]] std::size_t eventCount() const noexcept { return eventCount_; }
+
+  // --- incremental prefix replay ---------------------------------------------
+
+  /// Sentinel for "no staged checkpoint".
+  static constexpr std::size_t kNoCheckpoint = static_cast<std::size_t>(-1);
+
+  /// Stage a rollback point at the current depth (eventCount()). Checkpoints
+  /// form a stack ordered by depth; staging at the current top's depth is a
+  /// no-op. Returns the staged depth.
+  std::size_t checkpoint();
+
+  /// Deepest staged checkpoint at depth <= `depth`, or kNoCheckpoint.
+  [[nodiscard]] std::size_t deepestCheckpointAtOrBelow(std::size_t depth) const noexcept;
+
+  /// Rewind to the staged checkpoint at exactly `depth`, discarding every
+  /// deeper one. All per-event data in [0, depth) stays valid; everything
+  /// past it is truncated and the cursors/fingerprints restored.
+  void rollbackTo(std::size_t depth);
+
+  /// Arm the next onExecutionStart to rollbackTo(depth) and then skip the
+  /// first `depth` replayed events (and their object re-registrations)
+  /// instead of resetting — for re-executed schedules whose prefix is a
+  /// replay of the previous one.
+  void armResume(std::size_t depth);
+
+  /// Events skipped as already-recorded replays since construction.
+  [[nodiscard]] std::uint64_t replaysSkipped() const noexcept { return replaysSkipped_; }
 
   // --- per-event data (valid until the next onExecutionStart) ----------------
   [[nodiscard]] const runtime::EventRecord& eventRecord(std::int32_t index) const;
@@ -171,6 +210,35 @@ class TraceRecorder final : public runtime::ExecutionObserver {
     }
   };
 
+  /// Rollback snapshot of one object's non-monotonic cursors. The chain is
+  /// append-only, so its length suffices; the clearable vectors are copied.
+  struct ObjectCursor {
+    std::int32_t lastWrite = -1;
+    std::vector<std::int32_t> readersSinceWrite;
+    std::int32_t lastChainOp = -1;
+    std::size_t chainSize = 0;
+    std::int32_t lastTryLock = -1;
+    std::vector<std::int32_t> mutexOpsSinceTryLock;
+    std::int32_t lastReleaseEvent = -1;
+    std::int32_t lastWriteEvent = -1;
+    std::vector<std::pair<int, std::int32_t>> lastReadPerThread;
+  };
+
+  /// One staged rollback point: the non-truncatable state at a depth.
+  struct Checkpoint {
+    std::size_t eventCount = 0;
+    support::MultisetHash prefixFull;
+    support::MultisetHash prefixLazy;
+    std::size_t threadCount = 0;
+    std::vector<std::int32_t> threadLastEvent;
+    std::size_t objectCount = 0;
+    std::vector<ObjectCursor> objects;
+    std::size_t raceCount = 0;
+  };
+
+  void resetAll();
+  void recycleCheckpoints() noexcept;
+
   ObjectHistory& history(std::int32_t objectIndex);
   [[nodiscard]] const ClockArena& arena(Relation r) const noexcept;
   void checkRace(const runtime::Execution& exec,
@@ -206,6 +274,14 @@ class TraceRecorder final : public runtime::ExecutionObserver {
   std::vector<std::int32_t> scratchFull_;
   std::vector<std::int32_t> scratchLazy_;
   std::vector<std::int32_t> scratchSync_;
+
+  // Incremental prefix replay. Checkpoint entries are pooled so the nested
+  // cursor vectors keep their capacity across stage/discard cycles.
+  std::vector<Checkpoint> checkpoints_;     // stack, shallow -> deep
+  std::vector<Checkpoint> checkpointPool_;  // recycled entries
+  std::size_t pendingResume_ = kNoCheckpoint;
+  std::size_t skipEvents_ = 0;  // replayed prefix events left to skip
+  std::uint64_t replaysSkipped_ = 0;
 };
 
 }  // namespace lazyhb::trace

@@ -389,7 +389,7 @@ TEST(Report, VersionedAndStructurallySound) {
   const std::string json = campaign::writeReportJson(result, config);
 
   EXPECT_NE(json.find("\"schema\": \"lazyhb-bench-report\""), std::string::npos);
-  EXPECT_NE(json.find("\"version\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"version\": 3"), std::string::npos);
   EXPECT_NE(json.find("\"inequality_violations\": 0"), std::string::npos);
   EXPECT_NE(json.find("\"explorer\": \"caching-lazy\""), std::string::npos);
   EXPECT_NE(json.find("\"approx_bytes\""), std::string::npos);

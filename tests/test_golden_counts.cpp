@@ -95,6 +95,22 @@ const GoldenCell kGolden[] = {
     {"sem-handoff-1", "caching-lazy", 1, 1, 0, 0, 1, 1, 1},
 };
 
+// The three incremental-replay configurations every golden cell must agree
+// under: classic from-scratch exploration, recorder-side prefix elision,
+// and (for checkpointable programs on fast-fiber builds) full runtime
+// rollback. Byte-identical counts across all three is the correctness bar
+// of the incremental engine.
+struct ReplayMode {
+  const char* label;
+  bool incremental;
+  bool useProgramCheckpointable;
+};
+constexpr ReplayMode kReplayModes[] = {
+    {"incremental-off", false, false},
+    {"recorder-elision", true, false},
+    {"runtime-rollback", true, true},
+};
+
 TEST(GoldenCounts, QuickBudgetSnapshotUnchanged) {
   for (const GoldenCell& golden : kGolden) {
     const programs::ProgramSpec* spec = programs::byName(golden.program);
@@ -102,20 +118,25 @@ TEST(GoldenCounts, QuickBudgetSnapshotUnchanged) {
     const auto explorerSpec = campaign::parseExplorerSpec(golden.explorer);
     ASSERT_TRUE(explorerSpec.has_value()) << golden.explorer;
 
-    explore::ExplorerOptions options;
-    options.scheduleLimit = 200;  // the bench --quick budget
-    auto explorer = explorerSpec->create(options, /*seed=*/42);
-    const explore::ExplorationResult result = explorer->explore(spec->body);
+    for (const ReplayMode& mode : kReplayModes) {
+      explore::ExplorerOptions options;
+      options.scheduleLimit = 200;  // the bench --quick budget
+      options.incremental = mode.incremental;
+      options.checkpointable =
+          mode.useProgramCheckpointable && spec->checkpointable;
+      auto explorer = explorerSpec->create(options, /*seed=*/42);
+      const explore::ExplorationResult result = explorer->explore(spec->body);
 
-    const std::string cell =
-        std::string(golden.program) + " x " + golden.explorer;
-    EXPECT_EQ(result.schedulesExecuted, golden.schedules) << cell;
-    EXPECT_EQ(result.terminalSchedules, golden.terminal) << cell;
-    EXPECT_EQ(result.prunedSchedules, golden.pruned) << cell;
-    EXPECT_EQ(result.violationSchedules, golden.violations) << cell;
-    EXPECT_EQ(result.distinctHbrs, golden.hbrs) << cell;
-    EXPECT_EQ(result.distinctLazyHbrs, golden.lazyHbrs) << cell;
-    EXPECT_EQ(result.distinctStates, golden.states) << cell;
+      const std::string cell = std::string(golden.program) + " x " +
+                               golden.explorer + " [" + mode.label + "]";
+      EXPECT_EQ(result.schedulesExecuted, golden.schedules) << cell;
+      EXPECT_EQ(result.terminalSchedules, golden.terminal) << cell;
+      EXPECT_EQ(result.prunedSchedules, golden.pruned) << cell;
+      EXPECT_EQ(result.violationSchedules, golden.violations) << cell;
+      EXPECT_EQ(result.distinctHbrs, golden.hbrs) << cell;
+      EXPECT_EQ(result.distinctLazyHbrs, golden.lazyHbrs) << cell;
+      EXPECT_EQ(result.distinctStates, golden.states) << cell;
+    }
   }
 }
 

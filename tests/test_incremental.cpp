@@ -1,0 +1,333 @@
+// Rollback-equivalence properties for the incremental prefix-replay engine.
+//
+// The engine's contract is byte-identity: exploring with checkpoints and
+// rollbacks (either tier — full runtime rollback or recorder-side replay
+// elision) must produce, schedule by schedule, exactly the choices,
+// outcomes, fingerprints, per-event causal hashes and clock rows that a
+// from-scratch exploration produces. These tests pin that contract:
+//
+//   * a traced DFS walk run three ways (incremental off / recorder elision /
+//     full rollback) over a corpus slice, compared element-wise;
+//   * the same triple-run over randomly generated checkpointable programs
+//     (InlineVec storage, the shape the fiber-snapshot tier requires);
+//   * explorer-level count identity across modes for DPOR and the caching
+//     explorers (prune hooks interleave with rollback);
+//   * ClockArena truncation re-extension identity.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "explore/caching_explorer.hpp"
+#include "explore/dfs_explorer.hpp"
+#include "explore/dpor_explorer.hpp"
+#include "explore/prefix_replay.hpp"
+#include "programs/registry.hpp"
+#include "runtime/api.hpp"
+#include "support/rng.hpp"
+#include "trace/clock_arena.hpp"
+#include "trace/trace_recorder.hpp"
+
+namespace {
+
+using namespace lazyhb;
+
+struct ScheduleTrace {
+  std::vector<int> choices;
+  runtime::Outcome outcome = runtime::Outcome::Terminal;
+  support::Hash128 full;
+  support::Hash128 lazy;
+  support::Hash128 state;
+  std::vector<support::Hash128> eventHashes;      // full-relation, per event
+  std::vector<std::vector<std::uint32_t>> clocks; // full-relation rows
+};
+
+bool operator==(const ScheduleTrace& a, const ScheduleTrace& b) {
+  return a.choices == b.choices && a.outcome == b.outcome && a.full == b.full &&
+         a.lazy == b.lazy && a.state == b.state && a.eventHashes == b.eventHashes &&
+         a.clocks == b.clocks;
+}
+
+/// The DFS walk of DfsExplorer::runSearch, instrumented: returns one trace
+/// per executed schedule, capturing everything the exploration layer could
+/// observe about it.
+std::vector<ScheduleTrace> tracedDfs(const explore::Program& program,
+                                     bool incremental, bool checkpointable,
+                                     std::uint64_t limit = 4000) {
+  trace::TraceRecorder recorder;
+  runtime::StackPool pool;
+  explore::PrefixReplayEngine engine(
+      pool, recorder, incremental,
+      checkpointable && runtime::Execution::checkpointingSupported());
+  explore::TreeSearchState state;
+  std::vector<ScheduleTrace> traces;
+  std::size_t startDepth = 0;
+  for (;;) {
+    if (traces.size() >= limit) break;
+    explore::TreeScheduler scheduler(state, {}, &engine, startDepth);
+    runtime::Config config;
+    const explore::PrefixReplayEngine::Session session =
+        engine.beginSchedule(config, &recorder);
+    const runtime::Outcome outcome = session.resumed
+                                         ? session.exec->resume(scheduler)
+                                         : session.exec->run(program, scheduler);
+    ScheduleTrace trace;
+    trace.choices = session.exec->choices();
+    trace.outcome = outcome;
+    trace.state = session.exec->stateFingerprint();
+    if (recorder.eventCount() > 0) {
+      trace.full = recorder.fingerprint(trace::Relation::Full);
+      trace.lazy = recorder.fingerprint(trace::Relation::Lazy);
+    }
+    for (std::size_t i = 0; i < recorder.eventCount(); ++i) {
+      const auto index = static_cast<std::int32_t>(i);
+      trace.eventHashes.push_back(recorder.eventHash(trace::Relation::Full, index));
+      const trace::ClockView view = recorder.eventClock(trace::Relation::Full, index);
+      trace.clocks.emplace_back(view.data(), view.data() + view.width());
+    }
+    traces.push_back(std::move(trace));
+    if (!state.advance()) break;
+    startDepth = engine.prepareNext(state.checkFromDepth);
+  }
+  return traces;
+}
+
+void expectIdenticalTraces(const explore::Program& program, bool checkpointable,
+                           const std::string& label) {
+  const std::vector<ScheduleTrace> baseline = tracedDfs(program, false, false);
+  const std::vector<ScheduleTrace> elision = tracedDfs(program, true, false);
+  ASSERT_EQ(baseline.size(), elision.size()) << label << " (recorder elision)";
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    EXPECT_TRUE(baseline[i] == elision[i])
+        << label << ": schedule " << i << " diverges under recorder elision";
+  }
+  if (checkpointable && runtime::Execution::checkpointingSupported()) {
+    const std::vector<ScheduleTrace> rollback = tracedDfs(program, true, true);
+    ASSERT_EQ(baseline.size(), rollback.size()) << label << " (runtime rollback)";
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      EXPECT_TRUE(baseline[i] == rollback[i])
+          << label << ": schedule " << i << " diverges under runtime rollback";
+    }
+  }
+}
+
+TEST(IncrementalReplay, CorpusSliceTracesIdenticalAcrossModes) {
+  // A slice spanning the regimes: coarse locking, racy counters, condvars,
+  // trylock, semaphores, and known-buggy programs (violations mid-tree).
+  const char* names[] = {
+      "disjoint-lock-2", "noisy-counter-3x1", "prodcons-1x1", "trylock-vs-lock",
+      "sem-rendezvous",  "racy-counter-3",    "pingpong-2",
+  };
+  for (const char* name : names) {
+    const programs::ProgramSpec* spec = programs::byName(name);
+    ASSERT_NE(spec, nullptr) << name;
+    expectIdenticalTraces(spec->body, spec->checkpointable, name);
+  }
+}
+
+TEST(IncrementalReplay, HeapBasedProgramFallsBackAndMatches) {
+  // buggy-family programs keep std::vector storage on purpose: they must
+  // still explore correctly (via re-execution + recorder elision), never
+  // via fiber snapshots.
+  const programs::ProgramSpec* spec = programs::byName("deadlock-ab");
+  ASSERT_NE(spec, nullptr);
+  EXPECT_FALSE(spec->checkpointable);
+  expectIdenticalTraces(spec->body, spec->checkpointable, "deadlock-ab");
+}
+
+// --- randomly generated checkpointable programs ------------------------------
+
+struct GenOp {
+  enum class Kind : std::uint8_t { Read, Write, Lock, Unlock, TryLockPulse };
+  Kind kind = Kind::Read;
+  int object = 0;
+};
+
+struct GenProgram {
+  int vars = 2;
+  int mutexes = 2;
+  std::vector<std::vector<GenOp>> threads;
+};
+
+GenProgram generate(std::uint64_t seed) {
+  support::Rng rng(seed);
+  GenProgram p;
+  p.vars = rng.intIn(1, 2);
+  p.mutexes = rng.intIn(1, 2);
+  const int threadCount = rng.intIn(2, 3);
+  for (int t = 0; t < threadCount; ++t) {
+    std::vector<GenOp> ops;
+    std::vector<int> held;
+    const int steps = rng.intIn(2, 4);
+    for (int s = 0; s < steps; ++s) {
+      const int roll = rng.intIn(0, 9);
+      if (roll < 4) {
+        ops.push_back({rng.chance(1, 2) ? GenOp::Kind::Read : GenOp::Kind::Write,
+                       rng.intIn(0, p.vars - 1)});
+      } else if (roll < 7 && held.size() < 2) {
+        const int m = rng.intIn(0, p.mutexes - 1);
+        bool alreadyHeld = false;
+        for (const int h : held) alreadyHeld = alreadyHeld || h == m;
+        if (!alreadyHeld) {
+          ops.push_back({GenOp::Kind::Lock, m});
+          held.push_back(m);
+        }
+      } else if (roll < 8 && !held.empty()) {
+        ops.push_back({GenOp::Kind::Unlock, held.back()});
+        held.pop_back();
+      } else {
+        ops.push_back({GenOp::Kind::TryLockPulse, rng.intIn(0, p.mutexes - 1)});
+      }
+    }
+    while (!held.empty()) {
+      ops.push_back({GenOp::Kind::Unlock, held.back()});
+      held.pop_back();
+    }
+    p.threads.push_back(std::move(ops));
+  }
+  return p;
+}
+
+/// Materialize with InlineVec storage: the checkpointable-contract shape.
+explore::Program materializeCheckpointable(const GenProgram& gen) {
+  return [gen] {
+    InlineVec<Shared<int>, 4> vars;
+    for (int v = 0; v < gen.vars; ++v) vars.emplace(0, "v");
+    InlineVec<Mutex, 4> mutexes;
+    for (int m = 0; m < gen.mutexes; ++m) mutexes.emplace("m");
+    InlineVec<ThreadHandle, 4> workers;
+    for (const auto& ops : gen.threads) {
+      workers.push(spawn([&vars, &mutexes, &ops] {
+        for (const GenOp& op : ops) {
+          switch (op.kind) {
+            case GenOp::Kind::Read:
+              (void)vars[static_cast<std::size_t>(op.object)].load();
+              break;
+            case GenOp::Kind::Write:
+              vars[static_cast<std::size_t>(op.object)].modify(
+                  [](int v) { return v + 1; });
+              break;
+            case GenOp::Kind::Lock:
+              mutexes[static_cast<std::size_t>(op.object)].lock();
+              break;
+            case GenOp::Kind::Unlock:
+              mutexes[static_cast<std::size_t>(op.object)].unlock();
+              break;
+            case GenOp::Kind::TryLockPulse:
+              if (mutexes[static_cast<std::size_t>(op.object)].tryLock()) {
+                mutexes[static_cast<std::size_t>(op.object)].unlock();
+              }
+              break;
+          }
+        }
+      }));
+    }
+    for (auto& w : workers) w.join();
+  };
+}
+
+TEST(IncrementalReplay, RandomCheckpointableProgramsTraceIdentically) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const GenProgram gen = generate(seed);
+    expectIdenticalTraces(materializeCheckpointable(gen), /*checkpointable=*/true,
+                          "seed " + std::to_string(seed));
+  }
+}
+
+// --- explorer-level identity (prune hooks interact with rollback) ------------
+
+explore::ExplorerOptions optionsFor(bool incremental, bool checkpointable) {
+  explore::ExplorerOptions options;
+  options.scheduleLimit = 500;
+  options.incremental = incremental;
+  options.checkpointable = checkpointable;
+  return options;
+}
+
+void expectSameCounts(const explore::ExplorationResult& a,
+                      const explore::ExplorationResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.schedulesExecuted, b.schedulesExecuted) << label;
+  EXPECT_EQ(a.terminalSchedules, b.terminalSchedules) << label;
+  EXPECT_EQ(a.prunedSchedules, b.prunedSchedules) << label;
+  EXPECT_EQ(a.violationSchedules, b.violationSchedules) << label;
+  EXPECT_EQ(a.totalEvents, b.totalEvents) << label;
+  EXPECT_EQ(a.distinctHbrs, b.distinctHbrs) << label;
+  EXPECT_EQ(a.distinctLazyHbrs, b.distinctLazyHbrs) << label;
+  EXPECT_EQ(a.distinctStates, b.distinctStates) << label;
+  EXPECT_EQ(a.complete, b.complete) << label;
+}
+
+TEST(IncrementalReplay, CachingAndDporCountsIdenticalAcrossModes) {
+  const char* names[] = {"noisy-counter-3x2", "prodcons-1x1", "deadlock-ab",
+                         "trylock-fallback-2"};
+  for (const char* name : names) {
+    const programs::ProgramSpec* spec = programs::byName(name);
+    ASSERT_NE(spec, nullptr) << name;
+    for (const trace::Relation relation :
+         {trace::Relation::Full, trace::Relation::Lazy}) {
+      explore::CachingExplorer off(optionsFor(false, false), relation);
+      explore::CachingExplorer on(optionsFor(true, spec->checkpointable), relation);
+      expectSameCounts(off.explore(spec->body), on.explore(spec->body),
+                       std::string(name) + " caching-" + trace::relationName(relation));
+    }
+    explore::DporExplorer off(optionsFor(false, false));
+    explore::DporExplorer on(optionsFor(true, spec->checkpointable));
+    expectSameCounts(off.explore(spec->body), on.explore(spec->body),
+                     std::string(name) + " dpor");
+  }
+}
+
+TEST(IncrementalReplay, ElisionAccountingIsConsistent) {
+  const programs::ProgramSpec* spec = programs::byName("noisy-counter-3x2");
+  ASSERT_NE(spec, nullptr);
+  explore::DfsExplorer off(optionsFor(false, false));
+  const explore::ExplorationResult base = off.explore(spec->body);
+  EXPECT_EQ(base.eventsElided, 0u);
+  EXPECT_GT(base.eventsReplayed, 0u);  // replays exist; they are just re-run
+
+  explore::DfsExplorer on(optionsFor(true, spec->checkpointable));
+  const explore::ExplorationResult fast = on.explore(spec->body);
+  EXPECT_EQ(fast.totalEvents, base.totalEvents);
+  if (runtime::Execution::checkpointingSupported()) {
+    EXPECT_GT(fast.eventsElided, 0u);
+    // Elided + replayed per schedule == divergence depth, and the engine
+    // rolls back exactly to staged divergence points, so the two modes
+    // partition the same redundant-prefix total.
+    EXPECT_EQ(fast.eventsElided + fast.eventsReplayed, base.eventsReplayed);
+  }
+  EXPECT_LE(fast.eventsElided, fast.totalEvents);
+}
+
+// --- arena truncation --------------------------------------------------------
+
+TEST(ClockArena, TruncateThenReExtendMatchesFreshRows) {
+  trace::ClockArena arena(4);
+  auto append = [&](std::uint32_t base) {
+    std::uint32_t* row = arena.appendRow();
+    for (std::uint32_t i = 0; i < arena.stride(); ++i) row[i] = base + i;
+  };
+  for (std::uint32_t r = 0; r < 6; ++r) append(10 * r);
+  arena.truncate(3);
+  EXPECT_EQ(arena.rows(), 3u);
+  // Retained rows untouched.
+  for (std::uint32_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(arena.view(r).get(0), 10 * r);
+  }
+  // Re-extension overwrites the truncated tail.
+  append(700);
+  EXPECT_EQ(arena.rows(), 4u);
+  EXPECT_EQ(arena.view(3).get(0), 700u);
+  EXPECT_EQ(arena.view(3).get(3), 703u);
+}
+
+TEST(ClockArena, TruncateToZeroBehavesLikeReset) {
+  trace::ClockArena arena(2);
+  (void)arena.appendRow();
+  arena.truncate(0);
+  EXPECT_EQ(arena.rows(), 0u);
+}
+
+}  // namespace

@@ -8,12 +8,23 @@ that contract is enforced: it exits non-zero if any count differs between
 two reports, and reports the per-explorer eventsPerSecond deltas (geometric
 mean over cells) so perf PRs have a standard scoreboard.
 
+Schema v3 reports additionally carry incremental-replay fields: per-cell
+`events_elided` / `events_replayed` and `executed_events_per_second`. The
+scoreboard then shows two views: `events_per_second` (logical exploration
+throughput — what incremental replay improves) and
+`executed_events_per_second` (per-executed-event hardware cost — immune to
+elision inflating the numerator). For pre-v3 baselines the two coincide,
+so both views stay comparable across schema versions.
+
 Usage:
     tools/bench_diff.py BASELINE.json CANDIDATE.json [--counts-only]
+    tools/bench_diff.py --history REPORT.json [REPORT.json ...]
 
 Either argument may be a plain lazyhb-bench-report or a BENCH_PR*.json
 before/after wrapper ({"before": <report>, "after": <report>}); for a
-wrapper the "after" report is used.
+wrapper the "after" report is used. --history prints the totals-level
+events/s trajectory across the given reports (oldest first) — the
+cross-PR perf history the nightly workflow appends to.
 
 Exit status: 0 when all counts match, 1 on any count mismatch (or on cell
 sets that do not line up), 2 on usage/schema errors.
@@ -25,7 +36,10 @@ import math
 import sys
 
 # The per-cell fields that must be byte-identical between runs. Wall-clock
-# fields (wall_seconds, events_per_second) are deliberately absent.
+# fields (wall_seconds, *events_per_second) are deliberately absent, and so
+# are events_elided / events_replayed: those are deterministic for a fixed
+# configuration but legitimately differ between --incremental on and off
+# runs of the same corpus, which must still count-compare as equal.
 COUNT_FIELDS = [
     "schedules",
     "terminal",
@@ -72,18 +86,71 @@ def geomean(ratios):
     return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
 
 
+def cell_rate(cell, field):
+    """A cell's events/s under `field`, falling back to events_per_second
+    for pre-v3 reports (where executed == logical)."""
+    return cell.get(field, cell.get("events_per_second", 0.0))
+
+
+def rate_table(title, base_cells, cand_cells, shared, field):
+    by_explorer = {}
+    for key in shared:
+        a = cell_rate(base_cells[key], field)
+        b = cell_rate(cand_cells[key], field)
+        if a > 0 and b > 0:
+            by_explorer.setdefault(key[1], []).append(b / a)
+    if not by_explorer:
+        return
+    print(f"\n{title} (candidate / baseline, geomean over cells):")
+    all_ratios = []
+    for explorer in sorted(by_explorer):
+        ratios = by_explorer[explorer]
+        all_ratios.extend(ratios)
+        print(f"  {explorer:<14} {geomean(ratios):6.2f}x  "
+              f"({len(ratios)} cells)")
+    if all_ratios:
+        print(f"  {'overall':<14} {geomean(all_ratios):6.2f}x  "
+              f"({len(all_ratios)} cells)")
+
+
+def print_history(paths):
+    """Totals-level events/s trajectory across reports, oldest first."""
+    print(f"{'report':<28} {'schedules':>12} {'events':>14} "
+          f"{'elided%':>8} {'events/s':>12} {'exec-ev/s':>12}")
+    for path in paths:
+        doc = load_report(path)
+        totals = doc["totals"]
+        events = totals.get("events", 0)
+        elided = totals.get("events_elided", 0)
+        elided_pct = 100.0 * elided / events if events else 0.0
+        eps = totals.get("events_per_second", 0.0)
+        executed_eps = totals.get("executed_events_per_second", eps)
+        print(f"{path:<28} {totals.get('schedules', 0):>12} {events:>14} "
+              f"{elided_pct:>7.1f}% {eps:>12.0f} {executed_eps:>12.0f}")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="compare two lazyhb bench reports")
-    parser.add_argument("baseline")
-    parser.add_argument("candidate")
+    parser.add_argument("reports", nargs="+",
+                        help="BASELINE.json CANDIDATE.json, or with "
+                             "--history any number of reports")
     parser.add_argument("--counts-only", action="store_true",
                         help="skip the eventsPerSecond delta table "
                              "(e.g. when the runs used different hardware)")
+    parser.add_argument("--history", action="store_true",
+                        help="print the totals events/s trajectory across "
+                             "the given reports instead of diffing two")
     args = parser.parse_args()
 
-    base = load_report(args.baseline)
-    cand = load_report(args.candidate)
+    if args.history:
+        return print_history(args.reports)
+    if len(args.reports) != 2:
+        parser.error("expected exactly BASELINE.json and CANDIDATE.json")
+
+    base = load_report(args.reports[0])
+    cand = load_report(args.reports[1])
 
     base_cells = {cell_key(c): c for c in base["cells"]}
     cand_cells = {cell_key(c): c for c in cand["cells"]}
@@ -114,22 +181,10 @@ def main():
     print(f"counts: {len(shared)} cells compared, {mismatches} mismatch(es)")
 
     if not args.counts_only and shared:
-        by_explorer = {}
-        for key in shared:
-            a = base_cells[key]["events_per_second"]
-            b = cand_cells[key]["events_per_second"]
-            if a > 0 and b > 0:
-                by_explorer.setdefault(key[1], []).append(b / a)
-        print("\neventsPerSecond (candidate / baseline, geomean over cells):")
-        all_ratios = []
-        for explorer in sorted(by_explorer):
-            ratios = by_explorer[explorer]
-            all_ratios.extend(ratios)
-            print(f"  {explorer:<14} {geomean(ratios):6.2f}x  "
-                  f"({len(ratios)} cells)")
-        if all_ratios:
-            print(f"  {'overall':<14} {geomean(all_ratios):6.2f}x  "
-                  f"({len(all_ratios)} cells)")
+        rate_table("eventsPerSecond", base_cells, cand_cells, shared,
+                   "events_per_second")
+        rate_table("executedEventsPerSecond", base_cells, cand_cells, shared,
+                   "executed_events_per_second")
 
     return 1 if failed else 0
 
