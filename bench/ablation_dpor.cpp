@@ -14,12 +14,9 @@
 // experimental §4 combination loses states (its caveat).
 
 #include <cstdio>
-#include <memory>
 
 #include "bench_common.hpp"
-#include "explore/caching_explorer.hpp"
-#include "explore/dfs_explorer.hpp"
-#include "explore/dpor_explorer.hpp"
+#include "campaign/explorer_spec.hpp"
 
 using namespace lazyhb;
 
@@ -33,29 +30,21 @@ struct Totals {
   int complete = 0;
 };
 
-std::unique_ptr<explore::ExplorerBase> makeExplorer(const std::string& kind,
-                                                    explore::ExplorerOptions options) {
-  if (kind == "dfs") return std::make_unique<explore::DfsExplorer>(options);
-  if (kind == "dpor-nosleep") {
-    explore::DporOptions dpor;
-    dpor.sleepSets = false;
-    return std::make_unique<explore::DporExplorer>(options, dpor);
-  }
-  if (kind == "dpor") return std::make_unique<explore::DporExplorer>(options);
-  if (kind == "cache-hbr") {
-    return std::make_unique<explore::CachingExplorer>(options, trace::Relation::Full);
-  }
-  if (kind == "cache-lazy") {
-    return std::make_unique<explore::CachingExplorer>(options, trace::Relation::Lazy);
-  }
-  if (kind == "dpor+lazy$") {
-    explore::DporOptions dpor;
-    dpor.cachePrefixes = trace::Relation::Lazy;
-    return std::make_unique<explore::DporExplorer>(options, dpor);
-  }
-  std::fprintf(stderr, "unknown explorer kind '%s'\n", kind.c_str());
-  std::exit(1);
-}
+/// Display label -> ExplorerSpec mode name. Every variant — including the
+/// ablation-only ones — is constructed through the shared factory.
+struct Variant {
+  const char* label;
+  const char* mode;
+};
+
+constexpr Variant kVariants[] = {
+    {"dfs", "dfs"},
+    {"dpor-nosleep", "dpor-nosleep"},
+    {"dpor", "dpor"},
+    {"cache-hbr", "caching-full"},
+    {"cache-lazy", "caching-lazy"},
+    {"dpor+lazy$", "dpor-lazy-cache"},
+};
 
 }  // namespace
 
@@ -70,22 +59,26 @@ int main(int argc, char** argv) {
   auto limit = static_cast<std::uint64_t>(options.getInt("limit"));
   if (limit == 10000) limit = 2000;  // lighter default for 6x79 explorations
   const auto maxEvents = static_cast<std::uint32_t>(options.getInt("max-events"));
-  const char* kinds[] = {"dfs", "dpor-nosleep", "dpor",
-                         "cache-hbr", "cache-lazy", "dpor+lazy$"};
 
   std::printf("Explorer ablation, %llu-schedule budget per benchmark, %zu benchmarks\n\n",
               static_cast<unsigned long long>(limit), corpus.size());
 
   support::Table table({"explorer", "schedules(total)", "lazyHBRs(total)",
                         "states(total)", "bug-benchmarks-caught", "exhausted"});
-  for (const char* kind : kinds) {
+  for (const Variant& variant : kVariants) {
+    const auto parsed = campaign::parseExplorerSpec(variant.mode);
+    if (!parsed) {
+      std::fprintf(stderr, "unknown explorer mode '%s'\n", variant.mode);
+      return 1;
+    }
+    const campaign::ExplorerSpec& explorerSpec = *parsed;
     const auto totalsPerBenchmark = bench::runCorpus<Totals>(
         corpus, static_cast<int>(options.getInt("jobs")),
         [&](const programs::ProgramSpec& spec) {
           explore::ExplorerOptions exploreOptions;
           exploreOptions.scheduleLimit = limit;
           exploreOptions.maxEventsPerSchedule = maxEvents;
-          auto explorer = makeExplorer(kind, exploreOptions);
+          auto explorer = explorerSpec.create(exploreOptions, 42);
           const auto result = explorer->explore(spec.body);
           Totals t;
           t.schedules = result.schedulesExecuted;
@@ -104,7 +97,7 @@ int main(int argc, char** argv) {
       sum.complete += t.complete;
     }
     table.beginRow();
-    table.cell(std::string(kind));
+    table.cell(std::string(variant.label));
     table.cell(sum.schedules);
     table.cell(sum.lazyHbrs);
     table.cell(sum.states);

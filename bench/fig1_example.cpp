@@ -6,9 +6,7 @@
 
 #include <cstdio>
 
-#include "explore/dfs_explorer.hpp"
-#include "explore/replay.hpp"
-#include "runtime/api.hpp"
+#include "lazyhb/lazyhb.hpp"
 #include "support/options.hpp"
 
 using namespace lazyhb;
@@ -39,31 +37,22 @@ void figure1() {
 
 int main(int argc, char** argv) {
   support::Options options("fig1_example", "Figure 1: the paper's worked example");
-  options.addFlag("dot", "emit Graphviz DOT for both relations");
   if (!options.parse(argc, argv)) return options.parseError() ? 1 : 0;
 
   // Render the schedule of Figure 1 (T1 runs first, then T2) under both
   // relations. An empty choice list with the fallback scheduler produces
   // exactly that schedule modulo the spawn/join scaffolding.
-  for (const auto relation : {trace::Relation::Full, trace::Relation::Lazy}) {
-    explore::ReplayOptions replayOptions;
-    replayOptions.renderRelation = relation;
-    const auto replay = explore::replaySchedule(figure1, {}, replayOptions);
+  for (const char* relation : {"full", "lazy"}) {
+    TraceOptions traceOptions;
+    traceOptions.relation = relation;
+    const ScheduleTrace replay = traceSchedule(figure1, {}, traceOptions);
     std::printf("--- schedule with %s-HBR inter-thread edges "
                 "(\"<- {k}\" = depends on event k) ---\n%s\n",
-                trace::relationName(relation), replay.renderedTrace.c_str());
-    if (options.getFlag("dot")) {
-      explore::ReplayOptions dotOptions;
-      dotOptions.renderRelation = relation;
-      // renderedTrace already produced; regenerate as DOT via the recorder
-      // is not exposed here, so keep the text form authoritative.
-    }
+                relation, replay.rendered.c_str());
   }
 
-  explore::ExplorerOptions exploreOptions;
-  exploreOptions.scheduleLimit = 100000;
-  explore::DfsExplorer explorer(exploreOptions);
-  const auto result = explorer.explore(figure1);
+  const TestReport result =
+      Session().strategy("dfs").schedules(100000).run(figure1);
 
   std::printf("--- exhaustive enumeration ---\n");
   std::printf("schedules executed : %llu\n",

@@ -10,8 +10,8 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "campaign/explorer_spec.hpp"
 #include "core/redundancy.hpp"
-#include "explore/dfs_explorer.hpp"
 
 using namespace lazyhb;
 
@@ -35,8 +35,9 @@ int main(int argc, char** argv) {
         explore::ExplorerOptions exploreOptions;
         exploreOptions.scheduleLimit = limit;
         exploreOptions.maxEventsPerSchedule = maxEvents;
-        explore::DfsExplorer explorer(exploreOptions);
-        const auto result = explorer.explore(spec.body);
+        const auto explorer =
+            campaign::parseExplorerSpec("dfs")->create(exploreOptions, 42);
+        const auto result = explorer->explore(spec.body);
         core::BenchmarkCounts counts;
         counts.name = spec.name;
         counts.id = spec.id;

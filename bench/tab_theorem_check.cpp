@@ -13,8 +13,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "explore/dpor_explorer.hpp"
-#include "explore/random_explorer.hpp"
+#include "campaign/explorer_spec.hpp"
 
 using namespace lazyhb;
 
@@ -49,16 +48,17 @@ Row checkBenchmark(const programs::ProgramSpec& spec, std::uint64_t limit,
     options.scheduleLimit = limit;
     options.maxEventsPerSchedule = maxEvents;
     options.checkTheorems = true;
-    explore::DporExplorer explorer(options, explore::DporOptions{});
-    accumulate(explorer.explore(spec.body));
+    const auto explorer = campaign::parseExplorerSpec("dpor")->create(options, 42);
+    accumulate(explorer->explore(spec.body));
   }
   {
     explore::ExplorerOptions options;
     options.scheduleLimit = limit / 2;
     options.maxEventsPerSchedule = maxEvents;
     options.checkTheorems = true;
-    explore::RandomExplorer explorer(options, 0x5eedULL + static_cast<std::uint64_t>(spec.id));
-    accumulate(explorer.explore(spec.body));
+    const auto explorer = campaign::parseExplorerSpec("random")->create(
+        options, 0x5eedULL + static_cast<std::uint64_t>(spec.id));
+    accumulate(explorer->explore(spec.body));
   }
   return row;
 }

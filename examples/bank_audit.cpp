@@ -10,15 +10,14 @@
 // the regular HBR must explore every critical-section ordering; the lazy
 // HBR proves almost all of them equivalent, so the verification evidence
 // ("invariant holds in all interleavings") comes from exploring a handful
-// of schedule classes.
+// of schedule classes. Both explorations run through lazyhb::Session, the
+// public embedding facade.
 
 #include <cstdio>
 #include <memory>
 #include <vector>
 
-#include "explore/caching_explorer.hpp"
-#include "explore/dfs_explorer.hpp"
-#include "runtime/api.hpp"
+#include "lazyhb/lazyhb.hpp"
 #include "support/options.hpp"
 
 using namespace lazyhb;
@@ -68,13 +67,12 @@ int main(int argc, char** argv) {
   options.addInt("limit", 200000, "schedule budget");
   if (!options.parse(argc, argv)) return options.parseError() ? 1 : 0;
 
-  explore::ExplorerOptions exploreOptions;
-  exploreOptions.scheduleLimit = static_cast<std::uint64_t>(options.getInt("limit"));
+  const Session session =
+      Session().schedules(static_cast<std::uint64_t>(options.getInt("limit")));
 
   std::printf("Exploring a %d-teller coarse-locked bank + auditor...\n\n", kTellers);
 
-  explore::DfsExplorer naive(exploreOptions);
-  const auto base = naive.explore(bankDay);
+  const TestReport base = Session(session).strategy("dfs").run(bankDay);
   std::printf("naive enumeration : %7llu schedules, %llu HBR classes, "
               "%llu lazy classes, %llu states, violations: %zu\n",
               static_cast<unsigned long long>(base.schedulesExecuted),
@@ -83,8 +81,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(base.distinctStates),
               base.violations.size());
 
-  explore::CachingExplorer lazy(exploreOptions, trace::Relation::Lazy);
-  const auto reduced = lazy.explore(bankDay);
+  const TestReport reduced = Session(session).strategy("caching-lazy").run(bankDay);
   std::printf("lazy HBR caching  : %7llu schedules for the same %llu lazy classes"
               " and %llu states, violations: %zu\n",
               static_cast<unsigned long long>(reduced.schedulesExecuted),

@@ -7,15 +7,12 @@
 // enumeration visits every schedule, DPOR one per HBR class (with sleep
 // sets), HBR caching prunes schedule prefixes with previously-seen HBRs,
 // and lazy HBR caching prunes prefixes with previously-seen *lazy* HBRs —
-// the coarsest sound equivalence of the four.
+// the coarsest sound equivalence of the four. All five runs go through
+// lazyhb::Session (the "dpor-nosleep" row uses an extended strategy name).
 
 #include <cstdio>
-#include <memory>
 
-#include "explore/caching_explorer.hpp"
-#include "explore/dfs_explorer.hpp"
-#include "explore/dpor_explorer.hpp"
-#include "programs/registry.hpp"
+#include "lazyhb/lazyhb.hpp"
 #include "support/options.hpp"
 #include "support/table.hpp"
 
@@ -28,56 +25,51 @@ int main(int argc, char** argv) {
   options.addInt("limit", 100000, "schedule budget");
   if (!options.parse(argc, argv)) return options.parseError() ? 1 : 0;
 
-  const auto* spec = programs::byName(options.getString("benchmark"));
-  if (spec == nullptr) {
-    std::fprintf(stderr, "unknown benchmark '%s'; available:\n",
-                 options.getString("benchmark").c_str());
-    for (const auto& p : programs::all()) {
-      std::fprintf(stderr, "  %-24s %s\n", p.name.c_str(), p.description.c_str());
+  const std::string benchmark = options.getString("benchmark");
+  std::string description;
+  bool known = false;
+  for (const ScenarioInfo& info : scenarios()) {
+    if (info.name == benchmark) {
+      known = true;
+      description = info.description;
+    }
+  }
+  if (!known) {
+    std::fprintf(stderr, "unknown benchmark '%s'; available:\n", benchmark.c_str());
+    for (const ScenarioInfo& info : scenarios()) {
+      std::fprintf(stderr, "  %-24s %s\n", info.name.c_str(),
+                   info.description.c_str());
     }
     return 1;
   }
 
-  explore::ExplorerOptions exploreOptions;
-  exploreOptions.scheduleLimit = static_cast<std::uint64_t>(options.getInt("limit"));
+  const Session session =
+      Session().schedules(static_cast<std::uint64_t>(options.getInt("limit")));
 
-  std::printf("benchmark: %s — %s\n\n", spec->name.c_str(), spec->description.c_str());
+  std::printf("benchmark: %s — %s\n\n", benchmark.c_str(), description.c_str());
 
   support::Table table({"strategy", "schedules", "#HBRs", "#lazyHBRs", "#states",
                         "complete", "violations"});
-  auto report = [&](const char* name, explore::ExplorerBase& explorer) {
-    const auto result = explorer.explore(spec->body);
-    table.beginRow();
-    table.cell(std::string(name));
-    table.cell(result.schedulesExecuted);
-    table.cell(result.distinctHbrs);
-    table.cell(result.distinctLazyHbrs);
-    table.cell(result.distinctStates);
-    table.cell(std::string(result.complete ? "yes" : "no"));
-    table.cell(static_cast<std::uint64_t>(result.violationSchedules));
+  const struct {
+    const char* label;
+    const char* strategy;
+  } rows[] = {
+      {"naive DFS", "dfs"},
+      {"DPOR (no sleep sets)", "dpor-nosleep"},
+      {"DPOR + sleep sets", "dpor"},
+      {"HBR caching", "caching-full"},
+      {"lazy HBR caching", "caching-lazy"},
   };
-
-  {
-    explore::DfsExplorer explorer(exploreOptions);
-    report("naive DFS", explorer);
-  }
-  {
-    explore::DporOptions dpor;
-    dpor.sleepSets = false;
-    explore::DporExplorer explorer(exploreOptions, dpor);
-    report("DPOR (no sleep sets)", explorer);
-  }
-  {
-    explore::DporExplorer explorer(exploreOptions);
-    report("DPOR + sleep sets", explorer);
-  }
-  {
-    explore::CachingExplorer explorer(exploreOptions, trace::Relation::Full);
-    report("HBR caching", explorer);
-  }
-  {
-    explore::CachingExplorer explorer(exploreOptions, trace::Relation::Lazy);
-    report("lazy HBR caching", explorer);
+  for (const auto& row : rows) {
+    const TestReport report = Session(session).strategy(row.strategy).run(benchmark);
+    table.beginRow();
+    table.cell(std::string(row.label));
+    table.cell(report.schedulesExecuted);
+    table.cell(report.distinctHbrs);
+    table.cell(report.distinctLazyHbrs);
+    table.cell(report.distinctStates);
+    table.cell(std::string(report.complete ? "yes" : "no"));
+    table.cell(report.violationSchedules);
   }
 
   std::fputs(table.toText().c_str(), stdout);

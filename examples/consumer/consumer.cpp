@@ -1,0 +1,41 @@
+// The ten-line embedding walkthrough from docs/embedding.md, in compilable
+// form: register a scenario of your own, explore it through lazyhb::Session,
+// and replay the violating interleaving. Only <lazyhb/lazyhb.hpp> is
+// included — no lazyhb internals — and the build knows nothing about the
+// lazyhb source tree beyond find_package(lazyhb).
+//
+// The scenario seeds a classic check-then-act race: two clerks may both see
+// "one ticket left" before either sells it. Exit status 0 means the
+// exploration found the seeded bug (the expected outcome).
+
+#include <cstdio>
+
+#include <lazyhb/lazyhb.hpp>
+
+LAZYHB_SCENARIO("ticket-race", "consumer-demo",
+                "two clerks race a check-then-act sale of the last ticket",
+                .hasKnownBug = true) {
+  lazyhb::Shared<int> tickets{1, "tickets"};
+  auto clerk = lazyhb::spawn([&] {
+    if (tickets.load() > 0) tickets.store(tickets.load() - 1);
+  });
+  if (tickets.load() > 0) tickets.store(tickets.load() - 1);
+  clerk.join();
+  lazyhb::checkAlways(tickets.load() >= 0, "tickets are never oversold");
+}
+
+int main() {
+  const lazyhb::TestReport report = lazyhb::Session()
+                                        .strategy("caching-lazy")
+                                        .schedules(100'000)
+                                        .run("ticket-race");
+  std::printf("%s\n", report.summary().c_str());
+  if (!report.foundViolation()) {
+    std::printf("seeded bug NOT found — something is wrong\n");
+    return 1;
+  }
+  const lazyhb::ScheduleTrace trace =
+      lazyhb::traceSchedule("ticket-race", report.violations.front().schedule);
+  std::printf("\nreproducing interleaving:\n%s", trace.rendered.c_str());
+  return 0;
+}

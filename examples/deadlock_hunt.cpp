@@ -2,17 +2,16 @@
 // interleaving, then verify the classic fix (global lock ordering) by
 // exhausting the fixed program's schedule space.
 //
-// Demonstrates the tool-style workflow: explore -> violation + replayable
-// schedule -> fix -> exhaustive re-verification (complete = true, no
-// violations = proof for this program size).
+// Demonstrates the tool-style workflow through the public facade:
+// Session::run -> violation + replayable schedule -> traceSchedule -> fix ->
+// exhaustive re-verification (complete = true, no violations = proof for
+// this program size).
 
 #include <cstdio>
 #include <memory>
 #include <vector>
 
-#include "explore/dpor_explorer.hpp"
-#include "explore/replay.hpp"
-#include "runtime/api.hpp"
+#include "lazyhb/lazyhb.hpp"
 
 using namespace lazyhb;
 
@@ -21,7 +20,7 @@ namespace {
 constexpr int kPhilosophers = 3;
 
 /// Dining philosophers; `ordered` selects the deadlock-free fork discipline.
-explore::Program dine(bool ordered) {
+Program dine(bool ordered) {
   return [ordered] {
     std::vector<std::unique_ptr<Mutex>> forks;
     std::vector<std::unique_ptr<Shared<int>>> meals;
@@ -48,31 +47,29 @@ explore::Program dine(bool ordered) {
 
 int main() {
   std::printf("Hunting deadlocks in %d naive dining philosophers...\n", kPhilosophers);
-  explore::ExplorerOptions options;
-  options.scheduleLimit = 100000;
-  options.stopOnFirstViolation = true;
 
-  const auto buggy = dine(/*ordered=*/false);
-  explore::DporExplorer hunter(options);
-  const auto hunt = hunter.explore(buggy);
+  const Program buggy = dine(/*ordered=*/false);
+  const TestReport hunt = Session()
+                              .strategy("dpor")
+                              .schedules(100'000)
+                              .stopOnFirstViolation(true)
+                              .run(buggy);
   if (!hunt.foundViolation()) {
     std::printf("no deadlock found (unexpected)\n");
     return 1;
   }
-  const auto& violation = hunt.violations.front();
+  const TestViolation& violation = hunt.violations.front();
   std::printf("found after %llu schedules: %s\n\n",
               static_cast<unsigned long long>(hunt.schedulesExecuted),
               violation.message.c_str());
 
-  const auto replay = explore::replaySchedule(buggy, violation.schedule);
-  std::printf("reproducing interleaving:\n%s\n", replay.renderedTrace.c_str());
+  const ScheduleTrace trace = traceSchedule(buggy, violation.schedule);
+  std::printf("reproducing interleaving:\n%s\n", trace.rendered.c_str());
 
   std::printf("Applying the fix (acquire forks in global index order) and"
               " re-verifying exhaustively...\n");
-  explore::ExplorerOptions verifyOptions;
-  verifyOptions.scheduleLimit = 1u << 20;
-  explore::DporExplorer verifier(verifyOptions);
-  const auto proof = verifier.explore(dine(/*ordered=*/true));
+  const TestReport proof =
+      Session().strategy("dpor").schedules(1u << 20).run(dine(/*ordered=*/true));
   std::printf("explored %llu schedules; search space exhausted: %s;"
               " violations: %zu\n",
               static_cast<unsigned long long>(proof.schedulesExecuted),

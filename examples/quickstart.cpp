@@ -6,13 +6,13 @@
 //
 // The program under test is an innocent-looking "check then act" on a
 // shared counter. Exactly one interleaving class violates the assertion;
-// DPOR finds it in a handful of schedules.
+// DPOR finds it in a handful of schedules. Everything here goes through
+// the public embedding surface — <lazyhb/lazyhb.hpp> and lazyhb::Session —
+// exactly as an out-of-tree consumer would use it (see docs/embedding.md).
 
 #include <cstdio>
 
-#include "explore/dpor_explorer.hpp"
-#include "explore/replay.hpp"
-#include "runtime/api.hpp"
+#include "lazyhb/lazyhb.hpp"
 
 using namespace lazyhb;
 
@@ -47,27 +47,27 @@ void budgetTracker() {
 }  // namespace
 
 int main() {
-  explore::ExplorerOptions options;
-  options.scheduleLimit = 10'000;
-  options.stopOnFirstViolation = true;
-  explore::DporExplorer explorer(options);
-  const auto result = explorer.explore(budgetTracker);
+  const TestReport report = Session()
+                                .strategy("dpor")
+                                .schedules(10'000)
+                                .stopOnFirstViolation(true)
+                                .run(budgetTracker);
 
   std::printf("schedules explored : %llu\n",
-              static_cast<unsigned long long>(result.schedulesExecuted));
-  if (!result.foundViolation()) {
+              static_cast<unsigned long long>(report.schedulesExecuted));
+  if (!report.foundViolation()) {
     std::printf("no violation found (unexpected for this demo)\n");
     return 1;
   }
-  const auto& violation = result.violations.front();
-  std::printf("violation          : %s — %s\n",
-              runtime::outcomeName(violation.kind), violation.message.c_str());
+  const TestViolation& violation = report.violations.front();
+  std::printf("violation          : %s — %s\n", violation.kind.c_str(),
+              violation.message.c_str());
 
   // Replay the recorded schedule with full tracing to show the interleaving.
-  const auto replay = explore::replaySchedule(budgetTracker, violation.schedule);
+  const ScheduleTrace trace = traceSchedule(budgetTracker, violation.schedule);
   std::printf("\nreproducing schedule (inter-thread happens-before edges shown):\n%s",
-              replay.renderedTrace.c_str());
-  std::printf("\nreplay outcome     : %s (%s)\n", runtime::outcomeName(replay.outcome),
-              replay.violationMessage.c_str());
+              trace.rendered.c_str());
+  std::printf("\nreplay outcome     : %s (%s)\n", trace.outcome.c_str(),
+              trace.message.c_str());
   return 0;
 }

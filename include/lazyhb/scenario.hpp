@@ -1,0 +1,121 @@
+// lazyhb/scenario.hpp — public scenario registration.
+//
+// A *scenario* is a named program under test, registered into the global
+// registry the CLI (`lazyhb list` / `--program`), the campaign matrix and
+// Session::run(name) all enumerate. The built-in 79-benchmark corpus and
+// user code register through the same mechanism, so a scenario defined in
+// an embedding application is a first-class citizen of every tool surface.
+//
+// Typical use — define the body inline at namespace scope:
+//
+//   LAZYHB_SCENARIO("ticket-race", "ticketing",
+//                   "two clerks race for the last ticket",
+//                   .hasKnownBug = true) {
+//     lazyhb::Shared<int> tickets{1, "tickets"};
+//     auto clerk = lazyhb::spawn([&] {
+//       if (tickets.load() > 0) tickets.store(tickets.load() - 1);
+//     });
+//     if (tickets.load() > 0) tickets.store(tickets.load() - 1);
+//     clerk.join();
+//     lazyhb::checkAlways(tickets.load() >= 0, "tickets never oversold");
+//   }
+//
+// or register a factory-built body (any std::function<void()>):
+//
+//   LAZYHB_SCENARIO_FN("handoff-3", "handoff", "3-hop handoff",
+//                      makeHandoff(3), .checkpointable = true)
+//
+// Registration happens during static initialization, strictly before the
+// registry is first enumerated; registering after that point is a checked
+// error. The trailing macro arguments are designated initializers for
+// ScenarioTraits and may be omitted entirely.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace lazyhb {
+
+/// A program under test: a callable run as thread 0 of every controlled
+/// execution. Must be re-runnable (each schedule re-executes it from
+/// scratch) and deterministic apart from scheduling.
+using Program = std::function<void()>;
+
+/// Enumeration order of the built-in corpus ends below this rank; scenarios
+/// registered without an explicit rank sort after the corpus, in
+/// registration order.
+inline constexpr int kScenarioUserRank = 10000;
+
+struct ScenarioTraits {
+  /// The scenario intentionally contains a reachable violation (assertion
+  /// failure or deadlock); `lazyhb list --buggy` and the test suites use
+  /// this to assert explorers do find it.
+  bool hasKnownBug = false;
+  /// The body satisfies the checkpointable contract (see
+  /// docs/embedding.md): all cross-schedule state lives in registered
+  /// lazyhb objects or trivially-copyable stack locals — no heap-owning
+  /// locals such as std::vector or std::string on fiber stacks. Enables
+  /// full runtime rollback under incremental exploration; non-checkpointable
+  /// scenarios still explore correctly via re-execution.
+  bool checkpointable = false;
+  /// Sort key for registry enumeration (ties keep registration order).
+  /// Ranks below kScenarioUserRank are reserved for the built-in corpus;
+  /// registerScenario clamps smaller values (with a warning) so user
+  /// scenarios always enumerate after the corpus' stable ids 1..79.
+  int rank = kScenarioUserRank;
+};
+
+/// One registered scenario, as enumerated by lazyhb::scenarios().
+struct ScenarioInfo {
+  int id = 0;  ///< stable 1-based registry id
+  std::string name;
+  std::string family;
+  std::string description;
+  bool hasKnownBug = false;
+  bool checkpointable = false;
+};
+
+/// Register a scenario. Names must be unique across the whole registry.
+/// Normally invoked via LAZYHB_SCENARIO / LAZYHB_SCENARIO_FN during static
+/// initialization; calling after the registry has been enumerated aborts.
+void registerScenario(std::string name, std::string family,
+                      std::string description, Program body,
+                      ScenarioTraits traits = {});
+
+/// Snapshot of every registered scenario, in registry (id) order.
+[[nodiscard]] std::vector<ScenarioInfo> scenarios();
+
+/// RAII helper the registration macros expand to.
+struct ScenarioRegistrar {
+  ScenarioRegistrar(const char* name, const char* family,
+                    const char* description, Program body,
+                    ScenarioTraits traits = {}) {
+    registerScenario(name, family, description, std::move(body), traits);
+  }
+};
+
+}  // namespace lazyhb
+
+#define LAZYHB_SCENARIO_CAT2(a, b) a##b
+#define LAZYHB_SCENARIO_CAT(a, b) LAZYHB_SCENARIO_CAT2(a, b)
+
+/// Register `bodyExpr` (any lazyhb::Program expression) as a scenario.
+/// Trailing arguments, if any, are ScenarioTraits designated initializers.
+#define LAZYHB_SCENARIO_FN(name, family, description, bodyExpr, ...)         \
+  [[maybe_unused]] static const ::lazyhb::ScenarioRegistrar                  \
+      LAZYHB_SCENARIO_CAT(lazyhbScenarioRegistrar_, __COUNTER__){            \
+          name, family, description, (bodyExpr),                             \
+          ::lazyhb::ScenarioTraits{__VA_ARGS__}}
+
+/// Define-and-register form: the macro invocation is followed by the
+/// scenario body as a compound statement (see the header comment).
+#define LAZYHB_SCENARIO(name, family, description, ...)                      \
+  LAZYHB_SCENARIO_IMPL(LAZYHB_SCENARIO_CAT(lazyhbScenarioBody_, __COUNTER__),\
+                       name, family, description, __VA_ARGS__)
+
+#define LAZYHB_SCENARIO_IMPL(fn, name, family, description, ...)             \
+  static void fn();                                                         \
+  LAZYHB_SCENARIO_FN(name, family, description, &fn, __VA_ARGS__);          \
+  static void fn()

@@ -1,0 +1,223 @@
+// lazyhb/session.hpp — the public embedding facade.
+//
+// Session is a small builder over the exploration engine: configure a
+// strategy and budgets with chained setters, then run() a program (or a
+// registered scenario by name) and receive a self-describing TestReport.
+// The whole API is value types and strings — no internal engine types leak
+// through this boundary, so embedders depend only on <lazyhb/lazyhb.hpp>.
+//
+//   const lazyhb::TestReport report = lazyhb::Session()
+//                                         .strategy("caching-lazy")
+//                                         .schedules(100'000)
+//                                         .detectRaces(true)
+//                                         .run(myProgram);
+//   if (report.foundViolation()) {
+//     const auto trace = lazyhb::traceSchedule(myProgram,
+//                                              report.violations.front().schedule);
+//     std::fputs(trace.rendered.c_str(), stderr);
+//   }
+//
+// Configuration errors (unknown strategy or scenario name) throw
+// std::invalid_argument from run(); everything else is reported through the
+// TestReport. Counts produced through Session are byte-identical to driving
+// the underlying explorers directly — the parity test suite pins this.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lazyhb/scenario.hpp"
+
+namespace lazyhb {
+
+inline constexpr const char* kTestReportSchemaName = "lazyhb-test-report";
+inline constexpr int kTestReportSchemaVersion = 1;
+
+/// A property violation with the schedule that reproduces it (feed the
+/// schedule to lazyhb::traceSchedule, or to `lazyhb replay --schedule`).
+struct TestViolation {
+  std::string kind;  ///< "assertion-failure" | "deadlock" | "usage-error"
+  std::string message;
+  std::vector<int> schedule;  ///< thread picked at each step; replayable
+};
+
+/// A sync-HB data race (only populated when detectRaces is on).
+struct TestRace {
+  std::string object;  ///< name of the shared variable raced on
+  int firstEvent = -1;
+  int secondEvent = -1;
+};
+
+/// Snapshot of the strategy's HBR prefix cache (all-zero when the strategy
+/// consults no cache).
+struct TestCacheStats {
+  bool enabled = false;
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t approxBytes = 0;
+};
+
+/// Per-theorem equivalence-checker tallies (populated when checkTheorems
+/// is on; a nonzero `conflicts` falsifies the theorem or exposes a
+/// fingerprint collision).
+struct TestTheoremStats {
+  std::uint64_t schedules = 0;
+  std::uint64_t classes = 0;
+  std::uint64_t states = 0;
+  std::uint64_t conflicts = 0;
+};
+
+/// The self-describing result of one Session::run.
+struct TestReport {
+  // Identity and configuration echo.
+  std::string scenario;  ///< registered scenario name; empty for ad-hoc programs
+  std::string family;    ///< scenario family; empty for ad-hoc programs
+  std::string strategy;
+  std::uint64_t scheduleLimit = 0;
+  std::uint32_t maxEventsPerSchedule = 0;
+  std::uint64_t seed = 0;
+  bool incremental = true;
+  bool checkpointable = false;
+
+  // Exploration counts (the §3 chain reads
+  // distinctStates <= distinctLazyHbrs <= distinctHbrs <= schedulesExecuted).
+  std::uint64_t schedulesExecuted = 0;
+  std::uint64_t terminalSchedules = 0;
+  std::uint64_t prunedSchedules = 0;
+  std::uint64_t violationSchedules = 0;
+  std::uint64_t totalEvents = 0;
+  std::uint64_t eventsElided = 0;
+  std::uint64_t eventsReplayed = 0;
+  std::uint64_t distinctHbrs = 0;
+  std::uint64_t distinctLazyHbrs = 0;
+  std::uint64_t distinctStates = 0;
+  bool hitScheduleLimit = false;
+  bool complete = false;  ///< search space fully explored
+
+  // Findings.
+  std::vector<TestViolation> violations;
+  std::vector<TestRace> races;
+  TestCacheStats cache;
+  TestTheoremStats theorem21;  ///< full HBR -> state (when checkTheorems)
+  TestTheoremStats theorem22;  ///< lazy HBR -> state (when checkTheorems)
+
+  double wallSeconds = 0.0;
+
+  [[nodiscard]] bool foundViolation() const noexcept { return !violations.empty(); }
+  [[nodiscard]] bool passed() const noexcept { return violations.empty(); }
+
+  /// The versioned lazyhb-test-report JSON document (newline-terminated);
+  /// the same document `lazyhb explore --out` writes.
+  [[nodiscard]] std::string toJson() const;
+
+  /// One human-readable summary line (no trailing newline).
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Builder facade over the exploration engine. A Session is a reusable
+/// value: run() constructs a fresh single-use explorer each call, so one
+/// configured Session can test many programs.
+class Session {
+ public:
+  Session();
+
+  /// Exploration strategy, one of strategies() (default "caching-lazy").
+  /// Validated at run().
+  Session& strategy(std::string name);
+  /// Maximum number of schedules to execute (default 10,000; the paper's
+  /// experiments use 100,000).
+  Session& schedules(std::uint64_t limit);
+  /// Per-schedule event budget, guarding against unbounded loops.
+  Session& maxEventsPerSchedule(std::uint32_t events);
+  /// Seed for the "random" strategy (ignored by the others).
+  Session& seed(std::uint64_t value);
+  /// Run the sync-HB data-race detector on every execution.
+  Session& detectRaces(bool on = true);
+  /// Feed every terminal schedule through the Theorem 2.1/2.2 checkers.
+  Session& checkTheorems(bool on = true);
+  /// Stop the whole exploration at the first violation (testing-tool mode;
+  /// the default keeps exploring and counting).
+  Session& stopOnFirstViolation(bool on = true);
+  /// Keep at most this many violation records (default 16).
+  Session& keepViolations(std::uint32_t max);
+  /// Incremental prefix replay (checkpoint/rollback; default on). Counts
+  /// are byte-identical either way; only wall time changes.
+  Session& incremental(bool on);
+  /// Assert the program satisfies the checkpointable contract (see
+  /// ScenarioTraits::checkpointable); enables full runtime rollback.
+  /// run(name) inherits this from the scenario's registered traits.
+  Session& checkpointable(bool on = true);
+
+  /// Explore an ad-hoc program. Throws std::invalid_argument for an
+  /// unknown strategy name.
+  [[nodiscard]] TestReport run(const Program& program) const;
+  /// Explore a registered scenario by name (inheriting its checkpointable
+  /// trait). Throws std::invalid_argument for an unknown scenario name.
+  [[nodiscard]] TestReport run(const std::string& scenarioName) const;
+  [[nodiscard]] TestReport run(const char* scenarioName) const;
+
+  /// Every strategy name run() accepts, canonical modes first.
+  [[nodiscard]] static std::vector<std::string> strategies();
+
+ private:
+  struct Config {
+    std::string strategy = "caching-lazy";
+    std::uint64_t scheduleLimit = 10'000;
+    std::uint32_t maxEventsPerSchedule = 1u << 16;
+    std::uint64_t seed = 42;
+    bool detectRaces = false;
+    bool checkTheorems = false;
+    bool stopOnFirstViolation = false;
+    std::uint32_t maxViolationsKept = 16;
+    bool incremental = true;
+    bool checkpointable = false;
+  };
+
+  Config config_;
+};
+
+/// Options for traceSchedule.
+struct TraceOptions {
+  /// Relation whose inter-thread edges annotate the trace:
+  /// "sync" | "full" | "lazy".
+  std::string relation = "full";
+  bool detectRaces = false;
+  bool renderTrace = true;
+  std::uint32_t maxEventsPerSchedule = 1u << 16;
+};
+
+/// Deterministic re-execution of a recorded schedule.
+struct ScheduleTrace {
+  /// False when the schedule does not apply to the program (a pick named a
+  /// thread that was not enabled at that point); every other field is then
+  /// meaningless.
+  bool applied = false;
+  std::string outcome;  ///< "terminal" | "deadlock" | "assertion-failure" | ...
+  bool violated = false;
+  std::string message;   ///< violation message, if any
+  std::string rendered;  ///< human-readable interleaving with HB edges
+  std::size_t events = 0;
+  std::string hbrFingerprint;    ///< 32 hex digits
+  std::string lazyFingerprint;   ///< 32 hex digits
+  std::string stateFingerprint;  ///< 32 hex digits
+  std::vector<TestRace> races;
+};
+
+/// Re-execute `schedule` (e.g. a TestViolation::schedule) under `program`
+/// and render the interleaving. Throws std::invalid_argument for an unknown
+/// relation name in `options`.
+[[nodiscard]] ScheduleTrace traceSchedule(const Program& program,
+                                          const std::vector<int>& schedule,
+                                          const TraceOptions& options = {});
+
+/// Same, for a registered scenario. Throws std::invalid_argument for an
+/// unknown scenario name.
+[[nodiscard]] ScheduleTrace traceSchedule(const std::string& scenarioName,
+                                          const std::vector<int>& schedule,
+                                          const TraceOptions& options = {});
+
+}  // namespace lazyhb

@@ -24,6 +24,16 @@ std::unique_ptr<explore::ExplorerBase> ExplorerSpec::create(
     case Kind::CachingLazy:
       return std::make_unique<explore::CachingExplorer>(options,
                                                         trace::Relation::Lazy);
+    case Kind::DporNoSleep: {
+      explore::DporOptions dpor;
+      dpor.sleepSets = false;
+      return std::make_unique<explore::DporExplorer>(options, dpor);
+    }
+    case Kind::DporLazyCache: {
+      explore::DporOptions dpor;
+      dpor.cachePrefixes = trace::Relation::Lazy;
+      return std::make_unique<explore::DporExplorer>(options, dpor);
+    }
   }
   LAZYHB_UNREACHABLE("unhandled ExplorerSpec::Kind");
 }
@@ -39,8 +49,19 @@ const std::vector<ExplorerSpec>& allExplorers() {
   return specs;
 }
 
+const std::vector<ExplorerSpec>& extendedExplorers() {
+  static const std::vector<ExplorerSpec> specs = {
+      {ExplorerSpec::Kind::DporNoSleep, "dpor-nosleep"},
+      {ExplorerSpec::Kind::DporLazyCache, "dpor-lazy-cache"},
+  };
+  return specs;
+}
+
 std::optional<ExplorerSpec> parseExplorerSpec(const std::string& name) {
   for (const ExplorerSpec& spec : allExplorers()) {
+    if (spec.name == name) return spec;
+  }
+  for (const ExplorerSpec& spec : extendedExplorers()) {
     if (spec.name == name) return spec;
   }
   return std::nullopt;
@@ -61,11 +82,16 @@ std::optional<std::vector<ExplorerSpec>> parseExplorerList(const std::string& cs
   return specs;
 }
 
-std::string explorerNamesHelp() {
+std::string explorerNamesHelp(bool includeExtended) {
   std::string out;
   for (const ExplorerSpec& spec : allExplorers()) {
     if (!out.empty()) out += ", ";
     out += spec.name;
+  }
+  if (includeExtended) {
+    for (const ExplorerSpec& spec : extendedExplorers()) {
+      out += ", " + spec.name;
+    }
   }
   return out;
 }

@@ -23,7 +23,16 @@
 namespace lazyhb::campaign {
 
 struct ExplorerSpec {
-  enum class Kind : std::uint8_t { Dfs, Random, Dpor, CachingFull, CachingLazy };
+  enum class Kind : std::uint8_t {
+    Dfs,
+    Random,
+    Dpor,
+    CachingFull,
+    CachingLazy,
+    // Ablation variants (parseable, but not part of allExplorers()):
+    DporNoSleep,    ///< Flanagan–Godefroid backtracking without sleep sets
+    DporLazyCache,  ///< EXPERIMENTAL §4: DPOR + lazy-HBR prefix cache
+  };
 
   Kind kind = Kind::Dfs;
   std::string name;  ///< canonical mode name, e.g. "caching-lazy"
@@ -36,7 +45,11 @@ struct ExplorerSpec {
 /// The five canonical explorer modes, in the order tables print them.
 [[nodiscard]] const std::vector<ExplorerSpec>& allExplorers();
 
-/// Resolve a canonical mode name; nullopt for unknown names.
+/// The ablation variants ("dpor-nosleep", "dpor-lazy-cache"): constructible
+/// through the same factory, excluded from the default campaign matrix.
+[[nodiscard]] const std::vector<ExplorerSpec>& extendedExplorers();
+
+/// Resolve a canonical or extended mode name; nullopt for unknown names.
 [[nodiscard]] std::optional<ExplorerSpec> parseExplorerSpec(const std::string& name);
 
 /// Parse a comma-separated mode list ("dpor,caching-lazy"). An empty string
@@ -46,6 +59,8 @@ struct ExplorerSpec {
     const std::string& csv, std::string* badName = nullptr);
 
 /// "dfs, random, dpor, caching-full, caching-lazy" — for usage strings.
-[[nodiscard]] std::string explorerNamesHelp();
+/// With includeExtended, the ablation variants are appended too (use in
+/// unknown-name error messages, where every accepted spelling belongs).
+[[nodiscard]] std::string explorerNamesHelp(bool includeExtended = false);
 
 }  // namespace lazyhb::campaign

@@ -173,9 +173,10 @@ bool writeReportFile(const std::string& path, const CampaignResult& result,
     std::fprintf(stderr, "lazyhb: cannot write report to '%s'\n", path.c_str());
     return false;
   }
-  const bool ok =
+  bool ok =
       std::fwrite(document.data(), 1, document.size(), file) == document.size();
-  std::fclose(file);
+  // fclose flushes the stdio buffer; a full disk surfaces here, not in fwrite.
+  ok = (std::fclose(file) == 0) && ok;
   if (!ok) {
     std::fprintf(stderr, "lazyhb: short write to '%s'\n", path.c_str());
   }

@@ -2,13 +2,14 @@
 
 #include <cstdio>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "campaign/campaign.hpp"
 #include "campaign/explorer_spec.hpp"
 #include "campaign/report.hpp"
-#include "explore/replay.hpp"
+#include "lazyhb/lazyhb.hpp"
 #include "programs/registry.hpp"
 #include "support/options.hpp"
 #include "support/table.hpp"
@@ -72,14 +73,39 @@ bool parseIncremental(const support::Options& options, bool* enabled) {
   return false;
 }
 
-explore::ExplorerOptions explorerOptionsFrom(const support::Options& options) {
-  explore::ExplorerOptions eo;
-  eo.scheduleLimit = static_cast<std::uint64_t>(options.getInt("limit"));
-  eo.maxEventsPerSchedule = static_cast<std::uint32_t>(options.getInt("max-events"));
-  eo.detectRaces = options.getFlag("races");
-  eo.checkTheorems = options.getFlag("theorems");
-  eo.stopOnFirstViolation = options.getFlag("stop-on-violation");
-  return eo;
+/// Write `document` to `path` ("-" means stdout). Returns false (with a
+/// message on stderr) when the file cannot be written.
+bool writeDocument(const std::string& path, const std::string& document) {
+  if (path == "-") {
+    std::fputs(document.c_str(), stdout);
+    return true;
+  }
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "lazyhb: cannot write report to '%s'\n", path.c_str());
+    return false;
+  }
+  bool ok =
+      std::fwrite(document.data(), 1, document.size(), file) == document.size();
+  // fclose flushes the stdio buffer; a full disk surfaces here, not in fwrite.
+  ok = (std::fclose(file) == 0) && ok;
+  if (!ok) std::fprintf(stderr, "lazyhb: short write to '%s'\n", path.c_str());
+  return ok;
+}
+
+/// Build a Session from the shared explorer flags (strategy is set by the
+/// caller). Returns false after printing a usage error.
+bool sessionFrom(const support::Options& options, Session* session) {
+  bool incremental = true;
+  if (!parseIncremental(options, &incremental)) return false;
+  session->schedules(static_cast<std::uint64_t>(options.getInt("limit")))
+      .maxEventsPerSchedule(static_cast<std::uint32_t>(options.getInt("max-events")))
+      .seed(static_cast<std::uint64_t>(options.getInt("seed")))
+      .detectRaces(options.getFlag("races"))
+      .checkTheorems(options.getFlag("theorems"))
+      .stopOnFirstViolation(options.getFlag("stop-on-violation"))
+      .incremental(incremental);
+  return true;
 }
 
 void addExplorerFlags(support::Options& options) {
@@ -93,37 +119,37 @@ void addExplorerFlags(support::Options& options) {
   options.addFlag("stop-on-violation", "stop at the first violation");
 }
 
-void printViolations(const explore::ExplorationResult& result) {
-  for (const explore::ViolationRecord& v : result.violations) {
+void printViolations(std::FILE* out, const TestReport& report) {
+  for (const TestViolation& v : report.violations) {
     std::string schedule;
     for (std::size_t i = 0; i < v.schedule.size(); ++i) {
       if (i > 0) schedule += ",";
       schedule += std::to_string(v.schedule[i]);
     }
-    std::printf("violation [%s] %s\n  schedule: %s\n",
-                runtime::outcomeName(v.kind), v.message.c_str(), schedule.c_str());
+    std::fprintf(out, "violation [%s] %s\n  schedule: %s\n", v.kind.c_str(),
+                 v.message.c_str(), schedule.c_str());
   }
 }
 
-void printRaces(const explore::ExplorationResult& result) {
-  for (const trace::RaceReport& race : result.races) {
-    std::printf("race on %s (events %d and %d)\n", race.objectName.c_str(),
-                race.firstEvent, race.secondEvent);
+void printRaces(std::FILE* out, const TestReport& report) {
+  for (const TestRace& race : report.races) {
+    std::fprintf(out, "race on %s (events %d and %d)\n", race.object.c_str(),
+                 race.firstEvent, race.secondEvent);
   }
 }
 
 void addResultRow(support::Table& table, const std::string& label,
-                  const explore::ExplorationResult& result) {
+                  const TestReport& report) {
   table.beginRow();
   table.cell(label);
-  table.cell(result.schedulesExecuted);
-  table.cell(result.terminalSchedules);
-  table.cell(result.prunedSchedules);
-  table.cell(result.violationSchedules);
-  table.cell(result.distinctHbrs);
-  table.cell(result.distinctLazyHbrs);
-  table.cell(result.distinctStates);
-  table.cell(std::string(result.complete ? "yes" : result.hitScheduleLimit ? "limit" : "no"));
+  table.cell(report.schedulesExecuted);
+  table.cell(report.terminalSchedules);
+  table.cell(report.prunedSchedules);
+  table.cell(report.violationSchedules);
+  table.cell(report.distinctHbrs);
+  table.cell(report.distinctLazyHbrs);
+  table.cell(report.distinctStates);
+  table.cell(std::string(report.complete ? "yes" : report.hitScheduleLimit ? "limit" : "no"));
 }
 
 std::vector<std::string> resultHeaders() {
@@ -165,8 +191,13 @@ int cmdExplore(int argc, char** argv) {
                            "run one program under one explorer and report stats");
   options.addString("program", "", "program name (see `lazyhb list`)");
   options.addString("explorer", "dfs",
-                    "dfs | random | dpor | caching-full | caching-lazy");
+                    "dfs | random | dpor | caching-full | caching-lazy "
+                    "(also the ablation variants dpor-nosleep, "
+                    "dpor-lazy-cache)");
   addExplorerFlags(options);
+  options.addString("out", "",
+                    "write the lazyhb-test-report JSON to this path ('-': "
+                    "stdout; empty: no report file)");
   options.addFlag("fail-on-violation", "exit 1 if any violation was found");
   if (!options.parse(argc, argv)) return options.parseError() ? kExitUsage : kExitOk;
 
@@ -174,49 +205,53 @@ int cmdExplore(int argc, char** argv) {
   if (spec == nullptr) return kExitUsage;
 
   const std::string mode = options.getString("explorer");
-  const auto explorerSpec = campaign::parseExplorerSpec(mode);
-  if (!explorerSpec) {
+  if (!campaign::parseExplorerSpec(mode)) {
     std::fprintf(stderr, "lazyhb: unknown explorer '%s' (expected %s)\n",
-                 mode.c_str(), campaign::explorerNamesHelp().c_str());
+                 mode.c_str(), campaign::explorerNamesHelp(true).c_str());
     return kExitUsage;
   }
-  explore::ExplorerOptions explorerOptions = explorerOptionsFrom(options);
-  if (!parseIncremental(options, &explorerOptions.incremental)) return kExitUsage;
-  explorerOptions.checkpointable = spec->checkpointable;
-  auto explorer =
-      explorerSpec->create(explorerOptions,
-                           static_cast<std::uint64_t>(options.getInt("seed")));
+  Session session;
+  if (!sessionFrom(options, &session)) return kExitUsage;
+  const TestReport report = session.strategy(mode).run(spec->name);
 
-  const explore::ExplorationResult result = explorer->explore(spec->body);
-
-  std::printf("program %s (%s): %s\n", spec->name.c_str(), spec->family.c_str(),
-              spec->description.c_str());
+  // With `--out -` stdout carries the JSON document alone (so it pipes into
+  // a parser); the human-readable rendering moves to stderr.
+  const std::string out = options.getString("out");
+  std::FILE* human = out == "-" ? stderr : stdout;
+  std::fprintf(human, "program %s (%s): %s\n", spec->name.c_str(),
+               spec->family.c_str(), spec->description.c_str());
   support::Table table(resultHeaders());
-  addResultRow(table, mode, result);
-  std::fputs(table.toText().c_str(), stdout);
-  std::printf("total events: %s (%s elided, %s replayed)\n",
-              support::withCommas(result.totalEvents).c_str(),
-              support::withCommas(result.eventsElided).c_str(),
-              support::withCommas(result.eventsReplayed).c_str());
+  addResultRow(table, mode, report);
+  std::fputs(table.toText().c_str(), human);
+  std::fprintf(human, "total events: %s (%s elided, %s replayed)\n",
+               support::withCommas(report.totalEvents).c_str(),
+               support::withCommas(report.eventsElided).c_str(),
+               support::withCommas(report.eventsReplayed).c_str());
   if (options.getFlag("theorems")) {
-    std::printf(
+    std::fprintf(
+        human,
         "theorem 2.1 (full HBR -> state): %llu schedules, %llu classes, "
         "%llu states, %llu conflicts\n",
-        static_cast<unsigned long long>(result.theorem21.schedules),
-        static_cast<unsigned long long>(result.theorem21.classes),
-        static_cast<unsigned long long>(result.theorem21.states),
-        static_cast<unsigned long long>(result.theorem21.conflicts));
-    std::printf(
+        static_cast<unsigned long long>(report.theorem21.schedules),
+        static_cast<unsigned long long>(report.theorem21.classes),
+        static_cast<unsigned long long>(report.theorem21.states),
+        static_cast<unsigned long long>(report.theorem21.conflicts));
+    std::fprintf(
+        human,
         "theorem 2.2 (lazy HBR -> state): %llu schedules, %llu classes, "
         "%llu states, %llu conflicts\n",
-        static_cast<unsigned long long>(result.theorem22.schedules),
-        static_cast<unsigned long long>(result.theorem22.classes),
-        static_cast<unsigned long long>(result.theorem22.states),
-        static_cast<unsigned long long>(result.theorem22.conflicts));
+        static_cast<unsigned long long>(report.theorem22.schedules),
+        static_cast<unsigned long long>(report.theorem22.classes),
+        static_cast<unsigned long long>(report.theorem22.states),
+        static_cast<unsigned long long>(report.theorem22.conflicts));
   }
-  printViolations(result);
-  printRaces(result);
-  if (options.getFlag("fail-on-violation") && result.foundViolation()) {
+  printViolations(human, report);
+  printRaces(human, report);
+  if (!out.empty()) {
+    if (!writeDocument(out, report.toJson())) return kExitIo;
+    if (out != "-") std::printf("report: %s\n", out.c_str());
+  }
+  if (options.getFlag("fail-on-violation") && report.foundViolation()) {
     return kExitViolation;
   }
   return kExitOk;
@@ -235,19 +270,15 @@ int cmdCompare(int argc, char** argv) {
   const programs::ProgramSpec* spec = resolveProgram(options.getString("program"));
   if (spec == nullptr) return kExitUsage;
 
-  explore::ExplorerOptions explorerOptions = explorerOptionsFrom(options);
-  if (!parseIncremental(options, &explorerOptions.incremental)) return kExitUsage;
-  explorerOptions.checkpointable = spec->checkpointable;
+  Session session;
+  if (!sessionFrom(options, &session)) return kExitUsage;
 
   std::printf("program %s (%s): %s\n", spec->name.c_str(), spec->family.c_str(),
               spec->description.c_str());
   support::Table table(resultHeaders());
   for (const campaign::ExplorerSpec& mode : campaign::allExplorers()) {
-    auto explorer =
-        mode.create(explorerOptions,
-                    static_cast<std::uint64_t>(options.getInt("seed")));
-    const explore::ExplorationResult result = explorer->explore(spec->body);
-    addResultRow(table, mode.name, result);
+    const TestReport report = session.strategy(mode.name).run(spec->name);
+    addResultRow(table, mode.name, report);
   }
   std::fputs((options.getFlag("csv") ? table.toCsv() : table.toText()).c_str(),
              stdout);
@@ -322,7 +353,7 @@ int cmdBench(int argc, char** argv) {
       campaign::parseExplorerList(options.getString("explorers"), &bad);
   if (!explorers) {
     std::fprintf(stderr, "lazyhb: unknown explorer '%s' (expected %s)\n",
-                 bad.c_str(), campaign::explorerNamesHelp().c_str());
+                 bad.c_str(), campaign::explorerNamesHelp(true).c_str());
     return kExitUsage;
   }
 
@@ -504,27 +535,23 @@ int cmdReplay(int argc, char** argv) {
     return kExitUsage;
   }
 
-  explore::ReplayOptions replayOptions;
-  replayOptions.renderTrace = !options.getFlag("no-trace");
-  replayOptions.detectRaces = options.getFlag("races");
-  replayOptions.maxEventsPerSchedule =
+  TraceOptions traceOptions;
+  traceOptions.renderTrace = !options.getFlag("no-trace");
+  traceOptions.detectRaces = options.getFlag("races");
+  traceOptions.maxEventsPerSchedule =
       static_cast<std::uint32_t>(options.getInt("max-events"));
-  const std::string relation = options.getString("relation");
-  if (relation == "sync") {
-    replayOptions.renderRelation = trace::Relation::Sync;
-  } else if (relation == "full") {
-    replayOptions.renderRelation = trace::Relation::Full;
-  } else if (relation == "lazy") {
-    replayOptions.renderRelation = trace::Relation::Lazy;
-  } else {
-    std::fprintf(stderr, "lazyhb: unknown relation '%s'\n", relation.c_str());
+  traceOptions.relation = options.getString("relation");
+
+  ScheduleTrace result;
+  try {
+    result = traceSchedule(spec->body, schedule, traceOptions);
+  } catch (const std::invalid_argument&) {
+    std::fprintf(stderr, "lazyhb: unknown relation '%s'\n",
+                 traceOptions.relation.c_str());
     return kExitUsage;
   }
 
-  const explore::ReplayResult result =
-      explore::replaySchedule(spec->body, schedule, replayOptions);
-
-  if (result.outcome == runtime::Outcome::Abandoned) {
+  if (!result.applied) {
     std::fprintf(stderr,
                  "lazyhb: schedule does not apply to '%s' — a pick named a "
                  "thread that was not enabled at that point\n",
@@ -532,25 +559,20 @@ int cmdReplay(int argc, char** argv) {
     return kExitUsage;
   }
   std::printf("program %s: outcome %s, %zu event(s)\n", spec->name.c_str(),
-              runtime::outcomeName(result.outcome), result.eventCount);
-  if (!result.violationMessage.empty()) {
-    std::printf("violation: %s\n", result.violationMessage.c_str());
+              result.outcome.c_str(), result.events);
+  if (!result.message.empty()) {
+    std::printf("violation: %s\n", result.message.c_str());
   }
-  std::printf("hbr %016llx%016llx  lazy %016llx%016llx  state %016llx%016llx\n",
-              static_cast<unsigned long long>(result.hbrFingerprint.hi),
-              static_cast<unsigned long long>(result.hbrFingerprint.lo),
-              static_cast<unsigned long long>(result.lazyFingerprint.hi),
-              static_cast<unsigned long long>(result.lazyFingerprint.lo),
-              static_cast<unsigned long long>(result.stateFingerprint.hi),
-              static_cast<unsigned long long>(result.stateFingerprint.lo));
-  if (replayOptions.renderTrace) {
-    std::fputs(result.renderedTrace.c_str(), stdout);
+  std::printf("hbr %s  lazy %s  state %s\n", result.hbrFingerprint.c_str(),
+              result.lazyFingerprint.c_str(), result.stateFingerprint.c_str());
+  if (traceOptions.renderTrace) {
+    std::fputs(result.rendered.c_str(), stdout);
   }
-  for (const trace::RaceReport& race : result.races) {
-    std::printf("race on %s (events %d and %d)\n", race.objectName.c_str(),
+  for (const TestRace& race : result.races) {
+    std::printf("race on %s (events %d and %d)\n", race.object.c_str(),
                 race.firstEvent, race.secondEvent);
   }
-  return runtime::isViolation(result.outcome) ? kExitViolation : kExitOk;
+  return result.violated ? kExitViolation : kExitOk;
 }
 
 }  // namespace

@@ -234,38 +234,40 @@ explore::Program diningDeadlock(int philosophers) {
 
 }  // namespace
 
-void appendBuggyPrograms(std::vector<ProgramSpec>& out) {
-  auto add = [&out](std::string name, std::string family, std::string description,
-                    explore::Program body) {
-    ProgramSpec spec;
-    spec.name = std::move(name);
-    spec.family = std::move(family);
-    spec.description = std::move(description);
-    spec.body = std::move(body);
-    spec.hasKnownBug = true;
-    out.push_back(std::move(spec));
-  };
+// Self-registration at rank kBuggyRank (last of the corpus). Every
+// scenario here has a reachable violation; the bodies deliberately keep
+// heap-based std::vector state, exercising the non-checkpointable
+// (re-execution) incremental path.
+#define LAZYHB_BUGGY(name, family, description, body)                      \
+  [[maybe_unused]] static const ::lazyhb::programs::detail::          \
+      CorpusRegistrar LAZYHB_SCENARIO_CAT(lazyhbCorpusRegistrar_,     \
+                                          __COUNTER__){               \
+          name, family, description, (body),                          \
+          /*hasKnownBug=*/true, /*checkpointable=*/false, kBuggyRank}
 
-  add("deadlock-ab", "deadlock", "AB-BA deadlock", deadlockAb());
-  add("deadlock-ring-3", "deadlock", "3-mutex circular wait", deadlockRing(3));
-  add("dining-deadlock-2", "deadlock", "2 philosophers, unordered forks",
-      diningDeadlock(2));
-  add("dining-deadlock-3", "deadlock", "3 philosophers, unordered forks",
-      diningDeadlock(3));
-  add("wronglock-2", "wronglock", "2 threads guard one var with 2 mutexes",
-      wrongLock(2));
-  add("wronglock-3", "wronglock", "3 threads guard one var with 3 mutexes",
-      wrongLock(3));
-  add("check-then-act", "atomicity", "lock dropped between check and act",
-      checkThenAct());
-  add("airline-2", "airline", "2 sellers, 1 seat, unprotected check",
-      airline(2, 1));
-  add("airline-3", "airline", "3 sellers, 2 seats, unprotected check",
-      airline(3, 2));
-  add("reorder-1", "reorder", "flag published before data, 1 checker", reorder(1));
-  add("twostage", "twostage", "two-lock staged update, visible window", twoStage());
-  add("stateful01", "stateful", "non-commutative locked updates", stateful());
-  add("lost-signal", "lost-signal", "wait without predicate loop", lostSignal());
-}
+LAZYHB_BUGGY("deadlock-ab", "deadlock", "AB-BA deadlock", deadlockAb());
+LAZYHB_BUGGY("deadlock-ring-3", "deadlock", "3-mutex circular wait", deadlockRing(3));
+LAZYHB_BUGGY("dining-deadlock-2", "deadlock",
+             "2 philosophers, unordered forks", diningDeadlock(2));
+LAZYHB_BUGGY("dining-deadlock-3", "deadlock",
+             "3 philosophers, unordered forks", diningDeadlock(3));
+LAZYHB_BUGGY("wronglock-2", "wronglock",
+             "2 threads guard one var with 2 mutexes", wrongLock(2));
+LAZYHB_BUGGY("wronglock-3", "wronglock",
+             "3 threads guard one var with 3 mutexes", wrongLock(3));
+LAZYHB_BUGGY("check-then-act", "atomicity",
+             "lock dropped between check and act", checkThenAct());
+LAZYHB_BUGGY("airline-2", "airline",
+             "2 sellers, 1 seat, unprotected check", airline(2, 1));
+LAZYHB_BUGGY("airline-3", "airline",
+             "3 sellers, 2 seats, unprotected check", airline(3, 2));
+LAZYHB_BUGGY("reorder-1", "reorder",
+             "flag published before data, 1 checker", reorder(1));
+LAZYHB_BUGGY("twostage", "twostage",
+             "two-lock staged update, visible window", twoStage());
+LAZYHB_BUGGY("stateful01", "stateful", "non-commutative locked updates", stateful());
+LAZYHB_BUGGY("lost-signal", "lost-signal", "wait without predicate loop", lostSignal());
+
+void linkBuggyScenarios() {}
 
 }  // namespace lazyhb::programs::detail

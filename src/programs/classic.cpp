@@ -232,34 +232,36 @@ explore::Program twoPhase(int threadsPerPhase) {
 
 }  // namespace
 
-void appendClassicPrograms(std::vector<ProgramSpec>& out) {
-  auto add = [&out](std::string name, std::string family, std::string description,
-                    explore::Program body, bool bug = false) {
-    ProgramSpec spec;
-    spec.name = std::move(name);
-    spec.family = std::move(family);
-    spec.description = std::move(description);
-    spec.body = std::move(body);
-    spec.hasKnownBug = bug;
-    spec.checkpointable = true;  // bodies use InlineVec: no heap on fiber stacks
-    out.push_back(std::move(spec));
-  };
+// Self-registration at rank kClassicRank (after the locking family);
+// bodies use InlineVec, so every one satisfies the checkpointable
+// contract.
+#define LAZYHB_CLASSIC(name, family, description, body)                      \
+  [[maybe_unused]] static const ::lazyhb::programs::detail::          \
+      CorpusRegistrar LAZYHB_SCENARIO_CAT(lazyhbCorpusRegistrar_,     \
+                                          __COUNTER__){               \
+          name, family, description, (body),                          \
+          /*hasKnownBug=*/false, /*checkpointable=*/true, kClassicRank}
 
-  add("racy-counter-3", "racy-counter", "3 unsynchronised increments", racyCounter(3));
-  add("racy-counter-4", "racy-counter", "4 unsynchronised increments", racyCounter(4));
-  add("dekker", "mutex-algo", "Dekker's algorithm, bounded spins", dekker());
-  add("peterson", "mutex-algo", "Peterson's algorithm, bounded spins", peterson());
-  add("litmus-sb", "litmus", "store buffering (SC: 0/0 unreachable)",
-      litmusStoreBuffer());
-  add("litmus-mp", "litmus", "message passing (SC: flag implies data)",
-      litmusMessagePassing());
-  add("shared-flags-3", "shared-flags", "3 threads raise and count flags",
-      sharedFlags(3));
-  add("lastzero-3", "lastzero", "3 writers vs array scanner", lastZero(3));
-  add("fork-tree", "fork-join", "nested spawn/join tree", forkTree());
-  add("quiet", "fork-join", "single child, single write (sanity point)", quiet());
-  add("two-phase-2", "fork-join", "2+2 racy writers with a join barrier",
-      twoPhase(2));
-}
+LAZYHB_CLASSIC("racy-counter-3", "racy-counter",
+               "3 unsynchronised increments", racyCounter(3));
+LAZYHB_CLASSIC("racy-counter-4", "racy-counter",
+               "4 unsynchronised increments", racyCounter(4));
+LAZYHB_CLASSIC("dekker", "mutex-algo", "Dekker's algorithm, bounded spins", dekker());
+LAZYHB_CLASSIC("peterson", "mutex-algo",
+               "Peterson's algorithm, bounded spins", peterson());
+LAZYHB_CLASSIC("litmus-sb", "litmus",
+               "store buffering (SC: 0/0 unreachable)", litmusStoreBuffer());
+LAZYHB_CLASSIC("litmus-mp", "litmus",
+               "message passing (SC: flag implies data)", litmusMessagePassing());
+LAZYHB_CLASSIC("shared-flags-3", "shared-flags",
+               "3 threads raise and count flags", sharedFlags(3));
+LAZYHB_CLASSIC("lastzero-3", "lastzero", "3 writers vs array scanner", lastZero(3));
+LAZYHB_CLASSIC("fork-tree", "fork-join", "nested spawn/join tree", forkTree());
+LAZYHB_CLASSIC("quiet", "fork-join",
+               "single child, single write (sanity point)", quiet());
+LAZYHB_CLASSIC("two-phase-2", "fork-join",
+               "2+2 racy writers with a join barrier", twoPhase(2));
+
+void linkClassicScenarios() {}
 
 }  // namespace lazyhb::programs::detail

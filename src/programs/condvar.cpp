@@ -253,36 +253,35 @@ explore::Program semRendezvous() {
 
 }  // namespace
 
-void appendCondvarPrograms(std::vector<ProgramSpec>& out) {
-  auto add = [&out](std::string name, std::string family, std::string description,
-                    explore::Program body) {
-    ProgramSpec spec;
-    spec.name = std::move(name);
-    spec.family = std::move(family);
-    spec.description = std::move(description);
-    spec.body = std::move(body);
-    spec.checkpointable = true;  // bodies use InlineVec: no heap on fiber stacks
-    out.push_back(std::move(spec));
-  };
+// Self-registration at rank kCondvarRank; bodies use InlineVec, so
+// every one satisfies the checkpointable contract.
+#define LAZYHB_CONDVAR(name, family, description, body)                      \
+  [[maybe_unused]] static const ::lazyhb::programs::detail::          \
+      CorpusRegistrar LAZYHB_SCENARIO_CAT(lazyhbCorpusRegistrar_,     \
+                                          __COUNTER__){               \
+          name, family, description, (body),                          \
+          /*hasKnownBug=*/false, /*checkpointable=*/true, kCondvarRank}
 
-  add("prodcons-1x1", "prodcons", "1 producer, 1 consumer, buffer 1",
-      producerConsumer(1, 1, 1, 2));
-  add("barrier-work-2", "barrier", "barrier then coarse-locked disjoint work, 2 threads",
-      barrierWork(2, 2));
-  add("prodcons-2x2", "prodcons", "2 producers, 2 consumers, buffer 1",
-      producerConsumer(2, 2, 1, 1));
-  add("barrier-2", "barrier", "condvar barrier, 2 parties", barrier(2));
-  add("barrier-3", "barrier", "condvar barrier, 3 parties", barrier(3));
-  add("barrier-work-3", "barrier", "barrier then coarse-locked disjoint work, 3 threads",
-      barrierWork(3, 1));
-  add("pingpong-2", "pingpong", "strict alternation, 2 rounds", pingPong(2));
-  add("readers-writer-1", "rwlock", "1 reader vs 1 writer", readersWriter(1));
-  add("readers-writer-2", "rwlock", "2 readers vs 1 writer", readersWriter(2));
-  add("sem-handoff-1", "semaphore", "semaphore handoff, 1 hop", semHandoff(1));
-  add("sem-handoff-2", "semaphore", "semaphore handoff, 2 hops", semHandoff(2));
-  add("sem-multiplex-3x2", "semaphore", "3 threads through 2 permits",
-      semMultiplex(3, 2));
-  add("sem-rendezvous", "semaphore", "two-way rendezvous", semRendezvous());
-}
+LAZYHB_CONDVAR("prodcons-1x1", "prodcons",
+               "1 producer, 1 consumer, buffer 1", producerConsumer(1, 1, 1, 2));
+LAZYHB_CONDVAR("barrier-work-2", "barrier",
+               "barrier then coarse-locked disjoint work, 2 threads", barrierWork(2, 2));
+LAZYHB_CONDVAR("prodcons-2x2", "prodcons",
+               "2 producers, 2 consumers, buffer 1", producerConsumer(2, 2, 1, 1));
+LAZYHB_CONDVAR("barrier-2", "barrier", "condvar barrier, 2 parties", barrier(2));
+LAZYHB_CONDVAR("barrier-3", "barrier", "condvar barrier, 3 parties", barrier(3));
+LAZYHB_CONDVAR("barrier-work-3", "barrier",
+               "barrier then coarse-locked disjoint work, 3 threads", barrierWork(3, 1));
+LAZYHB_CONDVAR("pingpong-2", "pingpong", "strict alternation, 2 rounds", pingPong(2));
+LAZYHB_CONDVAR("readers-writer-1", "rwlock", "1 reader vs 1 writer", readersWriter(1));
+LAZYHB_CONDVAR("readers-writer-2", "rwlock", "2 readers vs 1 writer", readersWriter(2));
+LAZYHB_CONDVAR("sem-handoff-1", "semaphore", "semaphore handoff, 1 hop", semHandoff(1));
+LAZYHB_CONDVAR("sem-handoff-2", "semaphore",
+               "semaphore handoff, 2 hops", semHandoff(2));
+LAZYHB_CONDVAR("sem-multiplex-3x2", "semaphore",
+               "3 threads through 2 permits", semMultiplex(3, 2));
+LAZYHB_CONDVAR("sem-rendezvous", "semaphore", "two-way rendezvous", semRendezvous());
+
+void linkCondvarScenarios() {}
 
 }  // namespace lazyhb::programs::detail

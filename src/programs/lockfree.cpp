@@ -209,30 +209,30 @@ explore::Program consensus(int threads) {
 
 }  // namespace
 
-void appendLockfreePrograms(std::vector<ProgramSpec>& out) {
-  auto add = [&out](std::string name, std::string family, std::string description,
-                    explore::Program body) {
-    ProgramSpec spec;
-    spec.name = std::move(name);
-    spec.family = std::move(family);
-    spec.description = std::move(description);
-    spec.body = std::move(body);
-    spec.checkpointable = true;  // bodies use InlineVec: no heap on fiber stacks
-    out.push_back(std::move(spec));
-  };
+// Self-registration at rank kLockfreeRank; bodies use InlineVec, so
+// every one satisfies the checkpointable contract.
+#define LAZYHB_LOCKFREE(name, family, description, body)                      \
+  [[maybe_unused]] static const ::lazyhb::programs::detail::          \
+      CorpusRegistrar LAZYHB_SCENARIO_CAT(lazyhbCorpusRegistrar_,     \
+                                          __COUNTER__){               \
+          name, family, description, (body),                          \
+          /*hasKnownBug=*/false, /*checkpointable=*/true, kLockfreeRank}
 
-  add("cas-counter-3", "cas", "3 threads, bounded CAS retry", casCounter(3, 2));
-  add("treiber-3", "treiber", "Treiber-style stack, 3 pushers", treiberStack(3));
-  add("seqlock-2", "seqlock", "seqlock, 2 readers", seqlock(2));
-  add("trylock-fallback-2", "trylock", "2 threads, trylock or fallback",
-      trylockFallback(2));
-  add("trylock-fallback-3", "trylock", "3 threads, trylock or fallback",
-      trylockFallback(3));
-  add("trylock-vs-lock", "trylock", "blocking holder vs polling thread",
-      trylockVsLock());
-  add("work-stealing", "wsq", "owner/thief two-slot deque", workStealing());
-  add("consensus-2", "consensus", "CAS consensus, 2 threads", consensus(2));
-  add("consensus-3", "consensus", "CAS consensus, 3 threads", consensus(3));
-}
+LAZYHB_LOCKFREE("cas-counter-3", "cas",
+                "3 threads, bounded CAS retry", casCounter(3, 2));
+LAZYHB_LOCKFREE("treiber-3", "treiber",
+                "Treiber-style stack, 3 pushers", treiberStack(3));
+LAZYHB_LOCKFREE("seqlock-2", "seqlock", "seqlock, 2 readers", seqlock(2));
+LAZYHB_LOCKFREE("trylock-fallback-2", "trylock",
+                "2 threads, trylock or fallback", trylockFallback(2));
+LAZYHB_LOCKFREE("trylock-fallback-3", "trylock",
+                "3 threads, trylock or fallback", trylockFallback(3));
+LAZYHB_LOCKFREE("trylock-vs-lock", "trylock",
+                "blocking holder vs polling thread", trylockVsLock());
+LAZYHB_LOCKFREE("work-stealing", "wsq", "owner/thief two-slot deque", workStealing());
+LAZYHB_LOCKFREE("consensus-2", "consensus", "CAS consensus, 2 threads", consensus(2));
+LAZYHB_LOCKFREE("consensus-3", "consensus", "CAS consensus, 3 threads", consensus(3));
+
+void linkLockfreeScenarios() {}
 
 }  // namespace lazyhb::programs::detail

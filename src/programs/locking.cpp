@@ -354,77 +354,83 @@ explore::Program pipelineLocked(int stages) {
 
 }  // namespace
 
-void appendLockingPrograms(std::vector<ProgramSpec>& out) {
-  auto add = [&out](std::string name, std::string family, std::string description,
-                    explore::Program body) {
-    ProgramSpec spec;
-    spec.name = std::move(name);
-    spec.family = std::move(family);
-    spec.description = std::move(description);
-    spec.body = std::move(body);
-    spec.checkpointable = true;  // bodies use InlineVec: no heap on fiber stacks
-    out.push_back(std::move(spec));
-  };
+// The locking corpus registers itself (rank kLockingRank keeps these
+// scenarios first in registry order); bodies use InlineVec, so every one
+// satisfies the checkpointable contract.
+#define LAZYHB_LOCKING(name, family, description, body)                      \
+  [[maybe_unused]] static const ::lazyhb::programs::detail::          \
+      CorpusRegistrar LAZYHB_SCENARIO_CAT(lazyhbCorpusRegistrar_,     \
+                                          __COUNTER__){               \
+          name, family, description, (body),                          \
+          /*hasKnownBug=*/false, /*checkpointable=*/true, kLockingRank}
 
-  add("disjoint-lock-2", "disjoint-lock", "2 threads, disjoint vars under one lock",
-      disjointLock(2, 1));
-  add("disjoint-lock-3", "disjoint-lock", "3 threads, disjoint vars under one lock",
-      disjointLock(3, 1));
-  add("disjoint-lock-4", "disjoint-lock", "4 threads, disjoint vars under one lock",
-      disjointLock(4, 1));
-  add("disjoint-lock-2x2", "disjoint-lock", "2 threads, 2 critical sections each",
-      disjointLock(2, 2));
-  add("disjoint-lock-3x2", "disjoint-lock", "3 threads, 2 critical sections each",
-      disjointLock(3, 2));
-  add("readonly-lock-2", "readonly-lock", "2 readers under one lock", readonlyLock(2));
-  add("readonly-lock-3", "readonly-lock", "3 readers under one lock", readonlyLock(3));
-  add("readonly-lock-4", "readonly-lock", "4 readers under one lock", readonlyLock(4));
-  add("counter-lock-3", "counter-lock", "3 threads increment shared counter under lock",
-      counterLock(3));
-  add("noisy-counter-3x1", "noisy-counter", "1 empty CS each + racy increment, 3 threads",
-      noisyCounter(3, 1));
-  add("noisy-counter-3x2", "noisy-counter", "2 empty CS each + racy increment, 3 threads",
-      noisyCounter(3, 2));
-  add("noisy-counter-3x3", "noisy-counter", "3 empty CS each + racy increment, 3 threads",
-      noisyCounter(3, 3));
-  add("noisy-counter-4x1", "noisy-counter", "1 empty CS each + racy increment, 4 threads",
-      noisyCounter(4, 1));
-  add("noisy-counter-4x2", "noisy-counter", "2 empty CS each + racy increment, 4 threads",
-      noisyCounter(4, 2));
-  add("noisy-flags-3x2", "noisy-counter", "flag fan-in + 2 empty CS, 3 threads",
-      noisyFlags(3, 2));
-  add("accounts-coarse-2", "accounts", "coarse-locked bank, disjoint transfers",
-      accountsCoarse(2));
-  add("accounts-coarse-3", "accounts", "coarse-locked bank, disjoint transfers",
-      accountsCoarse(3));
-  add("accounts-shared-2", "accounts", "coarse-locked bank, hub account contended",
-      accountsShared(2));
-  add("accounts-shared-3", "accounts", "coarse-locked bank, hub account contended",
-      accountsShared(3));
-  add("accounts-fine-3", "accounts", "per-account locks, ordered acquisition",
-      accountsFine(3));
-  add("disjoint-lock-4x2", "disjoint-lock", "4 threads, 2 critical sections each",
-      disjointLock(4, 2));
-  add("disjoint-lock-5x2", "disjoint-lock", "5 threads, 2 critical sections each",
-      disjointLock(5, 2));
-  add("readonly-lock-2x3", "readonly-lock", "2 readers, 3 read-only sections each",
-      readonlyLock(2, 3));
-  add("indexer-2", "indexer", "FG indexer, 2 threads x 2 inserts, 3 buckets",
-      indexer(2, 2, 3));
-  add("indexer-3", "indexer", "FG indexer, 3 threads x 2 inserts, 3 buckets",
-      indexer(3, 2, 3));
-  add("indexer-coarse-2", "indexer", "coarse-locked indexer, 2 threads x 2 inserts",
-      indexerCoarse(2, 2));
-  add("indexer-coarse-3", "indexer", "coarse-locked indexer, 3 threads x 2 inserts",
-      indexerCoarse(3, 2));
-  add("filesystem-2", "filesystem", "FG filesystem, 2 threads, 1 shared inode",
-      filesystem(2, 1, 4));
-  add("filesystem-3", "filesystem", "FG filesystem, 3 threads, 2 inodes",
-      filesystem(3, 2, 4));
-  add("dining-2", "dining", "2 dining philosophers, ordered forks", diningOrdered(2));
-  add("dining-3", "dining", "3 dining philosophers, ordered forks", diningOrdered(3));
-  add("pipeline-locked-2", "pipeline", "2-stage locked pipeline", pipelineLocked(2));
-  add("pipeline-locked-3", "pipeline", "3-stage locked pipeline", pipelineLocked(3));
-}
+LAZYHB_LOCKING("disjoint-lock-2", "disjoint-lock",
+               "2 threads, disjoint vars under one lock", disjointLock(2, 1));
+LAZYHB_LOCKING("disjoint-lock-3", "disjoint-lock",
+               "3 threads, disjoint vars under one lock", disjointLock(3, 1));
+LAZYHB_LOCKING("disjoint-lock-4", "disjoint-lock",
+               "4 threads, disjoint vars under one lock", disjointLock(4, 1));
+LAZYHB_LOCKING("disjoint-lock-2x2", "disjoint-lock",
+               "2 threads, 2 critical sections each", disjointLock(2, 2));
+LAZYHB_LOCKING("disjoint-lock-3x2", "disjoint-lock",
+               "3 threads, 2 critical sections each", disjointLock(3, 2));
+LAZYHB_LOCKING("readonly-lock-2", "readonly-lock",
+               "2 readers under one lock", readonlyLock(2));
+LAZYHB_LOCKING("readonly-lock-3", "readonly-lock",
+               "3 readers under one lock", readonlyLock(3));
+LAZYHB_LOCKING("readonly-lock-4", "readonly-lock",
+               "4 readers under one lock", readonlyLock(4));
+LAZYHB_LOCKING("counter-lock-3", "counter-lock",
+               "3 threads increment shared counter under lock", counterLock(3));
+LAZYHB_LOCKING("noisy-counter-3x1", "noisy-counter",
+               "1 empty CS each + racy increment, 3 threads", noisyCounter(3, 1));
+LAZYHB_LOCKING("noisy-counter-3x2", "noisy-counter",
+               "2 empty CS each + racy increment, 3 threads", noisyCounter(3, 2));
+LAZYHB_LOCKING("noisy-counter-3x3", "noisy-counter",
+               "3 empty CS each + racy increment, 3 threads", noisyCounter(3, 3));
+LAZYHB_LOCKING("noisy-counter-4x1", "noisy-counter",
+               "1 empty CS each + racy increment, 4 threads", noisyCounter(4, 1));
+LAZYHB_LOCKING("noisy-counter-4x2", "noisy-counter",
+               "2 empty CS each + racy increment, 4 threads", noisyCounter(4, 2));
+LAZYHB_LOCKING("noisy-flags-3x2", "noisy-counter",
+               "flag fan-in + 2 empty CS, 3 threads", noisyFlags(3, 2));
+LAZYHB_LOCKING("accounts-coarse-2", "accounts",
+               "coarse-locked bank, disjoint transfers", accountsCoarse(2));
+LAZYHB_LOCKING("accounts-coarse-3", "accounts",
+               "coarse-locked bank, disjoint transfers", accountsCoarse(3));
+LAZYHB_LOCKING("accounts-shared-2", "accounts",
+               "coarse-locked bank, hub account contended", accountsShared(2));
+LAZYHB_LOCKING("accounts-shared-3", "accounts",
+               "coarse-locked bank, hub account contended", accountsShared(3));
+LAZYHB_LOCKING("accounts-fine-3", "accounts",
+               "per-account locks, ordered acquisition", accountsFine(3));
+LAZYHB_LOCKING("disjoint-lock-4x2", "disjoint-lock",
+               "4 threads, 2 critical sections each", disjointLock(4, 2));
+LAZYHB_LOCKING("disjoint-lock-5x2", "disjoint-lock",
+               "5 threads, 2 critical sections each", disjointLock(5, 2));
+LAZYHB_LOCKING("readonly-lock-2x3", "readonly-lock",
+               "2 readers, 3 read-only sections each", readonlyLock(2, 3));
+LAZYHB_LOCKING("indexer-2", "indexer",
+               "FG indexer, 2 threads x 2 inserts, 3 buckets", indexer(2, 2, 3));
+LAZYHB_LOCKING("indexer-3", "indexer",
+               "FG indexer, 3 threads x 2 inserts, 3 buckets", indexer(3, 2, 3));
+LAZYHB_LOCKING("indexer-coarse-2", "indexer",
+               "coarse-locked indexer, 2 threads x 2 inserts", indexerCoarse(2, 2));
+LAZYHB_LOCKING("indexer-coarse-3", "indexer",
+               "coarse-locked indexer, 3 threads x 2 inserts", indexerCoarse(3, 2));
+LAZYHB_LOCKING("filesystem-2", "filesystem",
+               "FG filesystem, 2 threads, 1 shared inode", filesystem(2, 1, 4));
+LAZYHB_LOCKING("filesystem-3", "filesystem",
+               "FG filesystem, 3 threads, 2 inodes", filesystem(3, 2, 4));
+LAZYHB_LOCKING("dining-2", "dining",
+               "2 dining philosophers, ordered forks", diningOrdered(2));
+LAZYHB_LOCKING("dining-3", "dining",
+               "3 dining philosophers, ordered forks", diningOrdered(3));
+LAZYHB_LOCKING("pipeline-locked-2", "pipeline",
+               "2-stage locked pipeline", pipelineLocked(2));
+LAZYHB_LOCKING("pipeline-locked-3", "pipeline",
+               "3-stage locked pipeline", pipelineLocked(3));
+
+void linkLockingScenarios() {}
 
 }  // namespace lazyhb::programs::detail

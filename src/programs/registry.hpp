@@ -1,10 +1,11 @@
 // lazyhb/programs/registry.hpp
 //
-// The benchmark corpus: 79 multithreaded programs standing in for the 79
-// open-source Java benchmarks of the paper's evaluation (see DESIGN.md §2
-// for why the substitution preserves the phenomena being measured).
+// The scenario registry: the benchmark corpus plus every user-registered
+// scenario, enumerated by the CLI, the campaign matrix and Session::run.
 //
-// The corpus deliberately spans the regimes the paper's figures show:
+// The built-in corpus is 79 multithreaded programs standing in for the 79
+// open-source Java benchmarks of the paper's evaluation. It deliberately
+// spans the regimes the paper's figures show:
 //
 //   * coarse-grained locking over disjoint or read-only data — the paper's
 //     motivating pattern, where the lazy HBR collapses many HBR classes
@@ -19,6 +20,15 @@
 // the interesting quantities are the *counts of equivalence classes*, not
 // program size. Every program is bounded (no unbounded spinning), so every
 // execution terminates.
+//
+// Registration is open: corpus families and user code both feed the
+// registry through lazyhb::registerScenario (usually via the
+// LAZYHB_SCENARIO macros in lazyhb/scenario.hpp) during static
+// initialization. On first enumeration the pending registrations are
+// ordered by (ScenarioTraits::rank, registration order) — the corpus
+// families hold ranks below kScenarioUserRank, so corpus ids stay stable
+// at 1..79 and user scenarios append after them — then the registry
+// latches: registering later is a checked error.
 
 #pragma once
 
@@ -26,6 +36,7 @@
 #include <vector>
 
 #include "explore/explorer.hpp"
+#include "lazyhb/scenario.hpp"
 
 namespace lazyhb::programs {
 
@@ -44,7 +55,8 @@ struct ProgramSpec {
   bool checkpointable = false;
 };
 
-/// All 79 benchmarks, in id order (ids are 1..79).
+/// Every registered scenario (79 corpus benchmarks first, then user
+/// scenarios), in id order (ids are 1..N). First call latches the registry.
 [[nodiscard]] const std::vector<ProgramSpec>& all();
 
 /// Lookup by unique name; nullptr if absent.
@@ -53,13 +65,47 @@ struct ProgramSpec {
 /// All members of a family, in id order.
 [[nodiscard]] std::vector<const ProgramSpec*> byFamily(const std::string& family);
 
-// Family fragments (one translation unit each); used by registry.cpp.
 namespace detail {
-void appendLockingPrograms(std::vector<ProgramSpec>& out);
-void appendClassicPrograms(std::vector<ProgramSpec>& out);
-void appendCondvarPrograms(std::vector<ProgramSpec>& out);
-void appendLockfreePrograms(std::vector<ProgramSpec>& out);
-void appendBuggyPrograms(std::vector<ProgramSpec>& out);
+
+// Corpus family ranks: enumeration order of the built-in corpus (each
+// family's scenarios keep their in-file registration order within the rank).
+// These sit below kScenarioUserRank, a range the public registration path
+// refuses (it clamps), so only the corpus can occupy it — which is what
+// keeps the 79-benchmark count check and the stable ids 1..79 sound.
+inline constexpr int kLockingRank = 10;
+inline constexpr int kClassicRank = 20;
+inline constexpr int kCondvarRank = 30;
+inline constexpr int kLockfreeRank = 40;
+inline constexpr int kBuggyRank = 50;
+
+/// Corpus-only registration: like lazyhb::registerScenario but allowed to
+/// use the reserved sub-user ranks above.
+void registerCorpusScenario(std::string name, std::string family,
+                            std::string description, explore::Program body,
+                            bool hasKnownBug, bool checkpointable, int rank);
+
+/// Static registrar the corpus family macros expand to.
+struct CorpusRegistrar {
+  CorpusRegistrar(const char* name, const char* family, const char* description,
+                  explore::Program body, bool hasKnownBug, bool checkpointable,
+                  int rank) {
+    registerCorpusScenario(name, family, description, std::move(body),
+                           hasKnownBug, checkpointable, rank);
+  }
+};
+
+// Linker anchors (one per corpus translation unit): the corpus registers
+// itself via static ScenarioRegistrar objects, which a static library only
+// links in when some symbol of the TU is referenced. all() calls these
+// no-ops, forcing the corpus TUs — and thus their registrations — into
+// every binary that enumerates the registry (and, per [basic.start.dynamic],
+// guaranteeing their static initialization has completed first).
+void linkLockingScenarios();
+void linkClassicScenarios();
+void linkCondvarScenarios();
+void linkLockfreeScenarios();
+void linkBuggyScenarios();
+
 }  // namespace detail
 
 }  // namespace lazyhb::programs

@@ -56,6 +56,12 @@ COUNT_FIELDS = [
 # Cache counts are also deterministic, but only present for caching cells.
 CACHE_COUNT_FIELDS = ["lookups", "hits", "insertions", "entries"]
 
+# Schema versions this tool knows how to compare. v1/v2 reports lack the
+# incremental-replay fields (handled by the fallbacks below); any other
+# version means the report format moved ahead of this tool, and guessing
+# at unknown field semantics would silently corrupt the comparison.
+KNOWN_SCHEMA_VERSIONS = (1, 2, 3)
+
 
 def load_report(path):
     try:
@@ -63,11 +69,22 @@ def load_report(path):
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         sys.exit(f"bench_diff: cannot read '{path}': {e}")
+    if not isinstance(doc, dict):
+        sys.exit(f"bench_diff: '{path}' is not a JSON object")
     if "after" in doc and "schema" not in doc:
         doc = doc["after"]  # BENCH_PR*.json before/after wrapper
+        if not isinstance(doc, dict):
+            sys.exit(f"bench_diff: '{path}' wraps a non-object \"after\" report")
     if doc.get("schema") != "lazyhb-bench-report":
         sys.exit(f"bench_diff: '{path}' is not a lazyhb-bench-report "
                  f"(schema={doc.get('schema')!r})")
+    version = doc.get("version")
+    if version not in KNOWN_SCHEMA_VERSIONS:
+        known = ", ".join(str(v) for v in KNOWN_SCHEMA_VERSIONS)
+        sys.exit(f"bench_diff: '{path}' carries schema version {version!r}, "
+                 f"but this tool only understands versions {known}; "
+                 f"update tools/bench_diff.py for the new schema "
+                 f"(see docs/bench-report-schema.md)")
     return doc
 
 
