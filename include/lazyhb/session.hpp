@@ -151,6 +151,14 @@ class Session {
   /// ScenarioTraits::checkpointable); enables full runtime rollback.
   /// run(name) inherits this from the scenario's registered traits.
   Session& checkpointable(bool on = true);
+  /// Shard the scenario's schedule tree across this many OS threads
+  /// (default 1 = sequential). Only the tree searches with
+  /// order-independent counts shard ("dfs", "caching-full",
+  /// "caching-lazy"); other strategies — and order-sensitive option
+  /// combinations such as stopOnFirstViolation or checkTheorems — run
+  /// sequentially whatever this is set to. Every count in the TestReport is
+  /// byte-identical at any worker count.
+  Session& workers(int count);
 
   /// Explore an ad-hoc program. Throws std::invalid_argument for an
   /// unknown strategy name.
@@ -175,6 +183,7 @@ class Session {
     std::uint32_t maxViolationsKept = 16;
     bool incremental = true;
     bool checkpointable = false;
+    int workers = 1;
   };
 
   Config config_;

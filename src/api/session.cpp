@@ -108,6 +108,11 @@ Session& Session::checkpointable(bool on) {
   return *this;
 }
 
+Session& Session::workers(int count) {
+  config_.workers = count;
+  return *this;
+}
+
 std::vector<std::string> Session::strategies() {
   std::vector<std::string> names;
   for (const campaign::ExplorerSpec& spec : campaign::allExplorers()) {
@@ -136,6 +141,7 @@ TestReport Session::run(const Program& program) const {
   options.maxViolationsKept = config_.maxViolationsKept;
   options.incremental = config_.incremental;
   options.checkpointable = config_.checkpointable;
+  options.workers = config_.workers;
 
   const auto explorer = spec->create(options, config_.seed);
   const auto start = std::chrono::steady_clock::now();

@@ -3,14 +3,34 @@
 #include "explore/caching_explorer.hpp"
 #include "explore/dfs_explorer.hpp"
 #include "explore/dpor_explorer.hpp"
+#include "explore/parallel_explorer.hpp"
 #include "explore/random_explorer.hpp"
 #include "support/diagnostics.hpp"
 #include "support/options.hpp"
 
 namespace lazyhb::campaign {
 
-std::unique_ptr<explore::ExplorerBase> ExplorerSpec::create(
+std::unique_ptr<explore::Explorer> ExplorerSpec::create(
     const explore::ExplorerOptions& options, std::uint64_t seed) const {
+  if (explore::ParallelExplorer::shardable(options)) {
+    // The shardable tree searches go parallel; anything order-sensitive
+    // (random's RNG stream, DPOR's visit-ordered backtrack sets, the
+    // ablations) keeps its sequential explorer below regardless of the
+    // requested worker count.
+    switch (kind) {
+      case Kind::Dfs:
+        return std::make_unique<explore::ParallelExplorer>(
+            options, explore::ParallelStrategy::Dfs, seed);
+      case Kind::CachingFull:
+        return std::make_unique<explore::ParallelExplorer>(
+            options, explore::ParallelStrategy::CachingFull, seed);
+      case Kind::CachingLazy:
+        return std::make_unique<explore::ParallelExplorer>(
+            options, explore::ParallelStrategy::CachingLazy, seed);
+      default:
+        break;
+    }
+  }
   switch (kind) {
     case Kind::Dfs:
       return std::make_unique<explore::DfsExplorer>(options);

@@ -37,8 +37,14 @@ struct ExplorerSpec {
   Kind kind = Kind::Dfs;
   std::string name;  ///< canonical mode name, e.g. "caching-lazy"
 
-  /// Build a fresh single-use explorer. `seed` only affects Kind::Random.
-  [[nodiscard]] std::unique_ptr<explore::ExplorerBase> create(
+  /// Build a fresh single-use explorer. `seed` affects Kind::Random and,
+  /// when `options.workers >= 2`, the parallel frontier pool's per-worker
+  /// victim-selection RNGs. With workers >= 2 the shardable tree searches
+  /// (dfs, caching-full, caching-lazy) come back as a ParallelExplorer; the
+  /// order-sensitive strategies and option combinations fall back to their
+  /// sequential explorer — counts are byte-identical either way, so the
+  /// fallback is an implementation detail, not a behaviour change.
+  [[nodiscard]] std::unique_ptr<explore::Explorer> create(
       const explore::ExplorerOptions& options, std::uint64_t seed) const;
 };
 

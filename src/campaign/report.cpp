@@ -42,6 +42,25 @@ void writeCell(support::JsonWriter& json, const CellResult& cell) {
     json.field("approx_bytes", cache.approxBytes);
     json.endObject();
   }
+  if (cell.stats.parallel.workers > 0) {
+    // Schema v4: how the cell's intra-scenario sharding distributed work.
+    // All *count* fields above are byte-identical to a sequential run; this
+    // block carries only the parallel-only diagnostics.
+    const explore::ParallelStats& par = cell.stats.parallel;
+    json.key("parallel").beginObject();
+    json.field("workers", static_cast<std::int64_t>(par.workers));
+    json.field("frontier_jobs", par.frontierJobs);
+    json.field("fell_back_sequential", par.fellBackSequential);
+    json.key("by_worker").beginArray();
+    for (const explore::WorkerShare& share : par.byWorker) {
+      json.beginObject();
+      json.field("schedules_visited", share.schedulesVisited);
+      json.field("tasks_stolen", share.tasksStolen);
+      json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+  }
   json.endObject();
 }
 
@@ -115,6 +134,7 @@ std::string writeReportJson(const CampaignResult& result,
   json.field("max_events", static_cast<std::uint64_t>(config.maxEventsPerSchedule));
   json.field("seed", config.seed);
   json.field("jobs", result.jobs);
+  json.field("workers", static_cast<std::int64_t>(config.workers));
   json.field("quick", config.quick);
   json.field("incremental", config.incremental);
   json.key("explorers").beginArray();

@@ -16,7 +16,7 @@
 namespace lazyhb::campaign {
 
 inline constexpr const char* kReportSchemaName = "lazyhb-bench-report";
-inline constexpr int kReportSchemaVersion = 3;
+inline constexpr int kReportSchemaVersion = 4;
 
 /// The campaign configuration echoed into the report, so a BENCH_*.json is
 /// self-describing and two reports are comparable at a glance.
@@ -26,6 +26,10 @@ struct ReportConfig {
   std::uint64_t seed = 0;
   bool quick = false;
   bool incremental = true;  ///< --incremental toggle the campaign ran with
+  /// Intra-scenario worker threads per cell (--workers). Mandatory in a v4
+  /// config block: tools/bench_diff.py rejects v4 reports without it, so a
+  /// report can never silently hide the parallelism it ran with.
+  int workers = 1;
 };
 
 /// Serialize the campaign into the versioned report JSON (a full document,

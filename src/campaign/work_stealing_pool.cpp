@@ -6,15 +6,35 @@
 
 namespace lazyhb::campaign {
 
-WorkStealingPool::WorkStealingPool(int workers) {
+namespace {
+
+// Which pool (if any) the calling thread serves, and at which index.
+// A thread is a worker of at most one pool — nested pools (a campaign task
+// spinning up a parallel explorer) run their workers on fresh threads, each
+// with its own binding.
+struct WorkerBinding {
+  const WorkStealingPool* pool = nullptr;
+  int index = -1;
+};
+thread_local WorkerBinding tlsBinding;
+
+}  // namespace
+
+WorkStealingPool::WorkStealingPool(int workers, std::uint64_t seed) {
   const int n = std::max(1, workers);
-  deques_.reserve(static_cast<std::size_t>(n));
+  deques_.resize(static_cast<std::size_t>(n));
+  stealsByWorker_.assign(static_cast<std::size_t>(n), 0);
+  rngs_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    // Distinct deterministic stream per worker: splitmix inside Rng spreads
+    // the (seed, index) pair, so adjacent indices don't correlate.
+    rngs_.emplace_back(seed + 0x9e3779b97f4a7c15ULL *
+                                  static_cast<std::uint64_t>(i + 1));
+  }
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
-    deques_.push_back(std::make_unique<WorkerDeque>());
-  }
-  for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this, i] { workerLoop(static_cast<std::size_t>(i)); });
+    workers_.emplace_back(
+        [this, i] { workerLoop(static_cast<std::size_t>(i)); });
   }
 }
 
@@ -24,6 +44,7 @@ WorkStealingPool::~WorkStealingPool() {
     shuttingDown_ = true;
   }
   batchStart_.notify_all();
+  frontier_.notify_all();
   for (std::thread& worker : workers_) {
     worker.join();
   }
@@ -33,77 +54,124 @@ void WorkStealingPool::run(std::vector<Task> tasks) {
   if (tasks.empty()) return;
   std::unique_lock<std::mutex> lock(mutex_);
   LAZYHB_CHECK(remaining_ == 0);  // not reentrant
-  tasks_ = std::move(tasks);
-  remaining_ = tasks_.size();
   // Deal round-robin: task i goes to worker i % N, so with stealing off the
-  // matrix still spreads evenly and results never depend on who ran what.
-  // Each push takes the deque's own mutex: a straggler worker from the
-  // previous batch may still be scanning these deques for steal victims
-  // (remaining_ hits zero when the last task *finishes*, not when every
-  // worker has gone back to sleep).
-  for (std::size_t i = 0; i < tasks_.size(); ++i) {
-    WorkerDeque& deque = *deques_[i % deques_.size()];
-    const std::lock_guard<std::mutex> guard(deque.mutex);
-    deque.tasks.push_back(i);
+  // load still spreads evenly and results never depend on who ran what.
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    deques_[i % deques_.size()].push_back(std::move(tasks[i]));
   }
+  remaining_ = tasks.size();
   ++generation_;
   batchStart_.notify_all();
   batchDone_.wait(lock, [this] { return remaining_ == 0; });
-  tasks_.clear();
 }
 
-bool WorkStealingPool::nextTask(std::size_t self, std::size_t& taskIndex) {
-  {
-    WorkerDeque& mine = *deques_[self];
-    const std::lock_guard<std::mutex> guard(mine.mutex);
-    if (!mine.tasks.empty()) {
-      taskIndex = mine.tasks.front();
-      mine.tasks.pop_front();
-      return true;
-    }
+void WorkStealingPool::submit(Task task) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  LAZYHB_CHECK(remaining_ > 0);  // only legal inside an active batch
+  if (tlsBinding.pool == this) {
+    // Worker-submitted: own deque front, so the submitter (or a thief, in
+    // stack-splitting order from the back) continues depth-first.
+    deques_[static_cast<std::size_t>(tlsBinding.index)].push_front(
+        std::move(task));
+  } else {
+    auto shortest = std::min_element(
+        deques_.begin(), deques_.end(),
+        [](const auto& a, const auto& b) { return a.size() < b.size(); });
+    shortest->push_back(std::move(task));
   }
-  // Own deque drained: steal from the back of the longest victim deque
-  // (the back holds the tasks its owner would reach last, so stealing
-  // there minimises interleaving with the victim's own pops).
-  while (true) {
-    std::size_t victim = deques_.size();
-    std::size_t victimBacklog = 0;
-    for (std::size_t i = 0; i < deques_.size(); ++i) {
-      if (i == self) continue;
-      const std::lock_guard<std::mutex> guard(deques_[i]->mutex);
-      if (deques_[i]->tasks.size() > victimBacklog) {
-        victimBacklog = deques_[i]->tasks.size();
-        victim = i;
-      }
-    }
-    if (victim == deques_.size()) return false;  // frontier empty everywhere
-    const std::lock_guard<std::mutex> guard(deques_[victim]->mutex);
-    if (deques_[victim]->tasks.empty()) continue;  // raced; re-scan
-    taskIndex = deques_[victim]->tasks.back();
-    deques_[victim]->tasks.pop_back();
-    tasksStolen_.fetch_add(1, std::memory_order_relaxed);
+  ++remaining_;
+  frontier_.notify_all();
+}
+
+int WorkStealingPool::currentWorkerIndex() const noexcept {
+  return tlsBinding.pool == this ? tlsBinding.index : -1;
+}
+
+bool WorkStealingPool::hungry() const {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  if (remaining_ == 0) return false;
+  std::size_t queued = 0;
+  for (const std::deque<Task>& d : deques_) {
+    if (d.empty()) return true;
+    queued += d.size();
+  }
+  // All deques non-empty but fewer queued tasks than workers: someone will
+  // go idle as soon as the queued tail drains.
+  return queued < deques_.size();
+}
+
+std::vector<std::uint64_t> WorkStealingPool::stealsByWorker() const {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  return stealsByWorker_;
+}
+
+bool WorkStealingPool::popTask(std::size_t self, Task& task) {
+  std::deque<Task>& mine = deques_[self];
+  if (!mine.empty()) {
+    task = std::move(mine.front());
+    mine.pop_front();
     return true;
   }
+  // Own deque drained: steal from the back of the longest victim deque (the
+  // back holds the tasks its owner would reach last, so stealing there
+  // minimises interleaving with the victim's own pops). The scan starts at
+  // a per-worker seeded random offset, which breaks length ties without a
+  // shared RNG — reproducible for a fixed (pool seed, worker, call count).
+  const std::size_t n = deques_.size();
+  const std::size_t offset = n > 1 ? rngs_[self].below(n) : 0;
+  std::size_t victim = n;
+  std::size_t victimBacklog = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = (offset + k) % n;
+    if (i == self) continue;
+    if (deques_[i].size() > victimBacklog) {
+      victimBacklog = deques_[i].size();
+      victim = i;
+    }
+  }
+  if (victim == n) return false;  // frontier empty everywhere
+  task = std::move(deques_[victim].back());
+  deques_[victim].pop_back();
+  tasksStolen_.fetch_add(1, std::memory_order_relaxed);
+  ++stealsByWorker_[self];
+  return true;
 }
 
 void WorkStealingPool::workerLoop(std::size_t self) {
+  tlsBinding = {this, static_cast<int>(self)};
   std::uint64_t seenGeneration = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      batchStart_.wait(lock, [this, seenGeneration] {
-        return shuttingDown_ || generation_ != seenGeneration;
+    batchStart_.wait(lock, [this, seenGeneration] {
+      return shuttingDown_ || generation_ != seenGeneration;
+    });
+    if (shuttingDown_) return;
+    seenGeneration = generation_;
+
+    // Batch loop: run tasks until the whole frontier — initial deal plus
+    // everything submit()ted along the way — has finished. Empty deques
+    // alone don't end the batch; in-flight tasks may still submit.
+    while (remaining_ != 0) {
+      Task task;
+      if (popTask(self, task)) {
+        lock.unlock();
+        task();  // noexcept contract: a throwing task terminates
+        task = nullptr;  // destroy captures outside the lock
+        lock.lock();
+        if (--remaining_ == 0) {
+          batchDone_.notify_all();
+          frontier_.notify_all();  // release workers parked below
+        }
+        continue;
+      }
+      frontier_.wait(lock, [this, self] {
+        if (shuttingDown_ || remaining_ == 0) return true;
+        for (std::size_t i = 0; i < deques_.size(); ++i) {
+          if (!deques_[i].empty()) return true;
+        }
+        return false;
       });
       if (shuttingDown_) return;
-      seenGeneration = generation_;
-    }
-    std::size_t taskIndex = 0;
-    while (nextTask(self, taskIndex)) {
-      tasks_[taskIndex]();
-      const std::lock_guard<std::mutex> guard(mutex_);
-      if (--remaining_ == 0) {
-        batchDone_.notify_all();
-      }
     }
   }
 }

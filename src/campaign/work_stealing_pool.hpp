@@ -1,22 +1,39 @@
 // lazyhb/campaign/work_stealing_pool.hpp
 //
-// The campaign runner's executor: a fixed set of OS threads, one task deque
-// per worker, with work stealing. Campaign cells vary wildly in cost (a
-// complete DFS of a 2-thread program vs. 100,000 schedules of a contended
-// one), so a single shared queue serves long tasks tail-heavy: the last big
-// cell lands on one worker while the rest idle. Dealing the matrix
-// round-robin and letting idle workers steal from the *back* of a victim's
-// deque keeps every hardware thread busy until the global frontier drains.
+// The shared executor behind both parallel layers: the campaign runner's
+// (program × explorer) matrix and, since PR 6, the parallel explorer's
+// intra-scenario frontier (explore/parallel_explorer.hpp). A fixed set of
+// OS threads, one task deque per worker, with work stealing. Tasks vary
+// wildly in cost (a complete DFS of a 2-thread program vs. 100,000
+// schedules of a contended one), so a single shared queue serves long tasks
+// tail-heavy: the last big cell lands on one worker while the rest idle.
+// Dealing round-robin and letting idle workers steal from the *back* of a
+// victim's deque keeps every hardware thread busy until the frontier drains.
+//
+// Two behaviours the frontier use case added:
+//
+//   * dynamic submission — a running task may call submit() to enqueue more
+//     work into the same batch (new frontier nodes discovered mid-subtree).
+//     Worker-submitted tasks go to the submitter's own deque front (LIFO,
+//     so the frontier explores depth-first and stays small); run() returns
+//     only when every task, including all transitively submitted ones, has
+//     finished. Idle workers therefore park on a condition variable instead
+//     of exiting when the deques look empty but tasks are still in flight.
+//   * seeded victim selection — each worker breaks steal-victim ties with
+//     its own deterministic RNG, seeded from (pool seed, worker index), so
+//     pool behaviour is reproducible run-to-run under any --jobs/--workers
+//     (a shared or unseeded RNG would make steal patterns — and with them
+//     any order-sensitive downstream state — drift between runs).
 //
 // Tasks are independent and must not throw (support::ThreadPool's contract,
 // kept here): an experiment harness has no meaningful recovery from a lost
 // result, so an escaping exception terminates the process via noexcept.
 //
-// This pool is deliberately simple — mutex-per-deque, not a lock-free
-// Chase–Lev deque. Campaign tasks run for milliseconds to minutes, so
+// This pool is deliberately simple — one mutex over the deques, not a
+// lock-free Chase–Lev deque. Tasks run for milliseconds to minutes, so
 // queue operations are nowhere near the contention regime that justifies
 // lock-free structures; what matters is the *stealing policy*, which is
-// what balances the matrix.
+// what balances the load.
 
 #pragma once
 
@@ -26,10 +43,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/rng.hpp"
 
 namespace lazyhb::campaign {
 
@@ -39,7 +57,11 @@ class WorkStealingPool {
 
   /// Create `workers` OS threads (values < 1 clamp to 1). Threads persist
   /// across run() batches and park on a condition variable between them.
-  explicit WorkStealingPool(int workers);
+  /// `seed` roots the per-worker victim-selection RNGs: worker i draws from
+  /// Rng(seed ^ mixed(i)), so the whole pool's steal behaviour is a pure
+  /// function of (seed, worker count, task timing).
+  explicit WorkStealingPool(int workers,
+                            std::uint64_t seed = kDefaultSeed);
 
   /// Joins all workers. Must not be called while run() is in flight.
   ~WorkStealingPool();
@@ -47,13 +69,34 @@ class WorkStealingPool {
   WorkStealingPool(const WorkStealingPool&) = delete;
   WorkStealingPool& operator=(const WorkStealingPool&) = delete;
 
-  /// Execute every task in `tasks`, blocking until all have finished.
-  /// Tasks are dealt round-robin across the worker deques; idle workers
-  /// steal from the back of the busiest remaining deque. Not reentrant.
+  /// Execute every task in `tasks` — plus everything submit()ted while the
+  /// batch runs — blocking until all have finished. Initial tasks are dealt
+  /// round-robin across the worker deques; idle workers steal from the back
+  /// of the longest victim deque. Not reentrant.
   void run(std::vector<Task> tasks);
 
+  /// Enqueue one more task into the batch currently in flight. Legal only
+  /// while a batch is running (i.e. from inside a task, or from another
+  /// thread racing run() — the caller must know a batch is active). When
+  /// called on a worker thread the task lands at the *front* of that
+  /// worker's own deque (depth-first); otherwise at the back of the
+  /// shortest deque.
+  void submit(Task task);
+
+  /// Index of the calling pool worker in [0, workerCount()), or -1 when the
+  /// calling thread is not one of this pool's workers. Lets tasks address
+  /// per-worker state (accumulators, recorders) without locking.
+  [[nodiscard]] int currentWorkerIndex() const noexcept;
+
+  /// True when some deque is empty while the batch still has unfinished
+  /// tasks — a cheap "someone is (about to be) idle" signal that long
+  /// tasks poll to decide whether splitting off a subtask would feed a
+  /// starving worker. Racy by nature; both false positives and negatives
+  /// only cost granularity, never correctness.
+  [[nodiscard]] bool hungry() const;
+
   [[nodiscard]] int workerCount() const noexcept {
-    return static_cast<int>(workers_.size());
+    return static_cast<int>(deques_.size());
   }
 
   /// Tasks executed by a worker other than the one they were dealt to,
@@ -62,25 +105,30 @@ class WorkStealingPool {
     return tasksStolen_.load(std::memory_order_relaxed);
   }
 
- private:
-  struct WorkerDeque {
-    std::mutex mutex;
-    std::deque<std::size_t> tasks;  ///< indices into tasks_
-  };
+  /// Per-worker steal counts (same accumulation as tasksStolen(), attributed
+  /// to the stealing worker). Index = worker. Snapshot; call between
+  /// batches for exact values.
+  [[nodiscard]] std::vector<std::uint64_t> stealsByWorker() const;
 
+  static constexpr std::uint64_t kDefaultSeed = 0x5ca1ab1e0ddba11ULL;
+
+ private:
   void workerLoop(std::size_t self);
 
   /// Pop from our own deque's front, else steal from the back of the
-  /// longest other deque. Returns false when the batch frontier is empty.
-  bool nextTask(std::size_t self, std::size_t& taskIndex);
+  /// longest other deque (ties broken by our seeded RNG's scan offset).
+  /// Returns false when every deque is empty. Caller holds mutex_.
+  bool popTask(std::size_t self, Task& task);
 
-  std::vector<std::unique_ptr<WorkerDeque>> deques_;
+  std::vector<std::deque<Task>> deques_;
+  std::vector<support::Rng> rngs_;             ///< per-worker, deterministic
+  std::vector<std::uint64_t> stealsByWorker_;
   std::vector<std::thread> workers_;
-  std::vector<Task> tasks_;
 
-  std::mutex mutex_;                  ///< guards batch lifecycle state below
+  mutable std::mutex mutex_;  ///< guards deques_, rngs_, counters, lifecycle
   std::condition_variable batchStart_;
   std::condition_variable batchDone_;
+  std::condition_variable frontier_;  ///< signalled on submit / batch end
   std::uint64_t generation_ = 0;      ///< bumped once per run() batch
   std::size_t remaining_ = 0;         ///< tasks not yet finished this batch
   bool shuttingDown_ = false;

@@ -98,13 +98,20 @@ bool writeDocument(const std::string& path, const std::string& document) {
 bool sessionFrom(const support::Options& options, Session* session) {
   bool incremental = true;
   if (!parseIncremental(options, &incremental)) return false;
+  const int workers = static_cast<int>(options.getInt("workers"));
+  if (workers < 1) {
+    std::fprintf(stderr, "lazyhb: --workers expects a positive count, got %d\n",
+                 workers);
+    return false;
+  }
   session->schedules(static_cast<std::uint64_t>(options.getInt("limit")))
       .maxEventsPerSchedule(static_cast<std::uint32_t>(options.getInt("max-events")))
       .seed(static_cast<std::uint64_t>(options.getInt("seed")))
       .detectRaces(options.getFlag("races"))
       .checkTheorems(options.getFlag("theorems"))
       .stopOnFirstViolation(options.getFlag("stop-on-violation"))
-      .incremental(incremental);
+      .incremental(incremental)
+      .workers(workers);
   return true;
 }
 
@@ -114,6 +121,9 @@ void addExplorerFlags(support::Options& options) {
   options.addInt("seed", 42, "random explorer seed");
   options.addString("incremental", "on",
                     "incremental prefix replay (checkpoint/rollback): on | off");
+  options.addInt("workers", 1,
+                 "shard the schedule tree across this many threads "
+                 "(dfs/caching-* only; counts stay byte-identical)");
   options.addFlag("races", "run the sync-HB data-race detector");
   options.addFlag("theorems", "feed terminal schedules to the theorem checkers");
   options.addFlag("stop-on-violation", "stop at the first violation");
@@ -330,6 +340,9 @@ int cmdBench(int argc, char** argv) {
                     "comma-separated program or family names (default: the "
                     "full corpus)");
   options.addInt("jobs", 0, "worker threads (0: one per hardware thread)");
+  options.addInt("workers", 1,
+                 "intra-cell worker threads sharding each scenario's schedule "
+                 "tree (dfs/caching-* only; counts stay byte-identical)");
   options.addInt("limit", 10000, "schedule budget per cell (paper: 100000)");
   options.addInt("max-events", 65536, "per-schedule event budget");
   options.addInt("seed", 42, "random explorer seed (same in every cell)");
@@ -382,6 +395,13 @@ int cmdBench(int argc, char** argv) {
   }
   campaignOptions.explorer.maxEventsPerSchedule =
       static_cast<std::uint32_t>(options.getInt("max-events"));
+  const int workers = static_cast<int>(options.getInt("workers"));
+  if (workers < 1) {
+    std::fprintf(stderr, "lazyhb: --workers expects a positive count, got %d\n",
+                 workers);
+    return kExitUsage;
+  }
+  campaignOptions.explorer.workers = workers;
   campaignOptions.seed = static_cast<std::uint64_t>(options.getInt("seed"));
   campaignOptions.jobs = static_cast<int>(options.getInt("jobs"));
   if (options.getFlag("progress")) {
@@ -476,6 +496,7 @@ int cmdBench(int argc, char** argv) {
   reportConfig.seed = campaignOptions.seed;
   reportConfig.quick = quick;
   reportConfig.incremental = campaignOptions.explorer.incremental;
+  reportConfig.workers = workers;
   const std::string out = options.getString("out");
   if (!out.empty()) {
     if (!campaign::writeReportFile(out, result, reportConfig)) {

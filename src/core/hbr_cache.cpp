@@ -1,2 +1,206 @@
-// HbrCache is header-only; this translation unit anchors the library.
+// lazyhb/core/hbr_cache.cpp — concurrent open-addressing fingerprint store.
+//
+// See the header for the slot protocol. Invariants the code below leans on:
+//
+//   * Slots are claimed (CAS lo: 0 -> kBusy) and published (store hi, then
+//     release-store lo) entirely inside the accessor epoch, without
+//     blocking, so kBusy is always transient: any spinner is waiting on a
+//     writer that is between two plain stores.
+//   * Growth drains the epoch (accessors_ == 0) before touching the table,
+//     so the rehash loop sees only empty or fully published slots — never
+//     kBusy — and no concurrent probe can observe the swap mid-way.
+//   * Published slots are immutable (the cache never erases), so once a
+//     probe entered the epoch its table cannot be retired under it, and a
+//     probe against the new table sees a superset of the old keys.
+
 #include "core/hbr_cache.hpp"
+
+#include <thread>
+
+namespace lazyhb::core {
+
+namespace {
+
+/// Grow once table occupancy reaches 70% (same policy as the sequential
+/// seed: `size * 10 >= capacity * 7`).
+bool overLoadFactor(std::size_t used, std::size_t capacity) noexcept {
+  return used * 10 >= capacity * 7;
+}
+
+}  // namespace
+
+HbrCache::HbrCache() : table_(new std::vector<Slot>(kInitialCapacity)) {}
+
+HbrCache::~HbrCache() {
+  delete table_.load(std::memory_order_relaxed);
+  for (std::vector<Slot>* t : retired_) delete t;
+}
+
+std::vector<HbrCache::Slot>* HbrCache::enterEpoch() const noexcept {
+  for (;;) {
+    // Stand aside while a grower is draining, or we would starve it.
+    while (resizing_.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    accessors_.fetch_add(1, std::memory_order_acq_rel);
+    if (!resizing_.load(std::memory_order_acquire)) {
+      // Any grower that sets resizing_ after this load will see our
+      // increment and wait for us; table_ is now stable for this operation.
+      return table_.load(std::memory_order_acquire);
+    }
+    // Lost the race against a starting grower: back out and retry.
+    accessors_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void HbrCache::leaveEpoch() const noexcept {
+  accessors_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+bool HbrCache::insertUncounted(support::Hash128 fingerprint) {
+  if (outOfBand(fingerprint)) return insertOutOfBand(fingerprint);
+
+  std::vector<Slot>* table = enterEpoch();
+  const std::size_t mask = table->size() - 1;
+  std::size_t index = static_cast<std::size_t>(fingerprint.lo) & mask;
+
+  bool inserted = false;
+  for (;;) {
+    Slot& slot = (*table)[index];
+    std::uint64_t lo = slot.lo.load(std::memory_order_acquire);
+
+    if (lo == 0) {
+      std::uint64_t expected = 0;
+      if (slot.lo.compare_exchange_strong(expected, kBusy,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+        slot.hi.store(fingerprint.hi, std::memory_order_relaxed);
+        slot.lo.store(fingerprint.lo, std::memory_order_release);
+        tableUsed_.fetch_add(1, std::memory_order_relaxed);
+        size_.fetch_add(1, std::memory_order_release);
+        inserted = true;
+        break;
+      }
+      lo = expected;  // CAS lost: re-examine what the winner put here.
+    }
+
+    while (lo == kBusy) {
+      // Another writer claimed this slot and is mid-publication (two plain
+      // stores away from done); its key might be ours, so wait it out.
+      std::this_thread::yield();
+      lo = slot.lo.load(std::memory_order_acquire);
+    }
+
+    if (lo == fingerprint.lo &&
+        slot.hi.load(std::memory_order_relaxed) == fingerprint.hi) {
+      break;  // already present
+    }
+    index = (index + 1) & mask;  // collision: linear probe
+  }
+  leaveEpoch();
+
+  if (inserted && overLoadFactor(tableUsed_.load(std::memory_order_relaxed),
+                                 mask + 1)) {
+    maybeGrow();
+  }
+  return inserted;
+}
+
+bool HbrCache::insertOutOfBand(support::Hash128 fingerprint) {
+  std::lock_guard<std::mutex> lock(oobMutex_);
+  const bool inserted = oobKeys_.emplace(fingerprint.lo, fingerprint.hi).second;
+  if (inserted) size_.fetch_add(1, std::memory_order_release);
+  return inserted;
+}
+
+bool HbrCache::contains(support::Hash128 fingerprint) const {
+  if (outOfBand(fingerprint)) {
+    std::lock_guard<std::mutex> lock(oobMutex_);
+    return oobKeys_.count({fingerprint.lo, fingerprint.hi}) != 0;
+  }
+
+  std::vector<Slot>* table = enterEpoch();
+  const std::size_t mask = table->size() - 1;
+  std::size_t index = static_cast<std::size_t>(fingerprint.lo) & mask;
+
+  bool found = false;
+  for (;;) {
+    const Slot& slot = (*table)[index];
+    std::uint64_t lo = slot.lo.load(std::memory_order_acquire);
+    while (lo == kBusy) {
+      std::this_thread::yield();
+      lo = slot.lo.load(std::memory_order_acquire);
+    }
+    if (lo == 0) break;  // empty slot terminates the probe chain
+    if (lo == fingerprint.lo &&
+        slot.hi.load(std::memory_order_relaxed) == fingerprint.hi) {
+      found = true;
+      break;
+    }
+    index = (index + 1) & mask;
+  }
+  leaveEpoch();
+  return found;
+}
+
+void HbrCache::maybeGrow() {
+  std::lock_guard<std::mutex> lock(growMutex_);
+  std::vector<Slot>* old = table_.load(std::memory_order_acquire);
+  // Another grower may have run between our check and the lock.
+  if (!overLoadFactor(tableUsed_.load(std::memory_order_relaxed),
+                      old->size())) {
+    return;
+  }
+
+  // Drain: no operation may be mid-probe while the pointer swaps. New
+  // arrivals see resizing_ and hold off in enterEpoch.
+  resizing_.store(true, std::memory_order_release);
+  while (accessors_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+
+  auto* bigger = new std::vector<Slot>(old->size() * 2);
+  const std::size_t mask = bigger->size() - 1;
+  for (const Slot& slot : *old) {
+    const std::uint64_t lo = slot.lo.load(std::memory_order_relaxed);
+    if (lo == 0) continue;  // drained epoch: kBusy cannot appear
+    const std::uint64_t hi = slot.hi.load(std::memory_order_relaxed);
+    std::size_t index = static_cast<std::size_t>(lo) & mask;
+    while ((*bigger)[index].lo.load(std::memory_order_relaxed) != 0) {
+      index = (index + 1) & mask;
+    }
+    (*bigger)[index].hi.store(hi, std::memory_order_relaxed);
+    (*bigger)[index].lo.store(lo, std::memory_order_relaxed);
+  }
+
+  table_.store(bigger, std::memory_order_release);
+  retired_.push_back(old);
+  resizing_.store(false, std::memory_order_release);
+}
+
+std::size_t HbrCache::approxMemoryBytes() const noexcept {
+  std::size_t bytes =
+      table_.load(std::memory_order_acquire)->size() * sizeof(Slot);
+  // Retired generations sum to at most one current-table's worth.
+  for (const std::vector<Slot>* t : retired_) bytes += t->size() * sizeof(Slot);
+  return bytes;
+}
+
+void HbrCache::clear() {
+  delete table_.load(std::memory_order_relaxed);
+  for (std::vector<Slot>* t : retired_) delete t;
+  retired_.clear();
+  table_.store(new std::vector<Slot>(kInitialCapacity),
+               std::memory_order_relaxed);
+  size_.store(0, std::memory_order_relaxed);
+  tableUsed_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(oobMutex_);
+    oobKeys_.clear();
+  }
+  stats_.lookups.store(0, std::memory_order_relaxed);
+  stats_.hits.store(0, std::memory_order_relaxed);
+  stats_.insertions.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace lazyhb::core

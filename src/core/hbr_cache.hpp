@@ -9,18 +9,40 @@
 // fingerprints) and lazy HBR caching (keyed on lazy-HBR fingerprints) — the
 // choice of key *is* the technique.
 //
-// The store is a power-of-two open-addressing table of raw Hash128 values
-// with tombstone-free linear probing (the cache only ever grows; nothing is
+// The store is a power-of-two open-addressing table of Hash128 values with
+// tombstone-free linear probing (the cache only ever grows; nothing is
 // erased). A lookup is one cache line in the common case: the fingerprints
 // are already uniformly distributed, so the low word is the probe start as
-// is — no re-hashing, no per-entry nodes, no pointer chase. This sits on
-// the caching explorers' per-event path (one checkAndInsert per scheduling
-// point), where the previous std::unordered_set's node allocation and
-// bucket indirection were measurable.
+// is — no re-hashing, no per-entry nodes, no pointer chase.
+//
+// Since PR 6 the cache is *concurrency-safe*: N exploration workers sharing
+// one cache (explore/parallel_explorer.hpp) means a prefix pruned by any
+// worker is pruned for all. The design follows LTSmin's lockless state
+// database (dbs-ll): CAS-based claiming over the flat table, memoized-hash
+// probing (the key's own low word), with growth coordinated by a lock plus
+// an accessor epoch so the table pointer can be swapped while no operation
+// is mid-probe. Per-slot protocol:
+//
+//   empty slot        lo == 0 (hi is then meaningless)
+//   claimed, pending  lo == kBusy   (writer has won the CAS, hi not yet out)
+//   published         lo == key.lo  (hi carries key.hi; released by the
+//                                    lo store, acquired by the reader load)
+//
+// Keys whose low word collides with the two sentinels (lo == 0 or
+// lo == kBusy; probability 2^-63 together, but cheap to be exact about) are
+// kept out of band under a small mutex, like the seed kept the all-zero key.
+//
+// checkAndInsert is linearizable: when two workers race on the same new
+// fingerprint, exactly one observes an insert and the other a hit — no
+// lost inserts, no double counting (tests/test_core.cpp pins this against
+// a mutex-guarded reference cache).
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <set>
 #include <vector>
 
 #include "support/hash.hpp"
@@ -35,95 +57,115 @@ class HbrCache {
     std::uint64_t insertions = 0;
   };
 
-  HbrCache() { slots_.resize(kInitialCapacity); }
+  HbrCache();
+  ~HbrCache();
+
+  HbrCache(const HbrCache&) = delete;
+  HbrCache& operator=(const HbrCache&) = delete;
 
   /// Look up `fingerprint`; if absent, insert it. Returns true on a hit
   /// (the prefix was seen before and the caller should prune).
+  /// Linearizable: concurrent callers with equal fingerprints see exactly
+  /// one miss.
   bool checkAndInsert(support::Hash128 fingerprint) {
-    ++stats_.lookups;
+    stats_.lookups.fetch_add(1, std::memory_order_relaxed);
     if (insertUncounted(fingerprint)) {
-      ++stats_.insertions;
+      stats_.insertions.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
-    ++stats_.hits;
+    stats_.hits.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
 
   /// Insert without counting a lookup (used to seed replayed prefixes).
   void insert(support::Hash128 fingerprint) {
-    if (insertUncounted(fingerprint)) ++stats_.insertions;
-  }
-
-  [[nodiscard]] bool contains(support::Hash128 fingerprint) const {
-    if (fingerprint.isZero()) return hasZero_;
-    const std::size_t mask = slots_.size() - 1;
-    for (std::size_t i = fingerprint.lo & mask;; i = (i + 1) & mask) {
-      const support::Hash128& slot = slots_[i];
-      if (slot == fingerprint) return true;
-      if (slot.isZero()) return false;
+    if (insertUncounted(fingerprint)) {
+      stats_.insertions.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
-  [[nodiscard]] std::size_t size() const noexcept { return size_; }
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] bool contains(support::Hash128 fingerprint) const;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return size_.load(std::memory_order_acquire);
+  }
+
+  /// Snapshot of the (atomically maintained) counters. Exact whenever no
+  /// operation is concurrently in flight — i.e. at merge/report time.
+  [[nodiscard]] Stats stats() const noexcept {
+    Stats out;
+    out.lookups = stats_.lookups.load(std::memory_order_relaxed);
+    out.hits = stats_.hits.load(std::memory_order_relaxed);
+    out.insertions = stats_.insertions.load(std::memory_order_relaxed);
+    return out;
+  }
 
   /// Approximate heap footprint in bytes: the flat slot array (the table is
   /// the storage — there are no per-entry nodes). Deliberately ignores
   /// allocator overhead — this is a growth signal for campaign reports, not
   /// a memory audit.
-  [[nodiscard]] std::size_t approxMemoryBytes() const noexcept {
-    return slots_.size() * sizeof(support::Hash128);
-  }
+  [[nodiscard]] std::size_t approxMemoryBytes() const noexcept;
 
-  void clear() {
-    std::vector<support::Hash128>(kInitialCapacity).swap(slots_);
-    hasZero_ = false;
-    size_ = 0;
-    stats_ = Stats{};
-  }
+  /// Reset to the empty initial-capacity state. NOT thread-safe: callers
+  /// must guarantee no concurrent operation (tests and single-threaded
+  /// reuse only).
+  void clear();
 
  private:
+  // One table slot. `lo` doubles as the publication word (see file comment);
+  // `hi` is released by the `lo` store and acquired by the `lo` load, so it
+  // needs atomicity only to keep the data race formally defined.
+  struct Slot {
+    std::atomic<std::uint64_t> lo{0};
+    std::atomic<std::uint64_t> hi{0};
+  };
+
+  struct AtomicStats {
+    std::atomic<std::uint64_t> lookups{0};
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> insertions{0};
+  };
+
   static constexpr std::size_t kInitialCapacity = 512;  // power of two
+  /// Claim sentinel for a slot whose publication store is still pending.
+  static constexpr std::uint64_t kBusy = ~std::uint64_t{0};
+
+  /// True when `lo` cannot live in the table (collides with a sentinel).
+  [[nodiscard]] static bool outOfBand(support::Hash128 fp) noexcept {
+    return fp.lo == 0 || fp.lo == kBusy;
+  }
 
   /// True when the fingerprint was newly inserted, false when present.
-  bool insertUncounted(support::Hash128 fingerprint) {
-    // The all-zero hash doubles as the empty-slot sentinel; an actual zero
-    // fingerprint (probability 2^-128, but cheap to be exact about) is
-    // tracked out of band.
-    if (fingerprint.isZero()) [[unlikely]] {
-      if (hasZero_) return false;
-      hasZero_ = true;
-      ++size_;
-      return true;
-    }
-    const std::size_t mask = slots_.size() - 1;
-    for (std::size_t i = fingerprint.lo & mask;; i = (i + 1) & mask) {
-      support::Hash128& slot = slots_[i];
-      if (slot == fingerprint) return false;
-      if (slot.isZero()) {
-        slot = fingerprint;
-        if (++size_ * 10 >= slots_.size() * 7) grow();  // 0.7 load factor
-        return true;
-      }
-    }
-  }
+  bool insertUncounted(support::Hash128 fingerprint);
+  bool insertOutOfBand(support::Hash128 fingerprint);
 
-  void grow() {
-    std::vector<support::Hash128> old(slots_.size() * 2);
-    old.swap(slots_);
-    const std::size_t mask = slots_.size() - 1;
-    for (const support::Hash128& h : old) {
-      if (h.isZero()) continue;
-      std::size_t i = h.lo & mask;
-      while (!slots_[i].isZero()) i = (i + 1) & mask;
-      slots_[i] = h;
-    }
-  }
+  /// Enter/leave the accessor epoch that growth drains before swapping the
+  /// table. enterEpoch returns the table current for this operation.
+  std::vector<Slot>* enterEpoch() const noexcept;
+  void leaveEpoch() const noexcept;
 
-  std::vector<support::Hash128> slots_;
-  std::size_t size_ = 0;     ///< resident fingerprints (including the zero key)
-  bool hasZero_ = false;
-  Stats stats_;
+  /// Double the table if the load factor crossed the threshold; serialized
+  /// by growMutex_, drains the accessor epoch before swapping.
+  void maybeGrow();
+
+  // The current table, swapped wholesale on growth. Retired tables are kept
+  // until destruction/clear (their memory is a strict fraction of the live
+  // table's, and freeing them safely would need a full epoch handshake on
+  // the read path).
+  std::atomic<std::vector<Slot>*> table_;
+  std::vector<std::vector<Slot>*> retired_;
+
+  mutable std::atomic<std::uint64_t> accessors_{0};  ///< operations in flight
+  std::atomic<bool> resizing_{false};  ///< set while growth awaits the drain
+  std::mutex growMutex_;               ///< serializes growers and retired_
+
+  std::atomic<std::size_t> size_{0};  ///< resident fingerprints (all paths)
+  std::atomic<std::size_t> tableUsed_{0};  ///< published in-table slots
+
+  mutable std::mutex oobMutex_;  ///< guards the sentinel-colliding keys
+  std::set<std::pair<std::uint64_t, std::uint64_t>> oobKeys_;
+
+  AtomicStats stats_;
 };
 
 }  // namespace lazyhb::core

@@ -68,6 +68,15 @@ struct ExplorerOptions {
   /// incremental mode still elides the recorder's share of replayed
   /// prefixes.
   bool checkpointable = false;
+  /// Shard the schedule tree of this one scenario across this many OS
+  /// threads (explore/parallel_explorer.hpp). 1 = classic sequential
+  /// search. Only the tree searches with order-independent counts support
+  /// sharding (dfs and the caching explorers); for other strategies — or
+  /// option combinations that are inherently order-sensitive
+  /// (stopOnFirstViolation, checkTheorems) — the factory falls back to the
+  /// sequential explorer and this field is advisory. All observable counts
+  /// are byte-identical at any worker count.
+  int workers = 1;
 };
 
 /// A recorded property violation with the schedule that reproduces it.
@@ -87,6 +96,28 @@ struct PrefixCacheStats {
   std::uint64_t insertions = 0;
   std::uint64_t entries = 0;     ///< fingerprints resident at the end
   std::uint64_t approxBytes = 0; ///< HbrCache::approxMemoryBytes()
+};
+
+/// Per-worker share of a parallel exploration (explore/parallel_explorer.hpp):
+/// how many schedules the worker ran and how many frontier tasks it stole.
+/// The campaign report (schema v4) surfaces these so load imbalance is
+/// visible per cell.
+struct WorkerShare {
+  std::uint64_t schedulesVisited = 0;
+  std::uint64_t tasksStolen = 0;
+};
+
+/// How a parallel exploration distributed its work. `workers == 0` means
+/// the search ran sequentially (no pool was involved at all).
+struct ParallelStats {
+  int workers = 0;
+  std::uint64_t frontierJobs = 0;  ///< subtree tasks executed across the pool
+  /// The schedule budget bit mid-flight: parallel order would then decide
+  /// *which* schedules fit the budget, so the run was aborted and redone
+  /// sequentially (whether the budget bites at all is order-independent,
+  /// so this fallback triggers identically at any worker count).
+  bool fellBackSequential = false;
+  std::vector<WorkerShare> byWorker;
 };
 
 struct ExplorationResult {
@@ -113,24 +144,41 @@ struct ExplorationResult {
   core::EquivalenceChecker::Stats theorem22;  ///< lazy HBR -> state (if enabled)
   std::vector<trace::RaceReport> races;
   PrefixCacheStats cacheStats;  ///< zero unless the strategy uses an HbrCache
+  ParallelStats parallel;       ///< zero-workers unless sharded (see above)
 
   [[nodiscard]] bool foundViolation() const noexcept { return !violations.empty(); }
 };
 
-/// Shared plumbing for all explorers: owns the stack pool, the trace
-/// recorder and the statistics, and runs one schedule at a time.
-class ExplorerBase {
+/// The exploration interface: run a program's schedule space once, return
+/// the accumulated statistics. Sequential strategies implement it through
+/// ExplorerBase below; ParallelExplorer implements it directly (its result
+/// is a merge of per-worker searches, not one ExplorerBase run).
+class Explorer {
  public:
-  explicit ExplorerBase(ExplorerOptions options);
-  virtual ~ExplorerBase() = default;
+  virtual ~Explorer() = default;
 
-  ExplorerBase(const ExplorerBase&) = delete;
-  ExplorerBase& operator=(const ExplorerBase&) = delete;
+  Explorer() = default;
+  Explorer(const Explorer&) = delete;
+  Explorer& operator=(const Explorer&) = delete;
 
   /// Run the full exploration. May be called once per explorer instance.
-  [[nodiscard]] ExplorationResult explore(const Program& program);
+  [[nodiscard]] virtual ExplorationResult explore(const Program& program) = 0;
 
-  [[nodiscard]] const ExplorerOptions& options() const noexcept { return options_; }
+  [[nodiscard]] virtual const ExplorerOptions& options() const noexcept = 0;
+};
+
+/// Shared plumbing for the sequential explorers: owns the stack pool, the
+/// trace recorder and the statistics, and runs one schedule at a time.
+class ExplorerBase : public Explorer {
+ public:
+  explicit ExplorerBase(ExplorerOptions options);
+
+  /// Run the full exploration. May be called once per explorer instance.
+  [[nodiscard]] ExplorationResult explore(const Program& program) override;
+
+  [[nodiscard]] const ExplorerOptions& options() const noexcept override {
+    return options_;
+  }
 
  protected:
   /// Strategy hook: run schedules (via executeSchedule) until done.

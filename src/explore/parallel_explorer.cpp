@@ -1,0 +1,372 @@
+#include "explore/parallel_explorer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <tuple>
+#include <unordered_set>
+#include <vector>
+
+#include "campaign/work_stealing_pool.hpp"
+#include "core/hbr_cache.hpp"
+#include "core/race_detector.hpp"
+#include "explore/caching_explorer.hpp"
+#include "explore/dfs_explorer.hpp"
+#include "explore/prefix_replay.hpp"
+#include "runtime/execution.hpp"
+#include "support/diagnostics.hpp"
+
+namespace lazyhb::explore {
+
+namespace {
+
+using Hash128Set =
+    std::unordered_set<support::Hash128, support::Hash128Hasher>;
+
+/// One subtree of the schedule tree, claimable by any worker: force the
+/// choices in `prefix`, then explore every child in `enabled - done` of the
+/// node at depth prefix.size(). An empty `enabled` marks the root job (the
+/// whole tree; the real enabled set is discovered by the first execution).
+struct FrontierJob {
+  std::vector<int> prefix;
+  support::ThreadSet enabled;
+  support::ThreadSet done;
+};
+
+/// A worker's private exploration kit plus its share of the statistics.
+/// Nothing in here is touched by any other thread until the merge.
+struct WorkerContext {
+  explicit WorkerContext(const ExplorerOptions& opts)
+      : recorder(trace::TraceRecorder::Options{opts.keepPredecessors,
+                                               opts.detectRaces}),
+        engine(stackPool, recorder, opts.incremental,
+               opts.checkpointable &&
+                   runtime::Execution::checkpointingSupported()) {}
+
+  runtime::StackPool stackPool;
+  trace::TraceRecorder recorder;
+  PrefixReplayEngine engine;
+  bool ranASchedule = false;  ///< engine.prepareNext needs a first schedule
+
+  std::uint64_t schedules = 0;
+  std::uint64_t terminal = 0;
+  std::uint64_t violation = 0;
+  std::uint64_t pruned = 0;
+  std::uint64_t events = 0;
+  Hash128Set hbrs;
+  Hash128Set lazyHbrs;
+  Hash128Set states;
+  std::vector<ViolationRecord> violations;
+  core::RaceAggregator races;
+};
+
+/// Stable order for merged violation records: worker completion order is
+/// nondeterministic, so the merged, truncated list is sorted before the
+/// cut. (In caching mode the *reproducer schedules* may still differ
+/// between runs — see the header; the counts never do.)
+bool violationLess(const ViolationRecord& a, const ViolationRecord& b) {
+  return std::tie(a.kind, a.message, a.schedule) <
+         std::tie(b.kind, b.message, b.schedule);
+}
+
+}  // namespace
+
+/// Everything alive only during one explore() call: the frontier pool, the
+/// shared cache, the per-worker contexts and the global coordination state.
+struct ParallelExplorer::Impl {
+  Impl(const ExplorerOptions& opts, std::optional<trace::Relation> rel,
+       std::uint64_t seed)
+      : options(opts), relation(rel), pool(opts.workers, seed) {
+    const int n = pool.workerCount();
+    contexts.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      contexts.push_back(std::make_unique<WorkerContext>(opts));
+    }
+  }
+
+  const ExplorerOptions& options;
+  std::optional<trace::Relation> relation;
+  campaign::WorkStealingPool pool;
+  std::vector<std::unique_ptr<WorkerContext>> contexts;
+  core::HbrCache cache;  ///< shared; unused (empty) for plain DFS
+  const Program* program = nullptr;
+
+  std::atomic<std::uint64_t> claimed{0};  ///< global budget slots taken
+  std::atomic<bool> aborted{false};       ///< budget exceeded: discard all
+  std::atomic<std::uint64_t> frontierJobs{0};
+
+  void runJob(FrontierJob job);
+  void submitJob(FrontierJob job);
+  runtime::Outcome executeOne(WorkerContext& cx, runtime::Scheduler& sched);
+  void maybeDonate(TreeSearchState& state);
+};
+
+void ParallelExplorer::Impl::submitJob(FrontierJob job) {
+  frontierJobs.fetch_add(1, std::memory_order_relaxed);
+  pool.submit([this, job = std::move(job)]() mutable {
+    runJob(std::move(job));
+  });
+}
+
+/// One schedule, mirroring ExplorerBase::executeSchedule's accounting onto
+/// the worker's private tallies (any drift between the two is caught by the
+/// count-identity suite in tests/test_parallel.cpp). The caching terminal
+/// seeding from CachingExplorer::runSearch lives here too.
+runtime::Outcome ParallelExplorer::Impl::executeOne(WorkerContext& cx,
+                                                    runtime::Scheduler& sched) {
+  runtime::Config config;
+  config.maxEventsPerSchedule = options.maxEventsPerSchedule;
+  const PrefixReplayEngine::Session session =
+      cx.engine.beginSchedule(config, &cx.recorder);
+  runtime::Execution& exec = *session.exec;
+  const runtime::Outcome outcome =
+      session.resumed ? exec.resume(sched) : exec.run(*program, sched);
+
+  ++cx.schedules;
+  cx.events += exec.events().size();
+
+  switch (outcome) {
+    case runtime::Outcome::Terminal: {
+      ++cx.terminal;
+      cx.hbrs.insert(cx.recorder.fingerprint(trace::Relation::Full));
+      cx.lazyHbrs.insert(cx.recorder.fingerprint(trace::Relation::Lazy));
+      cx.states.insert(exec.stateFingerprint());
+      break;
+    }
+    case runtime::Outcome::Deadlock:
+    case runtime::Outcome::AssertionFailure:
+    case runtime::Outcome::UsageError: {
+      ++cx.violation;
+      if (cx.violations.size() < options.maxViolationsKept) {
+        const runtime::Violation& v = exec.violation();
+        cx.violations.push_back(ViolationRecord{v.kind, v.message, v.schedule});
+      }
+      break;
+    }
+    case runtime::Outcome::Abandoned:
+      ++cx.pruned;
+      break;
+    case runtime::Outcome::EventLimit:
+      break;  // counted as executed, contributes no terminal data
+  }
+
+  if (options.detectRaces) {
+    cx.races.ingest(cx.recorder);
+  }
+  if (relation.has_value() && outcome != runtime::Outcome::Abandoned &&
+      cx.recorder.eventCount() > 0) {
+    // The final event's prefix is never tested by the scheduler (there is
+    // no further pick); seed it so any worker can prune against it.
+    cache.insert(cx.recorder.fingerprint(*relation));
+  }
+  return outcome;
+}
+
+/// Stack splitting: when the pool signals an idle worker, give away the
+/// unexplored siblings of our shallowest splittable node — the largest
+/// subtree we can part with — as one job (the donee can re-split further).
+void ParallelExplorer::Impl::maybeDonate(TreeSearchState& state) {
+  if (!pool.hungry()) return;
+  for (std::size_t d = 0; d < state.nodes.size(); ++d) {
+    SearchNode& node = state.nodes[d];
+    const support::ThreadSet stealable = node.enabled.minus(node.done).minus(
+        support::ThreadSet::single(node.chosen));
+    if (stealable.empty()) continue;
+
+    FrontierJob child;
+    child.prefix.reserve(d);
+    for (std::size_t i = 0; i < d; ++i) {
+      child.prefix.push_back(state.nodes[i].chosen);
+    }
+    child.enabled = node.enabled;
+    child.done = node.enabled.minus(stealable);  // donee owns exactly these
+    node.done = node.done.unionWith(stealable);  // we never revisit them
+    submitJob(std::move(child));
+    return;
+  }
+}
+
+void ParallelExplorer::Impl::runJob(FrontierJob job) {
+  if (aborted.load(std::memory_order_relaxed)) return;
+  const int workerIndex = pool.currentWorkerIndex();
+  LAZYHB_CHECK(workerIndex >= 0);
+  WorkerContext& cx = *contexts[static_cast<std::size_t>(workerIndex)];
+
+  // Rebuild the job's subtree root as a search stack: forced single-choice
+  // nodes pin the prefix (advance() can never flip them), then the
+  // divergence node carries the children this job owns. The prefix events
+  // are replays of work already accounted elsewhere, so checkFromDepth
+  // excludes them from prune checks — exactly as the sequential search
+  // excludes a schedule's shared prefix after advance().
+  TreeSearchState state;
+  state.nodes.reserve(job.prefix.size() + 1);
+  for (const int choice : job.prefix) {
+    SearchNode forced;
+    forced.enabled = support::ThreadSet::single(choice);
+    forced.chosen = choice;
+    state.nodes.push_back(forced);
+  }
+  if (!job.enabled.empty()) {
+    SearchNode divergence;
+    divergence.enabled = job.enabled;
+    divergence.done = job.done;
+    divergence.chosen = job.enabled.minus(job.done).first();
+    state.nodes.push_back(divergence);
+  }
+  state.checkFromDepth = job.prefix.size();
+
+  // This job's tree shares nothing with whatever this worker ran before:
+  // divergence is at the root as far as the replay engine is concerned.
+  std::size_t startDepth = cx.ranASchedule ? cx.engine.prepareNext(0) : 0;
+  cx.ranASchedule = true;
+
+  for (;;) {
+    if (aborted.load(std::memory_order_relaxed)) return;
+    // Claim a budget slot before executing, like the sequential loop checks
+    // budgetExhausted() before each schedule. Total demand is
+    // order-independent (see header), so whether this trips is a function
+    // of the scenario, not of scheduling.
+    if (claimed.fetch_add(1, std::memory_order_relaxed) >=
+        options.scheduleLimit) {
+      aborted.store(true, std::memory_order_relaxed);
+      return;
+    }
+
+    std::function<bool()> pruneHook;
+    if (relation.has_value()) {
+      pruneHook = [this, &cx] {
+        return cache.checkAndInsert(cx.recorder.fingerprint(*relation));
+      };
+    }
+    TreeScheduler scheduler(state, std::move(pruneHook), &cx.engine,
+                            startDepth);
+    (void)executeOne(cx, scheduler);
+    maybeDonate(state);
+    if (!state.advance()) return;  // subtree exhausted
+    startDepth = cx.engine.prepareNext(state.checkFromDepth);
+  }
+}
+
+ParallelExplorer::ParallelExplorer(ExplorerOptions options,
+                                   ParallelStrategy strategy,
+                                   std::uint64_t seed)
+    : options_(options), strategy_(strategy), seed_(seed) {
+  LAZYHB_CHECK(shardable(options));
+}
+
+ParallelExplorer::~ParallelExplorer() = default;
+
+std::optional<trace::Relation> ParallelExplorer::relation() const noexcept {
+  switch (strategy_) {
+    case ParallelStrategy::Dfs:
+      return std::nullopt;
+    case ParallelStrategy::CachingFull:
+      return trace::Relation::Full;
+    case ParallelStrategy::CachingLazy:
+      return trace::Relation::Lazy;
+  }
+  return std::nullopt;
+}
+
+ExplorationResult ParallelExplorer::runSequentialFallback(
+    const Program& program) {
+  ExplorerOptions sequential = options_;
+  sequential.workers = 1;
+  std::unique_ptr<Explorer> explorer;
+  if (const std::optional<trace::Relation> rel = relation()) {
+    explorer = std::make_unique<CachingExplorer>(sequential, *rel);
+  } else {
+    explorer = std::make_unique<DfsExplorer>(sequential);
+  }
+  ExplorationResult result = explorer->explore(program);
+  result.parallel.workers = options_.workers;
+  result.parallel.fellBackSequential = true;
+  return result;
+}
+
+ExplorationResult ParallelExplorer::explore(const Program& program) {
+  LAZYHB_CHECK(!explored_);
+  explored_ = true;
+
+  Impl impl(options_, relation(), seed_);
+  impl.program = &program;
+
+  std::vector<campaign::WorkStealingPool::Task> roots;
+  impl.frontierJobs.store(1, std::memory_order_relaxed);
+  roots.push_back([&impl] { impl.runJob(FrontierJob{}); });
+  impl.pool.run(std::move(roots));
+
+  if (impl.aborted.load(std::memory_order_relaxed)) {
+    // The budget bit: parallel order would decide which schedules fit it.
+    // Discard everything (including the polluted shared cache — the
+    // fallback explorer builds its own) and redo sequentially.
+    return runSequentialFallback(program);
+  }
+
+  // Deterministic merge. Counts are sums, fingerprint classes are set
+  // unions, violations sort lexicographically before the keep-cap, races
+  // dedup on the racy object across workers.
+  ExplorationResult result;
+  Hash128Set hbrs;
+  Hash128Set lazyHbrs;
+  Hash128Set states;
+  std::vector<ViolationRecord> violations;
+  std::vector<trace::RaceReport> races;
+  std::unordered_set<runtime::Uid> raceUids;
+
+  result.parallel.workers = impl.pool.workerCount();
+  result.parallel.frontierJobs =
+      impl.frontierJobs.load(std::memory_order_relaxed);
+  const std::vector<std::uint64_t> steals = impl.pool.stealsByWorker();
+  for (std::size_t i = 0; i < impl.contexts.size(); ++i) {
+    const WorkerContext& cx = *impl.contexts[i];
+    result.schedulesExecuted += cx.schedules;
+    result.terminalSchedules += cx.terminal;
+    result.violationSchedules += cx.violation;
+    result.prunedSchedules += cx.pruned;
+    result.totalEvents += cx.events;
+    result.eventsElided += cx.engine.eventsElided();
+    result.eventsReplayed += cx.engine.eventsReplayed();
+    hbrs.insert(cx.hbrs.begin(), cx.hbrs.end());
+    lazyHbrs.insert(cx.lazyHbrs.begin(), cx.lazyHbrs.end());
+    states.insert(cx.states.begin(), cx.states.end());
+    violations.insert(violations.end(), cx.violations.begin(),
+                      cx.violations.end());
+    for (const trace::RaceReport& race : cx.races.distinctRaces()) {
+      if (raceUids.insert(race.objectUid).second) {
+        races.push_back(race);
+      }
+    }
+    result.parallel.byWorker.push_back(WorkerShare{cx.schedules, steals[i]});
+  }
+  result.distinctHbrs = hbrs.size();
+  result.distinctLazyHbrs = lazyHbrs.size();
+  result.distinctStates = states.size();
+  result.complete = true;
+  result.hitScheduleLimit = false;
+
+  std::sort(violations.begin(), violations.end(), violationLess);
+  if (violations.size() > options_.maxViolationsKept) {
+    violations.resize(options_.maxViolationsKept);
+  }
+  result.violations = std::move(violations);
+
+  std::sort(races.begin(), races.end(),
+            [](const trace::RaceReport& a, const trace::RaceReport& b) {
+              return a.objectUid < b.objectUid;
+            });
+  result.races = std::move(races);
+
+  if (relation().has_value()) {
+    const core::HbrCache::Stats cacheStats = impl.cache.stats();
+    result.cacheStats.enabled = true;
+    result.cacheStats.lookups = cacheStats.lookups;
+    result.cacheStats.hits = cacheStats.hits;
+    result.cacheStats.insertions = cacheStats.insertions;
+    result.cacheStats.entries = impl.cache.size();
+    result.cacheStats.approxBytes = impl.cache.approxMemoryBytes();
+  }
+  return result;
+}
+
+}  // namespace lazyhb::explore

@@ -1,0 +1,115 @@
+// lazyhb/explore/parallel_explorer.hpp
+//
+// Intra-scenario parallel exploration: shard ONE program's schedule tree
+// across N OS threads, against one shared concurrent HbrCache — so a prefix
+// pruned by any worker is pruned for all. This is the multi-core shape of
+// Günther/Laarman's "Dynamic Reductions for Model Checking Concurrent
+// Software" applied to the paper's lazy-HBR reduction: workers walk
+// disjoint subtrees; the only shared mutable state is the CAS-based
+// fingerprint table (core/hbr_cache.hpp) and the work-stealing frontier
+// (campaign/work_stealing_pool.hpp).
+//
+// ## Work decomposition
+//
+// A frontier job is a subtree of the schedule tree: a forced choice prefix
+// plus, at the divergence node, the set of children the job owns. Each pool
+// worker owns a full sequential exploration kit — fiber stack pool,
+// TraceRecorder, incremental prefix-replay engine — and runs jobs as plain
+// depth-first searches whose roots are pinned by the forced prefix. When
+// the pool reports hungry workers, a running worker donates the unexplored
+// siblings of its *shallowest* splittable node (the largest subtree it can
+// give away) as a new job: classic stack splitting, submitted back into the
+// same batch.
+//
+// ## Why counts are byte-identical at any worker count
+//
+// For a COMPLETE search every count the tool reports is order-independent.
+// Equal prefix fingerprints imply equal HBRs imply equal program states
+// (Theorems 2.1/2.2), and the fingerprint includes the event count — so the
+// quotient of the schedule tree by fingerprint is a DAG in which every
+// class has a fixed continuation structure. Whichever concrete prefix
+// reaches a class first inserts its fingerprint and expands it; every later
+// arrival hits and prunes. The *set* of expanded classes and the *number*
+// of arrivals at each are therefore invariant under arrival order, and all
+// of schedules / terminal / pruned / violation counts, distinct-fingerprint
+// set sizes, total events, and cache lookup / hit / insertion / entry
+// counts are sums over that quotient. (What is NOT invariant: which
+// concrete schedule witnesses a violation class — the reproducer schedules
+// in `violations` may differ between runs in caching mode; their count may
+// not.)
+//
+// A schedule *budget* breaks the argument mid-flight: arrival order would
+// decide which schedules fit the limit. But whether the budget bites at all
+// is itself order-independent (total arrivals is fixed), so workers claim
+// budget slots from one global counter and, the moment the claim count
+// exceeds the limit, the parallel run aborts and the scenario is redone
+// sequentially — byte-identical to `workers == 1` by construction, at the
+// cost of the wasted partial run. Budget-bound scenarios are the quick
+// modes; the deep runs this explorer exists for complete within budget.
+//
+// Strategies that are inherently order-sensitive are not shardable:
+// random walks (one RNG stream), DPOR (backtrack sets mutate on visit
+// order), stopOnFirstViolation ("first" presumes an order), and the theorem
+// checkers (their conflict attribution is visit-ordered). The factory
+// (campaign/explorer_spec.hpp) falls back to the sequential explorer for
+// those; this class accepts only the shardable configurations.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "explore/explorer.hpp"
+#include "trace/trace_recorder.hpp"
+
+namespace lazyhb::explore {
+
+/// Which sequential search a ParallelExplorer shards. The three tree
+/// searches with order-independent counts.
+enum class ParallelStrategy {
+  Dfs,          ///< naive enumeration, no cache
+  CachingFull,  ///< Musuvathi–Qadeer HBR caching (shared cache, Full keys)
+  CachingLazy,  ///< the paper's lazy HBR caching (shared cache, Lazy keys)
+};
+
+class ParallelExplorer final : public Explorer {
+ public:
+  /// `options.workers` must be >= 2 (use the sequential strategy classes
+  /// for 1), and options must not request stopOnFirstViolation or
+  /// checkTheorems (the factory routes those to sequential explorers).
+  /// `seed` roots the frontier pool's per-worker victim-selection RNGs.
+  ParallelExplorer(ExplorerOptions options, ParallelStrategy strategy,
+                   std::uint64_t seed);
+  ~ParallelExplorer() override;
+
+  [[nodiscard]] ExplorationResult explore(const Program& program) override;
+
+  [[nodiscard]] const ExplorerOptions& options() const noexcept override {
+    return options_;
+  }
+  [[nodiscard]] ParallelStrategy strategy() const noexcept { return strategy_; }
+
+  /// True when `options` can be sharded at all (the factory's gate):
+  /// no stop-on-first-violation, no theorem checking, workers >= 2.
+  [[nodiscard]] static bool shardable(const ExplorerOptions& options) noexcept {
+    return options.workers >= 2 && !options.stopOnFirstViolation &&
+           !options.checkTheorems;
+  }
+
+ private:
+  struct Impl;
+
+  /// The caching relation, or nullopt for plain DFS.
+  [[nodiscard]] std::optional<trace::Relation> relation() const noexcept;
+
+  /// Re-run the scenario with the matching sequential explorer (budget
+  /// abort path). Returns its result with parallel.fellBackSequential set.
+  [[nodiscard]] ExplorationResult runSequentialFallback(const Program& program);
+
+  ExplorerOptions options_;
+  ParallelStrategy strategy_;
+  std::uint64_t seed_;
+  bool explored_ = false;
+};
+
+}  // namespace lazyhb::explore

@@ -389,7 +389,10 @@ TEST(Report, VersionedAndStructurallySound) {
   const std::string json = campaign::writeReportJson(result, config);
 
   EXPECT_NE(json.find("\"schema\": \"lazyhb-bench-report\""), std::string::npos);
-  EXPECT_NE(json.find("\"version\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"version\": 4"), std::string::npos);
+  // v4 contract: config.workers is mandatory (bench_diff.py rejects a v4
+  // report without it).
+  EXPECT_NE(json.find("\"workers\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"inequality_violations\": 0"), std::string::npos);
   EXPECT_NE(json.find("\"explorer\": \"caching-lazy\""), std::string::npos);
   EXPECT_NE(json.find("\"approx_bytes\""), std::string::npos);

@@ -16,6 +16,14 @@ throughput — what incremental replay improves) and
 elision inflating the numerator). For pre-v3 baselines the two coincide,
 so both views stay comparable across schema versions.
 
+Schema v4 reports carry intra-scenario parallelism: `config.workers` is
+mandatory (a v4 report without it is rejected — a report must never hide
+the parallelism it ran with), and parallel cells carry a `parallel` block.
+The count contract is unchanged — counts are byte-identical at any
+--workers, so a v4 candidate still count-compares against any older
+baseline — and the scoreboard gains a `--workers` column so speedup rows
+are attributed to the worker count that produced them.
+
 Usage:
     tools/bench_diff.py BASELINE.json CANDIDATE.json [--counts-only]
     tools/bench_diff.py --history REPORT.json [REPORT.json ...]
@@ -57,10 +65,11 @@ COUNT_FIELDS = [
 CACHE_COUNT_FIELDS = ["lookups", "hits", "insertions", "entries"]
 
 # Schema versions this tool knows how to compare. v1/v2 reports lack the
-# incremental-replay fields (handled by the fallbacks below); any other
-# version means the report format moved ahead of this tool, and guessing
-# at unknown field semantics would silently corrupt the comparison.
-KNOWN_SCHEMA_VERSIONS = (1, 2, 3)
+# incremental-replay fields, v1-v3 lack the parallelism fields (both
+# handled by the fallbacks below); any other version means the report
+# format moved ahead of this tool, and guessing at unknown field semantics
+# would silently corrupt the comparison.
+KNOWN_SCHEMA_VERSIONS = (1, 2, 3, 4)
 
 
 def load_report(path):
@@ -85,7 +94,24 @@ def load_report(path):
                  f"but this tool only understands versions {known}; "
                  f"update tools/bench_diff.py for the new schema "
                  f"(see docs/bench-report-schema.md)")
+    if version >= 4 and "workers" not in doc.get("config", {}):
+        sys.exit(f"bench_diff: '{path}' is a schema v{version} report but "
+                 f"its config block has no 'workers' field; v4 made "
+                 f"config.workers mandatory so a report cannot silently "
+                 f"hide the intra-scenario parallelism it ran with — "
+                 f"regenerate the report with a current `lazyhb bench`")
     return doc
+
+
+def cell_workers(cell):
+    """The worker count that actually explored this cell: the cell's
+    parallel block when present (a budget-abort sequential fallback reports
+    as 1), else 1 — pre-v4 reports and non-shardable v4 cells both ran
+    sequentially."""
+    par = cell.get("parallel")
+    if par is not None:
+        return 1 if par.get("fell_back_sequential") else par["workers"]
+    return 1
 
 
 def cell_key(cell):
@@ -110,23 +136,30 @@ def cell_rate(cell, field):
 
 
 def rate_table(title, base_cells, cand_cells, shared, field):
-    by_explorer = {}
+    # Rows group by (explorer, baseline-workers -> candidate-workers) so a
+    # speedup is always attributed to the worker count that produced it; a
+    # uniformly-sequential comparison collapses to one row per explorer.
+    by_row = {}
     for key in shared:
         a = cell_rate(base_cells[key], field)
         b = cell_rate(cand_cells[key], field)
         if a > 0 and b > 0:
-            by_explorer.setdefault(key[1], []).append(b / a)
-    if not by_explorer:
+            wa = cell_workers(base_cells[key])
+            wb = cell_workers(cand_cells[key])
+            workers = str(wa) if wa == wb else f"{wa}->{wb}"
+            by_row.setdefault((key[1], workers), []).append(b / a)
+    if not by_row:
         return
     print(f"\n{title} (candidate / baseline, geomean over cells):")
+    print(f"  {'explorer':<14} {'--workers':>9}")
     all_ratios = []
-    for explorer in sorted(by_explorer):
-        ratios = by_explorer[explorer]
+    for explorer, workers in sorted(by_row):
+        ratios = by_row[(explorer, workers)]
         all_ratios.extend(ratios)
-        print(f"  {explorer:<14} {geomean(ratios):6.2f}x  "
+        print(f"  {explorer:<14} {workers:>9}  {geomean(ratios):6.2f}x  "
               f"({len(ratios)} cells)")
     if all_ratios:
-        print(f"  {'overall':<14} {geomean(all_ratios):6.2f}x  "
+        print(f"  {'overall':<14} {'':>9}  {geomean(all_ratios):6.2f}x  "
               f"({len(all_ratios)} cells)")
 
 
