@@ -42,8 +42,13 @@ std::vector<HbrCache::Slot>* HbrCache::enterEpoch() const noexcept {
     while (resizing_.load(std::memory_order_acquire)) {
       std::this_thread::yield();
     }
-    accessors_.fetch_add(1, std::memory_order_acq_rel);
-    if (!resizing_.load(std::memory_order_acquire)) {
+    // The increment and the re-check form one half of a Dekker (store-
+    // buffering) handshake with maybeGrow's resizing_ store + accessors_
+    // drain load. Both halves must be seq_cst: with acq/rel only, each side
+    // may read the stale value (we miss resizing_, the grower misses our
+    // increment) and a probe would race the rehash.
+    accessors_.fetch_add(1, std::memory_order_seq_cst);
+    if (!resizing_.load(std::memory_order_seq_cst)) {
       // Any grower that sets resizing_ after this load will see our
       // increment and wait for us; table_ is now stable for this operation.
       return table_.load(std::memory_order_acquire);
@@ -153,9 +158,12 @@ void HbrCache::maybeGrow() {
   }
 
   // Drain: no operation may be mid-probe while the pointer swaps. New
-  // arrivals see resizing_ and hold off in enterEpoch.
-  resizing_.store(true, std::memory_order_release);
-  while (accessors_.load(std::memory_order_acquire) != 0) {
+  // arrivals see resizing_ and hold off in enterEpoch. This is the grower's
+  // half of the Dekker handshake (see enterEpoch): both the flag store and
+  // the drain load must be seq_cst so that either the accessor sees
+  // resizing_ and backs out, or we see its increment and wait for it.
+  resizing_.store(true, std::memory_order_seq_cst);
+  while (accessors_.load(std::memory_order_seq_cst) != 0) {
     std::this_thread::yield();
   }
 
@@ -178,7 +186,10 @@ void HbrCache::maybeGrow() {
   resizing_.store(false, std::memory_order_release);
 }
 
-std::size_t HbrCache::approxMemoryBytes() const noexcept {
+std::size_t HbrCache::approxMemoryBytes() const {
+  // growMutex_ keeps a concurrent maybeGrow from swapping table_ or
+  // appending to retired_ mid-iteration.
+  std::lock_guard<std::mutex> lock(growMutex_);
   std::size_t bytes =
       table_.load(std::memory_order_acquire)->size() * sizeof(Slot);
   // Retired generations sum to at most one current-table's worth.

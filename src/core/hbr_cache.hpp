@@ -103,8 +103,8 @@ class HbrCache {
   /// Approximate heap footprint in bytes: the flat slot array (the table is
   /// the storage — there are no per-entry nodes). Deliberately ignores
   /// allocator overhead — this is a growth signal for campaign reports, not
-  /// a memory audit.
-  [[nodiscard]] std::size_t approxMemoryBytes() const noexcept;
+  /// a memory audit. Thread-safe (takes the growth lock).
+  [[nodiscard]] std::size_t approxMemoryBytes() const;
 
   /// Reset to the empty initial-capacity state. NOT thread-safe: callers
   /// must guarantee no concurrent operation (tests and single-threaded
@@ -157,7 +157,7 @@ class HbrCache {
 
   mutable std::atomic<std::uint64_t> accessors_{0};  ///< operations in flight
   std::atomic<bool> resizing_{false};  ///< set while growth awaits the drain
-  std::mutex growMutex_;               ///< serializes growers and retired_
+  mutable std::mutex growMutex_;       ///< serializes growers and retired_
 
   std::atomic<std::size_t> size_{0};  ///< resident fingerprints (all paths)
   std::atomic<std::size_t> tableUsed_{0};  ///< published in-table slots

@@ -61,9 +61,11 @@ struct WorkerContext {
 };
 
 /// Stable order for merged violation records: worker completion order is
-/// nondeterministic, so the merged, truncated list is sorted before the
-/// cut. (In caching mode the *reproducer schedules* may still differ
-/// between runs — see the header; the counts never do.)
+/// nondeterministic, so the merged list is sorted before the
+/// maxViolationsKept cut — workers keep all records so the cut sees the
+/// full multiset regardless of sharding. (In caching mode the *reproducer
+/// schedules* may still differ between runs — see the header; the counts
+/// never do.)
 bool violationLess(const ViolationRecord& a, const ViolationRecord& b) {
   return std::tie(a.kind, a.message, a.schedule) <
          std::tie(b.kind, b.message, b.schedule);
@@ -137,10 +139,13 @@ runtime::Outcome ParallelExplorer::Impl::executeOne(WorkerContext& cx,
     case runtime::Outcome::AssertionFailure:
     case runtime::Outcome::UsageError: {
       ++cx.violation;
-      if (cx.violations.size() < options.maxViolationsKept) {
-        const runtime::Violation& v = exec.violation();
-        cx.violations.push_back(ViolationRecord{v.kind, v.message, v.schedule});
-      }
+      // Keep every record: capping per worker would make the post-merge
+      // kept set depend on how violations happened to shard across
+      // workers. The maxViolationsKept cut is applied once, after the
+      // global sort, so the surviving set is a function of the full
+      // violation multiset alone — identical at any worker count.
+      const runtime::Violation& v = exec.violation();
+      cx.violations.push_back(ViolationRecord{v.kind, v.message, v.schedule});
       break;
     }
     case runtime::Outcome::Abandoned:
