@@ -8,7 +8,11 @@
 //   * scenario registration — LAZYHB_SCENARIO, lazyhb::scenarios()
 //     (lazyhb/scenario.hpp);
 //   * the exploration facade — lazyhb::Session, TestReport, traceSchedule
-//     (lazyhb/session.hpp).
+//     (lazyhb/session.hpp);
+//   * the batch-campaign facade — lazyhb::Suite, SuiteReport, with
+//     checkpointed resume and shard/merge support (lazyhb/suite.hpp);
+//   * the progress-event surface both facades share — lazyhb::ProgressEvent
+//     (lazyhb/progress.hpp).
 //
 // Link against the exported `lazyhb::lazyhb` CMake target:
 //
@@ -21,5 +25,7 @@
 
 #include "runtime/api.hpp"
 
+#include "lazyhb/progress.hpp"
 #include "lazyhb/scenario.hpp"
 #include "lazyhb/session.hpp"
+#include "lazyhb/suite.hpp"

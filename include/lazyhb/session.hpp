@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "lazyhb/progress.hpp"
 #include "lazyhb/scenario.hpp"
 
 namespace lazyhb {
@@ -159,6 +160,16 @@ class Session {
   /// sequentially whatever this is set to. Every count in the TestReport is
   /// byte-identical at any worker count.
   Session& workers(int count);
+  /// Progress hook: a ProgressEvent of kind ScheduleTick every
+  /// progressInterval() executed schedules, synchronously on the exploring
+  /// thread (lazyhb/progress.hpp documents the full callback contract).
+  /// Setting a callback forces the exploration sequential even when
+  /// workers(N > 1) was requested — ticks from racing shard workers would
+  /// interleave nondeterministically. Counts are unaffected.
+  Session& onProgress(ProgressCallback callback);
+  /// Schedules between ScheduleTick events (default 1024; 0 is clamped
+  /// to 1). Only meaningful together with onProgress().
+  Session& progressInterval(std::uint64_t schedules);
 
   /// Explore an ad-hoc program. Throws std::invalid_argument for an
   /// unknown strategy name.
@@ -184,6 +195,9 @@ class Session {
     bool incremental = true;
     bool checkpointable = false;
     int workers = 1;
+    ProgressCallback progress;
+    std::uint64_t progressInterval = 1024;
+    std::string scenarioLabel;  ///< names run(name) ticks; empty for ad-hoc
   };
 
   Config config_;

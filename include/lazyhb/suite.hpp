@@ -1,0 +1,187 @@
+// lazyhb/suite.hpp — the public batch-campaign facade.
+//
+// Suite is to the campaign layer what Session (lazyhb/session.hpp) is to a
+// single exploration: a builder of value types and strings that runs a
+// whole (scenario × strategy) matrix and returns a self-describing
+// SuiteReport. It is a thin adapter over the same campaign runner the CLI's
+// `bench` subcommand drives, so every durability feature rides along:
+// checkpointed resume, shard slicing, per-cell timeouts and retries, and
+// the serialized progress-event stream.
+//
+//   const lazyhb::SuiteReport report = lazyhb::Suite()
+//                                          .add("peterson")
+//                                          .add("disjoint-lock")      // a family
+//                                          .strategies({"dfs", "caching-lazy"})
+//                                          .schedules(50'000)
+//                                          .checkpointDir("ckpt/")    // resumable
+//                                          .onProgress([](const lazyhb::ProgressEvent& e) {
+//                                            /* serialized; see lazyhb/progress.hpp */
+//                                          })
+//                                          .run();
+//   if (!report.allInequalitiesHold()) { /* §3 chain broke — a bug */ }
+//   writeFile("shard0.json", report.toJson());  // `lazyhb merge`-able
+//
+// Configuration errors (unknown strategy/scenario name, bad shard spec)
+// throw std::invalid_argument from run(); journal problems (config
+// mismatch, nothing to resume) throw std::runtime_error. Counts are
+// byte-identical to the CLI's `bench` for the same configuration — the
+// parity tests pin this.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lazyhb/progress.hpp"
+
+namespace lazyhb {
+
+inline constexpr const char* kSuiteReportSchemaName = "lazyhb-bench-report";
+inline constexpr int kSuiteReportSchemaVersion = 5;
+
+/// One (scenario, strategy) cell of the suite matrix — the public mirror of
+/// the campaign report's cell block.
+struct SuiteCell {
+  std::string scenario;
+  std::string family;
+  std::string strategy;
+
+  // Exploration counts (the §3 chain reads
+  // states <= lazyHbrs <= hbrs <= schedules).
+  std::uint64_t schedules = 0;
+  std::uint64_t terminal = 0;
+  std::uint64_t pruned = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t events = 0;
+  std::uint64_t hbrs = 0;
+  std::uint64_t lazyHbrs = 0;
+  std::uint64_t states = 0;
+  bool complete = false;
+  bool hitScheduleLimit = false;
+
+  // Supervisor / durability provenance.
+  bool timedOut = false;       ///< final attempt hit the cell timeout
+  bool fromCheckpoint = false; ///< loaded from the journal, not re-run
+  int attempts = 1;            ///< > 1: the cell retried
+  std::string error;           ///< non-empty: every attempt threw
+
+  double wallSeconds = 0.0;
+  bool inequalityHolds = true;
+  std::string inequalityDiagnostic;  ///< empty when the §3 chain holds
+
+  [[nodiscard]] bool failed() const noexcept { return !error.empty(); }
+};
+
+/// The self-describing result of one Suite::run.
+struct SuiteReport {
+  std::vector<SuiteCell> cells;  ///< scenario-major, strategy-minor
+
+  std::uint64_t totalSchedules = 0;
+  std::uint64_t totalEvents = 0;
+  int inequalityViolations = 0;  ///< cells whose §3 chain failed (expect 0)
+  double wallSeconds = 0.0;
+
+  // Durability / supervisor tallies.
+  std::size_t cellsFromCheckpoint = 0;
+  int cellsTimedOut = 0;
+  int cellsFailed = 0;
+  int cellsRetried = 0;
+
+  // The shard this run covered (0-based; 0/1 when unsharded).
+  int shardIndex = 0;
+  int shardCount = 1;
+
+  [[nodiscard]] bool allInequalitiesHold() const noexcept {
+    return inequalityViolations == 0;
+  }
+
+  /// The versioned lazyhb-bench-report JSON document (schema v5,
+  /// newline-terminated) — the same document `lazyhb bench --out` writes,
+  /// accepted by `lazyhb merge` and tools/bench_diff.py.
+  [[nodiscard]] const std::string& toJson() const noexcept { return json_; }
+
+  /// One human-readable summary line (no trailing newline).
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  friend class Suite;
+  std::string json_;
+};
+
+/// Builder facade over the campaign runner. A Suite is a reusable value:
+/// run() executes the configured matrix and returns a fresh SuiteReport.
+class Suite {
+ public:
+  Suite();
+
+  /// Select a scenario or a whole family by name (repeatable; order is
+  /// kept, duplicates collapse). No add() at all runs the full registered
+  /// corpus. Validated at run().
+  Suite& add(std::string scenarioOrFamily);
+  /// Strategies to run each scenario under (default: the five canonical
+  /// modes). Validated at run().
+  Suite& strategies(std::vector<std::string> names);
+  /// Schedule budget per cell (default 10,000; the paper's experiments use
+  /// 100,000).
+  Suite& schedules(std::uint64_t limit);
+  /// Per-schedule event budget, guarding against unbounded loops.
+  Suite& maxEventsPerSchedule(std::uint32_t events);
+  /// Seed for the "random" strategy; identical in every cell.
+  Suite& seed(std::uint64_t value);
+  /// Incremental prefix replay (default on); counts are byte-identical
+  /// either way.
+  Suite& incremental(bool on);
+  /// Campaign worker threads fanning cells out (<= 0: one per hardware
+  /// thread). Counts are byte-identical at any value.
+  Suite& jobs(int count);
+  /// Intra-cell worker threads sharding each scenario's schedule tree
+  /// (dfs/caching-* only; counts stay byte-identical).
+  Suite& workers(int count);
+  /// Run only this 0-based slice of the cell matrix (cells with
+  /// index % count == index_). Shard reports merge back to the unsharded
+  /// count set via `lazyhb merge`. Validated at run().
+  Suite& shard(int index, int count);
+  /// Journal finished cells into this directory and resume from it when it
+  /// already holds a matching journal (see docs/campaign-service.md).
+  Suite& checkpointDir(std::string directory);
+  /// Require checkpointDir() to hold an existing journal — run() then
+  /// throws std::runtime_error instead of silently starting fresh.
+  Suite& resumeOnly(bool on = true);
+  /// Per-cell wall-clock budget in seconds (0 = none); a cell over budget
+  /// stops at the next schedule boundary and is marked timedOut.
+  Suite& cellTimeout(double seconds);
+  /// Extra attempts after a timeout or exception before a cell is recorded
+  /// as timedOut/failed (the campaign survives poisoned cells either way).
+  Suite& cellRetries(int count);
+  /// Campaign lifecycle events (serialized; lazyhb/progress.hpp documents
+  /// the contract).
+  Suite& onProgress(ProgressCallback callback);
+
+  /// Run the configured matrix. Throws std::invalid_argument for unknown
+  /// names or a bad shard spec, std::runtime_error for journal problems.
+  [[nodiscard]] SuiteReport run() const;
+
+ private:
+  struct Config {
+    std::vector<std::string> selectors;
+    std::vector<std::string> strategies;
+    std::uint64_t scheduleLimit = 10'000;
+    std::uint32_t maxEventsPerSchedule = 1u << 16;
+    std::uint64_t seed = 42;
+    bool incremental = true;
+    int jobs = 0;
+    int workers = 1;
+    int shardIndex = 0;
+    int shardCount = 1;
+    std::string checkpointDir;
+    bool resumeOnly = false;
+    double cellTimeoutSeconds = 0.0;
+    int cellRetries = 0;
+    ProgressCallback progress;
+  };
+
+  Config config_;
+};
+
+}  // namespace lazyhb

@@ -113,6 +113,16 @@ Session& Session::workers(int count) {
   return *this;
 }
 
+Session& Session::onProgress(ProgressCallback callback) {
+  config_.progress = std::move(callback);
+  return *this;
+}
+
+Session& Session::progressInterval(std::uint64_t schedules) {
+  config_.progressInterval = schedules;
+  return *this;
+}
+
 std::vector<std::string> Session::strategies() {
   std::vector<std::string> names;
   for (const campaign::ExplorerSpec& spec : campaign::allExplorers()) {
@@ -142,6 +152,28 @@ TestReport Session::run(const Program& program) const {
   options.incremental = config_.incremental;
   options.checkpointable = config_.checkpointable;
   options.workers = config_.workers;
+  if (config_.progress) {
+    // Adapt the engine's raw schedule tick into the public ProgressEvent.
+    // A non-null onScheduleTick also disqualifies the options from
+    // parallel sharding (ParallelExplorer::shardable), keeping the tick
+    // stream deterministic.
+    const ProgressCallback callback = config_.progress;
+    const std::string scenarioLabel = config_.scenarioLabel;
+    const std::string strategyName = config_.strategy;
+    const std::uint64_t limit = config_.scheduleLimit;
+    options.tickIntervalSchedules =
+        config_.progressInterval == 0 ? 1 : config_.progressInterval;
+    options.onScheduleTick = [callback, scenarioLabel, strategyName,
+                              limit](std::uint64_t executed) {
+      ProgressEvent event;
+      event.kind = ProgressEvent::Kind::ScheduleTick;
+      event.scenario = scenarioLabel;
+      event.strategy = strategyName;
+      event.schedulesExecuted = executed;
+      event.scheduleLimit = limit;
+      callback(event);
+    };
+  }
 
   const auto explorer = spec->create(options, config_.seed);
   const auto start = std::chrono::steady_clock::now();
@@ -196,6 +228,7 @@ TestReport Session::run(const std::string& scenarioName) const {
   const programs::ProgramSpec& spec = resolveScenario(scenarioName);
   Session configured = *this;
   configured.config_.checkpointable = spec.checkpointable;
+  configured.config_.scenarioLabel = spec.name;
   TestReport report = configured.run(spec.body);
   report.scenario = spec.name;
   report.family = spec.family;

@@ -1,9 +1,11 @@
 #include "campaign/campaign.hpp"
 
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include "campaign/checkpoint.hpp"
 #include "campaign/work_stealing_pool.hpp"
 #include "support/diagnostics.hpp"
 
@@ -85,35 +87,26 @@ core::BenchmarkCounts CellResult::counts() const {
   return c;
 }
 
-Aggregator::Aggregator(std::size_t programCount, std::size_t explorerCount)
-    : explorerCount_(explorerCount),
-      cells_(programCount * explorerCount),
-      filled_(programCount * explorerCount, false) {
-  LAZYHB_CHECK(explorerCount_ > 0);
-}
-
-void Aggregator::submit(std::size_t index, CellResult cell) {
-  const std::lock_guard<std::mutex> guard(mutex_);
-  LAZYHB_CHECK(index < cells_.size() && !filled_[index]);
-  cells_[index] = std::move(cell);
-  filled_[index] = true;
-}
-
-CampaignResult Aggregator::finish() {
-  const std::lock_guard<std::mutex> guard(mutex_);
-  for (const bool filled : filled_) {
-    LAZYHB_CHECK(filled);  // finish() before every submit() is a runner bug
-  }
+CampaignResult foldCells(std::vector<CellResult> cells,
+                         const std::vector<std::string>& explorerOrder) {
+  LAZYHB_CHECK(!explorerOrder.empty());
   CampaignResult result;
-  result.cells = std::move(cells_);
+  result.cells = std::move(cells);
 
-  // Per-explorer totals, keyed by position within each program's row so the
-  // order matches CampaignOptions::explorers.
-  result.perExplorer.resize(explorerCount_);
-  for (std::size_t i = 0; i < result.cells.size(); ++i) {
-    const CellResult& cell = result.cells[i];
-    ExplorerTotals& totals = result.perExplorer[i % explorerCount_];
-    totals.explorer = cell.explorer;
+  result.perExplorer.resize(explorerOrder.size());
+  for (std::size_t e = 0; e < explorerOrder.size(); ++e) {
+    result.perExplorer[e].explorer = explorerOrder[e];
+  }
+  const auto explorerIndex = [&](const std::string& name) {
+    for (std::size_t e = 0; e < explorerOrder.size(); ++e) {
+      if (explorerOrder[e] == name) return e;
+    }
+    LAZYHB_CHECK(false && "cell names an explorer outside the campaign order");
+    return std::size_t{0};
+  };
+
+  for (const CellResult& cell : result.cells) {
+    ExplorerTotals& totals = result.perExplorer[explorerIndex(cell.explorer)];
     ++totals.cells;
     totals.schedules += cell.stats.schedulesExecuted;
     totals.terminal += cell.stats.terminalSchedules;
@@ -137,6 +130,10 @@ CampaignResult Aggregator::finish() {
     result.totalEventsReplayed += cell.stats.eventsReplayed;
     result.cpuSeconds += cell.wallSeconds;
     if (!cell.inequalityHolds()) ++result.inequalityViolations;
+    if (cell.fromCheckpoint) ++result.cellsFromCheckpoint;
+    if (cell.timedOut) ++result.cellsTimedOut;
+    if (cell.failed()) ++result.cellsFailed;
+    if (cell.attempts > 1) ++result.cellsRetried;
   }
 
   for (ExplorerTotals& totals : result.perExplorer) {
@@ -156,21 +153,67 @@ CampaignResult Aggregator::finish() {
         result.cpuSeconds;
   }
 
-  // Per-program summaries from each row of the matrix.
-  const std::size_t programCount = result.cells.size() / explorerCount_;
-  result.programs.reserve(programCount);
-  std::vector<const CellResult*> row(explorerCount_);
-  for (std::size_t p = 0; p < programCount; ++p) {
-    for (std::size_t e = 0; e < explorerCount_; ++e) {
-      row[e] = &result.cells[p * explorerCount_ + e];
+  // Per-program summaries: each maximal run of cells sharing a program id
+  // (the cells arrive program-major) is one row — possibly a partial row
+  // for a shard's slice, which summarizeProgram handles by section.
+  for (std::size_t i = 0; i < result.cells.size();) {
+    std::size_t j = i;
+    while (j < result.cells.size() &&
+           result.cells[j].programId == result.cells[i].programId) {
+      ++j;
     }
+    std::vector<const CellResult*> row;
+    row.reserve(j - i);
+    for (std::size_t k = i; k < j; ++k) row.push_back(&result.cells[k]);
     result.programs.push_back(summarizeProgram(row));
+    i = j;
   }
   return result;
 }
 
+Aggregator::Aggregator(std::vector<bool> expected,
+                       std::vector<std::string> explorerNames)
+    : explorerNames_(std::move(explorerNames)),
+      cells_(expected.size()),
+      expected_(std::move(expected)),
+      filled_(expected_.size(), false) {
+  LAZYHB_CHECK(!explorerNames_.empty());
+}
+
+void Aggregator::submit(std::size_t index, CellResult cell) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  LAZYHB_CHECK(index < cells_.size() && expected_[index] && !filled_[index]);
+  cells_[index] = std::move(cell);
+  filled_[index] = true;
+}
+
+std::size_t Aggregator::cellCount() const noexcept {
+  std::size_t count = 0;
+  for (const bool filled : filled_) count += filled ? 1 : 0;
+  return count;
+}
+
+CampaignResult Aggregator::finish() {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  std::vector<CellResult> cells;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (!expected_[i]) continue;
+    LAZYHB_CHECK(filled_[i]);  // finish() before every submit() is a runner bug
+    cells.push_back(std::move(cells_[i]));
+  }
+  cells_.clear();
+  return foldCells(std::move(cells), explorerNames_);
+}
+
 CampaignResult runCampaign(const CampaignOptions& options) {
   const auto campaignStart = Clock::now();
+
+  if (options.shardCount < 1 || options.shardIndex < 0 ||
+      options.shardIndex >= options.shardCount) {
+    throw std::invalid_argument(
+        "lazyhb: shard index " + std::to_string(options.shardIndex) +
+        " out of range for " + std::to_string(options.shardCount) + " shard(s)");
+  }
 
   std::vector<ExplorerSpec> explorers = options.explorers;
   if (explorers.empty()) explorers = allExplorers();
@@ -187,18 +230,104 @@ CampaignResult runCampaign(const CampaignOptions& options) {
     if (jobs <= 0) jobs = 1;
   }
 
-  Aggregator aggregator(corpus.size(), explorers.size());
+  std::vector<std::string> explorerNames;
+  explorerNames.reserve(explorers.size());
+  for (const ExplorerSpec& spec : explorers) explorerNames.push_back(spec.name);
+
+  // The shard's slice: round-robin over program-major cell indices, so
+  // every shard gets a balanced mix of programs and explorers.
+  const std::size_t totalCells = corpus.size() * explorers.size();
+  std::vector<bool> inShard(totalCells, false);
+  std::size_t shardCells = 0;
+  for (std::size_t index = 0; index < totalCells; ++index) {
+    if (static_cast<int>(index % static_cast<std::size_t>(options.shardCount)) ==
+        options.shardIndex) {
+      inShard[index] = true;
+      ++shardCells;
+    }
+  }
+
+  // Durability: open (or create) the journal before any cell runs — a
+  // config mismatch must fail the campaign up front, not after hours.
+  std::unique_ptr<CampaignJournal> journal;
+  if (!options.checkpointDir.empty()) {
+    JournalConfig config;
+    config.scheduleLimit = options.explorer.scheduleLimit;
+    config.maxEventsPerSchedule = options.explorer.maxEventsPerSchedule;
+    config.seed = options.seed;
+    config.incremental = options.explorer.incremental;
+    config.workers = options.explorer.workers;
+    config.detectRaces = options.explorer.detectRaces;
+    config.checkTheorems = options.explorer.checkTheorems;
+    config.stopOnFirstViolation = options.explorer.stopOnFirstViolation;
+    config.shardIndex = options.shardIndex;
+    config.shardCount = options.shardCount;
+    config.explorers = explorerNames;
+    for (const programs::ProgramSpec* spec : corpus) {
+      config.programs.push_back(spec->name);
+    }
+    journal = std::make_unique<CampaignJournal>(
+        options.checkpointDir, config, options.requireExistingJournal);
+  }
+
+  Aggregator aggregator(inShard, explorerNames);
   std::mutex progressMutex;
   std::size_t cellsDone = 0;
-  const std::size_t totalCells = corpus.size() * explorers.size();
+
+  // Serialize every callback (the contract in lazyhb/progress.hpp); the
+  // done-count increments under the same lock so consumers see it monotone.
+  const auto emitEvent = [&](ProgressEvent event) {
+    if (!options.onProgress) return;
+    const std::lock_guard<std::mutex> guard(progressMutex);
+    event.cellsDone = cellsDone;
+    event.cellsTotal = shardCells;
+    options.onProgress(event);
+  };
+  const auto emitFinished = [&](const CellResult& cell) {
+    if (!options.onProgress) return;
+    const std::lock_guard<std::mutex> guard(progressMutex);
+    ProgressEvent event;
+    event.kind = ProgressEvent::Kind::CellFinished;
+    event.scenario = cell.program;
+    event.strategy = cell.explorer;
+    event.schedulesExecuted = cell.stats.schedulesExecuted;
+    event.scheduleLimit = options.explorer.scheduleLimit;
+    event.attempt = cell.attempts;
+    event.wallSeconds = cell.wallSeconds;
+    event.fromCheckpoint = cell.fromCheckpoint;
+    event.cellsDone = ++cellsDone;
+    event.cellsTotal = shardCells;
+    options.onProgress(event);
+  };
+  // Count even when no callback is installed: CampaignFinished reads it.
+  const auto markDone = [&] {
+    const std::lock_guard<std::mutex> guard(progressMutex);
+    ++cellsDone;
+  };
 
   std::vector<WorkStealingPool::Task> tasks;
-  tasks.reserve(totalCells);
+  tasks.reserve(shardCells);
+  const int maxAttempts = 1 + (options.cellRetries > 0 ? options.cellRetries : 0);
   for (std::size_t p = 0; p < corpus.size(); ++p) {
     for (std::size_t e = 0; e < explorers.size(); ++e) {
+      const std::size_t index = p * explorers.size() + e;
+      if (!inShard[index]) continue;
       const programs::ProgramSpec* program = corpus[p];
       const ExplorerSpec spec = explorers[e];
-      const std::size_t index = p * explorers.size() + e;
+
+      // Resume: a journaled cell is loaded, not re-run.
+      if (journal != nullptr && journal->completed(index)) {
+        CellResult cell = journal->loaded(index);
+        cell.fromCheckpoint = true;
+        if (options.onProgress) {
+          emitFinished(cell);
+        } else {
+          markDone();
+        }
+        aggregator.submit(index, std::move(cell));
+        continue;
+      }
+
       tasks.push_back([&, program, spec, index] {
         CellResult cell;
         cell.programId = program->id;
@@ -207,14 +336,58 @@ CampaignResult runCampaign(const CampaignOptions& options) {
         cell.explorer = spec.name;
 
         // Per-cell options: the checkpointable contract is a property of
-        // the program, not of the campaign.
+        // the program, not of the campaign; the wall-clock budget is the
+        // supervisor's.
         explore::ExplorerOptions cellOptions = options.explorer;
         cellOptions.checkpointable = program->checkpointable;
+        cellOptions.wallTimeoutSeconds = options.cellTimeoutSeconds;
 
-        const auto cellStart = Clock::now();
-        auto explorer = spec.create(cellOptions, options.seed);
-        cell.stats = explorer->explore(program->body);
-        cell.wallSeconds = secondsSince(cellStart);
+        {
+          ProgressEvent event;
+          event.kind = ProgressEvent::Kind::CellStarted;
+          event.scenario = cell.program;
+          event.strategy = cell.explorer;
+          event.scheduleLimit = options.explorer.scheduleLimit;
+          emitEvent(std::move(event));
+        }
+
+        // The supervisor: re-run a timed-out or throwing cell up to
+        // cellRetries extra times; a cell that fails every attempt is
+        // recorded with its error and zero counts, and the campaign
+        // continues past it.
+        int attempt = 0;
+        for (;;) {
+          ++attempt;
+          cell.stats = {};
+          cell.error.clear();
+          const auto cellStart = Clock::now();
+          try {
+            auto explorer = spec.create(cellOptions, options.seed);
+            cell.stats = explorer->explore(program->body);
+          } catch (const std::exception& e) {
+            cell.stats = {};
+            cell.error = e.what();
+          } catch (...) {
+            cell.stats = {};
+            cell.error = "unknown exception";
+          }
+          cell.wallSeconds = secondsSince(cellStart);
+          if ((cell.failed() || cell.stats.timedOut) && attempt < maxAttempts) {
+            ProgressEvent event;
+            event.kind = ProgressEvent::Kind::CellRetried;
+            event.scenario = cell.program;
+            event.strategy = cell.explorer;
+            event.schedulesExecuted = cell.stats.schedulesExecuted;
+            event.scheduleLimit = options.explorer.scheduleLimit;
+            event.attempt = attempt;
+            event.wallSeconds = cell.wallSeconds;
+            emitEvent(std::move(event));
+            continue;
+          }
+          break;
+        }
+        cell.attempts = attempt;
+        cell.timedOut = cell.stats.timedOut;
         if (cell.wallSeconds > 0.0) {
           cell.eventsPerSecond =
               static_cast<double>(cell.stats.totalEvents) / cell.wallSeconds;
@@ -223,12 +396,33 @@ CampaignResult runCampaign(const CampaignOptions& options) {
                                   cell.stats.eventsElided) /
               cell.wallSeconds;
         }
-        cell.inequalityDiagnostic = core::checkCountingChain(
-            cell.counts(), options.explorer.scheduleLimit);
+        if (!cell.failed()) {
+          // A timed-out prefix still satisfies the §3 chain (every count is
+          // a prefix of the full run's), so the check stays on.
+          cell.inequalityDiagnostic = core::checkCountingChain(
+              cell.counts(), options.explorer.scheduleLimit);
+        }
 
-        if (options.onCellDone) {
-          const std::lock_guard<std::mutex> guard(progressMutex);
-          options.onCellDone(cell, ++cellsDone, totalCells);
+        if (cell.timedOut || cell.failed()) {
+          ProgressEvent event;
+          event.kind = cell.failed() ? ProgressEvent::Kind::CellFailed
+                                     : ProgressEvent::Kind::CellTimedOut;
+          event.scenario = cell.program;
+          event.strategy = cell.explorer;
+          event.schedulesExecuted = cell.stats.schedulesExecuted;
+          event.scheduleLimit = options.explorer.scheduleLimit;
+          event.attempt = cell.attempts;
+          event.wallSeconds = cell.wallSeconds;
+          emitEvent(std::move(event));
+        }
+
+        // Journal before announcing: once a consumer sees CellFinished the
+        // cell must survive a kill.
+        if (journal != nullptr) journal->record(index, cell);
+        if (options.onProgress) {
+          emitFinished(cell);
+        } else {
+          markDone();
         }
         aggregator.submit(index, std::move(cell));
       });
@@ -242,6 +436,17 @@ CampaignResult runCampaign(const CampaignOptions& options) {
   result.wallSeconds = secondsSince(campaignStart);
   result.tasksStolen = pool.tasksStolen();
   result.jobs = pool.workerCount();
+  result.shardIndex = options.shardIndex;
+  result.shardCount = options.shardCount;
+
+  if (options.onProgress) {
+    ProgressEvent event;
+    event.kind = ProgressEvent::Kind::CampaignFinished;
+    event.schedulesExecuted = result.totalSchedules;
+    event.scheduleLimit = options.explorer.scheduleLimit;
+    event.wallSeconds = result.wallSeconds;
+    emitEvent(std::move(event));
+  }
   return result;
 }
 
@@ -257,27 +462,29 @@ std::vector<core::BenchmarkCounts> fig2Counts(const CampaignResult& result) {
 std::vector<core::CachingCounts> fig3Counts(const CampaignResult& result) {
   std::vector<core::CachingCounts> rows;
   // Walk program rows; emit one row where both caching cells are present.
-  const std::size_t explorerCount =
-      result.programs.empty() ? 1 : result.cells.size() / result.programs.size();
-  for (std::size_t p = 0; p < result.programs.size(); ++p) {
+  for (std::size_t i = 0; i < result.cells.size();) {
+    std::size_t j = i;
     const CellResult* full = nullptr;
     const CellResult* lazy = nullptr;
-    for (std::size_t e = 0; e < explorerCount; ++e) {
-      const CellResult& cell = result.cells[p * explorerCount + e];
-      if (cell.explorer == "caching-full") full = &cell;
-      if (cell.explorer == "caching-lazy") lazy = &cell;
+    while (j < result.cells.size() &&
+           result.cells[j].programId == result.cells[i].programId) {
+      if (result.cells[j].explorer == "caching-full") full = &result.cells[j];
+      if (result.cells[j].explorer == "caching-lazy") lazy = &result.cells[j];
+      ++j;
     }
-    if (full == nullptr || lazy == nullptr) continue;
-    core::CachingCounts row;
-    row.name = full->program;
-    row.id = full->programId;
-    row.lazyHbrsByRegularCaching = full->stats.distinctLazyHbrs;
-    row.lazyHbrsByLazyCaching = lazy->stats.distinctLazyHbrs;
-    row.schedulesRegular = full->stats.schedulesExecuted;
-    row.schedulesLazy = lazy->stats.schedulesExecuted;
-    row.hitScheduleLimit =
-        full->stats.hitScheduleLimit || lazy->stats.hitScheduleLimit;
-    rows.push_back(row);
+    if (full != nullptr && lazy != nullptr) {
+      core::CachingCounts row;
+      row.name = full->program;
+      row.id = full->programId;
+      row.lazyHbrsByRegularCaching = full->stats.distinctLazyHbrs;
+      row.lazyHbrsByLazyCaching = lazy->stats.distinctLazyHbrs;
+      row.schedulesRegular = full->stats.schedulesExecuted;
+      row.schedulesLazy = lazy->stats.schedulesExecuted;
+      row.hitScheduleLimit =
+          full->stats.hitScheduleLimit || lazy->stats.hitScheduleLimit;
+      rows.push_back(row);
+    }
+    i = j;
   }
   return rows;
 }

@@ -26,6 +26,7 @@
 #include "campaign/explorer_spec.hpp"
 #include "core/redundancy.hpp"
 #include "explore/explorer.hpp"
+#include "lazyhb/progress.hpp"
 #include "programs/registry.hpp"
 
 namespace lazyhb::campaign {
@@ -47,9 +48,18 @@ struct CellResult {
   double executedEventsPerSecond = 0.0;
   std::string inequalityDiagnostic;      ///< empty when the §3 chain holds
 
+  // Supervisor provenance (campaign-level resilience; see runCampaign).
+  int attempts = 1;       ///< explorer runs consumed (> 1: the cell retried)
+  bool timedOut = false;  ///< final attempt hit CampaignOptions::cellTimeoutSeconds
+  std::string error;      ///< non-empty: every attempt threw; counts are zero
+  /// Loaded from a campaign journal instead of being re-run (resume); the
+  /// wall-clock fields are the original run's.
+  bool fromCheckpoint = false;
+
   [[nodiscard]] bool inequalityHolds() const noexcept {
     return inequalityDiagnostic.empty();
   }
+  [[nodiscard]] bool failed() const noexcept { return !error.empty(); }
   /// The cell's counts in the shape core::summarizeFig2 / checkCountingChain
   /// consume.
   [[nodiscard]] core::BenchmarkCounts counts() const;
@@ -127,6 +137,17 @@ struct CampaignResult {
   double cpuSeconds = 0.0;       ///< sum of per-cell wall times
   std::uint64_t tasksStolen = 0; ///< work-stealing load-balance diagnostic
   int jobs = 1;                  ///< worker threads actually used
+
+  // Sharding: this run executed the cells with index % shardCount ==
+  // shardIndex (0-based). An unsharded campaign is the 0/1 shard.
+  int shardIndex = 0;
+  int shardCount = 1;
+
+  // Durability / supervisor tallies.
+  std::size_t cellsFromCheckpoint = 0;  ///< satisfied from the journal
+  int cellsTimedOut = 0;                ///< cells whose final attempt timed out
+  int cellsFailed = 0;                  ///< cells whose every attempt threw
+  int cellsRetried = 0;                 ///< cells that needed more than one attempt
 };
 
 struct CampaignOptions {
@@ -141,32 +162,79 @@ struct CampaignOptions {
   std::uint64_t seed = 42;
   /// Worker threads; <= 0 picks std::thread::hardware_concurrency().
   int jobs = 0;
-  /// Progress hook, invoked after each finished cell (serialized, but from
-  /// worker threads). `done` counts finished cells, `total` the matrix size.
-  std::function<void(const CellResult& cell, std::size_t done, std::size_t total)>
-      onCellDone;
+
+  // --- supervisor -----------------------------------------------------------
+  /// Per-cell wall-clock budget in seconds (0 = none). A cell that exceeds
+  /// it stops at the next schedule boundary and is marked timedOut; the
+  /// campaign continues. Timed-out counts are wall-clock-dependent, so
+  /// report consumers exclude them from count comparisons.
+  double cellTimeoutSeconds = 0.0;
+  /// Extra attempts after a timeout or an exception before the cell is
+  /// recorded as timedOut/failed. A cell whose explorer throws on every
+  /// attempt is recorded with zero counts and its error message — the
+  /// campaign survives a poisoned cell instead of dying.
+  int cellRetries = 0;
+
+  // --- sharding -------------------------------------------------------------
+  /// Run only the cells with matrix index % shardCount == shardIndex
+  /// (0-based round-robin over the program-major cell order, so every shard
+  /// sees a balanced explorer mix). Shard reports merge back to the
+  /// unsharded count set via campaign::mergeReports / `lazyhb merge`.
+  int shardIndex = 0;
+  int shardCount = 1;
+
+  // --- durability -----------------------------------------------------------
+  /// Non-empty: journal every finished cell into this directory (one atomic
+  /// file per cell + a config manifest). When the directory already holds a
+  /// matching journal, its completed cells are loaded instead of re-run
+  /// (resume); a config mismatch throws std::runtime_error. See
+  /// campaign/checkpoint.hpp and docs/campaign-service.md.
+  std::string checkpointDir;
+  /// Require `checkpointDir` to contain an existing journal (the CLI's
+  /// --resume): throw std::runtime_error when there is nothing to resume.
+  bool requireExistingJournal = false;
+
+  /// Progress hook: the campaign lifecycle events of lazyhb/progress.hpp
+  /// (CellStarted/CellFinished/CellRetried/CellTimedOut/CellFailed and one
+  /// final CampaignFinished). Invoked from worker threads but serialized —
+  /// never two callbacks concurrently.
+  ProgressCallback onProgress;
 };
+
+/// Fold cells — already in program-major matrix order, but possibly a
+/// *partial* matrix (a shard's slice, or a merge of some shards) — into the
+/// per-program / per-explorer summaries and campaign totals. The one fold
+/// shared by Aggregator::finish() and the report merger, so a merged report
+/// can never aggregate differently from a directly-run one.
+/// `explorerOrder` fixes the per-explorer total rows (an explorer with no
+/// cells keeps an all-zero row, so shard reports stay column-compatible).
+[[nodiscard]] CampaignResult foldCells(std::vector<CellResult> cells,
+                                       const std::vector<std::string>& explorerOrder);
 
 /// Collects finished cells from worker threads and folds them into the
 /// summaries above. submit() is thread-safe; finish() must be called once,
-/// after every cell has been submitted.
+/// after every expected cell has been submitted.
 class Aggregator {
  public:
-  Aggregator(std::size_t programCount, std::size_t explorerCount);
+  /// `expected[index]` marks the matrix slots this run will submit (a shard
+  /// marks only its slice); `explorerNames` fixes the per-explorer rows.
+  Aggregator(std::vector<bool> expected, std::vector<std::string> explorerNames);
 
   /// Record the cell at matrix slot `index` (program-major order).
   void submit(std::size_t index, CellResult cell);
 
-  [[nodiscard]] std::size_t cellCount() const noexcept {
-    return cells_.size();
-  }
+  /// Cells submitted so far. Not synchronized with in-flight submit()s;
+  /// call from the coordinating thread (between pool phases) only.
+  [[nodiscard]] std::size_t cellCount() const noexcept;
 
-  /// Fold the matrix into summaries and totals. Consumes the aggregator.
+  /// Fold the submitted cells into summaries and totals. Consumes the
+  /// aggregator.
   [[nodiscard]] CampaignResult finish();
 
  private:
-  std::size_t explorerCount_;
+  std::vector<std::string> explorerNames_;
   std::vector<CellResult> cells_;
+  std::vector<bool> expected_;
   std::vector<bool> filled_;
   std::mutex mutex_;
 };

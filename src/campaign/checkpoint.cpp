@@ -1,0 +1,197 @@
+#include "campaign/checkpoint.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "campaign/report.hpp"
+#include "support/json_reader.hpp"
+#include "support/json_writer.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define LAZYHB_HAVE_FSYNC 1
+#endif
+
+namespace lazyhb::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kManifestName = "manifest.json";
+constexpr const char* kJournalSchemaName = "lazyhb-campaign-journal";
+constexpr int kJournalSchemaVersion = 1;
+
+[[noreturn]] void raise(const std::string& message) {
+  throw std::runtime_error("lazyhb: " + message);
+}
+
+/// The manifest document for `config`. Byte-stable for a given config, so
+/// the resume-time compatibility check is a byte comparison.
+std::string manifestDocument(const JournalConfig& config) {
+  support::JsonWriter json;
+  json.beginObject();
+  json.field("schema", kJournalSchemaName);
+  json.field("version", kJournalSchemaVersion);
+  json.field("limit", config.scheduleLimit);
+  json.field("max_events", static_cast<std::uint64_t>(config.maxEventsPerSchedule));
+  json.field("seed", config.seed);
+  json.field("incremental", config.incremental);
+  json.field("workers", static_cast<std::int64_t>(config.workers));
+  json.field("detect_races", config.detectRaces);
+  json.field("check_theorems", config.checkTheorems);
+  json.field("stop_on_first_violation", config.stopOnFirstViolation);
+  json.field("shard_index", static_cast<std::int64_t>(config.shardIndex));
+  json.field("shard_count", static_cast<std::int64_t>(config.shardCount));
+  json.key("explorers").beginArray();
+  for (const std::string& name : config.explorers) json.value(name);
+  json.endArray();
+  json.key("programs").beginArray();
+  for (const std::string& name : config.programs) json.value(name);
+  json.endArray();
+  json.endObject();
+  return json.str() + "\n";
+}
+
+std::string readFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    raise("cannot read '" + path + "': " + std::strerror(errno));
+  }
+  std::string content;
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    content.append(buffer, got);
+  }
+  const bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) raise("read error on '" + path + "'");
+  return content;
+}
+
+/// tmp + fsync + rename: after this returns, `path` holds the complete
+/// document even across a SIGKILL or power loss; a crash mid-write leaves
+/// only the tmp file, which open() ignores.
+void writeFileAtomic(const std::string& path, const std::string& document) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    raise("cannot write '" + tmp + "': " + std::strerror(errno));
+  }
+  bool ok =
+      std::fwrite(document.data(), 1, document.size(), file) == document.size();
+  ok = (std::fflush(file) == 0) && ok;
+#ifdef LAZYHB_HAVE_FSYNC
+  ok = (fsync(fileno(file)) == 0) && ok;
+#endif
+  ok = (std::fclose(file) == 0) && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    raise("short write to '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    raise("cannot rename '" + tmp + "' into place: " + std::strerror(errno));
+  }
+}
+
+/// The matrix index of a `cell-<i>.json` entry, or npos for anything else
+/// (the manifest, tmp leftovers, stray files).
+std::size_t cellIndexFromName(const std::string& name) {
+  constexpr const char* kPrefix = "cell-";
+  constexpr const char* kSuffix = ".json";
+  const std::size_t prefixLen = std::strlen(kPrefix);
+  const std::size_t suffixLen = std::strlen(kSuffix);
+  if (name.size() <= prefixLen + suffixLen) return std::string::npos;
+  if (name.compare(0, prefixLen, kPrefix) != 0) return std::string::npos;
+  if (name.compare(name.size() - suffixLen, suffixLen, kSuffix) != 0) {
+    return std::string::npos;
+  }
+  std::size_t index = 0;
+  for (std::size_t i = prefixLen; i < name.size() - suffixLen; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return std::string::npos;
+    index = index * 10 + static_cast<std::size_t>(c - '0');
+  }
+  return index;
+}
+
+}  // namespace
+
+CampaignJournal::CampaignJournal(std::string directory,
+                                 const JournalConfig& config,
+                                 bool requireExisting)
+    : directory_(std::move(directory)) {
+  const std::string expectedManifest = manifestDocument(config);
+  const fs::path dir(directory_);
+  const fs::path manifestPath = dir / kManifestName;
+
+  std::error_code ec;
+  const bool haveManifest = fs::exists(manifestPath, ec);
+  if (!haveManifest) {
+    if (requireExisting) {
+      raise("nothing to resume: '" + directory_ +
+            "' holds no campaign journal (run without --resume to start one)");
+    }
+    fs::create_directories(dir, ec);
+    if (ec) {
+      raise("cannot create checkpoint directory '" + directory_ +
+            "': " + ec.message());
+    }
+    writeFileAtomic(manifestPath.string(), expectedManifest);
+    return;
+  }
+
+  // The manifest writer is byte-stable, so configuration equality is
+  // document equality — any drift (different seed, limit, shard, corpus,
+  // ...) fails the resume up front.
+  const std::string onDisk = readFile(manifestPath.string());
+  if (onDisk != expectedManifest) {
+    raise("campaign journal config mismatch in '" + directory_ +
+          "': the journal was started with different campaign flags "
+          "(seed/limit/shard/corpus/...); rerun with the original flags or "
+          "start a fresh checkpoint directory");
+  }
+
+  const std::size_t totalCells = config.programs.size() * config.explorers.size();
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    const std::size_t index = cellIndexFromName(name);
+    if (index == std::string::npos) continue;
+    if (index >= totalCells) {
+      raise("campaign journal '" + directory_ + "' holds out-of-range cell '" +
+            name + "'");
+    }
+    const std::string document = readFile(entry.path().string());
+    std::string parseError;
+    const auto value = support::JsonValue::parse(document, &parseError);
+    if (value == nullptr) {
+      raise("campaign journal cell '" + name + "' is malformed: " + parseError);
+    }
+    CellResult cell;
+    if (!parseCellJson(*value, &cell, &parseError)) {
+      raise("campaign journal cell '" + name + "' is malformed: " + parseError);
+    }
+    loaded_.emplace(index, std::move(cell));
+  }
+}
+
+void CampaignJournal::record(std::size_t index, const CellResult& cell) {
+  support::JsonWriter json;
+  writeCellJson(json, cell);
+  const std::string document = json.str() + "\n";
+  const std::string path =
+      (fs::path(directory_) / ("cell-" + std::to_string(index) + ".json"))
+          .string();
+  // Distinct cells write distinct files; the lock just keeps the
+  // write+rename sequences from interleaving their error reporting.
+  const std::lock_guard<std::mutex> guard(writeMutex_);
+  writeFileAtomic(path, document);
+}
+
+}  // namespace lazyhb::campaign

@@ -2,67 +2,11 @@
 
 #include <cstdio>
 
+#include "support/json_reader.hpp"
 #include "support/json_writer.hpp"
 
 namespace lazyhb::campaign {
 namespace {
-
-void writeCell(support::JsonWriter& json, const CellResult& cell) {
-  json.beginObject();
-  json.field("program_id", cell.programId);
-  json.field("program", cell.program);
-  json.field("family", cell.family);
-  json.field("explorer", cell.explorer);
-  json.field("schedules", cell.stats.schedulesExecuted);
-  json.field("terminal", cell.stats.terminalSchedules);
-  json.field("pruned", cell.stats.prunedSchedules);
-  json.field("violations", cell.stats.violationSchedules);
-  json.field("hbrs", cell.stats.distinctHbrs);
-  json.field("lazy_hbrs", cell.stats.distinctLazyHbrs);
-  json.field("states", cell.stats.distinctStates);
-  json.field("events", cell.stats.totalEvents);
-  json.field("events_elided", cell.stats.eventsElided);
-  json.field("events_replayed", cell.stats.eventsReplayed);
-  json.field("complete", cell.stats.complete);
-  json.field("hit_schedule_limit", cell.stats.hitScheduleLimit);
-  json.field("wall_seconds", cell.wallSeconds);
-  json.field("events_per_second", cell.eventsPerSecond);
-  json.field("executed_events_per_second", cell.executedEventsPerSecond);
-  json.key("inequality").beginObject();
-  json.field("holds", cell.inequalityHolds());
-  json.field("diagnostic", cell.inequalityDiagnostic);
-  json.endObject();
-  if (cell.stats.cacheStats.enabled) {
-    const explore::PrefixCacheStats& cache = cell.stats.cacheStats;
-    json.key("cache").beginObject();
-    json.field("lookups", cache.lookups);
-    json.field("hits", cache.hits);
-    json.field("insertions", cache.insertions);
-    json.field("entries", cache.entries);
-    json.field("approx_bytes", cache.approxBytes);
-    json.endObject();
-  }
-  if (cell.stats.parallel.workers > 0) {
-    // Schema v4: how the cell's intra-scenario sharding distributed work.
-    // All *count* fields above are byte-identical to a sequential run; this
-    // block carries only the parallel-only diagnostics.
-    const explore::ParallelStats& par = cell.stats.parallel;
-    json.key("parallel").beginObject();
-    json.field("workers", static_cast<std::int64_t>(par.workers));
-    json.field("frontier_jobs", par.frontierJobs);
-    json.field("fell_back_sequential", par.fellBackSequential);
-    json.key("by_worker").beginArray();
-    for (const explore::WorkerShare& share : par.byWorker) {
-      json.beginObject();
-      json.field("schedules_visited", share.schedulesVisited);
-      json.field("tasks_stolen", share.tasksStolen);
-      json.endObject();
-    }
-    json.endArray();
-    json.endObject();
-  }
-  json.endObject();
-}
 
 void writeProgram(support::JsonWriter& json, const ProgramSummary& program) {
   json.beginObject();
@@ -122,8 +66,143 @@ void writeExplorerTotals(support::JsonWriter& json, const ExplorerTotals& t) {
 
 }  // namespace
 
+void writeCellJson(support::JsonWriter& json, const CellResult& cell) {
+  json.beginObject();
+  json.field("program_id", cell.programId);
+  json.field("program", cell.program);
+  json.field("family", cell.family);
+  json.field("explorer", cell.explorer);
+  json.field("schedules", cell.stats.schedulesExecuted);
+  json.field("terminal", cell.stats.terminalSchedules);
+  json.field("pruned", cell.stats.prunedSchedules);
+  json.field("violations", cell.stats.violationSchedules);
+  json.field("hbrs", cell.stats.distinctHbrs);
+  json.field("lazy_hbrs", cell.stats.distinctLazyHbrs);
+  json.field("states", cell.stats.distinctStates);
+  json.field("events", cell.stats.totalEvents);
+  json.field("events_elided", cell.stats.eventsElided);
+  json.field("events_replayed", cell.stats.eventsReplayed);
+  json.field("complete", cell.stats.complete);
+  json.field("hit_schedule_limit", cell.stats.hitScheduleLimit);
+  json.field("wall_seconds", cell.wallSeconds);
+  json.field("events_per_second", cell.eventsPerSecond);
+  json.field("executed_events_per_second", cell.executedEventsPerSecond);
+  json.key("inequality").beginObject();
+  json.field("holds", cell.inequalityHolds());
+  json.field("diagnostic", cell.inequalityDiagnostic);
+  json.endObject();
+  // Schema v5 supervisor provenance — emitted only off the defaults, so a
+  // clean unsharded campaign's cell blocks are byte-identical to v4 ones.
+  if (cell.timedOut) json.field("timed_out", true);
+  if (cell.attempts > 1) json.field("attempts", static_cast<std::int64_t>(cell.attempts));
+  if (cell.failed()) json.field("error", cell.error);
+  if (cell.fromCheckpoint) json.field("from_checkpoint", true);
+  if (cell.stats.cacheStats.enabled) {
+    const explore::PrefixCacheStats& cache = cell.stats.cacheStats;
+    json.key("cache").beginObject();
+    json.field("lookups", cache.lookups);
+    json.field("hits", cache.hits);
+    json.field("insertions", cache.insertions);
+    json.field("entries", cache.entries);
+    json.field("approx_bytes", cache.approxBytes);
+    json.endObject();
+  }
+  if (cell.stats.parallel.workers > 0) {
+    // Schema v4: how the cell's intra-scenario sharding distributed work.
+    // All *count* fields above are byte-identical to a sequential run; this
+    // block carries only the parallel-only diagnostics.
+    const explore::ParallelStats& par = cell.stats.parallel;
+    json.key("parallel").beginObject();
+    json.field("workers", static_cast<std::int64_t>(par.workers));
+    json.field("frontier_jobs", par.frontierJobs);
+    json.field("fell_back_sequential", par.fellBackSequential);
+    json.key("by_worker").beginArray();
+    for (const explore::WorkerShare& share : par.byWorker) {
+      json.beginObject();
+      json.field("schedules_visited", share.schedulesVisited);
+      json.field("tasks_stolen", share.tasksStolen);
+      json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+  }
+  json.endObject();
+}
+
+bool parseCellJson(const support::JsonValue& value, CellResult* cell,
+                   std::string* error) {
+  const auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  if (!value.isObject()) return fail("cell is not an object");
+  for (const char* key :
+       {"program_id", "program", "family", "explorer", "schedules", "hbrs",
+        "lazy_hbrs", "states", "events"}) {
+    if (!value.has(key)) {
+      return fail(std::string("cell is missing '") + key + "'");
+    }
+  }
+
+  *cell = CellResult{};
+  cell->programId = static_cast<int>(value.intAt("program_id"));
+  cell->program = value.stringAt("program");
+  cell->family = value.stringAt("family");
+  cell->explorer = value.stringAt("explorer");
+  if (cell->program.empty() || cell->explorer.empty()) {
+    return fail("cell has an empty program or explorer name");
+  }
+  cell->stats.schedulesExecuted = value.uintAt("schedules");
+  cell->stats.terminalSchedules = value.uintAt("terminal");
+  cell->stats.prunedSchedules = value.uintAt("pruned");
+  cell->stats.violationSchedules = value.uintAt("violations");
+  cell->stats.distinctHbrs = value.uintAt("hbrs");
+  cell->stats.distinctLazyHbrs = value.uintAt("lazy_hbrs");
+  cell->stats.distinctStates = value.uintAt("states");
+  cell->stats.totalEvents = value.uintAt("events");
+  cell->stats.eventsElided = value.uintAt("events_elided");
+  cell->stats.eventsReplayed = value.uintAt("events_replayed");
+  cell->stats.complete = value.boolAt("complete");
+  cell->stats.hitScheduleLimit = value.boolAt("hit_schedule_limit");
+  cell->wallSeconds = value.doubleAt("wall_seconds");
+  cell->eventsPerSecond = value.doubleAt("events_per_second");
+  cell->executedEventsPerSecond = value.doubleAt("executed_events_per_second");
+  if (const support::JsonValue* inequality = value.find("inequality")) {
+    cell->inequalityDiagnostic = inequality->stringAt("diagnostic");
+  }
+  cell->timedOut = value.boolAt("timed_out");
+  cell->stats.timedOut = cell->timedOut;
+  cell->attempts = static_cast<int>(value.intAt("attempts", 1));
+  cell->error = value.stringAt("error");
+  cell->fromCheckpoint = value.boolAt("from_checkpoint");
+  if (const support::JsonValue* cache = value.find("cache")) {
+    cell->stats.cacheStats.enabled = true;
+    cell->stats.cacheStats.lookups = cache->uintAt("lookups");
+    cell->stats.cacheStats.hits = cache->uintAt("hits");
+    cell->stats.cacheStats.insertions = cache->uintAt("insertions");
+    cell->stats.cacheStats.entries = cache->uintAt("entries");
+    cell->stats.cacheStats.approxBytes = cache->uintAt("approx_bytes");
+  }
+  if (const support::JsonValue* parallel = value.find("parallel")) {
+    cell->stats.parallel.workers = static_cast<int>(parallel->intAt("workers"));
+    cell->stats.parallel.frontierJobs = parallel->uintAt("frontier_jobs");
+    cell->stats.parallel.fellBackSequential =
+        parallel->boolAt("fell_back_sequential");
+    if (const support::JsonValue* byWorker = parallel->find("by_worker")) {
+      for (const support::JsonValue& share : byWorker->items()) {
+        explore::WorkerShare ws;
+        ws.schedulesVisited = share.uintAt("schedules_visited");
+        ws.tasksStolen = share.uintAt("tasks_stolen");
+        cell->stats.parallel.byWorker.push_back(ws);
+      }
+    }
+  }
+  return true;
+}
+
 std::string writeReportJson(const CampaignResult& result,
-                            const ReportConfig& config) {
+                            const ReportConfig& config,
+                            const MergeProvenance* provenance) {
   support::JsonWriter json;
   json.beginObject();
   json.field("schema", kReportSchemaName);
@@ -137,6 +216,12 @@ std::string writeReportJson(const CampaignResult& result,
   json.field("workers", static_cast<std::int64_t>(config.workers));
   json.field("quick", config.quick);
   json.field("incremental", config.incremental);
+  if (config.shardCount > 1) {
+    json.key("shard").beginObject();
+    json.field("index", static_cast<std::int64_t>(config.shardIndex));
+    json.field("count", static_cast<std::int64_t>(config.shardCount));
+    json.endObject();
+  }
   json.key("explorers").beginArray();
   for (const ExplorerTotals& totals : result.perExplorer) {
     json.value(totals.explorer);
@@ -144,6 +229,21 @@ std::string writeReportJson(const CampaignResult& result,
   json.endArray();
   json.field("program_count", static_cast<std::uint64_t>(result.programs.size()));
   json.endObject();
+
+  if (provenance != nullptr && !provenance->sources.empty()) {
+    json.key("merge").beginObject();
+    json.key("sources").beginArray();
+    for (const MergeSource& source : provenance->sources) {
+      json.beginObject();
+      json.field("label", source.label);
+      json.field("shard_index", static_cast<std::int64_t>(source.shardIndex));
+      json.field("shard_count", static_cast<std::int64_t>(source.shardCount));
+      json.field("cells", source.cells);
+      json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+  }
 
   json.key("totals").beginObject();
   json.field("cells", static_cast<std::uint64_t>(result.cells.size()));
@@ -158,6 +258,20 @@ std::string writeReportJson(const CampaignResult& result,
   json.field("tasks_stolen", result.tasksStolen);
   json.field("inequality_violations",
              static_cast<std::int64_t>(result.inequalityViolations));
+  // Schema v5 supervisor/durability tallies, off-default only.
+  if (result.cellsTimedOut > 0) {
+    json.field("cells_timed_out", static_cast<std::int64_t>(result.cellsTimedOut));
+  }
+  if (result.cellsFailed > 0) {
+    json.field("cells_failed", static_cast<std::int64_t>(result.cellsFailed));
+  }
+  if (result.cellsRetried > 0) {
+    json.field("cells_retried", static_cast<std::int64_t>(result.cellsRetried));
+  }
+  if (result.cellsFromCheckpoint > 0) {
+    json.field("cells_from_checkpoint",
+               static_cast<std::uint64_t>(result.cellsFromCheckpoint));
+  }
   json.key("per_explorer").beginArray();
   for (const ExplorerTotals& totals : result.perExplorer) {
     writeExplorerTotals(json, totals);
@@ -173,7 +287,7 @@ std::string writeReportJson(const CampaignResult& result,
 
   json.key("cells").beginArray();
   for (const CellResult& cell : result.cells) {
-    writeCell(json, cell);
+    writeCellJson(json, cell);
   }
   json.endArray();
 
@@ -182,8 +296,9 @@ std::string writeReportJson(const CampaignResult& result,
 }
 
 bool writeReportFile(const std::string& path, const CampaignResult& result,
-                     const ReportConfig& config) {
-  const std::string document = writeReportJson(result, config);
+                     const ReportConfig& config,
+                     const MergeProvenance* provenance) {
+  const std::string document = writeReportJson(result, config, provenance);
   if (path == "-") {
     std::fputs(document.c_str(), stdout);
     return true;

@@ -3,20 +3,31 @@
 // The versioned, machine-readable campaign report (BENCH_*.json). The
 // schema is documented in docs/bench-report-schema.md; bump
 // kReportSchemaVersion on any field change a consumer could observe.
-// Writing goes through support::JsonWriter — no third-party JSON
-// dependency.
+// Writing goes through support::JsonWriter, reading through
+// support::JsonValue — no third-party JSON dependency.
+//
+// The per-cell block serializers are exposed because three producers must
+// agree byte-for-byte on the cell encoding: the report writer, the campaign
+// journal (campaign/checkpoint.hpp stores one cell block per file), and the
+// report merger (campaign/merge.hpp re-reads cell blocks from inputs).
 
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "campaign/campaign.hpp"
+
+namespace lazyhb::support {
+class JsonWriter;
+struct JsonValue;
+}  // namespace lazyhb::support
 
 namespace lazyhb::campaign {
 
 inline constexpr const char* kReportSchemaName = "lazyhb-bench-report";
-inline constexpr int kReportSchemaVersion = 4;
+inline constexpr int kReportSchemaVersion = 5;
 
 /// The campaign configuration echoed into the report, so a BENCH_*.json is
 /// self-describing and two reports are comparable at a glance.
@@ -26,20 +37,56 @@ struct ReportConfig {
   std::uint64_t seed = 0;
   bool quick = false;
   bool incremental = true;  ///< --incremental toggle the campaign ran with
-  /// Intra-scenario worker threads per cell (--workers). Mandatory in a v4
-  /// config block: tools/bench_diff.py rejects v4 reports without it, so a
-  /// report can never silently hide the parallelism it ran with.
+  /// Intra-scenario worker threads per cell (--workers). Mandatory in a
+  /// v4+ config block: tools/bench_diff.py rejects such reports without it,
+  /// so a report can never silently hide the parallelism it ran with.
   int workers = 1;
+  /// Which slice of the cell matrix this report covers (schema v5): the
+  /// cells with index % shardCount == shardIndex. The config block carries
+  /// a "shard" object only when shardCount > 1 — an unsharded report is
+  /// byte-compatible with a v4 consumer that ignores the version.
+  int shardIndex = 0;
+  int shardCount = 1;
 };
 
+/// Where a merged report's cells came from: one entry per (transitively)
+/// merged input. Emitted as the top-level "merge" block; absent from
+/// directly-run reports.
+struct MergeSource {
+  std::string label;        ///< input filename (or caller-supplied label)
+  int shardIndex = 0;       ///< the input's config.shard, 0/1 when unsharded
+  int shardCount = 1;
+  std::uint64_t cells = 0;  ///< cells the input contributed
+};
+
+struct MergeProvenance {
+  std::vector<MergeSource> sources;
+};
+
+/// Serialize one matrix cell as the schema's cell object. The exact
+/// encoding shared by the report's "cells" array and the campaign journal's
+/// per-cell files.
+void writeCellJson(support::JsonWriter& json, const CellResult& cell);
+
+/// Parse a cell object written by writeCellJson back into a CellResult.
+/// Returns false (and sets *error) on a malformed or incomplete block.
+/// Fields the report does not carry (violation reproducers, race reports,
+/// theorem tallies) come back at their defaults — the journal and the
+/// merger only ever need the report-visible projection.
+[[nodiscard]] bool parseCellJson(const support::JsonValue& value,
+                                 CellResult* cell, std::string* error);
+
 /// Serialize the campaign into the versioned report JSON (a full document,
-/// newline-terminated).
-[[nodiscard]] std::string writeReportJson(const CampaignResult& result,
-                                          const ReportConfig& config);
+/// newline-terminated). `provenance`, when non-null and non-empty, becomes
+/// the top-level "merge" block.
+[[nodiscard]] std::string writeReportJson(
+    const CampaignResult& result, const ReportConfig& config,
+    const MergeProvenance* provenance = nullptr);
 
 /// Write the report to `path` ("-" means stdout). Returns false (with a
 /// message on stderr) when the file cannot be written.
 bool writeReportFile(const std::string& path, const CampaignResult& result,
-                     const ReportConfig& config);
+                     const ReportConfig& config,
+                     const MergeProvenance* provenance = nullptr);
 
 }  // namespace lazyhb::campaign

@@ -8,9 +8,11 @@
 
 #include "campaign/campaign.hpp"
 #include "campaign/explorer_spec.hpp"
+#include "campaign/merge.hpp"
 #include "campaign/report.hpp"
 #include "lazyhb/lazyhb.hpp"
 #include "programs/registry.hpp"
+#include "support/json_writer.hpp"
 #include "support/options.hpp"
 #include "support/table.hpp"
 
@@ -34,7 +36,10 @@ void printTopLevelUsage() {
       "  explore   run one program under one explorer and report stats\n"
       "  compare   run one program under all five explorers, one row each\n"
       "  bench     run the (program x explorer) campaign matrix in parallel\n"
-      "            and emit a machine-readable JSON report\n"
+      "            and emit a machine-readable JSON report (checkpointable\n"
+      "            with --checkpoint/--resume, divisible with --shard i/N)\n"
+      "  merge     merge shard/resume bench reports into one report with\n"
+      "            recomputed totals\n"
       "  replay    re-execute a recorded schedule and render its trace\n"
       "\n"
       "Run `lazyhb <command> --help` for the command's options.\n"
@@ -304,28 +309,95 @@ bool selectPrograms(const std::string& csv,
                     std::vector<const programs::ProgramSpec*>& out,
                     std::string* badToken) {
   if (csv.empty()) return true;  // campaign default: full corpus
-  std::vector<bool> taken(programs::all().size() + 1, false);
-  for (const std::string& token : support::splitCsv(csv)) {
-    std::vector<const programs::ProgramSpec*> matched;
-    if (const programs::ProgramSpec* byName = programs::byName(token)) {
-      matched.push_back(byName);
-    } else {
-      matched = programs::byFamily(token);
-    }
-    if (matched.empty()) {
-      *badToken = token;
-      return false;
-    }
-    for (const programs::ProgramSpec* spec : matched) {
-      // A family plus one of its members may both be named; keep one copy.
-      if (static_cast<std::size_t>(spec->id) < taken.size() && taken[spec->id]) {
-        continue;
-      }
-      taken[spec->id] = true;
-      out.push_back(spec);
-    }
+  return programs::selectByTokens(support::splitCsv(csv), out, badToken);
+}
+
+/// Parse the --shard selector "i/N" (1-based, e.g. "2/3") into the 0-based
+/// campaign fields. Returns false after printing a usage error.
+bool parseShard(const std::string& text, int* index, int* count) {
+  const auto bad = [&] {
+    std::fprintf(stderr,
+                 "lazyhb: --shard expects 'i/N' with 1 <= i <= N (e.g. 2/3), "
+                 "got '%s'\n",
+                 text.c_str());
+    return false;
+  };
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= text.size()) {
+    return bad();
   }
-  return true;
+  try {
+    std::size_t consumed = 0;
+    const int i = std::stoi(text.substr(0, slash), &consumed);
+    if (consumed != slash) return bad();
+    const std::string denominator = text.substr(slash + 1);
+    const int n = std::stoi(denominator, &consumed);
+    if (consumed != denominator.size()) return bad();
+    if (n < 1 || i < 1 || i > n) return bad();
+    *index = i - 1;
+    *count = n;
+    return true;
+  } catch (const std::exception&) {
+    return bad();
+  }
+}
+
+/// One --progress-json line per event: a machine-readable single-line JSON
+/// object on stdout, flushed immediately so a supervisor can stream it.
+void printProgressJson(const ProgressEvent& event) {
+  support::JsonWriter json;
+  json.beginObject();
+  json.field("event", progressKindName(event.kind));
+  if (!event.scenario.empty()) json.field("program", event.scenario);
+  if (!event.strategy.empty()) json.field("explorer", event.strategy);
+  json.field("schedules", event.schedulesExecuted);
+  json.field("cells_done", static_cast<std::uint64_t>(event.cellsDone));
+  json.field("cells_total", static_cast<std::uint64_t>(event.cellsTotal));
+  json.field("attempt", event.attempt);
+  json.field("wall_seconds", event.wallSeconds);
+  if (event.fromCheckpoint) json.field("from_checkpoint", true);
+  json.endObject();
+  // The writer pretty-prints; progress consumers want one line per event.
+  std::string line = json.str();
+  std::string flat;
+  flat.reserve(line.size());
+  for (const char c : line) {
+    if (c == '\n') continue;
+    flat += c;
+  }
+  std::printf("%s\n", flat.c_str());
+  std::fflush(stdout);
+}
+
+void printProgressHuman(const ProgressEvent& event) {
+  switch (event.kind) {
+    case ProgressEvent::Kind::CellFinished:
+      std::printf("[%zu/%zu] %s x %s: %llu schedules, %.3fs%s\n",
+                  event.cellsDone, event.cellsTotal, event.scenario.c_str(),
+                  event.strategy.c_str(),
+                  static_cast<unsigned long long>(event.schedulesExecuted),
+                  event.wallSeconds,
+                  event.fromCheckpoint ? " (from checkpoint)" : "");
+      break;
+    case ProgressEvent::Kind::CellRetried:
+      std::printf("retry %s x %s (attempt %d failed after %.3fs)\n",
+                  event.scenario.c_str(), event.strategy.c_str(), event.attempt,
+                  event.wallSeconds);
+      break;
+    case ProgressEvent::Kind::CellTimedOut:
+      std::printf("timeout %s x %s after %.3fs (%llu schedules kept)\n",
+                  event.scenario.c_str(), event.strategy.c_str(),
+                  event.wallSeconds,
+                  static_cast<unsigned long long>(event.schedulesExecuted));
+      break;
+    case ProgressEvent::Kind::CellFailed:
+      std::printf("FAILED %s x %s after %d attempt(s)\n",
+                  event.scenario.c_str(), event.strategy.c_str(), event.attempt);
+      break;
+    default:
+      return;  // CellStarted/ScheduleTick/CampaignFinished stay quiet
+  }
+  std::fflush(stdout);
 }
 
 int cmdBench(int argc, char** argv) {
@@ -357,7 +429,25 @@ int cmdBench(int argc, char** argv) {
   options.addFlag("paper",
                   "nightly preset: the paper's 100000-schedule budget (an "
                   "explicit --limit wins)");
+  options.addString("shard", "",
+                    "run only slice i of N ('i/N', 1-based round-robin over "
+                    "the cell matrix); merge slices with `lazyhb merge`");
+  options.addString("checkpoint", "",
+                    "journal finished cells into this directory; rerunning "
+                    "with the same flags resumes from it");
+  options.addString("resume", "",
+                    "like --checkpoint, but require an existing journal in "
+                    "the directory (error when there is nothing to resume)");
+  options.addInt("cell-timeout", 0,
+                 "per-cell wall-clock budget in seconds (0: none); cells "
+                 "over budget are marked timed_out and the campaign "
+                 "continues");
+  options.addInt("cell-retries", 0,
+                 "re-run a timed-out or crashing cell up to this many extra "
+                 "times before recording it");
   options.addFlag("progress", "print one line per finished cell");
+  options.addFlag("progress-json",
+                  "stream one machine-readable JSON line per campaign event");
   options.addFlag("csv", "print the per-cell table as CSV");
   if (!options.parse(argc, argv)) return options.parseError() ? kExitUsage : kExitOk;
 
@@ -404,19 +494,53 @@ int cmdBench(int argc, char** argv) {
   campaignOptions.explorer.workers = workers;
   campaignOptions.seed = static_cast<std::uint64_t>(options.getInt("seed"));
   campaignOptions.jobs = static_cast<int>(options.getInt("jobs"));
-  if (options.getFlag("progress")) {
-    campaignOptions.onCellDone = [](const campaign::CellResult& cell,
-                                    std::size_t done, std::size_t total) {
-      std::printf("[%zu/%zu] %s x %s: %llu schedules, %llu lazy-HBRs, %.3fs\n",
-                  done, total, cell.program.c_str(), cell.explorer.c_str(),
-                  static_cast<unsigned long long>(cell.stats.schedulesExecuted),
-                  static_cast<unsigned long long>(cell.stats.distinctLazyHbrs),
-                  cell.wallSeconds);
-      std::fflush(stdout);
-    };
+
+  if (!options.getString("shard").empty() &&
+      !parseShard(options.getString("shard"), &campaignOptions.shardIndex,
+                  &campaignOptions.shardCount)) {
+    return kExitUsage;
+  }
+  const std::string checkpointDir = options.getString("checkpoint");
+  const std::string resumeDir = options.getString("resume");
+  if (!checkpointDir.empty() && !resumeDir.empty()) {
+    std::fprintf(stderr,
+                 "lazyhb: --checkpoint and --resume are mutually exclusive "
+                 "(--resume implies the journal directory)\n");
+    return kExitUsage;
+  }
+  campaignOptions.checkpointDir = resumeDir.empty() ? checkpointDir : resumeDir;
+  campaignOptions.requireExistingJournal = !resumeDir.empty();
+  const std::int64_t cellTimeout = options.getInt("cell-timeout");
+  const std::int64_t cellRetries = options.getInt("cell-retries");
+  if (cellTimeout < 0 || cellRetries < 0) {
+    std::fprintf(stderr,
+                 "lazyhb: --cell-timeout and --cell-retries expect "
+                 "non-negative values\n");
+    return kExitUsage;
+  }
+  campaignOptions.cellTimeoutSeconds = static_cast<double>(cellTimeout);
+  campaignOptions.cellRetries = static_cast<int>(cellRetries);
+
+  if (options.getFlag("progress") && options.getFlag("progress-json")) {
+    std::fprintf(stderr,
+                 "lazyhb: --progress and --progress-json are mutually "
+                 "exclusive\n");
+    return kExitUsage;
+  }
+  if (options.getFlag("progress-json")) {
+    campaignOptions.onProgress = printProgressJson;
+  } else if (options.getFlag("progress")) {
+    campaignOptions.onProgress = printProgressHuman;
   }
 
-  const campaign::CampaignResult result = campaign::runCampaign(campaignOptions);
+  campaign::CampaignResult result;
+  try {
+    result = campaign::runCampaign(campaignOptions);
+  } catch (const std::exception& error) {
+    // Journal mismatch / nothing to resume / bad shard spec.
+    std::fprintf(stderr, "%s\n", error.what());
+    return kExitUsage;
+  }
 
   support::Table table({"explorer", "cells", "schedules", "terminal", "pruned",
                         "violations", "hbrs", "lazy-hbrs", "states",
@@ -441,6 +565,18 @@ int cmdBench(int argc, char** argv) {
               result.programs.size(), result.perExplorer.size(),
               result.cells.size(), result.jobs,
               static_cast<unsigned long long>(result.tasksStolen));
+  if (result.shardCount > 1) {
+    std::printf("shard %d/%d: this report covers only its slice of the "
+                "matrix; merge slices with `lazyhb merge`\n",
+                result.shardIndex + 1, result.shardCount);
+  }
+  if (result.cellsFromCheckpoint > 0 || result.cellsTimedOut > 0 ||
+      result.cellsFailed > 0 || result.cellsRetried > 0) {
+    std::printf("supervisor: %zu cell(s) from checkpoint, %d timed out, "
+                "%d failed, %d retried\n",
+                result.cellsFromCheckpoint, result.cellsTimedOut,
+                result.cellsFailed, result.cellsRetried);
+  }
   std::fputs(table.toText().c_str(), stdout);
   if (options.getFlag("csv")) {
     support::Table cells({"program_id", "program", "family", "explorer",
@@ -497,6 +633,8 @@ int cmdBench(int argc, char** argv) {
   reportConfig.quick = quick;
   reportConfig.incremental = campaignOptions.explorer.incremental;
   reportConfig.workers = workers;
+  reportConfig.shardIndex = campaignOptions.shardIndex;
+  reportConfig.shardCount = campaignOptions.shardCount;
   const std::string out = options.getString("out");
   if (!out.empty()) {
     if (!campaign::writeReportFile(out, result, reportConfig)) {
@@ -505,6 +643,80 @@ int cmdBench(int argc, char** argv) {
     if (out != "-") std::printf("report: %s\n", out.c_str());
   }
   return result.inequalityViolations == 0 ? kExitOk : kExitViolation;
+}
+
+// --- merge -------------------------------------------------------------------
+
+/// Read a whole file ("-" is not supported here: merge inputs are named
+/// report files). Returns false with a message on failure.
+bool readDocument(const std::string& path, std::string* out) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    std::fprintf(stderr, "lazyhb: cannot read '%s'\n", path.c_str());
+    return false;
+  }
+  out->clear();
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    out->append(buffer, got);
+  }
+  const bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) {
+    std::fprintf(stderr, "lazyhb: read error on '%s'\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+int cmdMerge(int argc, char** argv) {
+  support::Options options(
+      "lazyhb merge [report.json ...]",
+      "merge shard/resume bench reports (schema v5) into one report: "
+      "disjoint cells union, identical duplicates dedupe, totals and the "
+      "section-3 check are recomputed from the merged cells; conflicting "
+      "duplicate counts are a hard error");
+  options.addString("out", "-",
+                    "write the merged report to this path ('-': stdout)");
+  if (!options.parse(argc, argv)) return options.parseError() ? kExitUsage : kExitOk;
+
+  const std::vector<std::string>& paths = options.positional();
+  if (paths.empty()) {
+    std::fprintf(stderr,
+                 "lazyhb: nothing to merge — pass report files as positional "
+                 "arguments\n");
+    return kExitUsage;
+  }
+
+  std::vector<std::string> documents(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (!readDocument(paths[i], &documents[i])) return kExitIo;
+  }
+
+  campaign::MergeOutcome merged;
+  try {
+    merged = campaign::mergeReports(documents, paths);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    return kExitViolation;
+  }
+
+  const std::string out = options.getString("out");
+  if (!campaign::writeReportFile(out, merged.result, merged.config,
+                                 &merged.provenance)) {
+    return kExitIo;
+  }
+  if (out != "-") {
+    std::printf("merged %zu report(s) -> %s: %zu cell(s), %zu program(s); "
+                "section-3 inequality %s\n",
+                paths.size(), out.c_str(), merged.result.cells.size(),
+                merged.result.programs.size(),
+                merged.result.inequalityViolations == 0
+                    ? "holds on all cells"
+                    : "VIOLATED");
+  }
+  return merged.result.inequalityViolations == 0 ? kExitOk : kExitViolation;
 }
 
 // --- replay ------------------------------------------------------------------
@@ -612,6 +824,7 @@ int run(int argc, char** argv) {
   if (command == "explore") return cmdExplore(subArgc, subArgv);
   if (command == "compare") return cmdCompare(subArgc, subArgv);
   if (command == "bench") return cmdBench(subArgc, subArgv);
+  if (command == "merge") return cmdMerge(subArgc, subArgv);
   if (command == "replay") return cmdReplay(subArgc, subArgv);
   std::fprintf(stderr, "lazyhb: unknown command '%s'\n\n", command.c_str());
   printTopLevelUsage();

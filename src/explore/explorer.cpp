@@ -15,6 +15,11 @@ ExplorerBase::ExplorerBase(ExplorerOptions options)
 ExplorationResult ExplorerBase::explore(const Program& program) {
   LAZYHB_CHECK(!explored_);
   explored_ = true;
+  if (options_.wallTimeoutSeconds > 0.0) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(options_.wallTimeoutSeconds));
+  }
   runSearch(program);
   result_.distinctHbrs = terminalHbrs_.size();
   result_.distinctLazyHbrs = terminalLazyHbrs_.size();
@@ -38,7 +43,7 @@ ExplorationResult ExplorerBase::explore(const Program& program) {
 }
 
 bool ExplorerBase::budgetExhausted() const noexcept {
-  return result_.schedulesExecuted >= options_.scheduleLimit;
+  return deadlineExpired_ || result_.schedulesExecuted >= options_.scheduleLimit;
 }
 
 bool ExplorerBase::shouldStopForViolation() const noexcept {
@@ -94,6 +99,15 @@ runtime::Outcome ExplorerBase::executeSchedule(const Program& program,
 
   if (options_.detectRaces) {
     raceAggregator_.ingest(recorder_);
+  }
+  if (options_.onScheduleTick && options_.tickIntervalSchedules > 0 &&
+      result_.schedulesExecuted % options_.tickIntervalSchedules == 0) {
+    options_.onScheduleTick(result_.schedulesExecuted);
+  }
+  if (options_.wallTimeoutSeconds > 0.0 && !deadlineExpired_ &&
+      std::chrono::steady_clock::now() >= deadline_) {
+    deadlineExpired_ = true;
+    result_.timedOut = true;
   }
   return outcome;
 }

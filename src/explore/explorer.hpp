@@ -18,6 +18,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -77,6 +78,20 @@ struct ExplorerOptions {
   /// sequential explorer and this field is advisory. All observable counts
   /// are byte-identical at any worker count.
   int workers = 1;
+  /// Wall-clock budget for the whole exploration in seconds (0 = none).
+  /// Checked at schedule boundaries; on expiry the search stops and the
+  /// result is marked timedOut — its counts are then a wall-clock-dependent
+  /// prefix, so report consumers (bench_diff, the merger) treat timed-out
+  /// cells as incomparable. A nonzero timeout is order-sensitive and
+  /// disables intra-scenario sharding (ParallelExplorer::shardable).
+  double wallTimeoutSeconds = 0.0;
+  /// Progress hook: invoked synchronously on the exploring thread after
+  /// every tickIntervalSchedules-th schedule with the running schedule
+  /// count. Must not re-enter the explorer. Order-sensitive for sharding
+  /// purposes (ticks from racing workers would interleave), so a set
+  /// callback also disables intra-scenario sharding.
+  std::function<void(std::uint64_t schedulesExecuted)> onScheduleTick;
+  std::uint64_t tickIntervalSchedules = 0;  ///< 0 disables progress ticks
 };
 
 /// A recorded property violation with the schedule that reproduces it.
@@ -139,6 +154,9 @@ struct ExplorationResult {
   std::uint64_t distinctStates = 0;    ///< terminal state fingerprints
   bool hitScheduleLimit = false;
   bool complete = false;               ///< search space fully explored
+  /// wallTimeoutSeconds expired mid-search: the counts above are a
+  /// wall-clock-dependent prefix of the full exploration.
+  bool timedOut = false;
   std::vector<ViolationRecord> violations;
   core::EquivalenceChecker::Stats theorem21;  ///< full HBR -> state (if enabled)
   core::EquivalenceChecker::Stats theorem22;  ///< lazy HBR -> state (if enabled)
@@ -217,6 +235,8 @@ class ExplorerBase : public Explorer {
 
  private:
   ExplorerOptions options_;
+  std::chrono::steady_clock::time_point deadline_{};  ///< zero: no timeout
+  bool deadlineExpired_ = false;
   runtime::StackPool stackPool_;
   trace::TraceRecorder recorder_;
   ExplorationResult result_;

@@ -90,10 +90,14 @@ class ParallelExplorer final : public Explorer {
   [[nodiscard]] ParallelStrategy strategy() const noexcept { return strategy_; }
 
   /// True when `options` can be sharded at all (the factory's gate):
-  /// no stop-on-first-violation, no theorem checking, workers >= 2.
+  /// workers >= 2 and none of the order-sensitive options — no
+  /// stop-on-first-violation, no theorem checking, no wall-clock timeout
+  /// (which schedules fit a deadline depends on visit order), no progress
+  /// tick callback (ticks from racing workers would interleave).
   [[nodiscard]] static bool shardable(const ExplorerOptions& options) noexcept {
     return options.workers >= 2 && !options.stopOnFirstViolation &&
-           !options.checkTheorems;
+           !options.checkTheorems && options.wallTimeoutSeconds <= 0.0 &&
+           !options.onScheduleTick;
   }
 
  private:

@@ -180,5 +180,31 @@ std::vector<const ProgramSpec*> byFamily(const std::string& family) {
   return out;
 }
 
+bool selectByTokens(const std::vector<std::string>& tokens,
+                    std::vector<const ProgramSpec*>& out,
+                    std::string* badToken) {
+  std::vector<bool> taken(all().size() + 1, false);
+  for (const std::string& token : tokens) {
+    std::vector<const ProgramSpec*> matched;
+    if (const ProgramSpec* named = byName(token)) {
+      matched.push_back(named);
+    } else {
+      matched = byFamily(token);
+    }
+    if (matched.empty()) {
+      if (badToken != nullptr) *badToken = token;
+      return false;
+    }
+    for (const ProgramSpec* spec : matched) {
+      if (static_cast<std::size_t>(spec->id) < taken.size() && taken[spec->id]) {
+        continue;
+      }
+      taken[spec->id] = true;
+      out.push_back(spec);
+    }
+  }
+  return true;
+}
+
 }  // namespace programs
 }  // namespace lazyhb

@@ -65,6 +65,16 @@ struct ProgramSpec {
 /// All members of a family, in id order.
 [[nodiscard]] std::vector<const ProgramSpec*> byFamily(const std::string& family);
 
+/// Resolve selector tokens — each a program name or a family name — into
+/// specs, in token order, deduplicated (a family plus one of its members
+/// keeps one copy). The shared resolver behind the CLI's --programs and
+/// Suite::add(). Returns false with *badToken set when a token matches
+/// neither a program nor a family; an empty token list resolves to an
+/// empty selection (callers treat that as "whole corpus").
+[[nodiscard]] bool selectByTokens(const std::vector<std::string>& tokens,
+                                  std::vector<const ProgramSpec*>& out,
+                                  std::string* badToken);
+
 namespace detail {
 
 // Corpus family ranks: enumeration order of the built-in corpus (each

@@ -364,14 +364,31 @@ TEST(Campaign, ProgressCallbackSeesEveryCell) {
   auto options = smallCampaign(4);
   std::vector<std::size_t> doneValues;
   std::size_t observedTotal = 0;
-  options.onCellDone = [&](const campaign::CellResult&, std::size_t done,
-                           std::size_t total) {
-    doneValues.push_back(done);
-    observedTotal = total;
+  std::size_t started = 0;
+  std::size_t finishedCampaigns = 0;
+  options.onProgress = [&](const ProgressEvent& event) {
+    switch (event.kind) {
+      case ProgressEvent::Kind::CellStarted:
+        ++started;
+        break;
+      case ProgressEvent::Kind::CellFinished:
+        doneValues.push_back(event.cellsDone);
+        observedTotal = event.cellsTotal;
+        EXPECT_FALSE(event.scenario.empty());
+        EXPECT_FALSE(event.strategy.empty());
+        break;
+      case ProgressEvent::Kind::CampaignFinished:
+        ++finishedCampaigns;
+        break;
+      default:
+        break;
+    }
   };
   const auto result = campaign::runCampaign(options);
   EXPECT_EQ(doneValues.size(), result.cells.size());
+  EXPECT_EQ(started, result.cells.size());
   EXPECT_EQ(observedTotal, result.cells.size());
+  EXPECT_EQ(finishedCampaigns, 1u);
   // The serialized callback counts monotonically 1..N.
   for (std::size_t i = 0; i < doneValues.size(); ++i) {
     EXPECT_EQ(doneValues[i], i + 1);
@@ -389,9 +406,11 @@ TEST(Report, VersionedAndStructurallySound) {
   const std::string json = campaign::writeReportJson(result, config);
 
   EXPECT_NE(json.find("\"schema\": \"lazyhb-bench-report\""), std::string::npos);
-  EXPECT_NE(json.find("\"version\": 4"), std::string::npos);
-  // v4 contract: config.workers is mandatory (bench_diff.py rejects a v4
-  // report without it).
+  EXPECT_NE(json.find("\"version\": 5"), std::string::npos);
+  // Since v4, config.workers is mandatory (bench_diff.py rejects a report
+  // without it). A clean unsharded run emits none of the v5 optional fields.
+  EXPECT_EQ(json.find("\"timed_out\""), std::string::npos);
+  EXPECT_EQ(json.find("\"shard\""), std::string::npos);
   EXPECT_NE(json.find("\"workers\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"inequality_violations\": 0"), std::string::npos);
   EXPECT_NE(json.find("\"explorer\": \"caching-lazy\""), std::string::npos);

@@ -24,6 +24,15 @@ The count contract is unchanged — counts are byte-identical at any
 baseline — and the scoreboard gains a `--workers` column so speedup rows
 are attributed to the worker count that produced them.
 
+Schema v5 reports come from resumable/shardable campaigns: cells may carry
+`timed_out` / `error` / `attempts` / `from_checkpoint`, the config may carry
+a `shard` block, and a report produced by `lazyhb merge` carries a top-level
+`merge` provenance block. Timed-out and failed cells are *excluded* from the
+count comparison (their counts are wall-clock-dependent prefixes, not
+violations of the determinism contract) and noted instead; clean cells —
+including checkpointed and merged ones — compare exactly as before. When a
+`merge` block is present its provenance is validated structurally.
+
 Usage:
     tools/bench_diff.py BASELINE.json CANDIDATE.json [--counts-only]
     tools/bench_diff.py --history REPORT.json [REPORT.json ...]
@@ -69,7 +78,7 @@ CACHE_COUNT_FIELDS = ["lookups", "hits", "insertions", "entries"]
 # handled by the fallbacks below); any other version means the report
 # format moved ahead of this tool, and guessing at unknown field semantics
 # would silently corrupt the comparison.
-KNOWN_SCHEMA_VERSIONS = (1, 2, 3, 4)
+KNOWN_SCHEMA_VERSIONS = (1, 2, 3, 4, 5)
 
 
 def load_report(path):
@@ -100,7 +109,43 @@ def load_report(path):
                  f"config.workers mandatory so a report cannot silently "
                  f"hide the intra-scenario parallelism it ran with — "
                  f"regenerate the report with a current `lazyhb bench`")
+    if "merge" in doc:
+        validate_merge_provenance(doc, path)
     return doc
+
+
+def validate_merge_provenance(doc, path):
+    """Structural check of a `lazyhb merge` report's provenance block."""
+    merge = doc["merge"]
+    sources = merge.get("sources") if isinstance(merge, dict) else None
+    if not isinstance(sources, list) or not sources:
+        sys.exit(f"bench_diff: '{path}' has a merge block without a "
+                 f"non-empty 'sources' list")
+    for i, src in enumerate(sources):
+        for field, kind in (("label", str), ("shard_index", int),
+                            ("shard_count", int), ("cells", int)):
+            if not isinstance(src.get(field), kind):
+                sys.exit(f"bench_diff: '{path}' merge.sources[{i}] has a "
+                         f"missing or mistyped '{field}' field")
+        if not (0 <= src["shard_index"] < src["shard_count"]):
+            sys.exit(f"bench_diff: '{path}' merge.sources[{i}] claims shard "
+                     f"{src['shard_index']}/{src['shard_count']}")
+    contributed = sum(src["cells"] for src in sources)
+    if contributed < len(doc.get("cells", [])):
+        sys.exit(f"bench_diff: '{path}' merge sources contributed "
+                 f"{contributed} cell(s) but the report carries "
+                 f"{len(doc['cells'])} — provenance cannot cover the report")
+
+
+def cell_unstable(cell):
+    """Why this cell's counts are not comparable, or None. A timed-out cell
+    stopped at a wall-clock-dependent schedule boundary; a failed cell's
+    counts are whatever the last crashing attempt reached."""
+    if cell.get("error"):
+        return "failed"
+    if cell.get("timed_out"):
+        return "timed_out"
+    return None
 
 
 def cell_workers(cell):
@@ -215,7 +260,17 @@ def main():
         print(f"EXTRA in candidate:   {key[0]} x {key[1]}")
         failed = True
 
-    shared = sorted(base_cells.keys() & cand_cells.keys())
+    shared = []
+    skipped = 0
+    for key in sorted(base_cells.keys() & cand_cells.keys()):
+        reasons = {r for r in (cell_unstable(base_cells[key]),
+                               cell_unstable(cand_cells[key])) if r}
+        if reasons:
+            skipped += 1
+            print(f"SKIPPED (not comparable): {key[0]} x {key[1]} "
+                  f"[{', '.join(sorted(reasons))}]")
+        else:
+            shared.append(key)
     mismatches = 0
     for key in shared:
         a = cell_counts(base_cells[key])
@@ -228,7 +283,8 @@ def main():
                   + ", ".join(f"{f} {was} -> {now}"
                               for f, (was, now) in diffs.items()))
 
-    print(f"counts: {len(shared)} cells compared, {mismatches} mismatch(es)")
+    print(f"counts: {len(shared)} cells compared, {mismatches} mismatch(es)"
+          + (f", {skipped} timed-out/failed cell(s) skipped" if skipped else ""))
 
     if not args.counts_only and shared:
         rate_table("eventsPerSecond", base_cells, cand_cells, shared,
