@@ -6,6 +6,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <vector>
+
 #include "core/hbr_cache.hpp"
 #include "explore/dfs_explorer.hpp"
 #include "explore/dpor_explorer.hpp"
@@ -215,6 +218,165 @@ void BM_HbrCacheHitAtSize(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HbrCacheHitAtSize)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+// --- undo-log checkpoints --------------------------------------------------------
+//
+// The checkpoint store's cost model (docs/performance.md): staging is
+// O(objects touched since the last stage), rollback replays the undo chain
+// newest-first, and evicting a stage keeps its undo entries so rolling back
+// *past* an evicted depth still works. The probes below pin each leg of
+// that model against a fixed population of registered objects, so a
+// regression back to O(all objects) staging shows up as the Arg sweep
+// going flat.
+
+constexpr int kUndoObjects = 256;
+int gTouchedSuffix = 0;  // how many objects the program's suffix re-touches
+
+void touchManyProgram() {
+  // kUndoObjects registered vars, all written once (the prefix); then the
+  // suffix re-touches the first gTouchedSuffix of them, one store each.
+  std::vector<std::unique_ptr<Shared<int>>> vars;
+  vars.reserve(kUndoObjects);
+  for (int i = 0; i < kUndoObjects; ++i) {
+    vars.push_back(std::make_unique<Shared<int>>(0, "v"));
+  }
+  for (auto& v : vars) v->store(1);
+  for (int i = 0; i < gTouchedSuffix; ++i) {
+    vars[static_cast<std::size_t>(i)]->store(2);
+  }
+}
+
+CapturedTrace captureTouchTrace(int touchedSuffix) {
+  runtime::StackPool pool;
+  CapturedTrace captured;
+  runtime::Execution source(runtime::Config{}, pool, &captured);
+  explore::FixedScheduler scheduler({});
+  gTouchedSuffix = touchedSuffix;
+  (void)source.run(touchManyProgram, scheduler);
+  return captured;
+}
+
+/// Feeds a captured trace's prefix into `recorder` and stages a base
+/// checkpoint there. Returns the base depth.
+std::size_t feedPrefixAndStage(trace::TraceRecorder& recorder,
+                               runtime::Execution& dummy,
+                               const CapturedTrace& full, std::size_t prefix) {
+  recorder.onExecutionStart(dummy);
+  for (const auto& reg : full.registrations) {
+    recorder.onObjectRegistered(dummy, reg.index, reg.uid, reg.kind, reg.name);
+  }
+  for (std::size_t i = 0; i < prefix; ++i) {
+    recorder.onEvent(dummy, full.events[i]);
+  }
+  return recorder.checkpoint();
+}
+
+void BM_RecorderCheckpointStageTouched(benchmark::State& state) {
+  // One stage/rollback cycle where the span between stages touches K of
+  // the 256 registered objects: feed the K-store suffix (each first touch
+  // undo-logs one cursor pre-image), stage, roll back. Time per iteration
+  // must scale with K, not with the object population.
+  const int touched = static_cast<int>(state.range(0));
+  const CapturedTrace base = captureTouchTrace(0);
+  const CapturedTrace full = captureTouchTrace(touched);
+  const std::size_t prefix = base.events.size();
+
+  runtime::StackPool pool;
+  trace::TraceRecorder recorder;
+  runtime::Execution dummy(runtime::Config{}, pool, nullptr);  // never run
+  const std::size_t depth = feedPrefixAndStage(recorder, dummy, full, prefix);
+  for (auto _ : state) {
+    for (std::size_t i = prefix; i < full.events.size(); ++i) {
+      recorder.onEvent(dummy, full.events[i]);
+    }
+    benchmark::DoNotOptimize(recorder.checkpoint());
+    recorder.rollbackTo(depth);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * touched);
+}
+BENCHMARK(BM_RecorderCheckpointStageTouched)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_RecorderUndoChainRollback(benchmark::State& state) {
+  // S stages spread along a 256-store suffix, then one rollback to the
+  // base: the rollback discards every deeper stage and replays the whole
+  // undo chain newest-first, whatever S is.
+  const int stages = static_cast<int>(state.range(0));
+  const CapturedTrace base = captureTouchTrace(0);
+  const CapturedTrace full = captureTouchTrace(kUndoObjects);
+  const std::size_t prefix = base.events.size();
+  const std::size_t suffix = full.events.size() - prefix;
+  const std::size_t chunk = suffix / static_cast<std::size_t>(stages);
+
+  runtime::StackPool pool;
+  trace::TraceRecorder recorder;
+  runtime::Execution dummy(runtime::Config{}, pool, nullptr);  // never run
+  const std::size_t depth = feedPrefixAndStage(recorder, dummy, full, prefix);
+  for (auto _ : state) {
+    std::size_t fed = 0;
+    for (std::size_t i = prefix; i < full.events.size(); ++i) {
+      recorder.onEvent(dummy, full.events[i]);
+      if (++fed % chunk == 0) (void)recorder.checkpoint();
+    }
+    recorder.rollbackTo(depth);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(suffix));
+}
+BENCHMARK(BM_RecorderUndoChainRollback)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_RecorderRollbackPastEvicted(benchmark::State& state) {
+  // The byte-budget eviction path: stage mid-suffix, finish the suffix,
+  // evict the mid stage, then roll back to the base *past* the evicted
+  // depth — the retained undo entries must still replay cleanly.
+  const CapturedTrace base = captureTouchTrace(0);
+  const CapturedTrace full = captureTouchTrace(kUndoObjects);
+  const std::size_t prefix = base.events.size();
+  const std::size_t mid = prefix + (full.events.size() - prefix) / 2;
+
+  runtime::StackPool pool;
+  trace::TraceRecorder recorder;
+  runtime::Execution dummy(runtime::Config{}, pool, nullptr);  // never run
+  const std::size_t depth = feedPrefixAndStage(recorder, dummy, full, prefix);
+  for (auto _ : state) {
+    for (std::size_t i = prefix; i < mid; ++i) {
+      recorder.onEvent(dummy, full.events[i]);
+    }
+    const std::size_t midDepth = recorder.checkpoint();
+    for (std::size_t i = mid; i < full.events.size(); ++i) {
+      recorder.onEvent(dummy, full.events[i]);
+    }
+    benchmark::DoNotOptimize(recorder.evictCheckpoint(midDepth));
+    recorder.rollbackTo(depth);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(full.events.size() - prefix));
+}
+BENCHMARK(BM_RecorderRollbackPastEvicted);
+
+void contendedProgram() {
+  // Three unlocked incrementers: a schedule tree deep and wide enough that
+  // a small snapshot budget forces constant eviction during the walk.
+  Shared<int> x{0, "x"};
+  auto t1 = spawn([&] { x.store(x.load() + 1); });
+  auto t2 = spawn([&] { x.store(x.load() + 1); });
+  x.store(x.load() + 1);
+  t1.join();
+  t2.join();
+}
+
+void BM_DfsExplorationAtBudget(benchmark::State& state) {
+  // End-to-end eviction cost: the same DFS exploration at an unlimited
+  // budget (0), a budget that evicts occasionally, and one that thrashes.
+  // Counts are byte-identical at every Arg; only the replay spans differ.
+  for (auto _ : state) {
+    explore::ExplorerOptions options;
+    options.scheduleLimit = 1u << 14;
+    options.snapshotBudgetBytes = static_cast<std::uint64_t>(state.range(0));
+    explore::DfsExplorer explorer(options);
+    benchmark::DoNotOptimize(explorer.explore(contendedProgram));
+  }
+}
+BENCHMARK(BM_DfsExplorationAtBudget)->Arg(0)->Arg(4096)->Arg(256);
 
 // --- exact canonical forms -------------------------------------------------------
 

@@ -160,6 +160,14 @@ class Session {
   /// sequentially whatever this is set to. Every count in the TestReport is
   /// byte-identical at any worker count.
   Session& workers(int count);
+  /// Byte budget for staged incremental-replay snapshots (0 = unlimited;
+  /// default: the LAZYHB_SNAPSHOT_BUDGET environment variable, else
+  /// 256 MiB). When staging would exceed it, the engine evicts the staged
+  /// checkpoint furthest from the search frontier and later rollbacks into
+  /// the evicted region replay from the deepest surviving shallower stage.
+  /// Counts are byte-identical at any budget; only wall time and memory
+  /// change. With workers(N), the budget is split evenly per worker.
+  Session& snapshotBudget(std::uint64_t bytes);
   /// Progress hook: a ProgressEvent of kind ScheduleTick every
   /// progressInterval() executed schedules, synchronously on the exploring
   /// thread (lazyhb/progress.hpp documents the full callback contract).
@@ -195,6 +203,8 @@ class Session {
     bool incremental = true;
     bool checkpointable = false;
     int workers = 1;
+    /// Set to defaultSnapshotBudgetBytes() by the Session constructor.
+    std::uint64_t snapshotBudgetBytes = 0;
     ProgressCallback progress;
     std::uint64_t progressInterval = 1024;
     std::string scenarioLabel;  ///< names run(name) ticks; empty for ad-hoc

@@ -56,7 +56,9 @@ const programs::ProgramSpec& resolveScenario(const std::string& name) {
 
 }  // namespace
 
-Session::Session() = default;
+Session::Session() {
+  config_.snapshotBudgetBytes = explore::defaultSnapshotBudgetBytes();
+}
 
 Session& Session::strategy(std::string name) {
   config_.strategy = std::move(name);
@@ -113,6 +115,11 @@ Session& Session::workers(int count) {
   return *this;
 }
 
+Session& Session::snapshotBudget(std::uint64_t bytes) {
+  config_.snapshotBudgetBytes = bytes;
+  return *this;
+}
+
 Session& Session::onProgress(ProgressCallback callback) {
   config_.progress = std::move(callback);
   return *this;
@@ -152,6 +159,7 @@ TestReport Session::run(const Program& program) const {
   options.incremental = config_.incremental;
   options.checkpointable = config_.checkpointable;
   options.workers = config_.workers;
+  options.snapshotBudgetBytes = config_.snapshotBudgetBytes;
   if (config_.progress) {
     // Adapt the engine's raw schedule tick into the public ProgressEvent.
     // A non-null onScheduleTick also disqualifies the options from

@@ -122,6 +122,10 @@ CampaignResult foldCells(std::vector<CellResult> cells,
     totals.cacheEntries += cell.stats.cacheStats.entries;
     totals.cacheHits += cell.stats.cacheStats.hits;
     totals.cacheApproxBytes += cell.stats.cacheStats.approxBytes;
+    totals.checkpointStages += cell.stats.checkpointStats.stages;
+    totals.checkpointBytesStaged += cell.stats.checkpointStats.bytesStaged;
+    totals.checkpointEvictions += cell.stats.checkpointStats.evictions;
+    totals.checkpointReplayFallbacks += cell.stats.checkpointStats.replayFallbacks;
     if (!cell.inequalityHolds()) ++totals.inequalityViolations;
 
     result.totalSchedules += cell.stats.schedulesExecuted;
@@ -257,6 +261,7 @@ CampaignResult runCampaign(const CampaignOptions& options) {
     config.seed = options.seed;
     config.incremental = options.explorer.incremental;
     config.workers = options.explorer.workers;
+    config.snapshotBudgetBytes = options.explorer.snapshotBudgetBytes;
     config.detectRaces = options.explorer.detectRaces;
     config.checkTheorems = options.explorer.checkTheorems;
     config.stopOnFirstViolation = options.explorer.stopOnFirstViolation;

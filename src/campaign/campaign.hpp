@@ -117,6 +117,13 @@ struct ExplorerTotals {
   std::uint64_t cacheEntries = 0;
   std::uint64_t cacheHits = 0;
   std::uint64_t cacheApproxBytes = 0;
+  /// Summed incremental-checkpoint economics (schema v6; zero when the
+  /// explorer ran non-incrementally). Perf diagnostics only — bench_diff
+  /// never count-compares them.
+  std::uint64_t checkpointStages = 0;
+  std::uint64_t checkpointBytesStaged = 0;
+  std::uint64_t checkpointEvictions = 0;
+  std::uint64_t checkpointReplayFallbacks = 0;
   int inequalityViolations = 0;
 };
 

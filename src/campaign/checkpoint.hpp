@@ -41,6 +41,7 @@ struct JournalConfig {
   std::uint64_t seed = 0;
   bool incremental = true;
   int workers = 1;
+  std::uint64_t snapshotBudgetBytes = 0;
   bool detectRaces = false;
   bool checkTheorems = false;
   bool stopOnFirstViolation = false;

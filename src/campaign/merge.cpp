@@ -58,6 +58,10 @@ ParsedReport parseReport(const std::string& document, const std::string& label) 
     raise(label, "config.workers is missing (mandatory since schema v4)");
   }
   report.config.workers = static_cast<int>(config->intAt("workers", 1));
+  if (!config->has("snapshot_budget")) {
+    raise(label, "config.snapshot_budget is missing (mandatory since schema v6)");
+  }
+  report.config.snapshotBudgetBytes = config->uintAt("snapshot_budget");
   if (const support::JsonValue* shard = config->find("shard")) {
     report.config.shardIndex = static_cast<int>(shard->intAt("index"));
     report.config.shardCount = static_cast<int>(shard->intAt("count", 1));
@@ -172,6 +176,9 @@ void checkConfigCompatible(const ParsedReport& base, const ParsedReport& other) 
   if (other.config.quick != base.config.quick) mismatch("quick");
   if (other.config.incremental != base.config.incremental) mismatch("incremental");
   if (other.config.workers != base.config.workers) mismatch("workers");
+  if (other.config.snapshotBudgetBytes != base.config.snapshotBudgetBytes) {
+    mismatch("snapshot_budget");
+  }
   if (other.explorers != base.explorers) mismatch("explorers");
 }
 

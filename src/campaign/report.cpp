@@ -59,6 +59,10 @@ void writeExplorerTotals(support::JsonWriter& json, const ExplorerTotals& t) {
   json.field("cache_entries", t.cacheEntries);
   json.field("cache_hits", t.cacheHits);
   json.field("cache_approx_bytes", t.cacheApproxBytes);
+  json.field("checkpoint_stages", t.checkpointStages);
+  json.field("checkpoint_bytes_staged", t.checkpointBytesStaged);
+  json.field("checkpoint_evictions", t.checkpointEvictions);
+  json.field("checkpoint_replay_fallbacks", t.checkpointReplayFallbacks);
   json.field("inequality_violations",
              static_cast<std::int64_t>(t.inequalityViolations));
   json.endObject();
@@ -105,6 +109,18 @@ void writeCellJson(support::JsonWriter& json, const CellResult& cell) {
     json.field("insertions", cache.insertions);
     json.field("entries", cache.entries);
     json.field("approx_bytes", cache.approxBytes);
+    json.endObject();
+  }
+  if (cell.stats.checkpointStats.enabled) {
+    // Schema v6: the incremental engine's checkpoint economics. Staging and
+    // eviction are pure performance policy, so these are diagnostics for
+    // the bench_diff scoreboard, never count-compared.
+    const explore::CheckpointStats& ckpt = cell.stats.checkpointStats;
+    json.key("checkpoint").beginObject();
+    json.field("stages", ckpt.stages);
+    json.field("bytes_staged", ckpt.bytesStaged);
+    json.field("evictions", ckpt.evictions);
+    json.field("replay_fallbacks", ckpt.replayFallbacks);
     json.endObject();
   }
   if (cell.stats.parallel.workers > 0) {
@@ -183,6 +199,13 @@ bool parseCellJson(const support::JsonValue& value, CellResult* cell,
     cell->stats.cacheStats.entries = cache->uintAt("entries");
     cell->stats.cacheStats.approxBytes = cache->uintAt("approx_bytes");
   }
+  if (const support::JsonValue* ckpt = value.find("checkpoint")) {
+    cell->stats.checkpointStats.enabled = true;
+    cell->stats.checkpointStats.stages = ckpt->uintAt("stages");
+    cell->stats.checkpointStats.bytesStaged = ckpt->uintAt("bytes_staged");
+    cell->stats.checkpointStats.evictions = ckpt->uintAt("evictions");
+    cell->stats.checkpointStats.replayFallbacks = ckpt->uintAt("replay_fallbacks");
+  }
   if (const support::JsonValue* parallel = value.find("parallel")) {
     cell->stats.parallel.workers = static_cast<int>(parallel->intAt("workers"));
     cell->stats.parallel.frontierJobs = parallel->uintAt("frontier_jobs");
@@ -216,6 +239,7 @@ std::string writeReportJson(const CampaignResult& result,
   json.field("workers", static_cast<std::int64_t>(config.workers));
   json.field("quick", config.quick);
   json.field("incremental", config.incremental);
+  json.field("snapshot_budget", config.snapshotBudgetBytes);
   if (config.shardCount > 1) {
     json.key("shard").beginObject();
     json.field("index", static_cast<std::int64_t>(config.shardIndex));

@@ -27,7 +27,7 @@ struct JsonValue;
 namespace lazyhb::campaign {
 
 inline constexpr const char* kReportSchemaName = "lazyhb-bench-report";
-inline constexpr int kReportSchemaVersion = 5;
+inline constexpr int kReportSchemaVersion = 6;
 
 /// The campaign configuration echoed into the report, so a BENCH_*.json is
 /// self-describing and two reports are comparable at a glance.
@@ -41,6 +41,11 @@ struct ReportConfig {
   /// v4+ config block: tools/bench_diff.py rejects such reports without it,
   /// so a report can never silently hide the parallelism it ran with.
   int workers = 1;
+  /// Snapshot byte budget per cell (--snapshot-budget, 0 = unlimited).
+  /// Mandatory in a v6 config block, for the same reason as workers: a
+  /// budget small enough to force evictions changes wall time, so two
+  /// reports are only comparable with it in view.
+  std::uint64_t snapshotBudgetBytes = 0;
   /// Which slice of the cell matrix this report covers (schema v5): the
   /// cells with index % shardCount == shardIndex. The config block carries
   /// a "shard" object only when shardCount > 1 — an unsharded report is

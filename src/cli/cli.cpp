@@ -10,6 +10,7 @@
 #include "campaign/explorer_spec.hpp"
 #include "campaign/merge.hpp"
 #include "campaign/report.hpp"
+#include "explore/explorer.hpp"
 #include "lazyhb/lazyhb.hpp"
 #include "programs/registry.hpp"
 #include "support/json_writer.hpp"
@@ -78,6 +79,29 @@ bool parseIncremental(const support::Options& options, bool* enabled) {
   return false;
 }
 
+/// Parse --snapshot-budget into *bytes. -1 (the flag default) keeps the
+/// engine default (LAZYHB_SNAPSHOT_BUDGET or 256 MiB); 0 means unlimited.
+bool parseSnapshotBudget(const support::Options& options, std::uint64_t* bytes) {
+  const std::int64_t value = options.getInt("snapshot-budget");
+  if (value < -1) {
+    std::fprintf(stderr,
+                 "lazyhb: --snapshot-budget expects a byte count >= 0 "
+                 "(0: unlimited), got %lld\n",
+                 static_cast<long long>(value));
+    return false;
+  }
+  if (value >= 0) *bytes = static_cast<std::uint64_t>(value);
+  return true;
+}
+
+void addSnapshotBudgetFlag(support::Options& options) {
+  options.addInt("snapshot-budget", -1,
+                 "byte budget for staged rollback snapshots (0: unlimited; "
+                 "default: LAZYHB_SNAPSHOT_BUDGET or 256 MiB); over budget, "
+                 "the checkpoint furthest from the search frontier is "
+                 "evicted — counts stay byte-identical at any budget");
+}
+
 /// Write `document` to `path` ("-" means stdout). Returns false (with a
 /// message on stderr) when the file cannot be written.
 bool writeDocument(const std::string& path, const std::string& document) {
@@ -109,6 +133,8 @@ bool sessionFrom(const support::Options& options, Session* session) {
                  workers);
     return false;
   }
+  std::uint64_t snapshotBudget = explore::defaultSnapshotBudgetBytes();
+  if (!parseSnapshotBudget(options, &snapshotBudget)) return false;
   session->schedules(static_cast<std::uint64_t>(options.getInt("limit")))
       .maxEventsPerSchedule(static_cast<std::uint32_t>(options.getInt("max-events")))
       .seed(static_cast<std::uint64_t>(options.getInt("seed")))
@@ -116,7 +142,8 @@ bool sessionFrom(const support::Options& options, Session* session) {
       .checkTheorems(options.getFlag("theorems"))
       .stopOnFirstViolation(options.getFlag("stop-on-violation"))
       .incremental(incremental)
-      .workers(workers);
+      .workers(workers)
+      .snapshotBudget(snapshotBudget);
   return true;
 }
 
@@ -129,6 +156,7 @@ void addExplorerFlags(support::Options& options) {
   options.addInt("workers", 1,
                  "shard the schedule tree across this many threads "
                  "(dfs/caching-* only; counts stay byte-identical)");
+  addSnapshotBudgetFlag(options);
   options.addFlag("races", "run the sync-HB data-race detector");
   options.addFlag("theorems", "feed terminal schedules to the theorem checkers");
   options.addFlag("stop-on-violation", "stop at the first violation");
@@ -420,6 +448,7 @@ int cmdBench(int argc, char** argv) {
   options.addInt("seed", 42, "random explorer seed (same in every cell)");
   options.addString("incremental", "on",
                     "incremental prefix replay (checkpoint/rollback): on | off");
+  addSnapshotBudgetFlag(options);
   options.addString("out", "",
                     "write the JSON report to this path ('-': stdout; empty: "
                     "no report file)");
@@ -492,6 +521,10 @@ int cmdBench(int argc, char** argv) {
     return kExitUsage;
   }
   campaignOptions.explorer.workers = workers;
+  if (!parseSnapshotBudget(options,
+                           &campaignOptions.explorer.snapshotBudgetBytes)) {
+    return kExitUsage;
+  }
   campaignOptions.seed = static_cast<std::uint64_t>(options.getInt("seed"));
   campaignOptions.jobs = static_cast<int>(options.getInt("jobs"));
 
@@ -633,6 +666,7 @@ int cmdBench(int argc, char** argv) {
   reportConfig.quick = quick;
   reportConfig.incremental = campaignOptions.explorer.incremental;
   reportConfig.workers = workers;
+  reportConfig.snapshotBudgetBytes = campaignOptions.explorer.snapshotBudgetBytes;
   reportConfig.shardIndex = campaignOptions.shardIndex;
   reportConfig.shardCount = campaignOptions.shardCount;
   const std::string out = options.getString("out");

@@ -29,10 +29,15 @@ class DporScheduler final : public runtime::Scheduler {
       // Replay (or enter the flipped sibling at the deepest retained node).
       const auto& node = owner_.nodes_[depth_];
       LAZYHB_CHECK(exec.enabled().contains(node.chosen));
-      // Conservative revisit test: the backtrack set can still grow from
-      // deeper race analyses, so any node with an unexplored *enabled*
-      // sibling is a potential divergence point worth keeping checkpointed.
-      if (!node.enabled.minus(node.done)
+      // Backtrack-aware staging: checkpoint only where the search is
+      // *known* to return — an unexplored thread already sits in the
+      // node's backtrack set. A backtrack point added later by a deeper
+      // race analysis finds no stage here and falls back to the deepest
+      // surviving shallower one (or a full restart); trading that rare
+      // extra replay for not snapshotting every multi-enabled node on the
+      // way down is the point of the policy. Counts are unaffected —
+      // staging never changes which schedules run.
+      if (!node.backtrack.minus(node.done)
                .minus(support::ThreadSet::single(node.chosen))
                .empty()) {
         owner_.prefixEngine().stageCheckpoint(exec, depth_);
@@ -57,9 +62,10 @@ class DporScheduler final : public runtime::Scheduler {
     node.chosen = candidates.first();
     node.backtrack = support::ThreadSet::single(node.chosen);
     owner_.nodes_.push_back(node);
-    if (node.enabled.size() > 1) {
-      owner_.prefixEngine().stageCheckpoint(exec, depth_);
-    }
+    // A new node's backtrack set is just {chosen}: the search is not (yet)
+    // known to return here, so nothing is staged. If a race analysis later
+    // schedules a sibling, the first replay through this node stages it via
+    // the backtrack-aware test above.
     stashChildSleep(exec, depth_, node.chosen);
     ++depth_;
     return node.chosen;

@@ -1,8 +1,22 @@
 #include "explore/explorer.hpp"
 
+#include <cstdlib>
+
 #include "support/diagnostics.hpp"
 
 namespace lazyhb::explore {
+
+std::uint64_t defaultSnapshotBudgetBytes() noexcept {
+  static const std::uint64_t value = [] {
+    if (const char* env = std::getenv("LAZYHB_SNAPSHOT_BUDGET")) {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(env, &end, 10);
+      if (end != env && *end == '\0') return static_cast<std::uint64_t>(parsed);
+    }
+    return std::uint64_t{256} * 1024 * 1024;
+  }();
+  return value;
+}
 
 ExplorerBase::ExplorerBase(ExplorerOptions options)
     : options_(options),
@@ -10,7 +24,8 @@ ExplorerBase::ExplorerBase(ExplorerOptions options)
                                               options.detectRaces}),
       engine_(stackPool_, recorder_, options.incremental,
               options.checkpointable &&
-                  runtime::Execution::checkpointingSupported()) {}
+                  runtime::Execution::checkpointingSupported(),
+              options.snapshotBudgetBytes) {}
 
 ExplorationResult ExplorerBase::explore(const Program& program) {
   LAZYHB_CHECK(!explored_);
@@ -26,6 +41,11 @@ ExplorationResult ExplorerBase::explore(const Program& program) {
   result_.distinctStates = terminalStates_.size();
   result_.eventsElided = engine_.eventsElided();
   result_.eventsReplayed = engine_.eventsReplayed();
+  result_.checkpointStats.enabled = engine_.incremental();
+  result_.checkpointStats.stages = engine_.stagesCreated();
+  result_.checkpointStats.bytesStaged = engine_.bytesStaged();
+  result_.checkpointStats.evictions = engine_.evictions();
+  result_.checkpointStats.replayFallbacks = engine_.replayFallbacks();
   if (options_.checkTheorems) {
     result_.theorem21 = thm21_.stats();
     result_.theorem22 = thm22_.stats();

@@ -41,6 +41,13 @@ namespace lazyhb::explore {
 /// deterministic apart from scheduling.
 using Program = std::function<void()>;
 
+/// Default byte budget for the incremental engine's staged snapshots (see
+/// ExplorerOptions::snapshotBudgetBytes): the LAZYHB_SNAPSHOT_BUDGET
+/// environment variable when set (bytes; 0 = unlimited), else 256 MiB —
+/// roomy next to the HbrCache approxMemoryBytes footprints the campaign
+/// reports, so eviction only engages on genuinely deep trees.
+[[nodiscard]] std::uint64_t defaultSnapshotBudgetBytes() noexcept;
+
 struct ExplorerOptions {
   /// Maximum number of executions (the paper's experiments use 100,000).
   std::uint64_t scheduleLimit = 100'000;
@@ -69,6 +76,16 @@ struct ExplorerOptions {
   /// incremental mode still elides the recorder's share of replayed
   /// prefixes.
   bool checkpointable = false;
+  /// Byte budget for staged incremental-replay snapshots (runtime fiber
+  /// images plus recorder cursors), 0 = unlimited. When staging would
+  /// exceed the budget, the engine evicts the shallowest staged depth
+  /// first — the one furthest from the frontier of a deepest-first tree
+  /// walk — and later divergences into the evicted region fall back to
+  /// replaying from the deepest surviving shallower stage (or a full
+  /// restart). Counts are byte-identical at any budget; only wall time
+  /// and memory change. ParallelExplorer splits this evenly across its
+  /// workers so the scenario-wide footprint stays bounded.
+  std::uint64_t snapshotBudgetBytes = defaultSnapshotBudgetBytes();
   /// Shard the schedule tree of this one scenario across this many OS
   /// threads (explore/parallel_explorer.hpp). 1 = classic sequential
   /// search. Only the tree searches with order-independent counts support
@@ -111,6 +128,22 @@ struct PrefixCacheStats {
   std::uint64_t insertions = 0;
   std::uint64_t entries = 0;     ///< fingerprints resident at the end
   std::uint64_t approxBytes = 0; ///< HbrCache::approxMemoryBytes()
+};
+
+/// Checkpoint economics of the incremental prefix-replay engine for one
+/// exploration (PrefixReplayEngine). All-zero with enabled == false when
+/// incremental mode is off. Stage/eviction placement is a pure performance
+/// policy — observable schedule counts are byte-identical regardless — so
+/// these feed the bench report scoreboard, never count comparisons.
+struct CheckpointStats {
+  bool enabled = false;
+  std::uint64_t stages = 0;          ///< distinct depths staged over the run
+  std::uint64_t bytesStaged = 0;     ///< sum of approx bytes at staging time
+  std::uint64_t evictions = 0;       ///< stages dropped to honour the budget
+  /// prepareNext calls where an evicted stage would have served the
+  /// divergence better than the deepest surviving one (the cost of the
+  /// budget: extra replay distance).
+  std::uint64_t replayFallbacks = 0;
 };
 
 /// Per-worker share of a parallel exploration (explore/parallel_explorer.hpp):
@@ -162,6 +195,7 @@ struct ExplorationResult {
   core::EquivalenceChecker::Stats theorem22;  ///< lazy HBR -> state (if enabled)
   std::vector<trace::RaceReport> races;
   PrefixCacheStats cacheStats;  ///< zero unless the strategy uses an HbrCache
+  CheckpointStats checkpointStats;  ///< zero unless incremental replay ran
   ParallelStats parallel;       ///< zero-workers unless sharded (see above)
 
   [[nodiscard]] bool foundViolation() const noexcept { return !violations.empty(); }

@@ -36,12 +36,13 @@ struct FrontierJob {
 /// A worker's private exploration kit plus its share of the statistics.
 /// Nothing in here is touched by any other thread until the merge.
 struct WorkerContext {
-  explicit WorkerContext(const ExplorerOptions& opts)
+  WorkerContext(const ExplorerOptions& opts, std::uint64_t snapshotBudgetBytes)
       : recorder(trace::TraceRecorder::Options{opts.keepPredecessors,
                                                opts.detectRaces}),
         engine(stackPool, recorder, opts.incremental,
                opts.checkpointable &&
-                   runtime::Execution::checkpointingSupported()) {}
+                   runtime::Execution::checkpointingSupported(),
+               snapshotBudgetBytes) {}
 
   runtime::StackPool stackPool;
   trace::TraceRecorder recorder;
@@ -80,9 +81,17 @@ struct ParallelExplorer::Impl {
        std::uint64_t seed)
       : options(opts), relation(rel), pool(opts.workers, seed) {
     const int n = pool.workerCount();
+    // Each worker runs its own replay engine, so the scenario's snapshot
+    // budget is split evenly across them — the combined footprint stays
+    // what the user asked for, not workers× it (0 stays unlimited).
+    const std::uint64_t perWorkerBudget =
+        opts.snapshotBudgetBytes == 0
+            ? 0
+            : std::max<std::uint64_t>(
+                  1, opts.snapshotBudgetBytes / static_cast<std::uint64_t>(n));
     contexts.reserve(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {
-      contexts.push_back(std::make_unique<WorkerContext>(opts));
+      contexts.push_back(std::make_unique<WorkerContext>(opts, perWorkerBudget));
     }
   }
 
@@ -332,6 +341,12 @@ ExplorationResult ParallelExplorer::explore(const Program& program) {
     result.totalEvents += cx.events;
     result.eventsElided += cx.engine.eventsElided();
     result.eventsReplayed += cx.engine.eventsReplayed();
+    result.checkpointStats.enabled =
+        result.checkpointStats.enabled || cx.engine.incremental();
+    result.checkpointStats.stages += cx.engine.stagesCreated();
+    result.checkpointStats.bytesStaged += cx.engine.bytesStaged();
+    result.checkpointStats.evictions += cx.engine.evictions();
+    result.checkpointStats.replayFallbacks += cx.engine.replayFallbacks();
     hbrs.insert(cx.hbrs.begin(), cx.hbrs.end());
     lazyHbrs.insert(cx.lazyHbrs.begin(), cx.lazyHbrs.end());
     states.insert(cx.states.begin(), cx.states.end());

@@ -37,6 +37,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "runtime/execution.hpp"
 #include "trace/trace_recorder.hpp"
@@ -55,9 +56,16 @@ class PrefixReplayEngine {
   /// `incremental` turns the engine on at all; `runtimeRollback`
   /// additionally enables the full tier (the caller is responsible for
   /// checking the program's checkpointable contract and
-  /// Execution::checkpointingSupported()).
+  /// Execution::checkpointingSupported()). `snapshotBudgetBytes` bounds the
+  /// approximate bytes held by staged checkpoints (0 = unlimited): staging
+  /// past the budget evicts the shallowest staged depth — the one furthest
+  /// from the frontier of a deepest-first walk — and a later divergence
+  /// into an evicted region falls back to the deepest surviving shallower
+  /// stage (or a full restart). Pure performance policy: counts stay
+  /// byte-identical at any budget.
   PrefixReplayEngine(runtime::StackPool& stackPool, trace::TraceRecorder& recorder,
-                     bool incremental, bool runtimeRollback);
+                     bool incremental, bool runtimeRollback,
+                     std::uint64_t snapshotBudgetBytes);
 
   PrefixReplayEngine(const PrefixReplayEngine&) = delete;
   PrefixReplayEngine& operator=(const PrefixReplayEngine&) = delete;
@@ -94,12 +102,42 @@ class PrefixReplayEngine {
   /// Successful runtime rollbacks / cold restarts of the persistent execution.
   [[nodiscard]] std::uint64_t rollbacks() const noexcept { return rollbacks_; }
   [[nodiscard]] std::uint64_t fullRestarts() const noexcept { return fullRestarts_; }
+  /// Distinct depths staged over the whole run (re-stages of a still-live
+  /// depth do not count).
+  [[nodiscard]] std::uint64_t stagesCreated() const noexcept { return stagesCreated_; }
+  /// Sum of approximate checkpoint bytes at their staging time.
+  [[nodiscard]] std::uint64_t bytesStaged() const noexcept { return bytesStaged_; }
+  /// Stages evicted to honour the byte budget.
+  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
+  /// prepareNext calls where an evicted stage would have served the chosen
+  /// divergence better than the deepest surviving one.
+  [[nodiscard]] std::uint64_t replayFallbacks() const noexcept { return replayFallbacks_; }
+  /// Approximate bytes currently held by live staged checkpoints.
+  [[nodiscard]] std::uint64_t liveSnapshotBytes() const noexcept { return liveBytes_; }
 
  private:
+  /// One live staged depth with the approximate bytes it pinned when staged
+  /// (kept sorted by depth: staging is strictly deepening between rollbacks).
+  struct StageInfo {
+    std::size_t depth = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  /// Evict shallowest-first until the ledger fits the budget; never evicts
+  /// the deepest (just-staged) stage — it is the imminent rollback target.
+  void enforceBudget();
+  /// Reconcile the ledger with a prepareNext decision: count a replay
+  /// fallback if an evicted depth in (keepAtOrBelow, divergenceDepth] would
+  /// have been the better rollback target, drop ledger entries above
+  /// keepAtOrBelow, and (after a full restart) re-price surviving stages to
+  /// their recorder-only cost.
+  void settleStages(std::size_t keepAtOrBelow, std::size_t divergenceDepth,
+                    bool repriceRecorderOnly);
   runtime::StackPool& stackPool_;
   trace::TraceRecorder& recorder_;
   bool incremental_;
   bool runtimeRollback_;
+  std::uint64_t budgetBytes_;  ///< 0 = unlimited
 
   std::unique_ptr<runtime::Execution> exec_;
   bool pendingResume_ = false;
@@ -111,6 +149,14 @@ class PrefixReplayEngine {
   std::uint64_t eventsReplayed_ = 0;
   std::uint64_t rollbacks_ = 0;
   std::uint64_t fullRestarts_ = 0;
+
+  std::vector<StageInfo> stages_;          ///< live stages, sorted by depth
+  std::vector<std::size_t> evictedDepths_; ///< evicted, still above no live stage
+  std::uint64_t liveBytes_ = 0;
+  std::uint64_t stagesCreated_ = 0;
+  std::uint64_t bytesStaged_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t replayFallbacks_ = 0;
 };
 
 }  // namespace lazyhb::explore

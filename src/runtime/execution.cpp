@@ -183,15 +183,21 @@ std::size_t Execution::checkpoint() {
     }
     ts.image = cached.image;
   }
-  if (s.objects.size() < s.objectCount) s.objects.resize(s.objectCount);
-  for (std::size_t i = 0; i < s.objectCount; ++i) {
-    const ObjectInfo& o = objects_[i];
-    ObjectSnapshot& os = s.objects[i];
-    os.valueHash = o.valueHash;
-    os.a = o.a;
-    os.waiters.assign(o.waiters.begin(), o.waiters.end());
-  }
+  // Object state is not copied: the undo log above `undoMark` is this
+  // stage's pre-image. A fresh epoch makes the next write to any object
+  // log it again (relative to *this* checkpoint).
+  s.undoMark = undoSize_;
+  currentEpoch_ = ++epochCounter_;
   return depth;
+}
+
+void Execution::logObjectUndo(std::int32_t index, const ObjectInfo& o) {
+  if (undoSize_ == undoLog_.size()) undoLog_.emplace_back();
+  ObjectUndo& u = undoLog_[undoSize_++];
+  u.index = index;
+  u.valueHash = o.valueHash;
+  u.a = o.a;
+  u.waiters.assign(o.waiters.begin(), o.waiters.end());
 }
 
 std::size_t Execution::deepestCheckpointAtOrBelow(std::size_t depth) const noexcept {
@@ -205,6 +211,7 @@ void Execution::rollbackTo(std::size_t depth) {
   LAZYHB_CHECK(resumable_ && ran_ && done_);
   LAZYHB_CHECK(g_current == nullptr);
   while (!snapshots_.empty() && snapshots_.back().depth > depth) {
+    for (ThreadSnapshot& ts : snapshots_.back().threads) ts.image = nullptr;
     snapshotPool_.push_back(std::move(snapshots_.back()));
     snapshots_.pop_back();
   }
@@ -256,14 +263,22 @@ void Execution::rollbackTo(std::size_t depth) {
     }
   }
 
-  objects_.resize(s.objectCount);
-  for (std::size_t i = 0; i < s.objectCount; ++i) {
-    ObjectInfo& o = objects_[i];
-    const ObjectSnapshot& os = s.objects[i];
-    o.valueHash = os.valueHash;
-    o.a = os.a;
-    o.waiters.assign(os.waiters.begin(), os.waiters.end());
+  // Replay the undo log backwards to this stage's mark, then drop the
+  // objects registered past the checkpoint. Replay-before-truncate order
+  // matters: entries can reference indices >= s.objectCount (objects that
+  // existed under a deeper stage), which must still be addressable while
+  // their pre-images are applied — the resize then discards them.
+  while (undoSize_ > s.undoMark) {
+    ObjectUndo& u = undoLog_[--undoSize_];
+    ObjectInfo& o = objects_[static_cast<std::size_t>(u.index)];
+    o.valueHash = u.valueHash;
+    o.a = u.a;
+    o.waiters.swap(u.waiters);  // entry is consumed; swap keeps capacity pooled
   }
+  objects_.resize(s.objectCount);
+  // New epoch: post-rollback writes must re-log their pre-images so this
+  // same stage can be rolled back to again (once per remaining sibling).
+  currentEpoch_ = ++epochCounter_;
 
   events_.resize(depth);
   choices_.resize(depth);
@@ -273,6 +288,35 @@ void Execution::rollbackTo(std::size_t depth) {
   finalFingerprint_ = support::Hash128{};
   teardownFuel_ = 0;
   LAZYHB_CHECK(!abandoning_);
+}
+
+bool Execution::evictCheckpoint(std::size_t depth) {
+  for (std::size_t i = 0; i < snapshots_.size(); ++i) {
+    if (snapshots_[i].depth != depth) continue;
+    // Release the fiber images now — a pooled entry would otherwise keep
+    // them alive until reuse. The undo log keeps this stage's entries:
+    // rolling back past this depth to a shallower stage replays them.
+    for (ThreadSnapshot& ts : snapshots_[i].threads) ts.image = nullptr;
+    snapshotPool_.push_back(std::move(snapshots_[i]));
+    snapshots_.erase(snapshots_.begin() + static_cast<std::ptrdiff_t>(i));
+    return true;
+  }
+  return false;
+}
+
+std::size_t Execution::checkpointApproxBytes(std::size_t depth) const noexcept {
+  for (const ExecSnapshot& s : snapshots_) {
+    if (s.depth != depth) continue;
+    std::size_t bytes = sizeof(ExecSnapshot);
+    for (std::size_t i = 0; i < s.threadCount; ++i) {
+      bytes += sizeof(ThreadSnapshot);
+      if (s.threads[i].image != nullptr) {
+        bytes += sizeof(ThreadImage) + s.threads[i].image->fiber.bytes.size();
+      }
+    }
+    return bytes;
+  }
+  return 0;
 }
 
 void Execution::advance(int tid) {
@@ -472,6 +516,7 @@ void Execution::varPublish(std::int32_t object, OpKind kind) {
 void Execution::varCommit(std::int32_t object, OpKind kind,
                           std::uint64_t newValueHash) {
   if (kind != OpKind::Read) {
+    touchObject(object);
     objects_[static_cast<std::size_t>(object)].valueHash = newValueHash;
   }
   recordEvent(kind, object, -1, 0);
@@ -482,6 +527,7 @@ void Execution::mutexLock(std::int32_t object) {
   if (abandoning_) return;
   ObjectInfo& m = objects_[static_cast<std::size_t>(object)];
   LAZYHB_CHECK(m.a == -1);  // the scheduler only grants lock when free
+  touchObject(object);
   m.a = currentThread_;
   recordEvent(OpKind::Lock, object, -1, 0);
 }
@@ -494,6 +540,7 @@ void Execution::mutexUnlock(std::int32_t object) {
     failUsage("unlock of mutex '" + m.name + "' not held by the calling thread");
     return;
   }
+  touchObject(object);
   m.a = -1;
   recordEvent(OpKind::Unlock, object, -1, 0);
 }
@@ -503,7 +550,10 @@ bool Execution::mutexTryLock(std::int32_t object) {
   if (abandoning_) return false;
   ObjectInfo& m = objects_[static_cast<std::size_t>(object)];
   const bool acquired = m.a == -1;
-  if (acquired) m.a = currentThread_;
+  if (acquired) {
+    touchObject(object);
+    m.a = currentThread_;
+  }
   recordEvent(OpKind::TryLock, object, -1, acquired ? 1 : 0);
   return acquired;
 }
@@ -522,6 +572,7 @@ void Execution::condWait(std::int32_t condvar, std::int32_t mutex) {
               "' without holding mutex '" + m.name + "'");
     return;
   }
+  touchObject(mutex);
   m.a = -1;  // atomically release with the park
   recordEvent(OpKind::Wait, condvar, mutex, 0);
 
@@ -530,6 +581,7 @@ void Execution::condWait(std::int32_t condvar, std::int32_t mutex) {
     ThreadRec& me = threads_[static_cast<std::size_t>(currentThread_)];
     me.pendingOp = PendingOp{false, OpKind::Reacquire, condvar, mutex, -1, 0};
     me.status = ThreadStatus::Parked;
+    touchObject(condvar);
     objects_[static_cast<std::size_t>(condvar)].waiters.push_back(currentThread_);
     me.fiber->yieldToHost();
   }
@@ -541,6 +593,7 @@ void Execution::condWait(std::int32_t condvar, std::int32_t mutex) {
   // Granted the re-acquisition (mutex is free, scheduler picked us).
   ObjectInfo& m2 = objects_[static_cast<std::size_t>(mutex)];
   LAZYHB_CHECK(m2.a == -1);
+  touchObject(mutex);
   m2.a = currentThread_;
   recordEvent(OpKind::Reacquire, condvar, mutex, 0);
 }
@@ -551,6 +604,7 @@ void Execution::condSignal(std::int32_t condvar) {
   const std::int32_t signalEvent = recordEvent(OpKind::Signal, condvar, -1, 0);
   ObjectInfo& cv = objects_[static_cast<std::size_t>(condvar)];
   if (!cv.waiters.empty()) {
+    touchObject(condvar);
     const int waiter = cv.waiters.front();
     cv.waiters.erase(cv.waiters.begin());
     ThreadRec& w = threads_[static_cast<std::size_t>(waiter)];
@@ -566,6 +620,7 @@ void Execution::condBroadcast(std::int32_t condvar) {
   if (abandoning_) return;
   const std::int32_t signalEvent = recordEvent(OpKind::Broadcast, condvar, -1, 0);
   ObjectInfo& cv = objects_[static_cast<std::size_t>(condvar)];
+  if (!cv.waiters.empty()) touchObject(condvar);
   for (const int waiter : cv.waiters) {
     ThreadRec& w = threads_[static_cast<std::size_t>(waiter)];
     LAZYHB_CHECK(w.status == ThreadStatus::Parked);
@@ -581,6 +636,7 @@ void Execution::semAcquire(std::int32_t semaphore) {
   if (abandoning_) return;
   ObjectInfo& s = objects_[static_cast<std::size_t>(semaphore)];
   LAZYHB_CHECK(s.a > 0);
+  touchObject(semaphore);
   --s.a;
   recordEvent(OpKind::SemAcquire, semaphore, -1, 0);
 }
@@ -588,6 +644,7 @@ void Execution::semAcquire(std::int32_t semaphore) {
 void Execution::semRelease(std::int32_t semaphore) {
   publishAndPark(OpKind::SemRelease, semaphore, -1, -1, 0);
   if (abandoning_) return;
+  touchObject(semaphore);
   ++objects_[static_cast<std::size_t>(semaphore)].a;
   recordEvent(OpKind::SemRelease, semaphore, -1, 0);
 }

@@ -109,6 +109,10 @@ struct ObjectInfo {
   std::uint64_t valueHash = 0;
   std::int64_t a = -1;
   std::vector<int> waiters;  ///< CondVar: parked thread indices, FIFO
+  /// Dirty stamp: the checkpoint epoch that last undo-logged this object.
+  /// Engine-internal (undo-log staging); epochs are never reused, so a
+  /// stale stamp is simply "not dirty in the current epoch".
+  std::uint64_t epoch = 0;
 };
 
 /// Details of a detected violation (assertion failure, deadlock, API
@@ -163,6 +167,19 @@ class Execution {
   /// exactly `depth`, discarding deeper ones (they stay staged for reuse —
   /// a node can be rolled back to once per remaining sibling).
   void rollbackTo(std::size_t depth);
+
+  /// Drop the staged checkpoint at exactly `depth`, freeing its fiber
+  /// images (byte-budgeted snapshot store; explore/prefix_replay.hpp owns
+  /// the policy). The undo log is retained — rolling back *past* an evicted
+  /// depth to a shallower stage still replays its entries. Returns false
+  /// when nothing is staged at that depth.
+  bool evictCheckpoint(std::size_t depth);
+
+  /// Approximate resident bytes of the checkpoint staged at `depth`:
+  /// dominated by the fiber stack images (which adjacent checkpoints may
+  /// share — this counts each referenced image in full, an upper bound).
+  /// 0 when nothing is staged at that depth.
+  [[nodiscard]] std::size_t checkpointApproxBytes(std::size_t depth) const noexcept;
 
   /// Continue a rolled-back execution under `scheduler` from its restored
   /// scheduling point. Returns like run().
@@ -228,7 +245,8 @@ class Execution {
   [[nodiscard]] std::int64_t varBits(std::int32_t object) const noexcept {
     return objects_[static_cast<std::size_t>(object)].a;
   }
-  void setVarBits(std::int32_t object, std::int64_t bits) noexcept {
+  void setVarBits(std::int32_t object, std::int64_t bits) {
+    touchObject(object);
     objects_[static_cast<std::size_t>(object)].a = bits;
   }
 
@@ -315,21 +333,28 @@ class Execution {
   };
   static constexpr std::uint32_t kInvalidVersion = static_cast<std::uint32_t>(-1);
 
-  /// Rollback snapshot of one object's mutable state (uid/kind/name are
-  /// immutable after registration and need no copy).
-  struct ObjectSnapshot {
+  /// One undo-log entry: the pre-image of an object's mutable state the
+  /// first time it is written after a checkpoint (uid/kind/name are
+  /// immutable after registration and need no copy). Replaying entries
+  /// newest-first restores the object table to any staged depth, so
+  /// checkpoint() costs O(objects touched since the last stage) instead of
+  /// O(all objects).
+  struct ObjectUndo {
+    std::int32_t index = -1;
     std::uint64_t valueHash = 0;
     std::int64_t a = -1;
     std::vector<int> waiters;
   };
 
-  /// One staged rollback point of the whole execution.
+  /// One staged rollback point of the whole execution. Object state is not
+  /// copied: `undoMark` remembers the undo-log length at staging time, and
+  /// rollback replays the entries above it backwards.
   struct ExecSnapshot {
     std::size_t depth = 0;  ///< events_.size() == choices_.size()
     std::size_t threadCount = 0;
     std::size_t objectCount = 0;
+    std::size_t undoMark = 0;  ///< undo-log length when this was staged
     std::vector<ThreadSnapshot> threads;
-    std::vector<ObjectSnapshot> objects;
   };
 
   /// Run tid's fiber until it publishes its next operation or finishes.
@@ -350,6 +375,18 @@ class Execution {
   /// Returns the event's global index.
   std::int32_t recordEvent(OpKind kind, std::int32_t object,
                            std::int32_t mutexObject, std::uint64_t aux);
+
+  /// Dirty-tracking hook: called before the first mutation of an object's
+  /// state since the last checkpoint; logs its pre-image once per epoch.
+  /// No-op when nothing is staged (there is nothing to roll back to).
+  void touchObject(std::int32_t index) {
+    if (snapshots_.empty()) return;
+    ObjectInfo& o = objects_[static_cast<std::size_t>(index)];
+    if (o.epoch == currentEpoch_) return;
+    o.epoch = currentEpoch_;
+    logObjectUndo(index, o);
+  }
+  void logObjectUndo(std::int32_t index, const ObjectInfo& o);
 
   [[nodiscard]] bool isEnabled(const ThreadRec& t) const;
   [[nodiscard]] bool allFinished() const;
@@ -378,11 +415,21 @@ class Execution {
   Violation violation_;
   support::Hash128 finalFingerprint_;
 
-  // Staged rollback points (resumable mode), shallow -> deep; entries are
-  // pooled so their vectors keep capacity across restage cycles.
+  // Staged rollback points (resumable mode), shallow -> deep (eviction may
+  // leave depth gaps); entries are pooled so their vectors keep capacity
+  // across restage cycles.
   std::vector<ExecSnapshot> snapshots_;
   std::vector<ExecSnapshot> snapshotPool_;
   std::vector<ImageCacheEntry> imageCache_;  // per thread, advanceCount-keyed
+
+  // Object undo log (see ObjectUndo): an arena indexed by undoSize_ — the
+  // vector never shrinks, so the per-entry waiters vectors keep their
+  // capacity across reuse. Epochs are handed out by a monotone counter;
+  // an object is logged at most once per epoch.
+  std::vector<ObjectUndo> undoLog_;
+  std::size_t undoSize_ = 0;
+  std::uint64_t epochCounter_ = 0;
+  std::uint64_t currentEpoch_ = 0;
 };
 
 }  // namespace lazyhb::runtime

@@ -54,6 +54,7 @@ void TraceRecorder::resetAll() {
   prefixFull_ = support::MultisetHash{};
   prefixLazy_ = support::MultisetHash{};
   races_.clear();
+  undoSize_ = 0;  // no stages left to roll back to; entries are dead
   recycleCheckpoints();
 }
 
@@ -96,23 +97,30 @@ std::size_t TraceRecorder::checkpoint() {
                             threadLastEvent_.begin() +
                                 static_cast<std::ptrdiff_t>(threadCount_));
   cp.objectCount = objectCount_;
-  if (cp.objects.size() < objectCount_) cp.objects.resize(objectCount_);
-  for (std::size_t i = 0; i < objectCount_; ++i) {
-    const ObjectHistory& h = objects_[i];
-    ObjectCursor& c = cp.objects[i];
-    c.lastWrite = h.lastWrite;
-    c.readersSinceWrite.assign(h.readersSinceWrite.begin(), h.readersSinceWrite.end());
-    c.lastChainOp = h.lastChainOp;
-    c.chainSize = h.chain.size();
-    c.lastTryLock = h.lastTryLock;
-    c.mutexOpsSinceTryLock.assign(h.mutexOpsSinceTryLock.begin(),
-                                  h.mutexOpsSinceTryLock.end());
-    c.lastReleaseEvent = h.lastReleaseEvent;
-    c.lastWriteEvent = h.lastWriteEvent;
-    c.lastReadPerThread.assign(h.lastReadPerThread.begin(), h.lastReadPerThread.end());
-  }
+  // Object cursors are not copied: the undo log above `undoMark` is this
+  // stage's pre-image. A fresh epoch makes the next update of any history
+  // log it again (relative to *this* checkpoint).
+  cp.undoMark = undoSize_;
+  currentEpoch_ = ++epochCounter_;
   cp.raceCount = races_.size();
   return eventCount_;
+}
+
+void TraceRecorder::logHistoryUndo(std::int32_t index, const ObjectHistory& h) {
+  if (undoSize_ == undoLog_.size()) undoLog_.emplace_back();
+  ObjectUndo& u = undoLog_[undoSize_++];
+  u.index = index;
+  ObjectCursor& c = u.cursor;
+  c.lastWrite = h.lastWrite;
+  c.readersSinceWrite.assign(h.readersSinceWrite.begin(), h.readersSinceWrite.end());
+  c.lastChainOp = h.lastChainOp;
+  c.chainSize = h.chain.size();
+  c.lastTryLock = h.lastTryLock;
+  c.mutexOpsSinceTryLock.assign(h.mutexOpsSinceTryLock.begin(),
+                                h.mutexOpsSinceTryLock.end());
+  c.lastReleaseEvent = h.lastReleaseEvent;
+  c.lastWriteEvent = h.lastWriteEvent;
+  c.lastReadPerThread.assign(h.lastReadPerThread.begin(), h.lastReadPerThread.end());
 }
 
 std::size_t TraceRecorder::deepestCheckpointAtOrBelow(std::size_t depth) const noexcept {
@@ -142,23 +150,50 @@ void TraceRecorder::rollbackTo(std::size_t depth) {
   for (std::size_t i = 0; i < cp.threadCount; ++i) {
     threadLastEvent_[i] = cp.threadLastEvent[i];
   }
-  objectCount_ = cp.objectCount;
-  for (std::size_t i = 0; i < cp.objectCount; ++i) {
-    ObjectHistory& h = objects_[i];
-    const ObjectCursor& c = cp.objects[i];
+  // Replay the undo log backwards to this stage's mark. Entries can
+  // reference histories past cp.objectCount (objects that existed under a
+  // deeper stage); applying them is harmless — those histories are dead
+  // until a re-registration resets them. Swaps consume the entry and keep
+  // the arena slot's vector capacity pooled.
+  while (undoSize_ > cp.undoMark) {
+    ObjectUndo& u = undoLog_[--undoSize_];
+    ObjectHistory& h = objects_[static_cast<std::size_t>(u.index)];
+    ObjectCursor& c = u.cursor;
     h.lastWrite = c.lastWrite;
-    h.readersSinceWrite.assign(c.readersSinceWrite.begin(), c.readersSinceWrite.end());
+    h.readersSinceWrite.swap(c.readersSinceWrite);
     h.lastChainOp = c.lastChainOp;
     LAZYHB_ASSERT(h.chain.size() >= c.chainSize);
     h.chain.resize(c.chainSize);
     h.lastTryLock = c.lastTryLock;
-    h.mutexOpsSinceTryLock.assign(c.mutexOpsSinceTryLock.begin(),
-                                  c.mutexOpsSinceTryLock.end());
+    h.mutexOpsSinceTryLock.swap(c.mutexOpsSinceTryLock);
     h.lastReleaseEvent = c.lastReleaseEvent;
     h.lastWriteEvent = c.lastWriteEvent;
-    h.lastReadPerThread.assign(c.lastReadPerThread.begin(), c.lastReadPerThread.end());
+    h.lastReadPerThread.swap(c.lastReadPerThread);
   }
+  objectCount_ = cp.objectCount;
+  // New epoch: post-rollback updates must re-log their pre-images so this
+  // same stage can be rolled back to again.
+  currentEpoch_ = ++epochCounter_;
   races_.resize(cp.raceCount);
+}
+
+bool TraceRecorder::evictCheckpoint(std::size_t depth) {
+  for (std::size_t i = 0; i < checkpoints_.size(); ++i) {
+    if (checkpoints_[i].eventCount != depth) continue;
+    checkpointPool_.push_back(std::move(checkpoints_[i]));
+    checkpoints_.erase(checkpoints_.begin() + static_cast<std::ptrdiff_t>(i));
+    return true;
+  }
+  return false;
+}
+
+std::size_t TraceRecorder::checkpointApproxBytes(std::size_t depth) const noexcept {
+  for (const Checkpoint& cp : checkpoints_) {
+    if (cp.eventCount != depth) continue;
+    return sizeof(Checkpoint) +
+           cp.threadLastEvent.capacity() * sizeof(std::int32_t);
+  }
+  return 0;
 }
 
 void TraceRecorder::armResume(std::size_t depth) {
@@ -492,9 +527,13 @@ void TraceRecorder::onEvent(const runtime::Execution& exec, const EventRecord& e
     p.sync.assign(syncPreds.begin(), syncPreds.end());
   }
 
-  // History updates (after race checks and hashes).
+  // History updates (after race checks and hashes). Each touchHistory call
+  // undo-logs the history's pre-image on its first update since the last
+  // checkpoint — and must precede taking the reference it guards (the
+  // history() call inside may grow objects_).
   switch (ev.kind) {
     case OpKind::Read: {
+      touchHistory(ev.objectIndex);
       ObjectHistory& h = history(ev.objectIndex);
       h.readersSinceWrite.push_back(index);
       if (options_.detectRaces) {
@@ -512,6 +551,7 @@ void TraceRecorder::onEvent(const runtime::Execution& exec, const EventRecord& e
     }
     case OpKind::Write:
     case OpKind::Rmw: {
+      touchHistory(ev.objectIndex);
       ObjectHistory& h = history(ev.objectIndex);
       h.lastWrite = index;
       h.readersSinceWrite.clear();
@@ -522,6 +562,7 @@ void TraceRecorder::onEvent(const runtime::Execution& exec, const EventRecord& e
       break;
     }
     case OpKind::Lock: {
+      touchHistory(ev.objectIndex);
       ObjectHistory& h = history(ev.objectIndex);
       h.lastChainOp = index;
       h.chain.push_back(index);
@@ -529,6 +570,7 @@ void TraceRecorder::onEvent(const runtime::Execution& exec, const EventRecord& e
       break;
     }
     case OpKind::Unlock: {
+      touchHistory(ev.objectIndex);
       ObjectHistory& h = history(ev.objectIndex);
       h.lastChainOp = index;
       h.chain.push_back(index);
@@ -537,6 +579,7 @@ void TraceRecorder::onEvent(const runtime::Execution& exec, const EventRecord& e
       break;
     }
     case OpKind::TryLock: {
+      touchHistory(ev.objectIndex);
       ObjectHistory& h = history(ev.objectIndex);
       h.lastChainOp = index;
       h.chain.push_back(index);
@@ -545,6 +588,8 @@ void TraceRecorder::onEvent(const runtime::Execution& exec, const EventRecord& e
       break;
     }
     case OpKind::Wait: {
+      touchHistory(ev.objectIndex);
+      touchHistory(ev.mutexIndex);
       ObjectHistory& cv = history(ev.objectIndex);
       cv.lastChainOp = index;
       cv.chain.push_back(index);
@@ -556,6 +601,8 @@ void TraceRecorder::onEvent(const runtime::Execution& exec, const EventRecord& e
       break;
     }
     case OpKind::Reacquire: {
+      touchHistory(ev.objectIndex);
+      touchHistory(ev.mutexIndex);
       ObjectHistory& cv = history(ev.objectIndex);
       cv.lastChainOp = index;
       cv.chain.push_back(index);
@@ -571,6 +618,7 @@ void TraceRecorder::onEvent(const runtime::Execution& exec, const EventRecord& e
     case OpKind::SemRelease:
     case OpKind::Spawn:
     case OpKind::Join: {
+      touchHistory(ev.objectIndex);
       ObjectHistory& h = history(ev.objectIndex);
       h.lastChainOp = index;
       h.chain.push_back(index);

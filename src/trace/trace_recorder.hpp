@@ -134,6 +134,22 @@ class TraceRecorder final : public runtime::ExecutionObserver {
   /// replay of the previous one.
   void armResume(std::size_t depth);
 
+  /// Drop the staged checkpoint at exactly `depth` (byte-budgeted snapshot
+  /// store; explore/prefix_replay.hpp owns the policy). The undo log keeps
+  /// its entries — rolling back past an evicted depth still replays them.
+  /// Returns false when nothing is staged at that depth.
+  bool evictCheckpoint(std::size_t depth);
+
+  /// Approximate resident bytes of the checkpoint staged at `depth` (the
+  /// recorder side is cursors only, so this is small next to the fiber
+  /// images of Execution::checkpointApproxBytes). 0 when nothing is staged.
+  [[nodiscard]] std::size_t checkpointApproxBytes(std::size_t depth) const noexcept;
+
+  /// Live undo-log entries: one per object touched per checkpoint epoch.
+  /// Introspection for tests pinning the O(touched) staging contract (two
+  /// writes to one object between stages must coalesce into one entry).
+  [[nodiscard]] std::size_t undoLogSize() const noexcept { return undoSize_; }
+
   /// Events skipped as already-recorded replays since construction.
   [[nodiscard]] std::uint64_t replaysSkipped() const noexcept { return replaysSkipped_; }
 
@@ -192,6 +208,10 @@ class TraceRecorder final : public runtime::ExecutionObserver {
     // Race detection:
     std::int32_t lastWriteEvent = -1;
     std::vector<std::pair<int, std::int32_t>> lastReadPerThread;  // (tid, event)
+    /// Dirty stamp: the checkpoint epoch that last undo-logged this history.
+    /// Epochs are never reused, so reset() need not clear it — a stale stamp
+    /// simply reads as "not dirty in the current epoch".
+    std::uint64_t epoch = 0;
 
     /// Clears per-execution state; every vector keeps its capacity, so a
     /// steady-state execution allocates nothing here.
@@ -210,7 +230,7 @@ class TraceRecorder final : public runtime::ExecutionObserver {
     }
   };
 
-  /// Rollback snapshot of one object's non-monotonic cursors. The chain is
+  /// Pre-image of one object's non-monotonic cursors. The chain is
   /// append-only, so its length suffices; the clearable vectors are copied.
   struct ObjectCursor {
     std::int32_t lastWrite = -1;
@@ -224,7 +244,18 @@ class TraceRecorder final : public runtime::ExecutionObserver {
     std::vector<std::pair<int, std::int32_t>> lastReadPerThread;
   };
 
+  /// One undo-log entry: an object's cursor pre-image, logged on its first
+  /// history update after a checkpoint — so checkpoint() costs O(objects
+  /// touched since the last stage) instead of O(all objects), and rollback
+  /// replays entries newest-first.
+  struct ObjectUndo {
+    std::int32_t index = -1;
+    ObjectCursor cursor;
+  };
+
   /// One staged rollback point: the non-truncatable state at a depth.
+  /// Object cursors are not copied — `undoMark` remembers the undo-log
+  /// length at staging time.
   struct Checkpoint {
     std::size_t eventCount = 0;
     support::MultisetHash prefixFull;
@@ -232,12 +263,24 @@ class TraceRecorder final : public runtime::ExecutionObserver {
     std::size_t threadCount = 0;
     std::vector<std::int32_t> threadLastEvent;
     std::size_t objectCount = 0;
-    std::vector<ObjectCursor> objects;
+    std::size_t undoMark = 0;
     std::size_t raceCount = 0;
   };
 
   void resetAll();
   void recycleCheckpoints() noexcept;
+
+  /// Dirty-tracking hook: called before the first history update of an
+  /// object since the last checkpoint; logs its cursor pre-image once per
+  /// epoch. No-op when nothing is staged.
+  void touchHistory(std::int32_t index) {
+    if (checkpoints_.empty()) return;
+    ObjectHistory& h = history(index);
+    if (h.epoch == currentEpoch_) return;
+    h.epoch = currentEpoch_;
+    logHistoryUndo(index, h);
+  }
+  void logHistoryUndo(std::int32_t index, const ObjectHistory& h);
 
   ObjectHistory& history(std::int32_t objectIndex);
   [[nodiscard]] const ClockArena& arena(Relation r) const noexcept;
@@ -276,9 +319,19 @@ class TraceRecorder final : public runtime::ExecutionObserver {
   std::vector<std::int32_t> scratchSync_;
 
   // Incremental prefix replay. Checkpoint entries are pooled so the nested
-  // cursor vectors keep their capacity across stage/discard cycles.
+  // cursor vectors keep their capacity across stage/discard cycles;
+  // eviction may leave depth gaps in the stack.
   std::vector<Checkpoint> checkpoints_;     // stack, shallow -> deep
   std::vector<Checkpoint> checkpointPool_;  // recycled entries
+
+  // Object-cursor undo log: an arena indexed by undoSize_ — the vector
+  // never shrinks, so per-entry cursor vectors keep capacity across reuse.
+  // Epochs come from a monotone counter; one log entry per object per epoch.
+  std::vector<ObjectUndo> undoLog_;
+  std::size_t undoSize_ = 0;
+  std::uint64_t epochCounter_ = 0;
+  std::uint64_t currentEpoch_ = 0;
+
   std::size_t pendingResume_ = kNoCheckpoint;
   std::size_t skipEvents_ = 0;  // replayed prefix events left to skip
   std::uint64_t replaysSkipped_ = 0;

@@ -406,12 +406,18 @@ TEST(Report, VersionedAndStructurallySound) {
   const std::string json = campaign::writeReportJson(result, config);
 
   EXPECT_NE(json.find("\"schema\": \"lazyhb-bench-report\""), std::string::npos);
-  EXPECT_NE(json.find("\"version\": 5"), std::string::npos);
-  // Since v4, config.workers is mandatory (bench_diff.py rejects a report
-  // without it). A clean unsharded run emits none of the v5 optional fields.
+  EXPECT_NE(json.find("\"version\": 6"), std::string::npos);
+  // Since v4, config.workers is mandatory, and since v6 so is
+  // config.snapshot_budget (bench_diff.py rejects a report without them).
+  // A clean unsharded run emits none of the v5 optional fields.
   EXPECT_EQ(json.find("\"timed_out\""), std::string::npos);
   EXPECT_EQ(json.find("\"shard\""), std::string::npos);
   EXPECT_NE(json.find("\"workers\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"snapshot_budget\""), std::string::npos);
+  // The campaign ran incrementally, so every cell carries its v6
+  // checkpoint block.
+  EXPECT_NE(json.find("\"checkpoint\""), std::string::npos);
+  EXPECT_NE(json.find("\"bytes_staged\""), std::string::npos);
   EXPECT_NE(json.find("\"inequality_violations\": 0"), std::string::npos);
   EXPECT_NE(json.find("\"explorer\": \"caching-lazy\""), std::string::npos);
   EXPECT_NE(json.find("\"approx_bytes\""), std::string::npos);

@@ -23,7 +23,9 @@
 #include "explore/caching_explorer.hpp"
 #include "explore/dfs_explorer.hpp"
 #include "explore/dpor_explorer.hpp"
+#include "explore/parallel_explorer.hpp"
 #include "explore/prefix_replay.hpp"
+#include "explore/replay.hpp"
 #include "programs/registry.hpp"
 #include "runtime/api.hpp"
 #include "support/rng.hpp"
@@ -55,12 +57,14 @@ bool operator==(const ScheduleTrace& a, const ScheduleTrace& b) {
 /// observe about it.
 std::vector<ScheduleTrace> tracedDfs(const explore::Program& program,
                                      bool incremental, bool checkpointable,
-                                     std::uint64_t limit = 4000) {
+                                     std::uint64_t limit = 4000,
+                                     std::uint64_t snapshotBudgetBytes = 0) {
   trace::TraceRecorder recorder;
   runtime::StackPool pool;
   explore::PrefixReplayEngine engine(
       pool, recorder, incremental,
-      checkpointable && runtime::Execution::checkpointingSupported());
+      checkpointable && runtime::Execution::checkpointingSupported(),
+      snapshotBudgetBytes);
   explore::TreeSearchState state;
   std::vector<ScheduleTrace> traces;
   std::size_t startDepth = 0;
@@ -299,6 +303,220 @@ TEST(IncrementalReplay, ElisionAccountingIsConsistent) {
     EXPECT_EQ(fast.eventsElided + fast.eventsReplayed, base.eventsReplayed);
   }
   EXPECT_LE(fast.eventsElided, fast.totalEvents);
+}
+
+// --- snapshot-budget identity ------------------------------------------------
+//
+// The byte-budgeted snapshot store (explore/prefix_replay.hpp) evicts
+// staged checkpoints under pressure and falls back to replaying from a
+// shallower stage (or a full restart). None of that may move a single
+// observable: traces and counts are byte-identical at any budget.
+
+TEST(IncrementalReplay, TracesIdenticalAtAnySnapshotBudget) {
+  // A 64-byte budget keeps at most the deepest stage alive — every
+  // shallower divergence goes through the eviction fallback path.
+  const char* names[] = {"noisy-counter-3x1", "racy-counter-3", "pingpong-2"};
+  for (const char* name : names) {
+    const programs::ProgramSpec* spec = programs::byName(name);
+    ASSERT_NE(spec, nullptr) << name;
+    const std::vector<ScheduleTrace> baseline = tracedDfs(spec->body, false, false);
+    for (const std::uint64_t budget : {std::uint64_t{64}, std::uint64_t{0}}) {
+      const std::vector<ScheduleTrace> elision =
+          tracedDfs(spec->body, true, false, 4000, budget);
+      ASSERT_EQ(baseline.size(), elision.size()) << name << " budget " << budget;
+      for (std::size_t i = 0; i < baseline.size(); ++i) {
+        EXPECT_TRUE(baseline[i] == elision[i])
+            << name << ": schedule " << i << " diverges at budget " << budget;
+      }
+      if (spec->checkpointable && runtime::Execution::checkpointingSupported()) {
+        const std::vector<ScheduleTrace> rollback =
+            tracedDfs(spec->body, true, true, 4000, budget);
+        ASSERT_EQ(baseline.size(), rollback.size()) << name << " budget " << budget;
+        for (std::size_t i = 0; i < baseline.size(); ++i) {
+          EXPECT_TRUE(baseline[i] == rollback[i])
+              << name << ": schedule " << i
+              << " diverges under rollback at budget " << budget;
+        }
+      }
+    }
+  }
+}
+
+TEST(IncrementalReplay, CountsIdenticalAcrossBudgetAndWorkerMatrix) {
+  // The golden 8-program matrix crossed with undo-log on/off, snapshot
+  // budget {tiny, engine default, unlimited} and workers {1, 4}. The
+  // incremental-off sequential run is the one baseline; every other mode
+  // must reproduce its counts byte-for-byte.
+  const char* names[] = {
+      "disjoint-lock-2", "noisy-counter-3x1", "prodcons-1x1", "trylock-vs-lock",
+      "sem-rendezvous",  "racy-counter-3",    "pingpong-2",   "deadlock-ab",
+  };
+  const std::uint64_t budgets[] = {512, explore::defaultSnapshotBudgetBytes(), 0};
+  for (const char* name : names) {
+    const programs::ProgramSpec* spec = programs::byName(name);
+    ASSERT_NE(spec, nullptr) << name;
+    explore::DfsExplorer off(optionsFor(false, false));
+    const explore::ExplorationResult baseline = off.explore(spec->body);
+    for (const std::uint64_t budget : budgets) {
+      for (const int workers : {1, 4}) {
+        explore::ExplorerOptions options = optionsFor(true, spec->checkpointable);
+        options.snapshotBudgetBytes = budget;
+        options.workers = workers;
+        const std::string label = std::string(name) + " budget " +
+                                  std::to_string(budget) + " workers " +
+                                  std::to_string(workers);
+        if (workers == 1) {
+          explore::DfsExplorer on(options);
+          expectSameCounts(baseline, on.explore(spec->body), label);
+        } else {
+          ASSERT_TRUE(explore::ParallelExplorer::shardable(options)) << label;
+          explore::ParallelExplorer on(options, explore::ParallelStrategy::Dfs,
+                                       /*seed=*/42);
+          expectSameCounts(baseline, on.explore(spec->body), label);
+        }
+      }
+    }
+  }
+}
+
+// --- undo-log mechanics ------------------------------------------------------
+
+/// Captures one execution's observer stream so the recorder's undo-log
+/// machinery can be driven directly (no fibers, no scheduling).
+struct CapturedTrace : runtime::ExecutionObserver {
+  struct Registration {
+    std::int32_t index;
+    runtime::Uid uid;
+    runtime::ObjectKind kind;
+    std::string name;
+  };
+  std::vector<Registration> registrations;
+  std::vector<runtime::EventRecord> events;
+
+  void onObjectRegistered(const runtime::Execution&, std::int32_t index,
+                          runtime::Uid uid, runtime::ObjectKind kind,
+                          const std::string& name) override {
+    registrations.push_back({index, uid, kind, name});
+  }
+  void onEvent(const runtime::Execution&, const runtime::EventRecord& ev) override {
+    events.push_back(ev);
+  }
+};
+
+void coalesceProgram() {
+  Shared<int> a{0, "a"};
+  Shared<int> b{0, "b"};
+  a.store(1);
+  a.store(2);
+  a.store(3);
+  b.store(1);
+  a.store(4);
+}
+
+CapturedTrace captureCoalesceTrace() {
+  runtime::StackPool pool;
+  CapturedTrace captured;
+  runtime::Execution source(runtime::Config{}, pool, &captured);
+  explore::FixedScheduler scheduler({});
+  (void)source.run(coalesceProgram, scheduler);
+  return captured;
+}
+
+TEST(IncrementalReplay, UndoEntriesCoalescePerObjectBetweenStages) {
+  const CapturedTrace captured = captureCoalesceTrace();
+  std::vector<std::size_t> writes;
+  for (std::size_t i = 0; i < captured.events.size(); ++i) {
+    if (captured.events[i].kind == runtime::OpKind::Write) writes.push_back(i);
+  }
+  ASSERT_EQ(writes.size(), 5u);  // a, a, a, b, a
+
+  runtime::StackPool pool;
+  trace::TraceRecorder recorder;
+  runtime::Execution dummy(runtime::Config{}, pool, nullptr);  // never run
+  recorder.onExecutionStart(dummy);
+  for (const auto& reg : captured.registrations) {
+    recorder.onObjectRegistered(dummy, reg.index, reg.uid, reg.kind, reg.name);
+  }
+  std::size_t next = 0;
+  auto feedThrough = [&](std::size_t lastEvent) {
+    for (; next <= lastEvent; ++next) {
+      recorder.onEvent(dummy, captured.events[next]);
+    }
+  };
+
+  // No stage, no undo-logging: the hook must be a no-op.
+  feedThrough(writes[0]);
+  EXPECT_EQ(recorder.undoLogSize(), 0u);
+
+  const std::size_t d0 = recorder.checkpoint();
+  feedThrough(writes[1]);
+  EXPECT_EQ(recorder.undoLogSize(), 1u);  // first touch of `a` this epoch
+  feedThrough(writes[2]);
+  EXPECT_EQ(recorder.undoLogSize(), 1u);  // second write to `a` coalesces
+  feedThrough(writes[3]);
+  EXPECT_EQ(recorder.undoLogSize(), 2u);  // `b` is a fresh object
+
+  const std::size_t d1 = recorder.checkpoint();
+  feedThrough(writes[4]);
+  EXPECT_EQ(recorder.undoLogSize(), 3u);  // new epoch re-logs `a` once
+
+  // Rolling back trims the undo log to each stage's mark.
+  recorder.rollbackTo(d1);
+  EXPECT_EQ(recorder.undoLogSize(), 2u);
+  recorder.rollbackTo(d0);
+  EXPECT_EQ(recorder.undoLogSize(), 0u);
+  EXPECT_EQ(recorder.eventCount(), d0);
+}
+
+TEST(IncrementalReplay, EvictThenRollbackPastEvictedRestoresState) {
+  const CapturedTrace captured = captureCoalesceTrace();
+  std::vector<std::size_t> writes;
+  for (std::size_t i = 0; i < captured.events.size(); ++i) {
+    if (captured.events[i].kind == runtime::OpKind::Write) writes.push_back(i);
+  }
+  ASSERT_EQ(writes.size(), 5u);
+
+  runtime::StackPool pool;
+  trace::TraceRecorder recorder;
+  runtime::Execution dummy(runtime::Config{}, pool, nullptr);  // never run
+  recorder.onExecutionStart(dummy);
+  for (const auto& reg : captured.registrations) {
+    recorder.onObjectRegistered(dummy, reg.index, reg.uid, reg.kind, reg.name);
+  }
+  std::size_t next = 0;
+  auto feedThrough = [&](std::size_t lastEvent) {
+    for (; next <= lastEvent; ++next) {
+      recorder.onEvent(dummy, captured.events[next]);
+    }
+  };
+
+  feedThrough(writes[0]);
+  const std::size_t d0 = recorder.checkpoint();
+  const support::Hash128 fullAtD0 = recorder.fingerprint(trace::Relation::Full);
+  const support::Hash128 lazyAtD0 = recorder.fingerprint(trace::Relation::Lazy);
+
+  feedThrough(writes[2]);
+  const std::size_t d1 = recorder.checkpoint();
+  feedThrough(writes[4]);
+  const support::Hash128 fullEnd = recorder.fingerprint(trace::Relation::Full);
+
+  // Evict the mid stage: its slot empties, but the undo entries logged
+  // since d0 are retained, so rolling back *past* d1 still lands exactly
+  // on d0's state.
+  EXPECT_TRUE(recorder.evictCheckpoint(d1));
+  EXPECT_FALSE(recorder.evictCheckpoint(d1));  // already gone
+  EXPECT_EQ(recorder.checkpointApproxBytes(d1), 0u);
+  EXPECT_EQ(recorder.deepestCheckpointAtOrBelow(d1), d0);
+
+  recorder.rollbackTo(d0);
+  EXPECT_EQ(recorder.eventCount(), d0);
+  EXPECT_EQ(recorder.fingerprint(trace::Relation::Full), fullAtD0);
+  EXPECT_EQ(recorder.fingerprint(trace::Relation::Lazy), lazyAtD0);
+
+  // Re-extending along the same suffix reproduces the original trace.
+  next = writes[0] + 1;
+  feedThrough(writes[4]);
+  EXPECT_EQ(recorder.fingerprint(trace::Relation::Full), fullEnd);
 }
 
 // --- arena truncation --------------------------------------------------------

@@ -33,6 +33,14 @@ violations of the determinism contract) and noted instead; clean cells —
 including checkpointed and merged ones — compare exactly as before. When a
 `merge` block is present its provenance is validated structurally.
 
+Schema v6 reports come from the undo-log checkpoint store: `config.snapshot_budget`
+is mandatory (0 = unlimited; a v6 report without it is rejected — the byte
+budget changes which checkpoints survive, so a report must never hide it),
+and incremental cells carry a `checkpoint` block (stages, bytes_staged,
+evictions, replay_fallbacks). Checkpoint stats are *scoreboard-only* and
+never count-compared: under work-stealing at --workers > 1 the staging and
+eviction order is timing-dependent even though the explored counts are not.
+
 Usage:
     tools/bench_diff.py BASELINE.json CANDIDATE.json [--counts-only]
     tools/bench_diff.py --history REPORT.json [REPORT.json ...]
@@ -78,7 +86,12 @@ CACHE_COUNT_FIELDS = ["lookups", "hits", "insertions", "entries"]
 # handled by the fallbacks below); any other version means the report
 # format moved ahead of this tool, and guessing at unknown field semantics
 # would silently corrupt the comparison.
-KNOWN_SCHEMA_VERSIONS = (1, 2, 3, 4, 5)
+KNOWN_SCHEMA_VERSIONS = (1, 2, 3, 4, 5, 6)
+
+# Scoreboard-only checkpoint stats (schema v6). Deliberately NOT part of
+# COUNT_FIELDS: staging/eviction order is timing-dependent under
+# work-stealing, so these may differ between byte-identical explorations.
+CHECKPOINT_FIELDS = ["stages", "bytes_staged", "evictions", "replay_fallbacks"]
 
 
 def load_report(path):
@@ -108,6 +121,12 @@ def load_report(path):
                  f"its config block has no 'workers' field; v4 made "
                  f"config.workers mandatory so a report cannot silently "
                  f"hide the intra-scenario parallelism it ran with — "
+                 f"regenerate the report with a current `lazyhb bench`")
+    if version >= 6 and "snapshot_budget" not in doc.get("config", {}):
+        sys.exit(f"bench_diff: '{path}' is a schema v{version} report but "
+                 f"its config block has no 'snapshot_budget' field; v6 made "
+                 f"config.snapshot_budget mandatory so a report cannot "
+                 f"silently hide the checkpoint byte budget it ran with — "
                  f"regenerate the report with a current `lazyhb bench`")
     if "merge" in doc:
         validate_merge_provenance(doc, path)
@@ -208,6 +227,39 @@ def rate_table(title, base_cells, cand_cells, shared, field):
               f"({len(all_ratios)} cells)")
 
 
+def checkpoint_table(base_cells, cand_cells, shared):
+    """Scoreboard of v6 checkpoint-store stats, summed per explorer over the
+    cells that carry a `checkpoint` block. Informational only: these numbers
+    describe how much snapshot work the store did (and how often eviction
+    forced a replay-from-shallower fallback), never whether counts match."""
+    def collect(cells):
+        by_explorer = {}
+        for key in shared:
+            cp = cells[key].get("checkpoint")
+            if cp is None:
+                continue
+            agg = by_explorer.setdefault(
+                key[1], dict.fromkeys(CHECKPOINT_FIELDS, 0))
+            for field in CHECKPOINT_FIELDS:
+                agg[field] += cp.get(field, 0)
+        return by_explorer
+    base = collect(base_cells)
+    cand = collect(cand_cells)
+    if not base and not cand:
+        return
+    print("\ncheckpoint store (baseline -> candidate, summed over cells):")
+    print(f"  {'explorer':<14} {'stages':>18} {'bytes_staged':>26} "
+          f"{'evictions':>16} {'replay_fallbacks':>18}")
+    for explorer in sorted(base.keys() | cand.keys()):
+        row = []
+        for field in CHECKPOINT_FIELDS:
+            a = base[explorer][field] if explorer in base else "-"
+            b = cand[explorer][field] if explorer in cand else "-"
+            row.append(f"{a} -> {b}")
+        print(f"  {explorer:<14} {row[0]:>18} {row[1]:>26} "
+              f"{row[2]:>16} {row[3]:>18}")
+
+
 def print_history(paths):
     """Totals-level events/s trajectory across reports, oldest first."""
     print(f"{'report':<28} {'schedules':>12} {'events':>14} "
@@ -291,6 +343,7 @@ def main():
                    "events_per_second")
         rate_table("executedEventsPerSecond", base_cells, cand_cells, shared,
                    "executed_events_per_second")
+        checkpoint_table(base_cells, cand_cells, shared)
 
     return 1 if failed else 0
 
