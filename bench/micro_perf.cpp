@@ -147,14 +147,16 @@ struct CapturedTrace : runtime::ExecutionObserver {
     runtime::Uid uid;
     runtime::ObjectKind kind;
     std::string name;
+    std::uint64_t initialValueHash;
   };
   std::vector<Registration> registrations;
   std::vector<runtime::EventRecord> events;
 
   void onObjectRegistered(const runtime::Execution&, std::int32_t index,
                           runtime::Uid uid, runtime::ObjectKind kind,
-                          const std::string& name) override {
-    registrations.push_back({index, uid, kind, name});
+                          const std::string& name,
+                          std::uint64_t initialValueHash) override {
+    registrations.push_back({index, uid, kind, name, initialValueHash});
   }
   void onEvent(const runtime::Execution&, const runtime::EventRecord& ev) override {
     events.push_back(ev);
@@ -173,7 +175,8 @@ void BM_TraceRecorderOnEvent(benchmark::State& state) {
   for (auto _ : state) {
     recorder.onExecutionStart(dummy);
     for (const auto& reg : captured.registrations) {
-      recorder.onObjectRegistered(dummy, reg.index, reg.uid, reg.kind, reg.name);
+      recorder.onObjectRegistered(dummy, reg.index, reg.uid, reg.kind, reg.name,
+                                reg.initialValueHash);
     }
     for (const auto& ev : captured.events) {
       recorder.onEvent(dummy, ev);
@@ -263,7 +266,8 @@ std::size_t feedPrefixAndStage(trace::TraceRecorder& recorder,
                                const CapturedTrace& full, std::size_t prefix) {
   recorder.onExecutionStart(dummy);
   for (const auto& reg : full.registrations) {
-    recorder.onObjectRegistered(dummy, reg.index, reg.uid, reg.kind, reg.name);
+    recorder.onObjectRegistered(dummy, reg.index, reg.uid, reg.kind, reg.name,
+                                reg.initialValueHash);
   }
   for (std::size_t i = 0; i < prefix; ++i) {
     recorder.onEvent(dummy, full.events[i]);
@@ -352,6 +356,64 @@ void BM_RecorderRollbackPastEvicted(benchmark::State& state) {
                           static_cast<std::int64_t>(full.events.size() - prefix));
 }
 BENCHMARK(BM_RecorderRollbackPastEvicted);
+
+int gDeepStores = 0;  // stores per thread in deepTreeProgram
+
+/// Descend `frames` stack frames, then run the store loop with all of them
+/// live: each fiber switch inside the loop snapshots the whole used stack,
+/// so the per-stage runtime image is ~frames x frame-size bytes.
+void deepSpine(int frames, Shared<int>& x, int sign) {
+  if (frames > 0) {
+    deepSpine(frames - 1, x, sign);
+    benchmark::DoNotOptimize(frames);  // keep the frame from being elided
+    return;
+  }
+  for (int i = 0; i < gDeepStores; ++i) x.store(sign * i);
+}
+
+void deepTreeProgram() {
+  // Two always-enabled writers on deep stacks: every depth of the schedule
+  // tree is a branch point, so one DFS branch stages a checkpoint at every
+  // event, each pinning both threads' fiber images. Live staged bytes grow
+  // linearly with depth at ~10 KB/stage — the deep-tree regime where the
+  // default 256 MiB snapshot budget binds within one branch.
+  Shared<int> x{0, "x"};
+  auto t = spawn([&] { deepSpine(256, x, 1); });
+  deepSpine(256, x, -1);
+  t.join();
+}
+
+void BM_DfsDeepTreeDefaultBudget(benchmark::State& state) {
+  // End-to-end: a deep-tree exploration at the DEFAULT snapshot budget.
+  // With range(0) stores per thread the first branch stacks ~range(0)
+  // stages; once their summed fiber images cross 256 MiB the engine evicts
+  // the shallowest stages mid-branch and later divergences below an
+  // evicted depth replay from a shallower stage (counters below;
+  // docs/performance.md records the measured numbers). Counts are
+  // byte-identical to an unlimited-budget run either way.
+  gDeepStores = static_cast<int>(state.range(0));
+  explore::CheckpointStats last{};
+  for (auto _ : state) {
+    explore::ExplorerOptions options;
+    options.scheduleLimit = 4;
+    options.maxEventsPerSchedule = 1u << 18;
+    options.checkpointable = true;  // fiber images dominate the stage cost
+    // ExplorerOptions defaults to defaultSnapshotBudgetBytes(): the probe
+    // deliberately measures the out-of-the-box configuration.
+    explore::DfsExplorer explorer(options);
+    const auto result = explorer.explore(deepTreeProgram);
+    last = result.checkpointStats;
+    benchmark::DoNotOptimize(result.schedulesExecuted);
+  }
+  state.counters["stages"] = static_cast<double>(last.stages);
+  state.counters["bytes_staged"] = static_cast<double>(last.bytesStaged);
+  state.counters["evictions"] = static_cast<double>(last.evictions);
+  state.counters["replay_fallbacks"] = static_cast<double>(last.replayFallbacks);
+}
+BENCHMARK(BM_DfsDeepTreeDefaultBudget)
+    ->Arg(4000)     // live stages stay far under budget: 0 evictions
+    ->Arg(16000)    // stacked fiber images cross 256 MiB: the budget binds
+    ->Unit(benchmark::kMillisecond);
 
 void contendedProgram() {
   // Three unlocked incrementers: a schedule tree deep and wide enough that

@@ -1,6 +1,6 @@
 // Reproduction of the paper's §3 counting chain:
 //
-//     #states <= #lazyHBRs <= #HBRs <= #schedules <= limit
+//     #states <= #valueClasses <= #lazyHBRs <= #HBRs <= #schedules <= limit
 //
 // verified per benchmark under naive systematic enumeration (the chain is a
 // hard invariant of a correct implementation for ANY explorer; enumeration
@@ -25,7 +25,8 @@ int main(int argc, char** argv) {
   if (limit == 10000) limit = 5000;  // naive enumeration default
   const auto maxEvents = static_cast<std::uint32_t>(options.getInt("max-events"));
 
-  std::printf("Counting chain (#states <= #lazyHBRs <= #HBRs <= #schedules),"
+  std::printf("Counting chain (#states <= #valueClasses <= #lazyHBRs <= #HBRs"
+              " <= #schedules),"
               " naive enumeration, %llu-schedule budget\n\n",
               static_cast<unsigned long long>(limit));
 
@@ -44,13 +45,14 @@ int main(int argc, char** argv) {
         counts.schedules = result.schedulesExecuted;
         counts.hbrs = result.distinctHbrs;
         counts.lazyHbrs = result.distinctLazyHbrs;
+        counts.valueClasses = result.distinctValueClasses;
         counts.states = result.distinctStates;
         counts.hitScheduleLimit = result.hitScheduleLimit;
         return counts;
       });
 
-  support::Table table({"id", "benchmark", "#states", "#lazyHBRs", "#HBRs",
-                        "#schedules", "chain"});
+  support::Table table({"id", "benchmark", "#states", "#valueClasses",
+                        "#lazyHBRs", "#HBRs", "#schedules", "chain"});
   int violations = 0;
   for (const auto& row : rows) {
     const std::string diagnostic = core::checkCountingChain(row, limit);
@@ -59,6 +61,7 @@ int main(int argc, char** argv) {
     table.cell(static_cast<std::int64_t>(row.id));
     table.cell(row.name);
     table.cell(row.states);
+    table.cell(row.valueClasses);
     table.cell(row.lazyHbrs);
     table.cell(row.hbrs);
     table.cell(row.schedules);

@@ -34,7 +34,7 @@
 namespace lazyhb {
 
 inline constexpr const char* kTestReportSchemaName = "lazyhb-test-report";
-inline constexpr int kTestReportSchemaVersion = 1;
+inline constexpr int kTestReportSchemaVersion = 2;
 
 /// A property violation with the schedule that reproduces it (feed the
 /// schedule to lazyhb::traceSchedule, or to `lazyhb replay --schedule`).
@@ -84,8 +84,9 @@ struct TestReport {
   bool incremental = true;
   bool checkpointable = false;
 
-  // Exploration counts (the §3 chain reads
-  // distinctStates <= distinctLazyHbrs <= distinctHbrs <= schedulesExecuted).
+  // Exploration counts (the extended §3 chain reads distinctStates <=
+  // distinctValueClasses <= distinctLazyHbrs <= distinctHbrs <=
+  // schedulesExecuted).
   std::uint64_t schedulesExecuted = 0;
   std::uint64_t terminalSchedules = 0;
   std::uint64_t prunedSchedules = 0;
@@ -95,6 +96,9 @@ struct TestReport {
   std::uint64_t eventsReplayed = 0;
   std::uint64_t distinctHbrs = 0;
   std::uint64_t distinctLazyHbrs = 0;
+  /// Distinct terminal observation (value-class) fingerprints — same
+  /// operations, same values observed, same visible state. Schema v2.
+  std::uint64_t distinctValueClasses = 0;
   std::uint64_t distinctStates = 0;
   bool hitScheduleLimit = false;
   bool complete = false;  ///< search space fully explored
@@ -105,6 +109,9 @@ struct TestReport {
   TestCacheStats cache;
   TestTheoremStats theorem21;  ///< full HBR -> state (when checkTheorems)
   TestTheoremStats theorem22;  ///< lazy HBR -> state (when checkTheorems)
+  /// Value class -> state (when checkTheorems): the observation-centric
+  /// soundness check behind the caching-value strategy. Schema v2.
+  TestTheoremStats theoremValue;
 
   double wallSeconds = 0.0;
 
@@ -154,8 +161,8 @@ class Session {
   Session& checkpointable(bool on = true);
   /// Shard the scenario's schedule tree across this many OS threads
   /// (default 1 = sequential). Only the tree searches with
-  /// order-independent counts shard ("dfs", "caching-full",
-  /// "caching-lazy"); other strategies — and order-sensitive option
+  /// order-independent counts shard ("dfs", "caching-full", "caching-lazy",
+  /// "caching-value"); other strategies — and order-sensitive option
   /// combinations such as stopOnFirstViolation or checkTheorems — run
   /// sequentially whatever this is set to. Every count in the TestReport is
   /// byte-identical at any worker count.

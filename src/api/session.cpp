@@ -145,8 +145,8 @@ TestReport Session::run(const Program& program) const {
   const auto spec = campaign::parseExplorerSpec(config_.strategy);
   if (!spec) {
     throw std::invalid_argument("lazyhb: unknown strategy '" +
-                                config_.strategy +
-                                "' (see Session::strategies())");
+                                config_.strategy + "' (expected one of: " +
+                                campaign::explorerNamesHelp(true) + ")");
   }
 
   explore::ExplorerOptions options;
@@ -206,6 +206,7 @@ TestReport Session::run(const Program& program) const {
   report.eventsReplayed = result.eventsReplayed;
   report.distinctHbrs = result.distinctHbrs;
   report.distinctLazyHbrs = result.distinctLazyHbrs;
+  report.distinctValueClasses = result.distinctValueClasses;
   report.distinctStates = result.distinctStates;
   report.hitScheduleLimit = result.hitScheduleLimit;
   report.complete = result.complete;
@@ -228,6 +229,7 @@ TestReport Session::run(const Program& program) const {
 
   report.theorem21 = toTheoremStats(result.theorem21);
   report.theorem22 = toTheoremStats(result.theorem22);
+  report.theoremValue = toTheoremStats(result.theoremValue);
   report.wallSeconds = elapsed.count();
   return report;
 }
@@ -274,6 +276,7 @@ std::string TestReport::toJson() const {
   json.field("events_replayed", eventsReplayed);
   json.field("hbrs", distinctHbrs);
   json.field("lazy_hbrs", distinctLazyHbrs);
+  json.field("value_classes", distinctValueClasses);
   json.field("states", distinctStates);
   json.field("complete", complete);
   json.field("hit_schedule_limit", hitScheduleLimit);
@@ -321,6 +324,7 @@ std::string TestReport::toJson() const {
   };
   writeTheorem("theorem_21", theorem21);
   writeTheorem("theorem_22", theorem22);
+  writeTheorem("theorem_value", theoremValue);
 
   json.field("wall_seconds", wallSeconds);
   json.endObject();

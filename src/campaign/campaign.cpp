@@ -82,6 +82,7 @@ core::BenchmarkCounts CellResult::counts() const {
   c.schedules = stats.schedulesExecuted;
   c.hbrs = stats.distinctHbrs;
   c.lazyHbrs = stats.distinctLazyHbrs;
+  c.valueClasses = stats.distinctValueClasses;
   c.states = stats.distinctStates;
   c.hitScheduleLimit = stats.hitScheduleLimit;
   return c;
@@ -117,6 +118,7 @@ CampaignResult foldCells(std::vector<CellResult> cells,
     totals.eventsReplayed += cell.stats.eventsReplayed;
     totals.hbrs += cell.stats.distinctHbrs;
     totals.lazyHbrs += cell.stats.distinctLazyHbrs;
+    totals.valueClasses += cell.stats.distinctValueClasses;
     totals.states += cell.stats.distinctStates;
     totals.wallSeconds += cell.wallSeconds;
     totals.cacheEntries += cell.stats.cacheStats.entries;

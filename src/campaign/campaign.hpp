@@ -110,6 +110,7 @@ struct ExplorerTotals {
   std::uint64_t eventsReplayed = 0;  ///< prefix events re-executed to diverge
   std::uint64_t hbrs = 0;      ///< summed distinct terminal HBRs
   std::uint64_t lazyHbrs = 0;  ///< summed distinct terminal lazy HBRs
+  std::uint64_t valueClasses = 0;  ///< summed distinct terminal value classes
   std::uint64_t states = 0;    ///< summed distinct terminal states
   double wallSeconds = 0.0;    ///< summed per-cell wall time (CPU view)
   double eventsPerSecond = 0.0;          ///< logical events / wallSeconds

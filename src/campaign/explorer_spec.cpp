@@ -27,6 +27,9 @@ std::unique_ptr<explore::Explorer> ExplorerSpec::create(
       case Kind::CachingLazy:
         return std::make_unique<explore::ParallelExplorer>(
             options, explore::ParallelStrategy::CachingLazy, seed);
+      case Kind::CachingValue:
+        return std::make_unique<explore::ParallelExplorer>(
+            options, explore::ParallelStrategy::CachingValue, seed);
       default:
         break;
     }
@@ -44,6 +47,9 @@ std::unique_ptr<explore::Explorer> ExplorerSpec::create(
     case Kind::CachingLazy:
       return std::make_unique<explore::CachingExplorer>(options,
                                                         trace::Relation::Lazy);
+    case Kind::CachingValue:
+      return std::make_unique<explore::CachingExplorer>(options,
+                                                        trace::Relation::Value);
     case Kind::DporNoSleep: {
       explore::DporOptions dpor;
       dpor.sleepSets = false;
@@ -73,6 +79,7 @@ const std::vector<ExplorerSpec>& extendedExplorers() {
   static const std::vector<ExplorerSpec> specs = {
       {ExplorerSpec::Kind::DporNoSleep, "dpor-nosleep"},
       {ExplorerSpec::Kind::DporLazyCache, "dpor-lazy-cache"},
+      {ExplorerSpec::Kind::CachingValue, "caching-value"},
   };
   return specs;
 }

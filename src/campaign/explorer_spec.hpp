@@ -32,6 +32,7 @@ struct ExplorerSpec {
     // Ablation variants (parseable, but not part of allExplorers()):
     DporNoSleep,    ///< Flanagan–Godefroid backtracking without sleep sets
     DporLazyCache,  ///< EXPERIMENTAL §4: DPOR + lazy-HBR prefix cache
+    CachingValue,   ///< value-class caching (coarser than caching-lazy)
   };
 
   Kind kind = Kind::Dfs;
@@ -51,8 +52,10 @@ struct ExplorerSpec {
 /// The five canonical explorer modes, in the order tables print them.
 [[nodiscard]] const std::vector<ExplorerSpec>& allExplorers();
 
-/// The ablation variants ("dpor-nosleep", "dpor-lazy-cache"): constructible
-/// through the same factory, excluded from the default campaign matrix.
+/// The ablation variants ("dpor-nosleep", "dpor-lazy-cache") and the
+/// observation-centric "caching-value" explorer: constructible through the
+/// same factory, excluded from the default campaign matrix so historical
+/// reports stay comparable cell-for-cell. Select with --explorers.
 [[nodiscard]] const std::vector<ExplorerSpec>& extendedExplorers();
 
 /// Resolve a canonical or extended mode name; nullopt for unknown names.

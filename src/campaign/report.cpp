@@ -52,6 +52,7 @@ void writeExplorerTotals(support::JsonWriter& json, const ExplorerTotals& t) {
   json.field("events_replayed", t.eventsReplayed);
   json.field("hbrs", t.hbrs);
   json.field("lazy_hbrs", t.lazyHbrs);
+  json.field("value_classes", t.valueClasses);
   json.field("states", t.states);
   json.field("wall_seconds", t.wallSeconds);
   json.field("events_per_second", t.eventsPerSecond);
@@ -82,6 +83,9 @@ void writeCellJson(support::JsonWriter& json, const CellResult& cell) {
   json.field("violations", cell.stats.violationSchedules);
   json.field("hbrs", cell.stats.distinctHbrs);
   json.field("lazy_hbrs", cell.stats.distinctLazyHbrs);
+  // Schema v7: distinct terminal value classes — the observation-centric
+  // count the extended §3 chain runs through.
+  json.field("value_classes", cell.stats.distinctValueClasses);
   json.field("states", cell.stats.distinctStates);
   json.field("events", cell.stats.totalEvents);
   json.field("events_elided", cell.stats.eventsElided);
@@ -174,6 +178,8 @@ bool parseCellJson(const support::JsonValue& value, CellResult* cell,
   cell->stats.violationSchedules = value.uintAt("violations");
   cell->stats.distinctHbrs = value.uintAt("hbrs");
   cell->stats.distinctLazyHbrs = value.uintAt("lazy_hbrs");
+  // Absent in pre-v7 cell blocks; 0 means "not recorded" downstream.
+  cell->stats.distinctValueClasses = value.uintAt("value_classes");
   cell->stats.distinctStates = value.uintAt("states");
   cell->stats.totalEvents = value.uintAt("events");
   cell->stats.eventsElided = value.uintAt("events_elided");

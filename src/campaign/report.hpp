@@ -27,7 +27,7 @@ struct JsonValue;
 namespace lazyhb::campaign {
 
 inline constexpr const char* kReportSchemaName = "lazyhb-bench-report";
-inline constexpr int kReportSchemaVersion = 6;
+inline constexpr int kReportSchemaVersion = 7;
 
 /// The campaign configuration echoed into the report, so a BENCH_*.json is
 /// self-describing and two reports are comparable at a glance.

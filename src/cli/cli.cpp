@@ -35,7 +35,7 @@ void printTopLevelUsage() {
       "Commands:\n"
       "  list      print the registered program corpus\n"
       "  explore   run one program under one explorer and report stats\n"
-      "  compare   run one program under all five explorers, one row each\n"
+      "  compare   run one program under all six explorers, one row each\n"
       "  bench     run the (program x explorer) campaign matrix in parallel\n"
       "            and emit a machine-readable JSON report (checkpointable\n"
       "            with --checkpoint/--resume, divisible with --shard i/N)\n"
@@ -191,13 +191,15 @@ void addResultRow(support::Table& table, const std::string& label,
   table.cell(report.violationSchedules);
   table.cell(report.distinctHbrs);
   table.cell(report.distinctLazyHbrs);
+  table.cell(report.distinctValueClasses);
   table.cell(report.distinctStates);
   table.cell(std::string(report.complete ? "yes" : report.hitScheduleLimit ? "limit" : "no"));
 }
 
 std::vector<std::string> resultHeaders() {
-  return {"explorer", "schedules", "terminal", "pruned", "violations",
-          "hbrs",     "lazy-hbrs", "states",   "complete"};
+  return {"explorer", "schedules",     "terminal", "pruned",
+          "violations", "hbrs",        "lazy-hbrs", "value-classes",
+          "states",   "complete"};
 }
 
 // --- list --------------------------------------------------------------------
@@ -235,8 +237,8 @@ int cmdExplore(int argc, char** argv) {
   options.addString("program", "", "program name (see `lazyhb list`)");
   options.addString("explorer", "dfs",
                     "dfs | random | dpor | caching-full | caching-lazy "
-                    "(also the ablation variants dpor-nosleep, "
-                    "dpor-lazy-cache)");
+                    "(also the extended variants dpor-nosleep, "
+                    "dpor-lazy-cache, caching-value)");
   addExplorerFlags(options);
   options.addString("out", "",
                     "write the lazyhb-test-report JSON to this path ('-': "
@@ -287,6 +289,14 @@ int cmdExplore(int argc, char** argv) {
         static_cast<unsigned long long>(report.theorem22.classes),
         static_cast<unsigned long long>(report.theorem22.states),
         static_cast<unsigned long long>(report.theorem22.conflicts));
+    std::fprintf(
+        human,
+        "value soundness (value class -> state): %llu schedules, %llu "
+        "classes, %llu states, %llu conflicts\n",
+        static_cast<unsigned long long>(report.theoremValue.schedules),
+        static_cast<unsigned long long>(report.theoremValue.classes),
+        static_cast<unsigned long long>(report.theoremValue.states),
+        static_cast<unsigned long long>(report.theoremValue.conflicts));
   }
   printViolations(human, report);
   printRaces(human, report);
@@ -304,7 +314,7 @@ int cmdExplore(int argc, char** argv) {
 
 int cmdCompare(int argc, char** argv) {
   support::Options options(
-      "lazyhb compare", "run one program under all five explorers, one row each");
+      "lazyhb compare", "run one program under all six explorers, one row each");
   options.addString("program", "", "program name (see `lazyhb list`)");
   addExplorerFlags(options);
   options.addFlag("csv", "emit CSV instead of an aligned table");
@@ -319,7 +329,9 @@ int cmdCompare(int argc, char** argv) {
   std::printf("program %s (%s): %s\n", spec->name.c_str(), spec->family.c_str(),
               spec->description.c_str());
   support::Table table(resultHeaders());
-  for (const campaign::ExplorerSpec& mode : campaign::allExplorers()) {
+  std::vector<campaign::ExplorerSpec> modes = campaign::allExplorers();
+  modes.push_back(*campaign::parseExplorerSpec("caching-value"));
+  for (const campaign::ExplorerSpec& mode : modes) {
     const TestReport report = session.strategy(mode.name).run(spec->name);
     addResultRow(table, mode.name, report);
   }
@@ -576,8 +588,8 @@ int cmdBench(int argc, char** argv) {
   }
 
   support::Table table({"explorer", "cells", "schedules", "terminal", "pruned",
-                        "violations", "hbrs", "lazy-hbrs", "states",
-                        "cache-entries", "cache-MB", "wall-s"});
+                        "violations", "hbrs", "lazy-hbrs", "value-classes",
+                        "states", "cache-entries", "cache-MB", "wall-s"});
   for (const campaign::ExplorerTotals& t : result.perExplorer) {
     table.beginRow();
     table.cell(t.explorer);
@@ -588,6 +600,7 @@ int cmdBench(int argc, char** argv) {
     table.cell(t.violations);
     table.cell(t.hbrs);
     table.cell(t.lazyHbrs);
+    table.cell(t.valueClasses);
     table.cell(t.states);
     table.cell(t.cacheEntries);
     table.cell(static_cast<double>(t.cacheApproxBytes) / (1024.0 * 1024.0));
@@ -614,8 +627,8 @@ int cmdBench(int argc, char** argv) {
   if (options.getFlag("csv")) {
     support::Table cells({"program_id", "program", "family", "explorer",
                           "schedules", "terminal", "pruned", "violations",
-                          "hbrs", "lazy_hbrs", "states", "events",
-                          "wall_seconds"});
+                          "hbrs", "lazy_hbrs", "value_classes", "states",
+                          "events", "wall_seconds"});
     for (const campaign::CellResult& cell : result.cells) {
       cells.beginRow();
       cells.cell(static_cast<std::int64_t>(cell.programId));
@@ -628,6 +641,7 @@ int cmdBench(int argc, char** argv) {
       cells.cell(cell.stats.violationSchedules);
       cells.cell(cell.stats.distinctHbrs);
       cells.cell(cell.stats.distinctLazyHbrs);
+      cells.cell(cell.stats.distinctValueClasses);
       cells.cell(cell.stats.distinctStates);
       cells.cell(cell.stats.totalEvents);
       cells.cell(cell.wallSeconds, 4);
@@ -645,8 +659,8 @@ int cmdBench(int argc, char** argv) {
               result.wallSeconds > 0.0 ? result.cpuSeconds / result.wallSeconds
                                        : 0.0);
   if (result.inequalityViolations == 0) {
-    std::printf("section-3 inequality (#states <= #lazyHBRs <= #HBRs <= "
-                "#schedules): holds on all %zu cells\n",
+    std::printf("section-3 inequality (#states <= #valueClasses <= #lazyHBRs "
+                "<= #HBRs <= #schedules): holds on all %zu cells\n",
                 result.cells.size());
   } else {
     std::printf("section-3 inequality: VIOLATED on %d cell(s):\n",

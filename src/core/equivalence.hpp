@@ -1,17 +1,27 @@
 // lazyhb/core/equivalence.hpp
 //
-// Checkable forms of the paper's two theorems.
+// Checkable forms of the paper's two theorems, plus the observation-centric
+// extension the caching-value explorer rests on.
 //
 //   Theorem 2.1: schedules with equal HBRs reach the same terminal state.
 //   Theorem 2.2: *feasible* schedules with equal lazy HBRs reach the same
 //                terminal state (the paper's contribution — lazy HBR classes
 //                are coarser, so this detects strictly more equivalence).
+//   Value soundness: schedules with equal value-class fingerprints (same
+//                operations, same values observed by every read/RMW, same
+//                final visible state; trace::Relation::Value) reach the
+//                same terminal state. Value classes are coarser still —
+//                lazy-equal schedules are always value-equal, because the
+//                lazy HBR keeps every reads-from edge and a total order on
+//                same-variable writes, which pins each read's observed
+//                value — so the counting chain extends to
+//                #states <= #valueClasses <= #lazyHBRs <= #HBRs <= #schedules.
 //
 // The checker ingests (relation fingerprint, state fingerprint) pairs from
 // terminal schedules and verifies the induced map relation-class -> state is
 // a function. Any conflict is a counterexample to the theorem (or a
 // fingerprint collision) and is surfaced loudly — the property test suite
-// drives millions of schedules through this.
+// drives millions of schedules through this, for all three relations.
 
 #pragma once
 

@@ -43,7 +43,13 @@ std::string checkCountingChain(const BenchmarkCounts& row, std::uint64_t schedul
   auto fail = [&](const char* what) {
     return row.name + ": counting chain violated (" + what + ")";
   };
-  if (row.states > row.lazyHbrs) return fail("#states > #lazyHBRs");
+  if (row.valueClasses > 0) {
+    if (row.states > row.valueClasses) return fail("#states > #valueClasses");
+    if (row.valueClasses > row.lazyHbrs) return fail("#valueClasses > #lazyHBRs");
+  } else if (row.states > row.lazyHbrs) {
+    // Pre-v7 rows carry no value-class count; check the original link.
+    return fail("#states > #lazyHBRs");
+  }
   if (row.lazyHbrs > row.hbrs) return fail("#lazyHBRs > #HBRs");
   if (row.hbrs > row.schedules) return fail("#HBRs > #schedules");
   if (row.schedules > scheduleLimit) return fail("#schedules > limit");

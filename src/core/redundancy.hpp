@@ -13,8 +13,10 @@
 //  reached within the same schedule budget (the paper reports 8,969 = 84%
 //  across its 18 benchmarks).
 //
-//  §3 inequality — #states <= #lazyHBRs <= #HBRs <= #schedules, which must
-//  hold per benchmark for any correct implementation.
+//  §3 inequality — extended with the observation-centric value classes:
+//  #states <= #valueClasses <= #lazyHBRs <= #HBRs <= #schedules, which must
+//  hold per benchmark for any correct implementation (lazy-equal prefixes
+//  are value-equal, and a value class determines the terminal state).
 
 #pragma once
 
@@ -31,6 +33,10 @@ struct BenchmarkCounts {
   std::uint64_t schedules = 0;
   std::uint64_t hbrs = 0;      ///< distinct terminal full-HBR fingerprints
   std::uint64_t lazyHbrs = 0;  ///< distinct terminal lazy-HBR fingerprints
+  /// Distinct terminal value-class fingerprints (trace::Relation::Value).
+  /// 0 means "not recorded" (rows parsed from pre-v7 reports): the chain
+  /// checker then falls back to the original #states <= #lazyHBRs link.
+  std::uint64_t valueClasses = 0;
   std::uint64_t states = 0;    ///< distinct terminal state fingerprints
   bool hitScheduleLimit = false;
 };
@@ -68,8 +74,9 @@ struct Fig3Summary {
 
 [[nodiscard]] Fig3Summary summarizeFig3(const std::vector<CachingCounts>& rows);
 
-/// Verify the §3 counting chain for one benchmark's exhaustive/limited
-/// exploration; returns an empty string if it holds, else a diagnostic.
+/// Verify the §3 counting chain (extended with value classes when the row
+/// carries them) for one benchmark's exhaustive/limited exploration;
+/// returns an empty string if it holds, else a diagnostic.
 [[nodiscard]] std::string checkCountingChain(const BenchmarkCounts& row,
                                              std::uint64_t scheduleLimit);
 

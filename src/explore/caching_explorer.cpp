@@ -6,7 +6,9 @@ namespace lazyhb::explore {
 
 CachingExplorer::CachingExplorer(ExplorerOptions options, trace::Relation relation)
     : ExplorerBase(options), relation_(relation) {
-  LAZYHB_CHECK(relation == trace::Relation::Full || relation == trace::Relation::Lazy);
+  LAZYHB_CHECK(relation == trace::Relation::Full ||
+               relation == trace::Relation::Lazy ||
+               relation == trace::Relation::Value);
 }
 
 void CachingExplorer::runSearch(const Program& program) {

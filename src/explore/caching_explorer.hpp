@@ -1,6 +1,7 @@
 // lazyhb/explore/caching_explorer.hpp
 //
-// HBR caching and lazy HBR caching (paper §2, "Lazy HBR caching").
+// HBR caching, lazy HBR caching (paper §2, "Lazy HBR caching"), and
+// value-class caching (the observation-centric successor).
 //
 // Depth-first enumeration with prefix-equivalence pruning: after every newly
 // chosen event, the canonical fingerprint of the executed prefix's relation
@@ -10,9 +11,13 @@
 // is redundant and is abandoned. With the Full relation this is
 // Musuvathi–Qadeer HBR caching; with the Lazy relation it is the paper's
 // contribution, which prunes strictly more because lazy classes are coarser.
+// With the Value relation pruning keys on the observation fingerprint (same
+// operations, same values observed, same visible state — the value-centric
+// DPOR framing), which is coarser still: lazy-equal prefixes are always
+// value-equal, so the value cache prunes at least as much as the lazy one.
 //
-// Figure 3 of the paper compares exactly these two instantiations under a
-// common schedule budget.
+// Figure 3 of the paper compares the Full and Lazy instantiations under a
+// common schedule budget; the caching-value variant extends that A/B.
 
 #pragma once
 
@@ -23,8 +28,8 @@ namespace lazyhb::explore {
 
 class CachingExplorer final : public ExplorerBase {
  public:
-  /// `relation` must be Full (regular HBR caching) or Lazy (lazy HBR
-  /// caching).
+  /// `relation` must be Full (regular HBR caching), Lazy (lazy HBR
+  /// caching) or Value (value-class caching).
   CachingExplorer(ExplorerOptions options, trace::Relation relation);
 
   [[nodiscard]] const core::HbrCache& cache() const noexcept { return cache_; }

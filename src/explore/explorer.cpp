@@ -38,6 +38,7 @@ ExplorationResult ExplorerBase::explore(const Program& program) {
   runSearch(program);
   result_.distinctHbrs = terminalHbrs_.size();
   result_.distinctLazyHbrs = terminalLazyHbrs_.size();
+  result_.distinctValueClasses = terminalValueClasses_.size();
   result_.distinctStates = terminalStates_.size();
   result_.eventsElided = engine_.eventsElided();
   result_.eventsReplayed = engine_.eventsReplayed();
@@ -49,6 +50,7 @@ ExplorationResult ExplorerBase::explore(const Program& program) {
   if (options_.checkTheorems) {
     result_.theorem21 = thm21_.stats();
     result_.theorem22 = thm22_.stats();
+    result_.theoremValue = thmValue_.stats();
   }
   result_.races = raceAggregator_.distinctRaces();
   if (const core::HbrCache* cache = prefixCache()) {
@@ -90,13 +92,16 @@ runtime::Outcome ExplorerBase::executeSchedule(const Program& program,
       ++result_.terminalSchedules;
       const support::Hash128 hbr = recorder_.fingerprint(trace::Relation::Full);
       const support::Hash128 lazy = recorder_.fingerprint(trace::Relation::Lazy);
+      const support::Hash128 value = recorder_.fingerprint(trace::Relation::Value);
       const support::Hash128 state = exec.stateFingerprint();
       terminalHbrs_.insert(hbr);
       terminalLazyHbrs_.insert(lazy);
+      terminalValueClasses_.insert(value);
       terminalStates_.insert(state);
       if (options_.checkTheorems) {
         thm21_.record(hbr, state);
         thm22_.record(lazy, state);
+        thmValue_.record(value, state);
       }
       break;
     }

@@ -184,6 +184,7 @@ struct ExplorationResult {
   std::uint64_t eventsReplayed = 0;
   std::uint64_t distinctHbrs = 0;      ///< terminal full-HBR fingerprints
   std::uint64_t distinctLazyHbrs = 0;  ///< terminal lazy-HBR fingerprints
+  std::uint64_t distinctValueClasses = 0;  ///< terminal value-class fingerprints
   std::uint64_t distinctStates = 0;    ///< terminal state fingerprints
   bool hitScheduleLimit = false;
   bool complete = false;               ///< search space fully explored
@@ -193,6 +194,10 @@ struct ExplorationResult {
   std::vector<ViolationRecord> violations;
   core::EquivalenceChecker::Stats theorem21;  ///< full HBR -> state (if enabled)
   core::EquivalenceChecker::Stats theorem22;  ///< lazy HBR -> state (if enabled)
+  /// Value soundness: value fingerprint -> state must stay a function (the
+  /// empirical bar the caching-value pruning rests on; same machinery as
+  /// Theorems 2.1/2.2, populated when checkTheorems is on).
+  core::EquivalenceChecker::Stats theoremValue;
   std::vector<trace::RaceReport> races;
   PrefixCacheStats cacheStats;  ///< zero unless the strategy uses an HbrCache
   CheckpointStats checkpointStats;  ///< zero unless incremental replay ran
@@ -276,9 +281,11 @@ class ExplorerBase : public Explorer {
   ExplorationResult result_;
   std::unordered_set<support::Hash128, support::Hash128Hasher> terminalHbrs_;
   std::unordered_set<support::Hash128, support::Hash128Hasher> terminalLazyHbrs_;
+  std::unordered_set<support::Hash128, support::Hash128Hasher> terminalValueClasses_;
   std::unordered_set<support::Hash128, support::Hash128Hasher> terminalStates_;
   core::EquivalenceChecker thm21_;
   core::EquivalenceChecker thm22_;
+  core::EquivalenceChecker thmValue_;
   core::RaceAggregator raceAggregator_;
   PrefixReplayEngine engine_;  ///< after stackPool_/recorder_: destroyed first
   bool explored_ = false;

@@ -56,6 +56,7 @@ struct WorkerContext {
   std::uint64_t events = 0;
   Hash128Set hbrs;
   Hash128Set lazyHbrs;
+  Hash128Set valueClasses;
   Hash128Set states;
   std::vector<ViolationRecord> violations;
   core::RaceAggregator races;
@@ -141,6 +142,7 @@ runtime::Outcome ParallelExplorer::Impl::executeOne(WorkerContext& cx,
       ++cx.terminal;
       cx.hbrs.insert(cx.recorder.fingerprint(trace::Relation::Full));
       cx.lazyHbrs.insert(cx.recorder.fingerprint(trace::Relation::Lazy));
+      cx.valueClasses.insert(cx.recorder.fingerprint(trace::Relation::Value));
       cx.states.insert(exec.stateFingerprint());
       break;
     }
@@ -278,6 +280,8 @@ std::optional<trace::Relation> ParallelExplorer::relation() const noexcept {
       return trace::Relation::Full;
     case ParallelStrategy::CachingLazy:
       return trace::Relation::Lazy;
+    case ParallelStrategy::CachingValue:
+      return trace::Relation::Value;
   }
   return std::nullopt;
 }
@@ -323,6 +327,7 @@ ExplorationResult ParallelExplorer::explore(const Program& program) {
   ExplorationResult result;
   Hash128Set hbrs;
   Hash128Set lazyHbrs;
+  Hash128Set valueClasses;
   Hash128Set states;
   std::vector<ViolationRecord> violations;
   std::vector<trace::RaceReport> races;
@@ -349,6 +354,7 @@ ExplorationResult ParallelExplorer::explore(const Program& program) {
     result.checkpointStats.replayFallbacks += cx.engine.replayFallbacks();
     hbrs.insert(cx.hbrs.begin(), cx.hbrs.end());
     lazyHbrs.insert(cx.lazyHbrs.begin(), cx.lazyHbrs.end());
+    valueClasses.insert(cx.valueClasses.begin(), cx.valueClasses.end());
     states.insert(cx.states.begin(), cx.states.end());
     violations.insert(violations.end(), cx.violations.begin(),
                       cx.violations.end());
@@ -361,6 +367,7 @@ ExplorationResult ParallelExplorer::explore(const Program& program) {
   }
   result.distinctHbrs = hbrs.size();
   result.distinctLazyHbrs = lazyHbrs.size();
+  result.distinctValueClasses = valueClasses.size();
   result.distinctStates = states.size();
   result.complete = true;
   result.hitScheduleLimit = false;

@@ -24,8 +24,10 @@
 // ## Why counts are byte-identical at any worker count
 //
 // For a COMPLETE search every count the tool reports is order-independent.
-// Equal prefix fingerprints imply equal HBRs imply equal program states
-// (Theorems 2.1/2.2), and the fingerprint includes the event count — so the
+// Equal prefix fingerprints imply equal program states — via equal HBRs for
+// the Full/Lazy keys (Theorems 2.1/2.2), and directly for the Value keys
+// (the fingerprint *is* the observations plus the visible state) — and the
+// fingerprint includes the event count — so the
 // quotient of the schedule tree by fingerprint is a DAG in which every
 // class has a fixed continuation structure. Whichever concrete prefix
 // reaches a class first inserts its fingerprint and expands it; every later
@@ -64,12 +66,13 @@
 
 namespace lazyhb::explore {
 
-/// Which sequential search a ParallelExplorer shards. The three tree
-/// searches with order-independent counts.
+/// Which sequential search a ParallelExplorer shards. The tree searches
+/// with order-independent counts.
 enum class ParallelStrategy {
-  Dfs,          ///< naive enumeration, no cache
-  CachingFull,  ///< Musuvathi–Qadeer HBR caching (shared cache, Full keys)
-  CachingLazy,  ///< the paper's lazy HBR caching (shared cache, Lazy keys)
+  Dfs,           ///< naive enumeration, no cache
+  CachingFull,   ///< Musuvathi–Qadeer HBR caching (shared cache, Full keys)
+  CachingLazy,   ///< the paper's lazy HBR caching (shared cache, Lazy keys)
+  CachingValue,  ///< value-class caching (shared cache, Value keys)
 };
 
 class ParallelExplorer final : public Explorer {

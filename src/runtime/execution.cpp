@@ -59,7 +59,8 @@ Outcome Execution::run(const std::function<void()>& body, Scheduler& scheduler) 
     rootObj.a = 0;
     objects_.push_back(std::move(rootObj));
     if (observer_ != nullptr) {
-      observer_->onObjectRegistered(*this, 0, kRootThreadUid, ObjectKind::Thread, "main");
+      observer_->onObjectRegistered(*this, 0, kRootThreadUid, ObjectKind::Thread,
+                                    "main", 0);
     }
     ThreadRec root;
     root.uid = kRootThreadUid;
@@ -305,7 +306,11 @@ bool Execution::evictCheckpoint(std::size_t depth) {
 }
 
 std::size_t Execution::checkpointApproxBytes(std::size_t depth) const noexcept {
-  for (const ExecSnapshot& s : snapshots_) {
+  // Reverse scan: snapshots are depth-ascending and every caller asks about
+  // the just-staged (deepest) one — a forward scan made staging O(stages)
+  // and deep-tree branches quadratic.
+  for (auto it = snapshots_.rbegin(); it != snapshots_.rend(); ++it) {
+    const ExecSnapshot& s = *it;
     if (s.depth != depth) continue;
     std::size_t bytes = sizeof(ExecSnapshot);
     for (std::size_t i = 0; i < s.threadCount; ++i) {
@@ -382,8 +387,10 @@ std::int32_t Execution::recordEvent(OpKind kind, std::int32_t object,
   event.aux = aux;
   event.threadUid = me.uid;
   if (object >= 0) {
-    event.objectUid = objects_[static_cast<std::size_t>(object)].uid;
+    const ObjectInfo& obj = objects_[static_cast<std::size_t>(object)];
+    event.objectUid = obj.uid;
     event.objectIndex = object;
+    if (obj.kind == ObjectKind::Var) event.valueHash = obj.valueHash;
   }
   if (mutexObject >= 0) {
     event.mutexUid = objects_[static_cast<std::size_t>(mutexObject)].uid;
@@ -503,7 +510,8 @@ std::int32_t Execution::registerObject(ObjectKind kind, const char* name,
   objects_.push_back(std::move(obj));
   if (observer_ != nullptr) {
     const ObjectInfo& stored = objects_.back();
-    observer_->onObjectRegistered(*this, index, stored.uid, kind, stored.name);
+    observer_->onObjectRegistered(*this, index, stored.uid, kind, stored.name,
+                                  stored.valueHash);
   }
   return index;
 }
@@ -694,7 +702,7 @@ int Execution::spawnThread(std::function<void()> fn) {
   objects_.push_back(std::move(childObj));
   if (observer_ != nullptr) {
     observer_->onObjectRegistered(*this, objIndex, childUid, ObjectKind::Thread,
-                                  objects_.back().name);
+                                  objects_.back().name, 0);
   }
 
   const std::int32_t spawnEvent = recordEvent(OpKind::Spawn, objIndex, -1, 0);

@@ -72,9 +72,13 @@ class ExecutionObserver {
  public:
   virtual ~ExecutionObserver() = default;
   virtual void onExecutionStart(const Execution&) {}
+  /// `initialValueHash` is the Var's initial value hash (0 for other kinds),
+  /// so observers can mirror value state without reading back into the
+  /// Execution — the registration + event stream alone replays a trace.
   virtual void onObjectRegistered(const Execution&, std::int32_t index, Uid uid,
-                                  ObjectKind kind, const std::string& name) {
-    (void)index; (void)uid; (void)kind; (void)name;
+                                  ObjectKind kind, const std::string& name,
+                                  std::uint64_t initialValueHash) {
+    (void)index; (void)uid; (void)kind; (void)name; (void)initialValueHash;
   }
   virtual void onEvent(const Execution&, const EventRecord&) {}
   virtual void onExecutionEnd(const Execution&, Outcome) {}

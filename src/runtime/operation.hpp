@@ -107,6 +107,13 @@ struct EventRecord {
   std::int32_t spawnPredecessor = -1;   ///< parent's Spawn event (first event of a thread)
   std::int32_t joinPredecessor = -1;    ///< joined thread's last event (Join)
 
+  /// Var accesses: the variable's value hash at commit time — the value a
+  /// Read observed, the post-state a Write/Rmw committed (varCommit updates
+  /// the value before recording). 0 for non-Var events. Deliberately NOT
+  /// part of labelHash(): labels name *which* operation ran, values are what
+  /// it saw — the Value relation mixes them separately.
+  std::uint64_t valueHash = 0;
+
   /// Schedule-invariant label hash: identifies *which* operation this is
   /// independently of where in the schedule it ran.
   [[nodiscard]] support::Hash128 labelHash() const noexcept {

@@ -16,9 +16,23 @@ const char* relationName(Relation r) noexcept {
     case Relation::Sync: return "sync";
     case Relation::Full: return "full";
     case Relation::Lazy: return "lazy";
+    case Relation::Value: return "value";
   }
   return "?";
 }
+
+namespace {
+
+/// Salt separating the value-equivalence hash domain from the Full/Lazy ones.
+constexpr std::uint64_t kValueDomain = 0x3c4dULL;
+
+/// One value-observation contribution: hash of an observed value, salted
+/// away from every other 64-bit quantity the fingerprints mix.
+[[nodiscard]] support::Hash128 observedValueHash(std::uint64_t value) noexcept {
+  return support::hash128(value ^ 0x0b5e55edULL, kValueDomain);
+}
+
+}  // namespace
 
 TraceRecorder::TraceRecorder() : TraceRecorder(Options{}) {}
 
@@ -53,14 +67,25 @@ void TraceRecorder::resetAll() {
   lazyClocks_.reset();
   prefixFull_ = support::MultisetHash{};
   prefixLazy_ = support::MultisetHash{};
+  prefixValue_ = support::MultisetHash{};
+  valueState_ = support::MultisetHash{};
   races_.clear();
   undoSize_ = 0;  // no stages left to roll back to; entries are dead
   recycleCheckpoints();
 }
 
+support::Hash128 TraceRecorder::cvQueueContribution(const ObjectHistory& h) noexcept {
+  support::Hash128 fold = support::hash128(h.uid ^ 0xc01dfeedULL, kValueDomain);
+  for (const runtime::Uid waiter : h.cvQueue) {
+    fold = fold.mixedWith(support::hash128(waiter));
+  }
+  return fold;
+}
+
 void TraceRecorder::onObjectRegistered(const runtime::Execution&, std::int32_t index,
                                        runtime::Uid uid, runtime::ObjectKind kind,
-                                       const std::string& name) {
+                                       const std::string& name,
+                                       std::uint64_t initialValueHash) {
   if (skipEvents_ > 0) {
     // Replayed registration of a prefix object: its rolled-back history is
     // already correct, so resetting it would erase prefix state.
@@ -72,6 +97,19 @@ void TraceRecorder::onObjectRegistered(const runtime::Execution&, std::int32_t i
   }
   ObjectHistory& h = history(index);
   h.reset(uid, kind);
+  // Seed the object's share of the value-state accumulator. Variables
+  // contribute their (uid, value) pair from registration on; condvars
+  // contribute their (empty) wait-queue fold. Mutexes, semaphores and
+  // threads need no contribution: their state is a function of the
+  // operation multiset prefixValue_ already carries. A rollback restores
+  // valueState_ wholesale from the checkpoint copy, which un-registers
+  // objects born past the stage.
+  if (kind == ObjectKind::Var) {
+    h.valueHash = initialValueHash;
+    valueState_.add(support::hash128(uid, h.valueHash));
+  } else if (kind == ObjectKind::CondVar) {
+    valueState_.add(cvQueueContribution(h));
+  }
   if (!name.empty()) {
     names_.emplace(uid, name);  // keeps the first name seen; stable across runs
   }
@@ -92,6 +130,8 @@ std::size_t TraceRecorder::checkpoint() {
   cp.eventCount = eventCount_;
   cp.prefixFull = prefixFull_;
   cp.prefixLazy = prefixLazy_;
+  cp.prefixValue = prefixValue_;
+  cp.valueState = valueState_;
   cp.threadCount = threadCount_;
   cp.threadLastEvent.assign(threadLastEvent_.begin(),
                             threadLastEvent_.begin() +
@@ -121,6 +161,8 @@ void TraceRecorder::logHistoryUndo(std::int32_t index, const ObjectHistory& h) {
   c.lastReleaseEvent = h.lastReleaseEvent;
   c.lastWriteEvent = h.lastWriteEvent;
   c.lastReadPerThread.assign(h.lastReadPerThread.begin(), h.lastReadPerThread.end());
+  c.valueHash = h.valueHash;
+  c.cvQueue.assign(h.cvQueue.begin(), h.cvQueue.end());
 }
 
 std::size_t TraceRecorder::deepestCheckpointAtOrBelow(std::size_t depth) const noexcept {
@@ -146,6 +188,8 @@ void TraceRecorder::rollbackTo(std::size_t depth) {
   lazyClocks_.truncate(depth);
   prefixFull_ = cp.prefixFull;
   prefixLazy_ = cp.prefixLazy;
+  prefixValue_ = cp.prefixValue;
+  valueState_ = cp.valueState;
   threadCount_ = cp.threadCount;
   for (std::size_t i = 0; i < cp.threadCount; ++i) {
     threadLastEvent_[i] = cp.threadLastEvent[i];
@@ -169,6 +213,8 @@ void TraceRecorder::rollbackTo(std::size_t depth) {
     h.lastReleaseEvent = c.lastReleaseEvent;
     h.lastWriteEvent = c.lastWriteEvent;
     h.lastReadPerThread.swap(c.lastReadPerThread);
+    h.valueHash = c.valueHash;
+    h.cvQueue.swap(c.cvQueue);
   }
   objectCount_ = cp.objectCount;
   // New epoch: post-rollback updates must re-log their pre-images so this
@@ -188,7 +234,11 @@ bool TraceRecorder::evictCheckpoint(std::size_t depth) {
 }
 
 std::size_t TraceRecorder::checkpointApproxBytes(std::size_t depth) const noexcept {
-  for (const Checkpoint& cp : checkpoints_) {
+  // Reverse scan: checkpoints are depth-ascending and the engine prices the
+  // just-staged (deepest) one on every stage — a forward scan made staging
+  // O(stages) and deep-tree branches quadratic.
+  for (auto it = checkpoints_.rbegin(); it != checkpoints_.rend(); ++it) {
+    const Checkpoint& cp = *it;
     if (cp.eventCount != depth) continue;
     return sizeof(Checkpoint) +
            cp.threadLastEvent.capacity() * sizeof(std::int32_t);
@@ -222,6 +272,7 @@ const ClockArena& TraceRecorder::arena(Relation r) const noexcept {
     case Relation::Sync: return syncClocks_;
     case Relation::Full: return fullClocks_;
     case Relation::Lazy: return lazyClocks_;
+    case Relation::Value: break;  // an equivalence, not a clock-bearing relation
   }
   LAZYHB_UNREACHABLE("bad relation");
 }
@@ -518,6 +569,18 @@ void TraceRecorder::onEvent(const runtime::Execution& exec, const EventRecord& e
         ev.labelHash().mixedWith(acc.digest()).mixedWith(support::hash128(0x1a2bULL)));
     prefixLazy_.add(lazyHash_.back());
   }
+  {
+    // Value-equivalence contribution: the label alone — no causal mixing;
+    // forgetting who produced an observed value is the whole coarsening —
+    // plus, for reads and RMWs, the value observed (the variable's
+    // pre-value; Execution commits an RMW's post-value before recording, so
+    // the recorder's own mirror is consulted, not the execution's).
+    support::Hash128 vh = ev.labelHash().mixedWith(support::hash128(kValueDomain));
+    if (ev.kind == OpKind::Read || ev.kind == OpKind::Rmw) {
+      vh = vh.mixedWith(observedValueHash(history(ev.objectIndex).valueHash));
+    }
+    prefixValue_.add(vh);
+  }
 
   if (options_.keepPredecessors) {
     if (preds_.size() <= eventCount_) preds_.resize(eventCount_ + 1);
@@ -555,6 +618,16 @@ void TraceRecorder::onEvent(const runtime::Execution& exec, const EventRecord& e
       ObjectHistory& h = history(ev.objectIndex);
       h.lastWrite = index;
       h.readersSinceWrite.clear();
+      // Final-visible effect: swap the variable's (uid, value) pair in the
+      // value-state accumulator for the committed post-value. Overwritten
+      // intermediate values leave no trace — that is where value
+      // equivalence prunes beyond the lazy HBR.
+      const std::uint64_t committed = ev.valueHash;
+      if (committed != h.valueHash) {
+        valueState_.remove(support::hash128(h.uid, h.valueHash));
+        valueState_.add(support::hash128(h.uid, committed));
+        h.valueHash = committed;
+      }
       if (options_.detectRaces) {
         h.lastWriteEvent = index;
         h.lastReadPerThread.clear();
@@ -593,6 +666,10 @@ void TraceRecorder::onEvent(const runtime::Execution& exec, const EventRecord& e
       ObjectHistory& cv = history(ev.objectIndex);
       cv.lastChainOp = index;
       cv.chain.push_back(index);
+      // The waiter parks at the back of the condvar's FIFO queue.
+      valueState_.remove(cvQueueContribution(cv));
+      cv.cvQueue.push_back(ev.threadUid);
+      valueState_.add(cvQueueContribution(cv));
       ObjectHistory& m = history(ev.mutexIndex);
       m.lastChainOp = index;
       m.chain.push_back(index);
@@ -622,6 +699,17 @@ void TraceRecorder::onEvent(const runtime::Execution& exec, const EventRecord& e
       ObjectHistory& h = history(ev.objectIndex);
       h.lastChainOp = index;
       h.chain.push_back(index);
+      // Signal wakes the queue's front (FIFO); broadcast drains it. Mirror
+      // the runtime's queue so the value fingerprint tracks wake order.
+      if (ev.kind == OpKind::Signal && !h.cvQueue.empty()) {
+        valueState_.remove(cvQueueContribution(h));
+        h.cvQueue.erase(h.cvQueue.begin());
+        valueState_.add(cvQueueContribution(h));
+      } else if (ev.kind == OpKind::Broadcast && !h.cvQueue.empty()) {
+        valueState_.remove(cvQueueContribution(h));
+        h.cvQueue.clear();
+        valueState_.add(cvQueueContribution(h));
+      }
       break;
     }
     case OpKind::Yield:
@@ -674,6 +762,12 @@ support::Hash128 TraceRecorder::fingerprint(Relation r) const {
   switch (r) {
     case Relation::Full: return prefixFull_.digest();
     case Relation::Lazy: return prefixLazy_.digest();
+    case Relation::Value:
+      // Observations plus visible state: equal digests mean the same
+      // operations ran, every read saw the same value, and the variables
+      // and condvar queues stand identically — so the continuation
+      // subtrees coincide, the property value-class pruning keys on.
+      return prefixValue_.digest().mixedWith(valueState_.digest());
     case Relation::Sync: break;
   }
   LAZYHB_UNREACHABLE("no fingerprint is maintained for the sync relation");
@@ -694,9 +788,11 @@ support::Hash128 TraceRecorder::eventHash(Relation r, std::int32_t index) const 
   switch (r) {
     case Relation::Full: return fullHash_[static_cast<std::size_t>(index)];
     case Relation::Lazy: return lazyHash_[static_cast<std::size_t>(index)];
-    case Relation::Sync: break;
+    case Relation::Sync:
+    case Relation::Value:  // value contributions are not causal hashes
+      break;
   }
-  LAZYHB_UNREACHABLE("no hash is maintained for the sync relation");
+  LAZYHB_UNREACHABLE("no per-event hash is maintained for this relation");
 }
 
 const std::vector<std::int32_t>& TraceRecorder::eventPredecessors(
@@ -708,6 +804,7 @@ const std::vector<std::int32_t>& TraceRecorder::eventPredecessors(
     case Relation::Sync: return p.sync;
     case Relation::Full: return p.full;
     case Relation::Lazy: return p.lazy;
+    case Relation::Value: break;  // no edge structure under the equivalence
   }
   LAZYHB_UNREACHABLE("bad relation");
 }

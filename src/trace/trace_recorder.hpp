@@ -1,6 +1,6 @@
 // lazyhb/trace/trace_recorder.hpp
 //
-// Online computation of the three happens-before relations of one execution:
+// Online computation of the happens-before relations of one execution:
 //
 //   Sync  — program order + spawn/join + mutex release->acquire + condvar
 //           signal->wakeup. Used by the data-race detector.
@@ -12,6 +12,18 @@
 //           by blocking lock/unlock (and condvar wait's hidden unlock/lock).
 //           TryLock edges are retained: a trylock observes the mutex state,
 //           so erasing them would break Theorem 2.2 (see DESIGN.md).
+//   Value — not a relation but an observation equivalence, coarser than
+//           Lazy (value-centric DPOR's framing): two prefixes are
+//           value-equivalent when they executed the same operations and
+//           every read/RMW observed the same *value* — regardless of which
+//           writer produced it — and the shared state they reach is the
+//           same (per-variable values plus each condvar's FIFO wait queue;
+//           mutex owners, semaphore counts and per-thread progress are
+//           already determined by the operation multiset). Lazy-equal
+//           prefixes are always value-equal: the lazy relation keeps every
+//           reads-from edge, orders same-variable write chains and condvar
+//           chains totally, and trylock results sit in the event labels —
+//           so #valueClasses <= #lazyHBRs, the next link of the §3 chain.
 //
 // For the Full and Lazy relations the recorder maintains an incremental
 // canonical fingerprint of the executed *prefix*: each event's causal hash
@@ -68,8 +80,9 @@
 
 namespace lazyhb::trace {
 
-/// Which happens-before relation to consult.
-enum class Relation : std::uint8_t { Sync, Full, Lazy };
+/// Which happens-before relation (or, for Value, which prefix equivalence)
+/// to consult.
+enum class Relation : std::uint8_t { Sync, Full, Lazy, Value };
 
 [[nodiscard]] const char* relationName(Relation r) noexcept;
 
@@ -100,7 +113,8 @@ class TraceRecorder final : public runtime::ExecutionObserver {
   void onExecutionStart(const runtime::Execution& exec) override;
   void onObjectRegistered(const runtime::Execution& exec, std::int32_t index,
                           runtime::Uid uid, runtime::ObjectKind kind,
-                          const std::string& name) override;
+                          const std::string& name,
+                          std::uint64_t initialValueHash) override;
   void onEvent(const runtime::Execution& exec,
                const runtime::EventRecord& event) override;
   void onExecutionEnd(const runtime::Execution& exec,
@@ -208,6 +222,15 @@ class TraceRecorder final : public runtime::ExecutionObserver {
     // Race detection:
     std::int32_t lastWriteEvent = -1;
     std::vector<std::pair<int, std::int32_t>> lastReadPerThread;  // (tid, event)
+    /// Value equivalence: mirror of the variable's current value hash
+    /// (Execution commits the post-value before recording the event, so the
+    /// recorder keeps the pre-value itself — a read/RMW observes this).
+    std::uint64_t valueHash = 0;
+    /// Value equivalence: mirror of the condvar's FIFO wait queue, as
+    /// thread UIDs in arrival order. Signal wakes the front deterministically,
+    /// so arrival *order* is observable state an abelian multiset of labels
+    /// cannot encode; the value fingerprint folds it order-sensitively.
+    std::vector<runtime::Uid> cvQueue;
     /// Dirty stamp: the checkpoint epoch that last undo-logged this history.
     /// Epochs are never reused, so reset() need not clear it — a stale stamp
     /// simply reads as "not dirty in the current epoch".
@@ -227,6 +250,8 @@ class TraceRecorder final : public runtime::ExecutionObserver {
       lastReleaseEvent = -1;
       lastWriteEvent = -1;
       lastReadPerThread.clear();
+      valueHash = 0;
+      cvQueue.clear();
     }
   };
 
@@ -242,6 +267,8 @@ class TraceRecorder final : public runtime::ExecutionObserver {
     std::int32_t lastReleaseEvent = -1;
     std::int32_t lastWriteEvent = -1;
     std::vector<std::pair<int, std::int32_t>> lastReadPerThread;
+    std::uint64_t valueHash = 0;
+    std::vector<runtime::Uid> cvQueue;
   };
 
   /// One undo-log entry: an object's cursor pre-image, logged on its first
@@ -260,6 +287,8 @@ class TraceRecorder final : public runtime::ExecutionObserver {
     std::size_t eventCount = 0;
     support::MultisetHash prefixFull;
     support::MultisetHash prefixLazy;
+    support::MultisetHash prefixValue;
+    support::MultisetHash valueState;
     std::size_t threadCount = 0;
     std::vector<std::int32_t> threadLastEvent;
     std::size_t objectCount = 0;
@@ -281,6 +310,11 @@ class TraceRecorder final : public runtime::ExecutionObserver {
     logHistoryUndo(index, h);
   }
   void logHistoryUndo(std::int32_t index, const ObjectHistory& h);
+
+  /// The condvar's contribution to valueState_: an order-sensitive fold of
+  /// its FIFO wait queue over the condvar's uid. Computed before and after
+  /// every queue change so the accumulator can remove/add the pair.
+  [[nodiscard]] static support::Hash128 cvQueueContribution(const ObjectHistory& h) noexcept;
 
   ObjectHistory& history(std::int32_t objectIndex);
   [[nodiscard]] const ClockArena& arena(Relation r) const noexcept;
@@ -310,6 +344,14 @@ class TraceRecorder final : public runtime::ExecutionObserver {
   std::size_t objectCount_ = 0;
   support::MultisetHash prefixFull_;
   support::MultisetHash prefixLazy_;
+  /// Value equivalence, two abelian accumulators: prefixValue_ holds one
+  /// contribution per event — its label, mixed with the observed pre-value
+  /// for reads/RMWs and nothing causal (that omission is the coarsening) —
+  /// and valueState_ holds the currently-visible shared state: one
+  /// (uid, value) contribution per variable and one order-sensitive queue
+  /// fold per condvar. fingerprint(Relation::Value) combines both digests.
+  support::MultisetHash prefixValue_;
+  support::MultisetHash valueState_;
   std::vector<RaceReport> races_;
   std::unordered_map<runtime::Uid, std::string> names_;
 

@@ -31,6 +31,7 @@ TEST(Figure1, NaiveEnumerationCounts) {
   // Theorems hold across every explored schedule.
   EXPECT_EQ(result.theorem21.conflicts, 0u);
   EXPECT_EQ(result.theorem22.conflicts, 0u);
+  EXPECT_EQ(result.theoremValue.conflicts, 0u);
 }
 
 TEST(Figure1, DporExploresOnePerHbrClass) {
@@ -81,6 +82,7 @@ TEST(CoarseLocking, LazyHbrCollapsesDisjointCriticalSections) {
   EXPECT_EQ(result.distinctLazyHbrs, 1u);   // the paper's headline effect
   EXPECT_GT(result.distinctHbrs, 1u);       // regular HBR sees 2 classes
   EXPECT_EQ(result.theorem22.conflicts, 0u);
+  EXPECT_EQ(result.theoremValue.conflicts, 0u);
 }
 
 // Racy counter: two unsynchronised read-modify-write pairs; the lost-update
@@ -105,6 +107,7 @@ TEST(RacyCounter, MultipleStatesAndTheoremsHold) {
   EXPECT_EQ(result.distinctLazyHbrs, result.distinctHbrs);
   EXPECT_EQ(result.theorem21.conflicts, 0u);
   EXPECT_EQ(result.theorem22.conflicts, 0u);
+  EXPECT_EQ(result.theoremValue.conflicts, 0u);
 }
 
 TEST(RacyCounter, DporFindsAllStates) {
@@ -190,6 +193,7 @@ TEST(LockedCounter, SixHbrClassesOneLazyClass) {
   // so the lazy HBR still orders them: 6 classes remain.
   EXPECT_EQ(result.distinctLazyHbrs, 6u);
   EXPECT_EQ(result.theorem22.conflicts, 0u);
+  EXPECT_EQ(result.theoremValue.conflicts, 0u);
 }
 
 // Same three threads, but each under the lock touches only its OWN variable:
@@ -323,6 +327,7 @@ TEST_P(CompletenessSweep, ReducedExplorersMatchNaive) {
   // Theorems checked on the naive run already; also check DPOR's view.
   EXPECT_EQ(naive.theorem21.conflicts, 0u);
   EXPECT_EQ(naive.theorem22.conflicts, 0u);
+  EXPECT_EQ(naive.theoremValue.conflicts, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSmallPrograms, CompletenessSweep, ::testing::Range(0, 9));

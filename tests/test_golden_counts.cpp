@@ -6,13 +6,14 @@
 // time; the contract of every such rewrite is that no observable count
 // moves. This suite pins that contract in two ways:
 //
-//   * a golden snapshot: a diverse slice of the corpus explored by all five
-//     explorers at a small budget, with every count the campaign reports
-//     (schedules / terminal / pruned / violations / distinct HBRs / lazy
-//     HBRs / states) asserted against values captured from the seed
-//     implementation (heap VectorClock per event, std::unordered_set
-//     cache). Any drift here means fingerprints or scheduling changed, not
-//     just performance.
+//   * a golden snapshot: a diverse slice of the corpus explored by the five
+//     canonical explorers plus caching-value at a small budget, with every
+//     count the campaign reports (schedules / terminal / pruned /
+//     violations / distinct HBRs / lazy HBRs / value classes / states)
+//     asserted against values captured from the seed implementation (heap
+//     VectorClock per event, std::unordered_set cache; value-class counts
+//     captured when the observation fingerprint landed). Any drift here
+//     means fingerprints or scheduling changed, not just performance.
 //
 //   * permutation properties: schedules that are linearizations of the same
 //     labelled partial order must fingerprint identically through the arena
@@ -43,6 +44,7 @@ struct GoldenCell {
   std::uint64_t violations;
   std::uint64_t hbrs;
   std::uint64_t lazyHbrs;
+  std::uint64_t valueClasses;
   std::uint64_t states;
 };
 
@@ -53,46 +55,60 @@ struct GoldenCell {
 // trylock (lazy-erasure boundary), lock-free CAS, deadlocking and
 // lost-signal bugs, and semaphore handoff.
 const GoldenCell kGolden[] = {
-    {"disjoint-lock-2", "dfs", 17, 17, 0, 0, 2, 1, 1},
-    {"disjoint-lock-2", "random", 200, 200, 0, 0, 2, 1, 1},
-    {"disjoint-lock-2", "dpor", 2, 2, 0, 0, 2, 1, 1},
-    {"disjoint-lock-2", "caching-full", 8, 2, 6, 0, 2, 1, 1},
-    {"disjoint-lock-2", "caching-lazy", 8, 1, 7, 0, 1, 1, 1},
-    {"noisy-counter-3x2", "dfs", 200, 200, 0, 0, 18, 3, 2},
-    {"noisy-counter-3x2", "random", 200, 200, 0, 0, 155, 32, 3},
-    {"noisy-counter-3x2", "dpor", 200, 200, 0, 0, 98, 4, 2},
-    {"noisy-counter-3x2", "caching-full", 200, 24, 176, 0, 24, 4, 2},
-    {"noisy-counter-3x2", "caching-lazy", 200, 4, 196, 0, 4, 4, 2},
-    {"prodcons-1x1", "dfs", 200, 200, 0, 0, 8, 8, 1},
-    {"prodcons-1x1", "random", 200, 200, 0, 0, 8, 8, 1},
-    {"prodcons-1x1", "dpor", 8, 8, 0, 0, 8, 8, 1},
-    {"prodcons-1x1", "caching-full", 83, 8, 75, 0, 8, 8, 1},
-    {"prodcons-1x1", "caching-lazy", 83, 8, 75, 0, 8, 8, 1},
-    {"trylock-vs-lock", "dfs", 7, 7, 0, 0, 3, 3, 3},
-    {"trylock-vs-lock", "random", 200, 200, 0, 0, 3, 3, 3},
-    {"trylock-vs-lock", "dpor", 4, 4, 0, 0, 3, 3, 3},
-    {"trylock-vs-lock", "caching-full", 6, 3, 3, 0, 3, 3, 3},
-    {"trylock-vs-lock", "caching-lazy", 6, 3, 3, 0, 3, 3, 3},
-    {"cas-counter-3", "dfs", 200, 200, 0, 0, 8, 8, 1},
-    {"cas-counter-3", "random", 200, 200, 0, 0, 74, 74, 2},
-    {"cas-counter-3", "dpor", 200, 200, 0, 0, 80, 80, 2},
-    {"cas-counter-3", "caching-full", 200, 34, 166, 0, 34, 34, 2},
-    {"cas-counter-3", "caching-lazy", 200, 34, 166, 0, 34, 34, 2},
-    {"deadlock-ab", "dfs", 6, 4, 0, 2, 2, 1, 1},
-    {"deadlock-ab", "random", 200, 96, 0, 104, 2, 1, 1},
-    {"deadlock-ab", "dpor", 2, 1, 0, 1, 1, 1, 1},
-    {"deadlock-ab", "caching-full", 6, 2, 2, 2, 2, 1, 1},
-    {"deadlock-ab", "caching-lazy", 6, 1, 3, 2, 1, 1, 1},
-    {"lost-signal", "dfs", 2, 1, 0, 1, 1, 1, 1},
-    {"lost-signal", "random", 200, 94, 0, 106, 1, 1, 1},
-    {"lost-signal", "dpor", 2, 1, 0, 1, 1, 1, 1},
-    {"lost-signal", "caching-full", 2, 1, 0, 1, 1, 1, 1},
-    {"lost-signal", "caching-lazy", 2, 1, 0, 1, 1, 1, 1},
-    {"sem-handoff-1", "dfs", 1, 1, 0, 0, 1, 1, 1},
-    {"sem-handoff-1", "random", 200, 200, 0, 0, 1, 1, 1},
-    {"sem-handoff-1", "dpor", 1, 1, 0, 0, 1, 1, 1},
-    {"sem-handoff-1", "caching-full", 1, 1, 0, 0, 1, 1, 1},
-    {"sem-handoff-1", "caching-lazy", 1, 1, 0, 0, 1, 1, 1},
+    {"disjoint-lock-2", "dfs", 17, 17, 0, 0, 2, 1, 1, 1},
+    {"disjoint-lock-2", "random", 200, 200, 0, 0, 2, 1, 1, 1},
+    {"disjoint-lock-2", "dpor", 2, 2, 0, 0, 2, 1, 1, 1},
+    {"disjoint-lock-2", "caching-full", 8, 2, 6, 0, 2, 1, 1, 1},
+    {"disjoint-lock-2", "caching-lazy", 8, 1, 7, 0, 1, 1, 1, 1},
+    {"disjoint-lock-2", "caching-value", 8, 1, 7, 0, 1, 1, 1, 1},
+    {"noisy-counter-3x2", "dfs", 200, 200, 0, 0, 18, 3, 2, 2},
+    {"noisy-counter-3x2", "random", 200, 200, 0, 0, 155, 32, 14, 3},
+    {"noisy-counter-3x2", "dpor", 200, 200, 0, 0, 98, 4, 3, 2},
+    {"noisy-counter-3x2", "caching-full", 200, 24, 176, 0, 24, 4, 3, 2},
+    {"noisy-counter-3x2", "caching-lazy", 200, 4, 196, 0, 4, 4, 3, 2},
+    // caching-value reaches the same two states in 3 terminal schedules
+    // where caching-lazy needs 4: the value class merges lazy-distinct
+    // writer orders that produce the same counter values.
+    {"noisy-counter-3x2", "caching-value", 200, 3, 197, 0, 3, 3, 3, 2},
+    {"prodcons-1x1", "dfs", 200, 200, 0, 0, 8, 8, 8, 1},
+    {"prodcons-1x1", "random", 200, 200, 0, 0, 8, 8, 8, 1},
+    {"prodcons-1x1", "dpor", 8, 8, 0, 0, 8, 8, 8, 1},
+    {"prodcons-1x1", "caching-full", 83, 8, 75, 0, 8, 8, 8, 1},
+    {"prodcons-1x1", "caching-lazy", 83, 8, 75, 0, 8, 8, 8, 1},
+    {"prodcons-1x1", "caching-value", 83, 8, 75, 0, 8, 8, 8, 1},
+    {"trylock-vs-lock", "dfs", 7, 7, 0, 0, 3, 3, 3, 3},
+    {"trylock-vs-lock", "random", 200, 200, 0, 0, 3, 3, 3, 3},
+    {"trylock-vs-lock", "dpor", 4, 4, 0, 0, 3, 3, 3, 3},
+    {"trylock-vs-lock", "caching-full", 6, 3, 3, 0, 3, 3, 3, 3},
+    {"trylock-vs-lock", "caching-lazy", 6, 3, 3, 0, 3, 3, 3, 3},
+    {"trylock-vs-lock", "caching-value", 6, 3, 3, 0, 3, 3, 3, 3},
+    {"cas-counter-3", "dfs", 200, 200, 0, 0, 8, 8, 8, 1},
+    {"cas-counter-3", "random", 200, 200, 0, 0, 74, 74, 66, 2},
+    {"cas-counter-3", "dpor", 200, 200, 0, 0, 80, 80, 66, 2},
+    {"cas-counter-3", "caching-full", 200, 34, 166, 0, 34, 34, 31, 2},
+    {"cas-counter-3", "caching-lazy", 200, 34, 166, 0, 34, 34, 31, 2},
+    // Pruning on value classes steers the search into a different subtree,
+    // so the 200-schedule budget lands on a different (not nested) slice:
+    // 33 value classes seen here vs 31 within the lazy run's slice.
+    {"cas-counter-3", "caching-value", 200, 33, 167, 0, 33, 33, 33, 2},
+    {"deadlock-ab", "dfs", 6, 4, 0, 2, 2, 1, 1, 1},
+    {"deadlock-ab", "random", 200, 96, 0, 104, 2, 1, 1, 1},
+    {"deadlock-ab", "dpor", 2, 1, 0, 1, 1, 1, 1, 1},
+    {"deadlock-ab", "caching-full", 6, 2, 2, 2, 2, 1, 1, 1},
+    {"deadlock-ab", "caching-lazy", 6, 1, 3, 2, 1, 1, 1, 1},
+    {"deadlock-ab", "caching-value", 6, 1, 3, 2, 1, 1, 1, 1},
+    {"lost-signal", "dfs", 2, 1, 0, 1, 1, 1, 1, 1},
+    {"lost-signal", "random", 200, 94, 0, 106, 1, 1, 1, 1},
+    {"lost-signal", "dpor", 2, 1, 0, 1, 1, 1, 1, 1},
+    {"lost-signal", "caching-full", 2, 1, 0, 1, 1, 1, 1, 1},
+    {"lost-signal", "caching-lazy", 2, 1, 0, 1, 1, 1, 1, 1},
+    {"lost-signal", "caching-value", 2, 1, 0, 1, 1, 1, 1, 1},
+    {"sem-handoff-1", "dfs", 1, 1, 0, 0, 1, 1, 1, 1},
+    {"sem-handoff-1", "random", 200, 200, 0, 0, 1, 1, 1, 1},
+    {"sem-handoff-1", "dpor", 1, 1, 0, 0, 1, 1, 1, 1},
+    {"sem-handoff-1", "caching-full", 1, 1, 0, 0, 1, 1, 1, 1},
+    {"sem-handoff-1", "caching-lazy", 1, 1, 0, 0, 1, 1, 1, 1},
+    {"sem-handoff-1", "caching-value", 1, 1, 0, 0, 1, 1, 1, 1},
 };
 
 // The three incremental-replay configurations every golden cell must agree
@@ -135,6 +151,7 @@ TEST(GoldenCounts, QuickBudgetSnapshotUnchanged) {
       EXPECT_EQ(result.violationSchedules, golden.violations) << cell;
       EXPECT_EQ(result.distinctHbrs, golden.hbrs) << cell;
       EXPECT_EQ(result.distinctLazyHbrs, golden.lazyHbrs) << cell;
+      EXPECT_EQ(result.distinctValueClasses, golden.valueClasses) << cell;
       EXPECT_EQ(result.distinctStates, golden.states) << cell;
     }
   }

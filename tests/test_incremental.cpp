@@ -389,14 +389,16 @@ struct CapturedTrace : runtime::ExecutionObserver {
     runtime::Uid uid;
     runtime::ObjectKind kind;
     std::string name;
+    std::uint64_t initialValueHash;
   };
   std::vector<Registration> registrations;
   std::vector<runtime::EventRecord> events;
 
   void onObjectRegistered(const runtime::Execution&, std::int32_t index,
                           runtime::Uid uid, runtime::ObjectKind kind,
-                          const std::string& name) override {
-    registrations.push_back({index, uid, kind, name});
+                          const std::string& name,
+                          std::uint64_t initialValueHash) override {
+    registrations.push_back({index, uid, kind, name, initialValueHash});
   }
   void onEvent(const runtime::Execution&, const runtime::EventRecord& ev) override {
     events.push_back(ev);
@@ -435,7 +437,8 @@ TEST(IncrementalReplay, UndoEntriesCoalescePerObjectBetweenStages) {
   runtime::Execution dummy(runtime::Config{}, pool, nullptr);  // never run
   recorder.onExecutionStart(dummy);
   for (const auto& reg : captured.registrations) {
-    recorder.onObjectRegistered(dummy, reg.index, reg.uid, reg.kind, reg.name);
+    recorder.onObjectRegistered(dummy, reg.index, reg.uid, reg.kind, reg.name,
+                                reg.initialValueHash);
   }
   std::size_t next = 0;
   auto feedThrough = [&](std::size_t lastEvent) {
@@ -481,7 +484,8 @@ TEST(IncrementalReplay, EvictThenRollbackPastEvictedRestoresState) {
   runtime::Execution dummy(runtime::Config{}, pool, nullptr);  // never run
   recorder.onExecutionStart(dummy);
   for (const auto& reg : captured.registrations) {
-    recorder.onObjectRegistered(dummy, reg.index, reg.uid, reg.kind, reg.name);
+    recorder.onObjectRegistered(dummy, reg.index, reg.uid, reg.kind, reg.name,
+                                reg.initialValueHash);
   }
   std::size_t next = 0;
   auto feedThrough = [&](std::size_t lastEvent) {
@@ -517,6 +521,63 @@ TEST(IncrementalReplay, EvictThenRollbackPastEvictedRestoresState) {
   next = writes[0] + 1;
   feedThrough(writes[4]);
   EXPECT_EQ(recorder.fingerprint(trace::Relation::Full), fullEnd);
+}
+
+TEST(IncrementalReplay, ValueFingerprintSurvivesRollbackAndReplay) {
+  // The observation state behind Relation::Value (abelian prefix digest,
+  // per-var value hashes, condvar queues) must restore across
+  // checkpoint/rollback exactly like the relation state: a rolled-back and
+  // re-extended recorder's Value fingerprint is byte-identical to a fresh
+  // recorder fed the same stream.
+  runtime::StackPool pool;
+  CapturedTrace captured;
+  {
+    runtime::Execution source(runtime::Config{}, pool, &captured);
+    explore::FixedScheduler scheduler({});
+    (void)source.run(
+        [] {
+          Shared<int> a{0, "a"};
+          Shared<int> b{5, "b"};  // nonzero initial value hash
+          a.store(1);
+          b.store(a.load() + 2);
+          a.store(4);
+          (void)b.load();
+        },
+        scheduler);
+  }
+  ASSERT_GE(captured.events.size(), 4u);
+
+  trace::TraceRecorder recorder;
+  runtime::Execution dummy(runtime::Config{}, pool, nullptr);  // never run
+  auto seed = [&](trace::TraceRecorder& r) {
+    r.onExecutionStart(dummy);
+    for (const auto& reg : captured.registrations) {
+      r.onObjectRegistered(dummy, reg.index, reg.uid, reg.kind, reg.name,
+                           reg.initialValueHash);
+    }
+  };
+  seed(recorder);
+  const std::size_t half = captured.events.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) recorder.onEvent(dummy, captured.events[i]);
+  const std::size_t d = recorder.checkpoint();
+  const support::Hash128 valueAtD = recorder.fingerprint(trace::Relation::Value);
+  for (std::size_t i = half; i < captured.events.size(); ++i) {
+    recorder.onEvent(dummy, captured.events[i]);
+  }
+  const support::Hash128 valueEnd = recorder.fingerprint(trace::Relation::Value);
+  EXPECT_NE(valueAtD, valueEnd);  // the suffix must actually change it
+
+  recorder.rollbackTo(d);
+  EXPECT_EQ(recorder.fingerprint(trace::Relation::Value), valueAtD);
+  for (std::size_t i = half; i < captured.events.size(); ++i) {
+    recorder.onEvent(dummy, captured.events[i]);
+  }
+  EXPECT_EQ(recorder.fingerprint(trace::Relation::Value), valueEnd);
+
+  trace::TraceRecorder fresh;
+  seed(fresh);
+  for (const auto& ev : captured.events) fresh.onEvent(dummy, ev);
+  EXPECT_EQ(fresh.fingerprint(trace::Relation::Value), valueEnd);
 }
 
 // --- arena truncation --------------------------------------------------------

@@ -189,11 +189,12 @@ TEST(Session, UnknownRelationThrows) {
 
 TEST(Session, StrategiesListsCanonicalThenExtended) {
   const std::vector<std::string> names = Session::strategies();
-  ASSERT_EQ(names.size(), 7u);
+  ASSERT_EQ(names.size(), 8u);
   EXPECT_EQ(names[0], "dfs");
   EXPECT_EQ(names[4], "caching-lazy");
   EXPECT_EQ(names[5], "dpor-nosleep");
   EXPECT_EQ(names[6], "dpor-lazy-cache");
+  EXPECT_EQ(names[7], "caching-value");
   for (const std::string& name : names) {
     EXPECT_TRUE(campaign::parseExplorerSpec(name).has_value()) << name;
   }
@@ -269,7 +270,7 @@ TEST(TestReportJson, VersionedAndStructurallySound) {
   const std::string json = report.toJson();
 
   EXPECT_NE(json.find("\"schema\": \"lazyhb-test-report\""), std::string::npos);
-  EXPECT_NE(json.find("\"version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"version\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"scenario\": \"session-test-overdraft\""),
             std::string::npos);
   EXPECT_NE(json.find("\"strategy\": \"caching-lazy\""), std::string::npos);
@@ -277,6 +278,9 @@ TEST(TestReportJson, VersionedAndStructurallySound) {
   EXPECT_NE(json.find("\"kind\": \"assertion-failure\""), std::string::npos);
   EXPECT_NE(json.find("\"cache\""), std::string::npos);
   EXPECT_NE(json.find("\"theorem_22\""), std::string::npos);
+  // v2 adds the value-class count and the value-soundness checker block.
+  EXPECT_NE(json.find("\"value_classes\""), std::string::npos);
+  EXPECT_NE(json.find("\"theorem_value\""), std::string::npos);
   EXPECT_EQ(json.back(), '\n');
 
   // Structural sanity without a parser: balanced braces/brackets (the

@@ -7,6 +7,7 @@
 
 #include <array>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "explore/dfs_explorer.hpp"
@@ -336,4 +337,90 @@ TEST_P(FingerprintCanonicity, FingerprintEqualsIffExactFormEqual) {
 
 INSTANTIATE_TEST_SUITE_P(SmallPrograms, FingerprintCanonicity, ::testing::Range(0, 3));
 
+// --- value-class fingerprints ------------------------------------------------
+
+/// Enumerate every terminal schedule of `program`; return the distinct
+/// fingerprint sets under the Lazy and Value relations plus the distinct
+/// terminal-state set (the extended section-3 chain reads
+/// |states| <= |value| <= |lazy|).
+struct ValueEnumeration {
+  std::set<std::pair<std::uint64_t, std::uint64_t>> lazy;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> value;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> states;
+};
+
+ValueEnumeration enumerateValueClasses(const explore::Program& program) {
+  TraceRecorder recorder;
+  runtime::StackPool pool;
+  explore::TreeSearchState state;
+  ValueEnumeration out;
+  for (;;) {
+    runtime::Execution exec(runtime::Config{}, pool, &recorder);
+    explore::TreeScheduler scheduler(state);
+    if (exec.run(program, scheduler) == runtime::Outcome::Terminal) {
+      const auto l = recorder.fingerprint(Relation::Lazy);
+      const auto v = recorder.fingerprint(Relation::Value);
+      const auto s = exec.stateFingerprint();
+      out.lazy.emplace(l.lo, l.hi);
+      out.value.emplace(v.lo, v.hi);
+      out.states.emplace(s.lo, s.hi);
+    }
+    if (!state.advance()) break;
+  }
+  return out;
+}
+
+TEST(ValueFingerprint, SameValueDifferentWriterCollides) {
+  // Two racing writers store the SAME value, then the parent reads it. The
+  // lazy relation still totally orders the conflicting writes (two
+  // classes), but both orders produce identical observations — every read
+  // sees 7, the final visible state is x == 7 — so the value class merges
+  // what the lazy HBR keeps apart.
+  const auto e = enumerateValueClasses([] {
+    Shared<int> x{0, "x"};
+    auto t = spawn([&] { x.store(7); });
+    x.store(7);
+    t.join();
+    (void)x.load();
+  });
+  EXPECT_GT(e.lazy.size(), 1u);
+  EXPECT_EQ(e.value.size(), 1u);
+  EXPECT_EQ(e.states.size(), 1u);
+}
+
+TEST(ValueFingerprint, DifferentObservedValuesSeparate) {
+  // Same shape with different stored values: the write order now decides
+  // which value the read observes and which state is terminal, so the
+  // value classes must NOT collapse — they track the two states exactly.
+  const auto e = enumerateValueClasses([] {
+    Shared<int> x{0, "x"};
+    auto t = spawn([&] { x.store(1); });
+    x.store(2);
+    t.join();
+    (void)x.load();
+  });
+  EXPECT_EQ(e.value.size(), 2u);
+  EXPECT_EQ(e.states.size(), 2u);
+  EXPECT_EQ(e.value.size(), e.lazy.size());
+}
+
+TEST(ValueFingerprint, IntermediateObservationsSplitWithinOneState) {
+  // The child writes 1 then 2; the parent's lone read can observe 0, 1, or
+  // 2 while the terminal state is always x == 2. Value classes sit strictly
+  // between states and lazy classes: |states| = 1 < |value| = 3 <= |lazy|.
+  const auto e = enumerateValueClasses([] {
+    Shared<int> x{0, "x"};
+    auto t = spawn([&] {
+      x.store(1);
+      x.store(2);
+    });
+    (void)x.load();
+    t.join();
+  });
+  EXPECT_EQ(e.states.size(), 1u);
+  EXPECT_EQ(e.value.size(), 3u);
+  EXPECT_LE(e.value.size(), e.lazy.size());
+}
+
 }  // namespace
+

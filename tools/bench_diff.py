@@ -41,6 +41,15 @@ evictions, replay_fallbacks). Checkpoint stats are *scoreboard-only* and
 never count-compared: under work-stealing at --workers > 1 the staging and
 eviction order is timing-dependent even though the explored counts are not.
 
+Schema v7 reports carry the observation-centric value classes: every
+comparable cell has a `value_classes` count (a v7 report with a clean cell
+missing it is rejected — the extended section-3 chain
+#states <= #valueClasses <= #lazyHBRs <= #HBRs runs through it), and the
+tool prints a compression scoreboard (schedules-per-state and the per-link
+class compression) for reports that carry the field. `value_classes` is
+count-compared only when both reports carry it, so a v7 candidate still
+compares against a v6 or older baseline.
+
 Usage:
     tools/bench_diff.py BASELINE.json CANDIDATE.json [--counts-only]
     tools/bench_diff.py --history REPORT.json [REPORT.json ...]
@@ -78,6 +87,10 @@ COUNT_FIELDS = [
     "hit_schedule_limit",
 ]
 
+# Schema v7 count field, compared only when both cells carry it (older
+# baselines legitimately predate it).
+OPTIONAL_COUNT_FIELDS = ["value_classes"]
+
 # Cache counts are also deterministic, but only present for caching cells.
 CACHE_COUNT_FIELDS = ["lookups", "hits", "insertions", "entries"]
 
@@ -86,7 +99,7 @@ CACHE_COUNT_FIELDS = ["lookups", "hits", "insertions", "entries"]
 # handled by the fallbacks below); any other version means the report
 # format moved ahead of this tool, and guessing at unknown field semantics
 # would silently corrupt the comparison.
-KNOWN_SCHEMA_VERSIONS = (1, 2, 3, 4, 5, 6)
+KNOWN_SCHEMA_VERSIONS = (1, 2, 3, 4, 5, 6, 7)
 
 # Scoreboard-only checkpoint stats (schema v6). Deliberately NOT part of
 # COUNT_FIELDS: staging/eviction order is timing-dependent under
@@ -128,6 +141,17 @@ def load_report(path):
                  f"config.snapshot_budget mandatory so a report cannot "
                  f"silently hide the checkpoint byte budget it ran with — "
                  f"regenerate the report with a current `lazyhb bench`")
+    if version >= 7:
+        for cell in doc.get("cells", []):
+            if cell.get("error"):
+                continue  # a crashed cell's counts are zeroed placeholders
+            if "value_classes" not in cell:
+                sys.exit(f"bench_diff: '{path}' is a schema v{version} report "
+                         f"but cell {cell.get('program')!r} x "
+                         f"{cell.get('explorer')!r} has no 'value_classes' "
+                         f"count; v7 made it mandatory so the extended "
+                         f"section-3 chain can be checked on every cell — "
+                         f"regenerate the report with a current `lazyhb bench`")
     if "merge" in doc:
         validate_merge_provenance(doc, path)
     return doc
@@ -182,8 +206,10 @@ def cell_key(cell):
     return (cell["program"], cell["explorer"])
 
 
-def cell_counts(cell):
+def cell_counts(cell, optional_fields=()):
     counts = {f: cell[f] for f in COUNT_FIELDS}
+    for f in optional_fields:
+        counts[f] = cell[f]
     if "cache" in cell:
         counts["cache"] = {f: cell["cache"][f] for f in CACHE_COUNT_FIELDS}
     return counts
@@ -225,6 +251,36 @@ def rate_table(title, base_cells, cand_cells, shared, field):
     if all_ratios:
         print(f"  {'overall':<14} {'':>9}  {geomean(all_ratios):6.2f}x  "
               f"({len(all_ratios)} cells)")
+
+
+def compression_table(label, cells, shared):
+    """Schema v7 scoreboard: how hard each relation compresses the explored
+    schedules, summed per explorer over the shared cells. The headline
+    column is schedules-per-state — how many schedules the explorer ran for
+    every distinct terminal state it reached (lower = less redundant work);
+    the class columns walk the extended section-3 chain."""
+    by_explorer = {}
+    for key in shared:
+        cell = cells[key]
+        if "value_classes" not in cell:
+            return  # pre-v7 report: no scoreboard
+        agg = by_explorer.setdefault(key[1], dict.fromkeys(
+            ("schedules", "terminal", "hbrs", "lazy_hbrs", "value_classes",
+             "states"), 0))
+        for field in agg:
+            agg[field] += cell.get(field, 0)
+    if not by_explorer:
+        return
+    print(f"\ncompression ({label}, summed over cells; "
+          f"scheds/state = executed schedules per distinct terminal state):")
+    print(f"  {'explorer':<14} {'schedules':>11} {'hbrs':>9} {'lazy':>9} "
+          f"{'value':>9} {'states':>9} {'scheds/state':>13}")
+    for explorer in sorted(by_explorer):
+        agg = by_explorer[explorer]
+        per_state = (agg["schedules"] / agg["states"]) if agg["states"] else 0.0
+        print(f"  {explorer:<14} {agg['schedules']:>11} {agg['hbrs']:>9} "
+              f"{agg['lazy_hbrs']:>9} {agg['value_classes']:>9} "
+              f"{agg['states']:>9} {per_state:>13.2f}")
 
 
 def checkpoint_table(base_cells, cand_cells, shared):
@@ -325,8 +381,10 @@ def main():
             shared.append(key)
     mismatches = 0
     for key in shared:
-        a = cell_counts(base_cells[key])
-        b = cell_counts(cand_cells[key])
+        optional = [f for f in OPTIONAL_COUNT_FIELDS
+                    if f in base_cells[key] and f in cand_cells[key]]
+        a = cell_counts(base_cells[key], optional)
+        b = cell_counts(cand_cells[key], optional)
         if a != b:
             mismatches += 1
             failed = True
@@ -344,6 +402,7 @@ def main():
         rate_table("executedEventsPerSecond", base_cells, cand_cells, shared,
                    "executed_events_per_second")
         checkpoint_table(base_cells, cand_cells, shared)
+        compression_table("candidate", cand_cells, shared)
 
     return 1 if failed else 0
 
