@@ -1,5 +1,5 @@
 // Shared driver for the figure/table reproduction benches: runs an explorer
-// over the 79-benchmark corpus (optionally in parallel — explorations of
+// over the benchmark corpus (optionally in parallel — explorations of
 // distinct benchmarks are independent), and prints aligned tables plus
 // optional CSV for external plotting.
 //

@@ -14,6 +14,7 @@
 #include "explore/dpor_explorer.hpp"
 #include "explore/random_explorer.hpp"
 #include "explore/replay.hpp"
+#include "memory/memory_model.hpp"
 #include "runtime/api.hpp"
 #include "runtime/fiber.hpp"
 #include "support/rng.hpp"
@@ -413,6 +414,36 @@ void BM_DfsDeepTreeDefaultBudget(benchmark::State& state) {
 BENCHMARK(BM_DfsDeepTreeDefaultBudget)
     ->Arg(4000)     // live stages stay far under budget: 0 evictions
     ->Arg(16000)    // stacked fiber images cross 256 MiB: the budget binds
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DfsDeepTreeTsoDefaultBudget(benchmark::State& state) {
+  // The same deep-tree regime under TSO: every store now stages a buffered
+  // write plus a flush transition (twice the events per branch, so half the
+  // stores reach the same depth), and every checkpoint pins the writers'
+  // store-buffer pre-images through the undo log on top of their fiber
+  // images. The budget must bind the same way it does under SC — evictions
+  // without count drift — with buffers live across almost every stage.
+  gDeepStores = static_cast<int>(state.range(0));
+  explore::CheckpointStats last{};
+  for (auto _ : state) {
+    explore::ExplorerOptions options;
+    options.scheduleLimit = 4;
+    options.maxEventsPerSchedule = 1u << 18;
+    options.checkpointable = true;
+    options.memoryModel = memory::MemoryModel::Tso;
+    explore::DfsExplorer explorer(options);
+    const auto result = explorer.explore(deepTreeProgram);
+    last = result.checkpointStats;
+    benchmark::DoNotOptimize(result.schedulesExecuted);
+  }
+  state.counters["stages"] = static_cast<double>(last.stages);
+  state.counters["bytes_staged"] = static_cast<double>(last.bytesStaged);
+  state.counters["evictions"] = static_cast<double>(last.evictions);
+  state.counters["replay_fallbacks"] = static_cast<double>(last.replayFallbacks);
+}
+BENCHMARK(BM_DfsDeepTreeTsoDefaultBudget)
+    ->Arg(2000)     // ~6k stages: under budget, 0 evictions
+    ->Arg(12000)    // ~36k stages of fiber+buffer images: the budget binds
     ->Unit(benchmark::kMillisecond);
 
 void contendedProgram() {

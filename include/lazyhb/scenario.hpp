@@ -2,7 +2,7 @@
 //
 // A *scenario* is a named program under test, registered into the global
 // registry the CLI (`lazyhb list` / `--program`), the campaign matrix and
-// Session::run(name) all enumerate. The built-in 79-benchmark corpus and
+// Session::run(name) all enumerate. The built-in 87-benchmark corpus and
 // user code register through the same mechanism, so a scenario defined in
 // an embedding application is a first-class citizen of every tool surface.
 //
@@ -53,6 +53,10 @@ struct ScenarioTraits {
   /// failure or deadlock); `lazyhb list --buggy` and the test suites use
   /// this to assert explorers do find it.
   bool hasKnownBug = false;
+  /// The known bug is reachable only under the TSO memory model (store
+  /// buffering); exploring the scenario under SC is violation-free.
+  /// Meaningful only together with hasKnownBug.
+  bool bugRequiresTso = false;
   /// The body satisfies the checkpointable contract (see
   /// docs/embedding.md): all cross-schedule state lives in registered
   /// lazyhb objects or trivially-copyable stack locals — no heap-owning
@@ -63,7 +67,7 @@ struct ScenarioTraits {
   /// Sort key for registry enumeration (ties keep registration order).
   /// Ranks below kScenarioUserRank are reserved for the built-in corpus;
   /// registerScenario clamps smaller values (with a warning) so user
-  /// scenarios always enumerate after the corpus' stable ids 1..79.
+  /// scenarios always enumerate after the corpus' stable ids 1..87.
   int rank = kScenarioUserRank;
 };
 
@@ -74,6 +78,7 @@ struct ScenarioInfo {
   std::string family;
   std::string description;
   bool hasKnownBug = false;
+  bool bugRequiresTso = false;
   bool checkpointable = false;
 };
 

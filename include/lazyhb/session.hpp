@@ -83,6 +83,8 @@ struct TestReport {
   std::uint64_t seed = 0;
   bool incremental = true;
   bool checkpointable = false;
+  /// Memory model the exploration ran under: "sc" | "tso".
+  std::string memoryModel = "sc";
 
   // Exploration counts (the extended §3 chain reads distinctStates <=
   // distinctValueClasses <= distinctLazyHbrs <= distinctHbrs <=
@@ -143,6 +145,13 @@ class Session {
   Session& maxEventsPerSchedule(std::uint32_t events);
   /// Seed for the "random" strategy (ignored by the others).
   Session& seed(std::uint64_t value);
+  /// Memory model to explore under: "sc" (sequential consistency, the
+  /// default — semantics and counts identical to every prior release) or
+  /// "tso" (x86-style total store order: writes enter a per-thread FIFO
+  /// store buffer, flushes become scheduler-visible transitions, reads
+  /// forward from the local buffer; see docs/memory-models.md). Validated
+  /// at run().
+  Session& memoryModel(std::string model);
   /// Run the sync-HB data-race detector on every execution.
   Session& detectRaces(bool on = true);
   /// Feed every terminal schedule through the Theorem 2.1/2.2 checkers.
@@ -203,6 +212,7 @@ class Session {
     std::uint64_t scheduleLimit = 10'000;
     std::uint32_t maxEventsPerSchedule = 1u << 16;
     std::uint64_t seed = 42;
+    std::string memoryModel = "sc";
     bool detectRaces = false;
     bool checkTheorems = false;
     bool stopOnFirstViolation = false;
@@ -225,6 +235,10 @@ struct TraceOptions {
   /// Relation whose inter-thread edges annotate the trace:
   /// "sync" | "full" | "lazy".
   std::string relation = "full";
+  /// Memory model to re-execute under: "sc" | "tso". Must match the model
+  /// the schedule was recorded under — TSO schedules carry flush picks
+  /// (>= 32) that no SC execution can apply.
+  std::string memoryModel = "sc";
   bool detectRaces = false;
   bool renderTrace = true;
   std::uint32_t maxEventsPerSchedule = 1u << 16;

@@ -132,6 +132,11 @@ class Suite {
   /// Incremental prefix replay (default on); counts are byte-identical
   /// either way.
   Suite& incremental(bool on);
+  /// Memory model every cell explores under: "sc" (default) or "tso"
+  /// (x86-style store buffering; see docs/memory-models.md). Validated at
+  /// run(). The report's config.memory_model echoes this — TSO and SC
+  /// reports never merge.
+  Suite& memoryModel(std::string model);
   /// Campaign worker threads fanning cells out (<= 0: one per hardware
   /// thread). Counts are byte-identical at any value.
   Suite& jobs(int count);
@@ -170,6 +175,7 @@ class Suite {
     std::uint32_t maxEventsPerSchedule = 1u << 16;
     std::uint64_t seed = 42;
     bool incremental = true;
+    std::string memoryModel = "sc";
     int jobs = 0;
     int workers = 1;
     int shardIndex = 0;

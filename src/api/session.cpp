@@ -17,6 +17,7 @@
 #include "campaign/explorer_spec.hpp"
 #include "explore/explorer.hpp"
 #include "explore/replay.hpp"
+#include "memory/memory_model.hpp"
 #include "programs/registry.hpp"
 #include "support/json_writer.hpp"
 
@@ -54,6 +55,16 @@ const programs::ProgramSpec& resolveScenario(const std::string& name) {
   return *spec;
 }
 
+memory::MemoryModel resolveMemoryModel(const std::string& name) {
+  const auto model = memory::parseMemoryModel(name);
+  if (!model) {
+    throw std::invalid_argument("lazyhb: unknown memory model '" + name +
+                                "' (expected one of: " +
+                                memory::memoryModelNamesHelp() + ")");
+  }
+  return *model;
+}
+
 }  // namespace
 
 Session::Session() {
@@ -77,6 +88,11 @@ Session& Session::maxEventsPerSchedule(std::uint32_t events) {
 
 Session& Session::seed(std::uint64_t value) {
   config_.seed = value;
+  return *this;
+}
+
+Session& Session::memoryModel(std::string model) {
+  config_.memoryModel = std::move(model);
   return *this;
 }
 
@@ -152,6 +168,7 @@ TestReport Session::run(const Program& program) const {
   explore::ExplorerOptions options;
   options.scheduleLimit = config_.scheduleLimit;
   options.maxEventsPerSchedule = config_.maxEventsPerSchedule;
+  options.memoryModel = resolveMemoryModel(config_.memoryModel);
   options.detectRaces = config_.detectRaces;
   options.checkTheorems = config_.checkTheorems;
   options.stopOnFirstViolation = config_.stopOnFirstViolation;
@@ -196,6 +213,7 @@ TestReport Session::run(const Program& program) const {
   report.seed = config_.seed;
   report.incremental = config_.incremental;
   report.checkpointable = config_.checkpointable;
+  report.memoryModel = config_.memoryModel;
 
   report.schedulesExecuted = result.schedulesExecuted;
   report.terminalSchedules = result.terminalSchedules;
@@ -264,6 +282,7 @@ std::string TestReport::toJson() const {
   json.field("seed", seed);
   json.field("incremental", incremental);
   json.field("checkpointable", checkpointable);
+  json.field("memory_model", memoryModel);
   json.endObject();
 
   json.key("counts").beginObject();
@@ -361,6 +380,7 @@ ScheduleTrace traceSchedule(const Program& program,
   replayOptions.renderTrace = options.renderTrace;
   replayOptions.detectRaces = options.detectRaces;
   replayOptions.maxEventsPerSchedule = options.maxEventsPerSchedule;
+  replayOptions.memoryModel = resolveMemoryModel(options.memoryModel);
   if (options.relation == "sync") {
     replayOptions.renderRelation = trace::Relation::Sync;
   } else if (options.relation == "full") {

@@ -15,6 +15,7 @@
 #include "campaign/campaign.hpp"
 #include "campaign/explorer_spec.hpp"
 #include "campaign/report.hpp"
+#include "memory/memory_model.hpp"
 #include "programs/registry.hpp"
 
 namespace lazyhb {
@@ -48,6 +49,11 @@ Suite& Suite::seed(std::uint64_t value) {
 
 Suite& Suite::incremental(bool on) {
   config_.incremental = on;
+  return *this;
+}
+
+Suite& Suite::memoryModel(std::string model) {
+  config_.memoryModel = std::move(model);
   return *this;
 }
 
@@ -115,6 +121,13 @@ SuiteReport Suite::run() const {
   options.explorer.scheduleLimit = config_.scheduleLimit;
   options.explorer.maxEventsPerSchedule = config_.maxEventsPerSchedule;
   options.explorer.incremental = config_.incremental;
+  const auto model = memory::parseMemoryModel(config_.memoryModel);
+  if (!model) {
+    throw std::invalid_argument("lazyhb: unknown memory model '" +
+                                config_.memoryModel + "' (expected one of: " +
+                                memory::memoryModelNamesHelp() + ")");
+  }
+  options.explorer.memoryModel = *model;
   options.explorer.workers = config_.workers;
   options.seed = config_.seed;
   options.jobs = config_.jobs;
@@ -134,6 +147,7 @@ SuiteReport Suite::run() const {
   reportConfig.seed = config_.seed;
   reportConfig.incremental = config_.incremental;
   reportConfig.workers = config_.workers;
+  reportConfig.memoryModel = config_.memoryModel;
   reportConfig.shardIndex = config_.shardIndex;
   reportConfig.shardCount = config_.shardCount;
 

@@ -264,6 +264,7 @@ CampaignResult runCampaign(const CampaignOptions& options) {
     config.incremental = options.explorer.incremental;
     config.workers = options.explorer.workers;
     config.snapshotBudgetBytes = options.explorer.snapshotBudgetBytes;
+    config.memoryModel = memory::memoryModelName(options.explorer.memoryModel);
     config.detectRaces = options.explorer.detectRaces;
     config.checkTheorems = options.explorer.checkTheorems;
     config.stopOnFirstViolation = options.explorer.stopOnFirstViolation;

@@ -42,6 +42,7 @@ std::string manifestDocument(const JournalConfig& config) {
   json.field("incremental", config.incremental);
   json.field("workers", static_cast<std::int64_t>(config.workers));
   json.field("snapshot_budget", config.snapshotBudgetBytes);
+  json.field("memory_model", config.memoryModel);
   json.field("detect_races", config.detectRaces);
   json.field("check_theorems", config.checkTheorems);
   json.field("stop_on_first_violation", config.stopOnFirstViolation);

@@ -42,6 +42,7 @@ struct JournalConfig {
   bool incremental = true;
   int workers = 1;
   std::uint64_t snapshotBudgetBytes = 0;
+  std::string memoryModel = "sc";  ///< TSO and SC counts must never mix
   bool detectRaces = false;
   bool checkTheorems = false;
   bool stopOnFirstViolation = false;

@@ -62,6 +62,10 @@ ParsedReport parseReport(const std::string& document, const std::string& label) 
     raise(label, "config.snapshot_budget is missing (mandatory since schema v6)");
   }
   report.config.snapshotBudgetBytes = config->uintAt("snapshot_budget");
+  if (!config->has("memory_model")) {
+    raise(label, "config.memory_model is missing (mandatory since schema v8)");
+  }
+  report.config.memoryModel = config->stringAt("memory_model");
   if (const support::JsonValue* shard = config->find("shard")) {
     report.config.shardIndex = static_cast<int>(shard->intAt("index"));
     report.config.shardCount = static_cast<int>(shard->intAt("count", 1));
@@ -178,6 +182,9 @@ void checkConfigCompatible(const ParsedReport& base, const ParsedReport& other) 
   if (other.config.workers != base.config.workers) mismatch("workers");
   if (other.config.snapshotBudgetBytes != base.config.snapshotBudgetBytes) {
     mismatch("snapshot_budget");
+  }
+  if (other.config.memoryModel != base.config.memoryModel) {
+    mismatch("memory_model");
   }
   if (other.explorers != base.explorers) mismatch("explorers");
 }

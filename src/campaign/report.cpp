@@ -127,6 +127,17 @@ void writeCellJson(support::JsonWriter& json, const CellResult& cell) {
     json.field("replay_fallbacks", ckpt.replayFallbacks);
     json.endObject();
   }
+  if (cell.stats.flushEvents > 0 || cell.stats.fenceEvents > 0 ||
+      cell.stats.maxBufferedStores > 0) {
+    // Schema v8: TSO store-buffer activity. Emitted only when nonzero, so
+    // every SC cell block stays byte-identical to its v7 encoding.
+    json.key("tso").beginObject();
+    json.field("flush_events", cell.stats.flushEvents);
+    json.field("fence_events", cell.stats.fenceEvents);
+    json.field("max_buffered_stores",
+               static_cast<std::uint64_t>(cell.stats.maxBufferedStores));
+    json.endObject();
+  }
   if (cell.stats.parallel.workers > 0) {
     // Schema v4: how the cell's intra-scenario sharding distributed work.
     // All *count* fields above are byte-identical to a sequential run; this
@@ -212,6 +223,12 @@ bool parseCellJson(const support::JsonValue& value, CellResult* cell,
     cell->stats.checkpointStats.evictions = ckpt->uintAt("evictions");
     cell->stats.checkpointStats.replayFallbacks = ckpt->uintAt("replay_fallbacks");
   }
+  if (const support::JsonValue* tso = value.find("tso")) {
+    cell->stats.flushEvents = tso->uintAt("flush_events");
+    cell->stats.fenceEvents = tso->uintAt("fence_events");
+    cell->stats.maxBufferedStores =
+        static_cast<std::uint32_t>(tso->uintAt("max_buffered_stores"));
+  }
   if (const support::JsonValue* parallel = value.find("parallel")) {
     cell->stats.parallel.workers = static_cast<int>(parallel->intAt("workers"));
     cell->stats.parallel.frontierJobs = parallel->uintAt("frontier_jobs");
@@ -246,6 +263,7 @@ std::string writeReportJson(const CampaignResult& result,
   json.field("quick", config.quick);
   json.field("incremental", config.incremental);
   json.field("snapshot_budget", config.snapshotBudgetBytes);
+  json.field("memory_model", config.memoryModel);
   if (config.shardCount > 1) {
     json.key("shard").beginObject();
     json.field("index", static_cast<std::int64_t>(config.shardIndex));

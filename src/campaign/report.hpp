@@ -27,7 +27,7 @@ struct JsonValue;
 namespace lazyhb::campaign {
 
 inline constexpr const char* kReportSchemaName = "lazyhb-bench-report";
-inline constexpr int kReportSchemaVersion = 7;
+inline constexpr int kReportSchemaVersion = 8;
 
 /// The campaign configuration echoed into the report, so a BENCH_*.json is
 /// self-describing and two reports are comparable at a glance.
@@ -46,6 +46,10 @@ struct ReportConfig {
   /// budget small enough to force evictions changes wall time, so two
   /// reports are only comparable with it in view.
   std::uint64_t snapshotBudgetBytes = 0;
+  /// Memory model every cell ran under ("sc" or "tso"). Mandatory in a v8
+  /// config block: two reports are only count-comparable under the same
+  /// model, so bench_diff refuses v8 reports without it.
+  std::string memoryModel = "sc";
   /// Which slice of the cell matrix this report covers (schema v5): the
   /// cells with index % shardCount == shardIndex. The config block carries
   /// a "shard" object only when shardCount > 1 — an unsharded report is

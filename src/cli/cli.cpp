@@ -12,6 +12,7 @@
 #include "campaign/report.hpp"
 #include "explore/explorer.hpp"
 #include "lazyhb/lazyhb.hpp"
+#include "memory/memory_model.hpp"
 #include "programs/registry.hpp"
 #include "support/json_writer.hpp"
 #include "support/options.hpp"
@@ -94,6 +95,26 @@ bool parseSnapshotBudget(const support::Options& options, std::uint64_t* bytes) 
   return true;
 }
 
+void addMemoryModelFlag(support::Options& options) {
+  options.addString("memory-model", "sc",
+                    "memory model to explore under: sc | tso (tso buffers "
+                    "writes per thread and adds scheduler-visible flush "
+                    "transitions; see docs/memory-models.md)");
+}
+
+/// Validate --memory-model into *name. Prints a usage error listing the
+/// valid set and returns false for anything else.
+bool parseMemoryModelFlag(const support::Options& options, std::string* name) {
+  const std::string value = options.getString("memory-model");
+  if (!memory::parseMemoryModel(value)) {
+    std::fprintf(stderr, "lazyhb: unknown memory model '%s' (expected %s)\n",
+                 value.c_str(), memory::memoryModelNamesHelp());
+    return false;
+  }
+  *name = value;
+  return true;
+}
+
 void addSnapshotBudgetFlag(support::Options& options) {
   options.addInt("snapshot-budget", -1,
                  "byte budget for staged rollback snapshots (0: unlimited; "
@@ -135,9 +156,12 @@ bool sessionFrom(const support::Options& options, Session* session) {
   }
   std::uint64_t snapshotBudget = explore::defaultSnapshotBudgetBytes();
   if (!parseSnapshotBudget(options, &snapshotBudget)) return false;
+  std::string memoryModel;
+  if (!parseMemoryModelFlag(options, &memoryModel)) return false;
   session->schedules(static_cast<std::uint64_t>(options.getInt("limit")))
       .maxEventsPerSchedule(static_cast<std::uint32_t>(options.getInt("max-events")))
       .seed(static_cast<std::uint64_t>(options.getInt("seed")))
+      .memoryModel(memoryModel)
       .detectRaces(options.getFlag("races"))
       .checkTheorems(options.getFlag("theorems"))
       .stopOnFirstViolation(options.getFlag("stop-on-violation"))
@@ -156,6 +180,7 @@ void addExplorerFlags(support::Options& options) {
   options.addInt("workers", 1,
                  "shard the schedule tree across this many threads "
                  "(dfs/caching-* only; counts stay byte-identical)");
+  addMemoryModelFlag(options);
   addSnapshotBudgetFlag(options);
   options.addFlag("races", "run the sync-HB data-race detector");
   options.addFlag("theorems", "feed terminal schedules to the theorem checkers");
@@ -460,6 +485,7 @@ int cmdBench(int argc, char** argv) {
   options.addInt("seed", 42, "random explorer seed (same in every cell)");
   options.addString("incremental", "on",
                     "incremental prefix replay (checkpoint/rollback): on | off");
+  addMemoryModelFlag(options);
   addSnapshotBudgetFlag(options);
   options.addString("out", "",
                     "write the JSON report to this path ('-': stdout; empty: "
@@ -533,6 +559,9 @@ int cmdBench(int argc, char** argv) {
     return kExitUsage;
   }
   campaignOptions.explorer.workers = workers;
+  std::string memoryModel;
+  if (!parseMemoryModelFlag(options, &memoryModel)) return kExitUsage;
+  campaignOptions.explorer.memoryModel = *memory::parseMemoryModel(memoryModel);
   if (!parseSnapshotBudget(options,
                            &campaignOptions.explorer.snapshotBudgetBytes)) {
     return kExitUsage;
@@ -681,6 +710,7 @@ int cmdBench(int argc, char** argv) {
   reportConfig.incremental = campaignOptions.explorer.incremental;
   reportConfig.workers = workers;
   reportConfig.snapshotBudgetBytes = campaignOptions.explorer.snapshotBudgetBytes;
+  reportConfig.memoryModel = memoryModel;
   reportConfig.shardIndex = campaignOptions.shardIndex;
   reportConfig.shardCount = campaignOptions.shardCount;
   const std::string out = options.getString("out");
@@ -802,6 +832,7 @@ int cmdReplay(int argc, char** argv) {
                     "comma-separated thread picks, e.g. 0,1,1,0 (empty: "
                     "first-enabled everywhere)");
   options.addString("relation", "full", "relation to render: sync | full | lazy");
+  addMemoryModelFlag(options);
   options.addInt("max-events", 65536, "per-schedule event budget");
   options.addFlag("races", "run the sync-HB data-race detector");
   options.addFlag("no-trace", "skip the rendered trace, print fingerprints only");
@@ -822,6 +853,9 @@ int cmdReplay(int argc, char** argv) {
   traceOptions.maxEventsPerSchedule =
       static_cast<std::uint32_t>(options.getInt("max-events"));
   traceOptions.relation = options.getString("relation");
+  if (!parseMemoryModelFlag(options, &traceOptions.memoryModel)) {
+    return kExitUsage;
+  }
 
   ScheduleTrace result;
   try {

@@ -60,7 +60,15 @@ int footprint(const OpSig& sig, Access out[2]) {
     case OpKind::Join:
       out[0] = {sig.object, AccessClass::ThreadObj};
       return 1;
+    case OpKind::Flush:
+      // The memory side of a TSO-buffered store: a write of the flushed
+      // variable. (The buffered Write event itself still reports a VarWrite
+      // footprint via the Write case above — conservative, see the
+      // pending-op caveat in TraceRecorder::collectConflicts.)
+      out[0] = {sig.object, AccessClass::VarWrite};
+      return 1;
     case OpKind::Yield:
+    case OpKind::Fence:
       return 0;
   }
   return 0;

@@ -104,7 +104,8 @@ class DporScheduler final : public runtime::Scheduler {
     switch (op.kind) {
       case runtime::OpKind::Read:
       case runtime::OpKind::Write:
-      case runtime::OpKind::Rmw: {
+      case runtime::OpKind::Rmw:
+      case runtime::OpKind::Flush: {  // pending flush pick: a memory write
         owner_.recorder().collectConflicts(exec, p, conflictScratch_);
         for (auto it = conflictScratch_.rbegin(); it != conflictScratch_.rend(); ++it) {
           if (!happensBeforeNext(*it, p)) return *it;
@@ -131,6 +132,7 @@ class DporScheduler final : public runtime::Scheduler {
         return walkChain(op.object);
       case runtime::OpKind::Spawn:
       case runtime::OpKind::Yield:
+      case runtime::OpKind::Fence:
         return -1;
     }
     return -1;
@@ -140,7 +142,9 @@ class DporScheduler final : public runtime::Scheduler {
   /// with a pending operation (enabled or blocked).
   void analyzeRaces(const runtime::Execution& exec) {
     const auto eventCount = static_cast<std::int32_t>(owner_.recorder().eventCount());
-    for (int p = 0; p < exec.threadCount(); ++p) {
+    // pickLimit() spans the flush-pick range under TSO, so pending flushes
+    // participate in the backtrack analysis like any other transition.
+    for (int p = 0; p < exec.pickLimit(); ++p) {
       const runtime::PendingOp& op = exec.pending(p);
       if (!op.valid) continue;
       const OpSig sigP = core::sigOf(p, op);

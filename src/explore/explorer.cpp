@@ -79,6 +79,7 @@ runtime::Outcome ExplorerBase::executeSchedule(const Program& program,
   }
   runtime::Config config;
   config.maxEventsPerSchedule = options_.maxEventsPerSchedule;
+  config.memoryModel = options_.memoryModel;
   const PrefixReplayEngine::Session session = engine_.beginSchedule(config, &recorder_);
   runtime::Execution& exec = *session.exec;
   const runtime::Outcome outcome =
@@ -86,6 +87,15 @@ runtime::Outcome ExplorerBase::executeSchedule(const Program& program,
 
   ++result_.schedulesExecuted;
   result_.totalEvents += exec.events().size();
+  // Store-buffer stats. The engine's counters are checkpoint/rollback-aware
+  // (snapshotted scalars), so at schedule end they always read this full
+  // schedule's totals — summing them here is byte-identical across the
+  // incremental replay modes, exactly like totalEvents.
+  result_.flushEvents += exec.flushEventCount();
+  result_.fenceEvents += exec.fenceEventCount();
+  if (exec.maxBufferedStores() > result_.maxBufferedStores) {
+    result_.maxBufferedStores = exec.maxBufferedStores();
+  }
 
   switch (outcome) {
     case runtime::Outcome::Terminal: {

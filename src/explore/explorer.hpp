@@ -30,6 +30,7 @@
 #include "core/hbr_cache.hpp"
 #include "core/race_detector.hpp"
 #include "explore/prefix_replay.hpp"
+#include "memory/memory_model.hpp"
 #include "runtime/execution.hpp"
 #include "support/hash.hpp"
 #include "trace/trace_recorder.hpp"
@@ -95,6 +96,12 @@ struct ExplorerOptions {
   /// sequential explorer and this field is advisory. All observable counts
   /// are byte-identical at any worker count.
   int workers = 1;
+  /// Memory model every execution runs under (memory/memory_model.hpp).
+  /// Sc is the default and leaves all behaviour — counts, fingerprints,
+  /// event labels — byte-identical to a build without the field. Tso adds
+  /// per-thread store buffers whose flush points become scheduler-visible
+  /// transitions; every strategy explores them like thread picks.
+  memory::MemoryModel memoryModel = memory::MemoryModel::Sc;
   /// Wall-clock budget for the whole exploration in seconds (0 = none).
   /// Checked at schedule boundaries; on expiry the search stops and the
   /// result is marked timedOut — its counts are then a wall-clock-dependent
@@ -199,6 +206,12 @@ struct ExplorationResult {
   /// Theorems 2.1/2.2, populated when checkTheorems is on).
   core::EquivalenceChecker::Stats theoremValue;
   std::vector<trace::RaceReport> races;
+  /// TSO store-buffer activity across all schedules (all zero under SC):
+  /// flush events committed, fence events committed, and the deepest any
+  /// thread's buffer got. Deterministic at any worker count / replay mode.
+  std::uint64_t flushEvents = 0;
+  std::uint64_t fenceEvents = 0;
+  std::uint32_t maxBufferedStores = 0;
   PrefixCacheStats cacheStats;  ///< zero unless the strategy uses an HbrCache
   CheckpointStats checkpointStats;  ///< zero unless incremental replay ran
   ParallelStats parallel;       ///< zero-workers unless sharded (see above)

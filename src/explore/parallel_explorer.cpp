@@ -54,6 +54,9 @@ struct WorkerContext {
   std::uint64_t violation = 0;
   std::uint64_t pruned = 0;
   std::uint64_t events = 0;
+  std::uint64_t flushEvents = 0;
+  std::uint64_t fenceEvents = 0;
+  std::uint32_t maxBufferedStores = 0;
   Hash128Set hbrs;
   Hash128Set lazyHbrs;
   Hash128Set valueClasses;
@@ -128,6 +131,7 @@ runtime::Outcome ParallelExplorer::Impl::executeOne(WorkerContext& cx,
                                                     runtime::Scheduler& sched) {
   runtime::Config config;
   config.maxEventsPerSchedule = options.maxEventsPerSchedule;
+  config.memoryModel = options.memoryModel;
   const PrefixReplayEngine::Session session =
       cx.engine.beginSchedule(config, &cx.recorder);
   runtime::Execution& exec = *session.exec;
@@ -136,6 +140,11 @@ runtime::Outcome ParallelExplorer::Impl::executeOne(WorkerContext& cx,
 
   ++cx.schedules;
   cx.events += exec.events().size();
+  cx.flushEvents += exec.flushEventCount();
+  cx.fenceEvents += exec.fenceEventCount();
+  if (exec.maxBufferedStores() > cx.maxBufferedStores) {
+    cx.maxBufferedStores = exec.maxBufferedStores();
+  }
 
   switch (outcome) {
     case runtime::Outcome::Terminal: {
@@ -344,6 +353,11 @@ ExplorationResult ParallelExplorer::explore(const Program& program) {
     result.violationSchedules += cx.violation;
     result.prunedSchedules += cx.pruned;
     result.totalEvents += cx.events;
+    result.flushEvents += cx.flushEvents;
+    result.fenceEvents += cx.fenceEvents;
+    if (cx.maxBufferedStores > result.maxBufferedStores) {
+      result.maxBufferedStores = cx.maxBufferedStores;
+    }
     result.eventsElided += cx.engine.eventsElided();
     result.eventsReplayed += cx.engine.eventsReplayed();
     result.checkpointStats.enabled =

@@ -24,6 +24,7 @@ ReplayResult replaySchedule(const Program& program, const std::vector<int>& choi
   runtime::StackPool pool;
   runtime::Config config;
   config.maxEventsPerSchedule = options.maxEventsPerSchedule;
+  config.memoryModel = options.memoryModel;
   runtime::Execution exec(config, pool, &recorder);
   FixedScheduler scheduler(choices);
 

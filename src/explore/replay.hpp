@@ -46,6 +46,10 @@ struct ReplayOptions {
   trace::Relation renderRelation = trace::Relation::Full;
   bool detectRaces = false;
   std::uint32_t maxEventsPerSchedule = 1u << 16;
+  /// Must match the model the schedule was found under: a TSO schedule's
+  /// flush picks are meaningless to an SC execution (and vice versa the
+  /// pick sequences diverge at the first buffered store).
+  memory::MemoryModel memoryModel = memory::MemoryModel::Sc;
 };
 
 /// Re-execute `program` following `choices`.

@@ -1,0 +1,21 @@
+#include "memory/memory_model.hpp"
+
+namespace lazyhb::memory {
+
+const char* memoryModelName(MemoryModel model) noexcept {
+  switch (model) {
+    case MemoryModel::Sc: return "sc";
+    case MemoryModel::Tso: return "tso";
+  }
+  return "?";
+}
+
+std::optional<MemoryModel> parseMemoryModel(std::string_view name) noexcept {
+  if (name == "sc") return MemoryModel::Sc;
+  if (name == "tso") return MemoryModel::Tso;
+  return std::nullopt;
+}
+
+const char* memoryModelNamesHelp() noexcept { return "sc, tso"; }
+
+}  // namespace lazyhb::memory

@@ -63,9 +63,11 @@ void appendPendingScenario(std::string name, std::string family,
 
 void registerCorpusScenario(std::string name, std::string family,
                             std::string description, explore::Program body,
-                            bool hasKnownBug, bool checkpointable, int rank) {
+                            bool hasKnownBug, bool checkpointable, int rank,
+                            bool bugRequiresTso) {
   ScenarioTraits traits;
   traits.hasKnownBug = hasKnownBug;
+  traits.bugRequiresTso = bugRequiresTso;
   traits.checkpointable = checkpointable;
   traits.rank = rank;
   appendPendingScenario(std::move(name), std::move(family),
@@ -103,6 +105,7 @@ std::vector<ScenarioInfo> scenarios() {
     info.family = spec.family;
     info.description = spec.description;
     info.hasKnownBug = spec.hasKnownBug;
+    info.bugRequiresTso = spec.bugRequiresTso;
     info.checkpointable = spec.checkpointable;
     out.push_back(std::move(info));
   }
@@ -120,6 +123,7 @@ const std::vector<ProgramSpec>& all() {
     detail::linkCondvarScenarios();
     detail::linkLockfreeScenarios();
     detail::linkBuggyScenarios();
+    detail::linkWeakMemScenarios();
 
     auto pending = std::move(detail::pendingScenarios());
     detail::pendingScenarios().clear();
@@ -156,10 +160,12 @@ const std::vector<ProgramSpec>& all() {
       spec.description = std::move(scenario.description);
       spec.body = std::move(scenario.body);
       spec.hasKnownBug = scenario.traits.hasKnownBug;
+      spec.bugRequiresTso = scenario.traits.bugRequiresTso;
       spec.checkpointable = scenario.traits.checkpointable;
       out.push_back(std::move(spec));
     }
-    LAZYHB_CHECK(corpus == 79);  // the paper's corpus size
+    // The paper's 79 benchmarks plus the 8-program weak-memory extension.
+    LAZYHB_CHECK(corpus == 87);
     return out;
   }();
   return programs;

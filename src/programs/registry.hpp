@@ -3,9 +3,11 @@
 // The scenario registry: the benchmark corpus plus every user-registered
 // scenario, enumerated by the CLI, the campaign matrix and Session::run.
 //
-// The built-in corpus is 79 multithreaded programs standing in for the 79
-// open-source Java benchmarks of the paper's evaluation. It deliberately
-// spans the regimes the paper's figures show:
+// The built-in corpus is 87 multithreaded programs: 79 standing in for the
+// 79 open-source Java benchmarks of the paper's evaluation, plus an
+// 8-program weak-memory extension (ids 80..87) whose behaviour is
+// store-buffer sensitive. It deliberately spans the regimes the paper's
+// figures show:
 //
 //   * coarse-grained locking over disjoint or read-only data — the paper's
 //     motivating pattern, where the lazy HBR collapses many HBR classes
@@ -14,7 +16,9 @@
 //     lazy HBR == HBR (points on the diagonal);
 //   * condition-variable and semaphore coordination;
 //   * known-buggy programs (assertion failures, deadlocks) proving the
-//     reduction does not mask violations.
+//     reduction does not mask violations;
+//   * weak-memory litmus programs (store buffering, Dekker, Peterson,
+//     seqlock) whose unfenced variants fail only under --memory-model tso.
 //
 // Programs are small by design: systematic exploration is exponential, and
 // the interesting quantities are the *counts of equivalence classes*, not
@@ -27,7 +31,7 @@
 // initialization. On first enumeration the pending registrations are
 // ordered by (ScenarioTraits::rank, registration order) — the corpus
 // families hold ranks below kScenarioUserRank, so corpus ids stay stable
-// at 1..79 and user scenarios append after them — then the registry
+// at 1..87 and user scenarios append after them — then the registry
 // latches: registering later is a checked error.
 
 #pragma once
@@ -47,6 +51,10 @@ struct ProgramSpec {
   std::string description;  ///< one line for tables/docs
   explore::Program body;
   bool hasKnownBug = false; ///< an assertion failure or deadlock is reachable
+  /// The known bug is reachable only under the TSO memory model; exploring
+  /// this program under SC is violation-free (the weak-memory unfenced
+  /// litmus variants). Meaningful only with hasKnownBug.
+  bool bugRequiresTso = false;
   /// The body satisfies the checkpointable contract (runtime/execution.hpp):
   /// no heap-owning state on fiber stacks (lazyhb::InlineVec instead of
   /// std::vector), enabling full runtime rollback under incremental
@@ -55,7 +63,7 @@ struct ProgramSpec {
   bool checkpointable = false;
 };
 
-/// Every registered scenario (79 corpus benchmarks first, then user
+/// Every registered scenario (87 corpus benchmarks first, then user
 /// scenarios), in id order (ids are 1..N). First call latches the registry.
 [[nodiscard]] const std::vector<ProgramSpec>& all();
 
@@ -81,26 +89,28 @@ namespace detail {
 // family's scenarios keep their in-file registration order within the rank).
 // These sit below kScenarioUserRank, a range the public registration path
 // refuses (it clamps), so only the corpus can occupy it — which is what
-// keeps the 79-benchmark count check and the stable ids 1..79 sound.
+// keeps the 87-benchmark count check and the stable ids 1..87 sound.
 inline constexpr int kLockingRank = 10;
 inline constexpr int kClassicRank = 20;
 inline constexpr int kCondvarRank = 30;
 inline constexpr int kLockfreeRank = 40;
 inline constexpr int kBuggyRank = 50;
+inline constexpr int kWeakMemRank = 60;
 
 /// Corpus-only registration: like lazyhb::registerScenario but allowed to
 /// use the reserved sub-user ranks above.
 void registerCorpusScenario(std::string name, std::string family,
                             std::string description, explore::Program body,
-                            bool hasKnownBug, bool checkpointable, int rank);
+                            bool hasKnownBug, bool checkpointable, int rank,
+                            bool bugRequiresTso = false);
 
 /// Static registrar the corpus family macros expand to.
 struct CorpusRegistrar {
   CorpusRegistrar(const char* name, const char* family, const char* description,
                   explore::Program body, bool hasKnownBug, bool checkpointable,
-                  int rank) {
+                  int rank, bool bugRequiresTso = false) {
     registerCorpusScenario(name, family, description, std::move(body),
-                           hasKnownBug, checkpointable, rank);
+                           hasKnownBug, checkpointable, rank, bugRequiresTso);
   }
 };
 
@@ -115,6 +125,7 @@ void linkClassicScenarios();
 void linkCondvarScenarios();
 void linkLockfreeScenarios();
 void linkBuggyScenarios();
+void linkWeakMemScenarios();
 
 }  // namespace detail
 

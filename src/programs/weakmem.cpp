@@ -1,0 +1,176 @@
+// Weak-memory litmus benchmarks (ids 80..87): programs whose behaviour is
+// store-buffer sensitive. Each classic mutual-exclusion first attempt comes
+// in an unfenced variant — correct under sequential consistency, broken
+// under TSO, where a write parks in the per-thread store buffer while the
+// cross-thread read runs ahead of it — and a fenced variant that drains the
+// buffer with lazyhb::fence() at the store->load boundary and is correct
+// under both models. The unfenced variants carry bugRequiresTso: the test
+// suite asserts SC exploration never reaches their violations and TSO
+// exploration always does, which pins the store-buffer semantics from both
+// sides. All bodies are bounded (single-attempt entries, no spin loops) and
+// satisfy the checkpointable contract.
+
+#include "programs/registry.hpp"
+#include "runtime/api.hpp"
+
+namespace lazyhb::programs::detail {
+
+namespace {
+
+using namespace lazyhb;
+
+/// The store-buffering litmus (SB): each thread stores its flag, then reads
+/// the other's. r0 == r1 == 0 requires both loads to overtake the sibling
+/// store — impossible under SC, routine under TSO. `fenced` drains the
+/// buffer between the store and the load.
+explore::Program storeBuffering(bool fenced) {
+  return [fenced] {
+    Shared<int> x{0, "x"};
+    Shared<int> y{0, "y"};
+    Shared<int> r0{-1, "r0"};
+    Shared<int> r1{-1, "r1"};
+    auto t = spawn([&] {
+      y.store(1);
+      if (fenced) fence();
+      r1.store(x.load());
+    });
+    x.store(1);
+    if (fenced) fence();
+    r0.store(y.load());
+    t.join();
+    checkAlways(r0.load() == 1 || r1.load() == 1,
+                "store buffering: some thread sees the other's store");
+  };
+}
+
+/// Dekker's first attempt, one entry try per thread: raise my flag, enter
+/// only when the other flag still reads 0. SC forbids both entering (each
+/// raise is program-ordered before the sibling read); TSO lets both flags
+/// hide in store buffers while both reads see 0.
+explore::Program dekker(bool fenced) {
+  return [fenced] {
+    Shared<int> flag0{0, "flag0"};
+    Shared<int> flag1{0, "flag1"};
+    Shared<int> entered0{0, "entered0"};
+    Shared<int> entered1{0, "entered1"};
+    auto t = spawn([&] {
+      flag1.store(1);
+      if (fenced) fence();
+      if (flag0.load() == 0) entered1.store(1);
+    });
+    flag0.store(1);
+    if (fenced) fence();
+    if (flag1.load() == 0) entered0.store(1);
+    t.join();
+    checkAlways(entered0.load() + entered1.load() <= 1,
+                "dekker: at most one thread enters the critical section");
+  };
+}
+
+/// Peterson's algorithm, one bounded entry attempt per thread (enter only
+/// when the exit condition already holds instead of spinning). Correct
+/// under SC even without fences; under TSO the unfenced variant lets both
+/// intent flags sit buffered while both threads read the other's flag as 0
+/// and enter together.
+explore::Program peterson(bool fenced) {
+  return [fenced] {
+    Shared<int> flag0{0, "flag0"};
+    Shared<int> flag1{0, "flag1"};
+    Shared<int> turn{0, "turn"};
+    Shared<int> entered0{0, "entered0"};
+    Shared<int> entered1{0, "entered1"};
+    auto t = spawn([&] {
+      flag1.store(1);
+      turn.store(0);
+      if (fenced) fence();
+      if (flag0.load() == 0 || turn.load() == 1) entered1.store(1);
+    });
+    flag0.store(1);
+    turn.store(1);
+    if (fenced) fence();
+    if (flag1.load() == 0 || turn.load() == 0) entered0.store(1);
+    t.join();
+    checkAlways(entered0.load() + entered1.load() <= 1,
+                "peterson: at most one thread enters the critical section");
+  };
+}
+
+/// Correctly fenced seqlock, one writer pass and one bounded reader
+/// attempt: the writer brackets the data writes with seq 1 (odd) and
+/// seq 2; the reader accepts only a stable even seq. Violation-free under
+/// both models — the safe witness next to the buggy litmus variants.
+explore::Program seqlockWitness() {
+  return [] {
+    Shared<int> seq{0, "seq"};
+    Shared<int> data1{0, "data1"};
+    Shared<int> data2{0, "data2"};
+    auto writer = spawn([&] {
+      seq.store(1);
+      fence();
+      data1.store(1);
+      data2.store(1);
+      fence();
+      seq.store(2);
+    });
+    const int s1 = seq.load();
+    if (s1 % 2 == 0) {
+      const int d1 = data1.load();
+      const int d2 = data2.load();
+      const int s2 = seq.load();
+      if (s1 == s2) {
+        checkAlways(d1 == d2, "seqlock: stable even seq implies consistent data");
+      }
+    }
+    writer.join();
+    checkAlways(data1.load() == 1 && data2.load() == 1, "writer completed");
+  };
+}
+
+/// Store-to-load forwarding witness: a thread that just stored x must read
+/// its own value (from the store buffer under TSO, from memory under SC) —
+/// never the stale initial 0 — whatever the concurrent writer does.
+explore::Program storeForwarding() {
+  return [] {
+    Shared<int> x{0, "x"};
+    Shared<int> seen{-1, "seen"};
+    auto t = spawn([&] { x.store(2); });
+    x.store(1);
+    seen.store(x.load());
+    t.join();
+    checkAlways(seen.load() != 0,
+                "store forwarding: own store is never invisible to own load");
+  };
+}
+
+}  // namespace
+
+// Self-registration at kWeakMemRank (ids 80..87). The unfenced litmus
+// variants are the corpus' only bugRequiresTso members.
+#define LAZYHB_WEAKMEM(name, description, body, hasBug, requiresTso)   \
+  [[maybe_unused]] static const ::lazyhb::programs::detail::           \
+      CorpusRegistrar LAZYHB_SCENARIO_CAT(lazyhbCorpusRegistrar_,      \
+                                          __COUNTER__){                \
+          name, "weakmem", description, (body),                        \
+          /*hasKnownBug=*/hasBug, /*checkpointable=*/true,             \
+          kWeakMemRank, /*bugRequiresTso=*/requiresTso}
+
+LAZYHB_WEAKMEM("sb-unfenced", "store-buffering litmus, no fences",
+               storeBuffering(false), true, true);
+LAZYHB_WEAKMEM("sb-fenced", "store-buffering litmus, fenced",
+               storeBuffering(true), false, false);
+LAZYHB_WEAKMEM("dekker-unfenced", "Dekker first attempt, no fences",
+               dekker(false), true, true);
+LAZYHB_WEAKMEM("dekker-fenced", "Dekker first attempt, fenced",
+               dekker(true), false, false);
+LAZYHB_WEAKMEM("peterson-unfenced", "Peterson single attempt, no fences",
+               peterson(false), true, true);
+LAZYHB_WEAKMEM("peterson-fenced", "Peterson single attempt, fenced",
+               peterson(true), false, false);
+LAZYHB_WEAKMEM("seqlock-fenced", "fenced seqlock, single reader attempt",
+               seqlockWitness(), false, false);
+LAZYHB_WEAKMEM("store-forwarding", "own store visible to own load",
+               storeForwarding(), false, false);
+
+void linkWeakMemScenarios() {}
+
+}  // namespace lazyhb::programs::detail

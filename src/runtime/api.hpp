@@ -192,6 +192,14 @@ class ThreadHandle {
 /// Voluntary scheduling point with no object (models Thread.yield()).
 inline void yield() { detail::currentExecution().yieldNow(); }
 
+/// Store-buffer drain point (models mfence / atomic_thread_fence(seq_cst)).
+/// Under the TSO memory model the fence commits only once every store the
+/// calling thread has buffered has landed in memory; under SC it is a
+/// Yield-like visible operation, so fenced programs explore under both
+/// models. Placing one between the store and the load of a Dekker-style
+/// handshake is exactly what makes such programs correct under TSO.
+inline void fence() { detail::currentExecution().fenceNow(); }
+
 /// Property assertion over the program under test. A failure records an
 /// AssertionFailure violation with the reproducing schedule and abandons the
 /// current execution. Not itself a visible operation — read shared state via

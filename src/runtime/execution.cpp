@@ -16,7 +16,10 @@ Execution* Execution::current() noexcept { return g_current; }
 
 Execution::Execution(const Config& config, StackPool& stackPool,
                      ExecutionObserver* observer)
-    : config_(config), stackPool_(stackPool), observer_(observer) {}
+    : config_(config),
+      stackPool_(stackPool),
+      observer_(observer),
+      tso_(config.memoryModel == memory::MemoryModel::Tso) {}
 
 Execution::~Execution() {
   // In resumable mode end-of-run teardown is deferred (fibers stay restorable
@@ -108,14 +111,20 @@ void Execution::driveLoop(Scheduler& scheduler) {
       }
       break;
     }
-    const int tid = scheduler.pick(*this);
-    if (tid == Scheduler::kAbandon) {
+    const int pick = scheduler.pick(*this);
+    if (pick == Scheduler::kAbandon) {
       outcome_ = Outcome::Abandoned;
       break;
     }
-    LAZYHB_CHECK(enabledSet.contains(tid));
-    choices_.push_back(tid);
-    advance(tid);
+    LAZYHB_CHECK(enabledSet.contains(pick));
+    choices_.push_back(pick);
+    if (tso_ && memory::isFlushPick(pick)) {
+      // A flush pick commits an event without resuming any fiber: the
+      // oldest buffered store of the designated thread lands in memory.
+      commitFlush(memory::flushPickOwner(pick));
+    } else {
+      advance(pick);
+    }
   }
 }
 
@@ -188,6 +197,13 @@ std::size_t Execution::checkpoint() {
   // stage's pre-image. A fresh epoch makes the next write to any object
   // log it again (relative to *this* checkpoint).
   s.undoMark = undoSize_;
+  // Store buffers follow the same pattern via their own undo log; the stat
+  // counters are tiny scalars, copied outright so replayed prefixes report
+  // the same totals regardless of how they were reached.
+  s.bufferUndoMark = bufferUndoSize_;
+  s.flushEvents = flushEvents_;
+  s.fenceEvents = fenceEvents_;
+  s.maxBufferedStores = maxBufferedStores_;
   currentEpoch_ = ++epochCounter_;
   return depth;
 }
@@ -218,6 +234,19 @@ void Execution::rollbackTo(std::size_t depth) {
   }
   LAZYHB_CHECK(!snapshots_.empty() && snapshots_.back().depth == depth);
   const ExecSnapshot& s = snapshots_.back();
+
+  // Store buffers roll back before the thread truncation below: an undo
+  // entry can name a thread spawned past the checkpoint, whose rec must
+  // still be addressable while its (empty) pre-image is applied.
+  while (bufferUndoSize_ > s.bufferUndoMark) {
+    BufferUndo& u = bufferUndoLog_[--bufferUndoSize_];
+    ThreadRec& t = threads_[static_cast<std::size_t>(u.tid)];
+    t.storeBuffer.swap(u.entries);  // consume the entry; keep capacity pooled
+    t.flushCount = u.flushCount;
+  }
+  flushEvents_ = s.flushEvents;
+  fenceEvents_ = s.fenceEvents;
+  maxBufferedStores_ = s.maxBufferedStores;
 
   // Threads spawned past the checkpoint are discarded outright: their
   // stacks are dropped as raw bytes (checkpointable-program contract), and
@@ -377,7 +406,8 @@ void Execution::consumeTeardownFuel() {
 }
 
 std::int32_t Execution::recordEvent(OpKind kind, std::int32_t object,
-                                    std::int32_t mutexObject, std::uint64_t aux) {
+                                    std::int32_t mutexObject, std::uint64_t aux,
+                                    const std::uint64_t* valueOverride) {
   if (abandoning_) return -1;  // teardown-time operations are not events
   ThreadRec& me = threads_[static_cast<std::size_t>(currentThread_)];
   EventRecord event;
@@ -390,7 +420,9 @@ std::int32_t Execution::recordEvent(OpKind kind, std::int32_t object,
     const ObjectInfo& obj = objects_[static_cast<std::size_t>(object)];
     event.objectUid = obj.uid;
     event.objectIndex = object;
-    if (obj.kind == ObjectKind::Var) event.valueHash = obj.valueHash;
+    if (obj.kind == ObjectKind::Var) {
+      event.valueHash = valueOverride != nullptr ? *valueOverride : obj.valueHash;
+    }
   }
   if (mutexObject >= 0) {
     event.mutexUid = objects_[static_cast<std::size_t>(mutexObject)].uid;
@@ -422,11 +454,43 @@ support::ThreadSet Execution::enabled() const {
       result.insert(tid);
     }
   }
+  if (tso_) {
+    // One flush pick per non-empty store buffer — independent of the owner
+    // thread's status, so a thread that finished (or parked) with buffered
+    // stores still gets them drained before the run can end.
+    for (int tid = 0; tid < threadCount(); ++tid) {
+      if (!threads_[static_cast<std::size_t>(tid)].storeBuffer.empty()) {
+        result.insert(memory::kFlushPickOffset + tid);
+      }
+    }
+  }
   return result;
 }
 
 bool Execution::isEnabled(const ThreadRec& t) const {
   const PendingOp& op = t.pendingOp;
+  if (tso_) {
+    // TSO ordering gates. Everything except plain loads, stores and pure
+    // yields acts as a full fence (on real hardware these are locked
+    // instructions or syscalls), so it commits only once the issuing
+    // thread's buffer has drained — the scheduler must interleave the
+    // flush picks first.
+    switch (op.kind) {
+      case OpKind::Read:
+      case OpKind::Write:
+      case OpKind::Yield:
+        break;
+      default:
+        if (!t.storeBuffer.empty()) return false;
+        break;
+    }
+    // Join additionally waits for the *target's* buffered stores to land:
+    // everything a finished thread wrote is visible to its joiner.
+    if (op.kind == OpKind::Join &&
+        !threads_[static_cast<std::size_t>(op.targetThread)].storeBuffer.empty()) {
+      return false;
+    }
+  }
   switch (op.kind) {
     case OpKind::Lock:
     case OpKind::Reacquire: {
@@ -451,6 +515,30 @@ bool Execution::allFinished() const {
 }
 
 const PendingOp& Execution::pending(int tid) const {
+  if (tso_ && memory::isFlushPick(tid)) {
+    // Synthesize the operation a flush pick would commit: a Flush of the
+    // object at the head of the owner's buffer (an invalid op when the
+    // buffer is empty — callers sweep the whole pick range). Scratch-backed
+    // so callers get the usual reference semantics without an allocation.
+    const ThreadRec& owner =
+        threads_[static_cast<std::size_t>(memory::flushPickOwner(tid))];
+    if (owner.storeBuffer.empty()) {
+      flushScratch_ = PendingOp{};
+    } else {
+      flushScratch_ = PendingOp{true, OpKind::Flush,
+                                owner.storeBuffer.front().object, -1, -1, 0};
+    }
+    return flushScratch_;
+  }
+  if (tso_ && static_cast<std::size_t>(tid) >= threads_.size()) {
+    // The pick range under TSO is [0, kFlushPickOffset + threadCount()),
+    // but real threads occupy only its first threadCount() slots: picks in
+    // the gap up to the flush offset name no thread. Callers sweeping the
+    // whole range (the DPOR backtrack analysis) must see them as invalid
+    // operations, not index past the thread table.
+    flushScratch_ = PendingOp{};
+    return flushScratch_;
+  }
   return threads_[static_cast<std::size_t>(tid)].pendingOp;
 }
 
@@ -492,6 +580,22 @@ support::Hash128 Execution::computeStateFingerprint() const {
         break;  // no observable terminal state of their own
     }
   }
+  if (tso_) {
+    // Live store buffers are part of the machine state: two mid-run states
+    // with the same memory but different in-flight stores are not the same
+    // state. Terminal states always have empty buffers (flush picks stay
+    // enabled until drained), so terminal fingerprints match SC's shape.
+    for (const ThreadRec& t : threads_) {
+      std::uint64_t position = 0;
+      for (const StoreBufferEntry& e : t.storeBuffer) {
+        acc.add(support::hash128(
+            t.uid ^ support::mix64(0xB0FFULL + position),
+            objects_[static_cast<std::size_t>(e.object)].uid ^
+                support::mix64(e.valueHash)));
+        ++position;
+      }
+    }
+  }
   return acc.digest();
 }
 
@@ -523,11 +627,133 @@ void Execution::varPublish(std::int32_t object, OpKind kind) {
 
 void Execution::varCommit(std::int32_t object, OpKind kind,
                           std::uint64_t newValueHash) {
+  if (tso_ && !abandoning_) {
+    varCommitTso(object, kind, newValueHash);
+    return;
+  }
   if (kind != OpKind::Read) {
     touchObject(object);
     objects_[static_cast<std::size_t>(object)].valueHash = newValueHash;
   }
   recordEvent(kind, object, -1, 0);
+}
+
+void Execution::varCommitTso(std::int32_t object, OpKind kind,
+                             std::uint64_t newValueHash) {
+  ThreadRec& me = threads_[static_cast<std::size_t>(currentThread_)];
+  if (stagedStore_) {
+    // setVarBits staged this store into the buffer instead of memory; all
+    // that is missing is the value hash (bits were available to setVarBits,
+    // the hash only to us). The event's aux=1 marks it buffered and its
+    // valueHash carries the enqueued value — memory stays untouched until
+    // the matching flush pick.
+    stagedStore_ = false;
+    LAZYHB_CHECK(kind == OpKind::Write && !me.storeBuffer.empty() &&
+                 me.storeBuffer.back().object == object);
+    me.storeBuffer.back().valueHash = newValueHash;
+    recordEvent(kind, object, -1, 1, &newValueHash);
+    return;
+  }
+  if (kind == OpKind::Read) {
+    // Store-to-load forwarding: a load observes the *newest* matching entry
+    // of its own buffer, memory only when no entry matches. The event's
+    // valueHash records the observed value either way.
+    std::uint64_t observed = objects_[static_cast<std::size_t>(object)].valueHash;
+    for (auto it = me.storeBuffer.rbegin(); it != me.storeBuffer.rend(); ++it) {
+      if (it->object == object) {
+        observed = it->valueHash;
+        break;
+      }
+    }
+    recordEvent(kind, object, -1, 0, &observed);
+    return;
+  }
+  // Write-through: an Rmw (empty-buffer-gated, so it is atomic against the
+  // buffer) or a store to a non-engine-resident Shared<T> (documented SC
+  // escape — its bytes live in the wrapper, not the engine, so there is no
+  // buffer slot to stage into).
+  touchObject(object);
+  objects_[static_cast<std::size_t>(object)].valueHash = newValueHash;
+  recordEvent(kind, object, -1, 0);
+}
+
+bool Execution::stageStoreTso(std::int32_t object, std::int64_t bits) {
+  if (abandoning_ || currentThread_ < 0) return false;
+  ThreadRec& me = threads_[static_cast<std::size_t>(currentThread_)];
+  // Only the commit half of a granted Write stages; every other caller of
+  // setVarBits (Rmw commit, initialization) writes through.
+  if (me.pendingOp.kind != OpKind::Write || me.pendingOp.object != object ||
+      me.pendingOp.valid) {
+    return false;
+  }
+  touchBuffer(currentThread_);
+  me.storeBuffer.push_back(StoreBufferEntry{object, bits, 0});
+  const auto depth = static_cast<std::uint32_t>(me.storeBuffer.size());
+  if (depth > maxBufferedStores_) maxBufferedStores_ = depth;
+  stagedStore_ = true;
+  return true;
+}
+
+std::int64_t Execution::varBitsTso(std::int32_t object) const noexcept {
+  if (currentThread_ >= 0) {
+    const ThreadRec& me = threads_[static_cast<std::size_t>(currentThread_)];
+    for (auto it = me.storeBuffer.rbegin(); it != me.storeBuffer.rend(); ++it) {
+      if (it->object == object) return it->bits;
+    }
+  }
+  return objects_[static_cast<std::size_t>(object)].a;
+}
+
+void Execution::commitFlush(int tid) {
+  ThreadRec& t = threads_[static_cast<std::size_t>(tid)];
+  LAZYHB_CHECK(!t.storeBuffer.empty());
+  touchBuffer(tid);
+  const StoreBufferEntry entry = t.storeBuffer.front();
+  t.storeBuffer.erase(t.storeBuffer.begin());
+  touchObject(entry.object);
+  ObjectInfo& obj = objects_[static_cast<std::size_t>(entry.object)];
+  obj.a = entry.bits;
+  obj.valueHash = entry.valueHash;
+  ++flushEvents_;
+
+  // The flush event is committed host-side — no fiber runs. It carries the
+  // flush *agent's* identity (threadUid derived from, but distinct from,
+  // the owner's; threadIndex in the flush-pick range) and its own per-agent
+  // event counter, so labels stay schedule-invariant and program order among
+  // one thread's flushes mirrors the buffer's FIFO discipline.
+  EventRecord event;
+  event.threadIndex = memory::kFlushPickOffset + tid;
+  event.indexInThread = t.flushCount++;
+  event.kind = OpKind::Flush;
+  event.threadUid = memory::flushAgentUid(t.uid);
+  event.objectUid = obj.uid;
+  event.objectIndex = entry.object;
+  event.valueHash = entry.valueHash;
+  events_.push_back(event);
+  if (observer_ != nullptr) observer_->onEvent(*this, events_.back());
+}
+
+void Execution::logBufferUndo(int tid, const ThreadRec& t) {
+  if (bufferUndoSize_ == bufferUndoLog_.size()) bufferUndoLog_.emplace_back();
+  BufferUndo& u = bufferUndoLog_[bufferUndoSize_++];
+  u.tid = tid;
+  u.flushCount = t.flushCount;
+  u.entries.assign(t.storeBuffer.begin(), t.storeBuffer.end());
+}
+
+void Execution::fenceNow() {
+  publishAndPark(OpKind::Fence, -1, -1, -1, 0);
+  if (abandoning_) return;
+  // Under TSO the grant itself is the guarantee: Fence is enabled only once
+  // the caller's buffer is empty (isEnabled), so there is nothing to drain
+  // here. Under SC it is a Yield-like event, so fenced programs produce
+  // comparable traces under both models.
+  LAZYHB_CHECK(!tso_ ||
+               threads_[static_cast<std::size_t>(currentThread_)].storeBuffer.empty());
+  recordEvent(OpKind::Fence, -1, -1, 0);
+  // The TSO stat block stays all-zero under SC (a fence is a plain yield
+  // there), so SC reports carry no tso cells at all.
+  if (tso_) ++fenceEvents_;
 }
 
 void Execution::mutexLock(std::int32_t object) {
@@ -658,8 +884,11 @@ void Execution::semRelease(std::int32_t semaphore) {
 }
 
 int Execution::spawnThread(std::function<void()> fn) {
-  if (threadCount() >= support::kMaxThreads) {
-    failUsage("thread limit exceeded (" + std::to_string(support::kMaxThreads) + ")");
+  // Under TSO the picks >= kFlushPickOffset are flush picks, so real threads
+  // are capped at the offset; under SC the full ThreadSet range is usable.
+  const int threadCap = tso_ ? memory::kTsoMaxRealThreads : support::kMaxThreads;
+  if (threadCount() >= threadCap) {
+    failUsage("thread limit exceeded (" + std::to_string(threadCap) + ")");
     return -1;
   }
   // Park the closure in the engine-side slot *before* publishing: while the

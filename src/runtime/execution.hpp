@@ -44,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "memory/memory_model.hpp"
 #include "runtime/fiber.hpp"
 #include "runtime/operation.hpp"
 #include "support/hash.hpp"
@@ -89,6 +90,11 @@ struct Config {
   /// Abort an execution that commits more events than this (guards against
   /// unbounded spin loops in programs under test).
   std::uint32_t maxEventsPerSchedule = 1u << 20;
+  /// The memory model this execution runs under (memory/memory_model.hpp).
+  /// Sc is byte-identical to the pre-subsystem engine; Tso adds per-thread
+  /// FIFO store buffers whose flushes are scheduler picks
+  /// >= memory::kFlushPickOffset.
+  memory::MemoryModel memoryModel = memory::MemoryModel::Sc;
 };
 
 /// A thread's pending (published but uncommitted) visible operation.
@@ -191,12 +197,34 @@ class Execution {
 
   // --- introspection for schedulers/explorers -------------------------------
 
-  /// Threads whose pending operation can commit in the current state.
+  /// Picks the scheduler may return: thread indices whose pending operation
+  /// can commit, plus — under TSO — one flush pick
+  /// (memory::kFlushPickOffset + t) per thread with a non-empty store
+  /// buffer. Flush picks ignore the owning thread's status: a thread may
+  /// finish, park or block with stores still buffered, and those stores
+  /// must still be able to drain.
   [[nodiscard]] support::ThreadSet enabled() const;
 
   /// Number of threads created so far (indices are [0, threadCount())).
   [[nodiscard]] int threadCount() const noexcept { return static_cast<int>(threads_.size()); }
 
+  /// Exclusive upper bound on pick values: threadCount() under SC,
+  /// memory::kFlushPickOffset + threadCount() under TSO. Loops that inspect
+  /// every potential pick (DPOR's race analysis) iterate to this bound.
+  [[nodiscard]] int pickLimit() const noexcept {
+    return tso_ ? memory::kFlushPickOffset + threadCount() : threadCount();
+  }
+
+  /// The memory model this execution runs under.
+  [[nodiscard]] memory::MemoryModel memoryModel() const noexcept {
+    return config_.memoryModel;
+  }
+
+  /// The pending operation behind a pick. For a thread index this is the
+  /// thread's published operation; for a flush pick (TSO) it is a
+  /// synthesized OpKind::Flush on the buffer head's variable (valid iff the
+  /// buffer is non-empty), so DPOR's dependence machinery sees flushes as
+  /// ordinary pending writes.
   [[nodiscard]] const PendingOp& pending(int tid) const;
   [[nodiscard]] bool threadFinished(int tid) const;
   [[nodiscard]] Uid threadUid(int tid) const;
@@ -245,13 +273,38 @@ class Execution {
 
   /// Engine-resident Var value bits (api.hpp Shared<T> keeps small
   /// trivially-copyable values in the object table, so they are part of
-  /// checkpoints and never live on a fiber stack).
+  /// checkpoints and never live on a fiber stack). Under TSO a load
+  /// forwards from the calling thread's own store buffer (newest matching
+  /// entry) before falling through to memory.
   [[nodiscard]] std::int64_t varBits(std::int32_t object) const noexcept {
+    if (tso_) return varBitsTso(object);
     return objects_[static_cast<std::size_t>(object)].a;
   }
+
+  /// Under TSO a granted Write stages `bits` into the calling thread's FIFO
+  /// store buffer instead of memory (varCommit then fills in the entry's
+  /// value hash); Rmw — granted only on an empty buffer — and every SC
+  /// write still land in memory directly.
   void setVarBits(std::int32_t object, std::int64_t bits) {
+    if (tso_ && stageStoreTso(object, bits)) return;
     touchObject(object);
     objects_[static_cast<std::size_t>(object)].a = bits;
+  }
+
+  /// lazyhb::fence(): a visible Fence event. Under TSO it is enabled only
+  /// once the caller's store buffer has fully drained; under SC it is a
+  /// Yield-like scheduling point, so fenced programs run under both models.
+  void fenceNow();
+
+  // --- per-schedule TSO statistics (all zero under SC) ----------------------
+
+  /// Flush events committed in this schedule so far.
+  [[nodiscard]] std::uint64_t flushEventCount() const noexcept { return flushEvents_; }
+  /// Fence events committed in this schedule so far.
+  [[nodiscard]] std::uint64_t fenceEventCount() const noexcept { return fenceEvents_; }
+  /// High-water mark of any single thread's buffered store count.
+  [[nodiscard]] std::uint32_t maxBufferedStores() const noexcept {
+    return maxBufferedStores_;
   }
 
   void mutexLock(std::int32_t object);
@@ -284,12 +337,31 @@ class Execution {
     Finished,  ///< entry function returned (or was abandoned)
   };
 
+  /// One store parked in a thread's TSO store buffer: destination object,
+  /// the engine-resident value bits, and the value's hash (filled by
+  /// varCommit immediately after the store stages — no scheduling point in
+  /// between, so every entry an observer can see is complete).
+  struct StoreBufferEntry {
+    std::int32_t object = -1;
+    std::int64_t bits = 0;
+    std::uint64_t valueHash = 0;
+  };
+
   struct ThreadRec {
     std::unique_ptr<Fiber> fiber;
     Uid uid = 0;
     ThreadStatus status = ThreadStatus::Pending;
     PendingOp pendingOp;
     std::uint32_t eventsExecuted = 0;
+    /// TSO: this thread's FIFO store buffer, oldest first. Always empty
+    /// under SC. Outlives the thread's own activity — a thread can finish
+    /// with stores still buffered, and they drain via later flush picks.
+    std::vector<StoreBufferEntry> storeBuffer;
+    /// TSO: flush events committed for this thread's buffer so far — the
+    /// indexInThread counter of its flush agent's event stream.
+    std::uint32_t flushCount = 0;
+    /// Dirty stamp for the buffer undo log (mirrors ObjectInfo::epoch).
+    std::uint64_t bufferEpoch = 0;
     std::uint32_t creationSeq = 0;   ///< per-thread counter for derived UIDs
     std::int32_t spawnPredecessor = -1;   ///< consumed by the first event
     std::int32_t signalPredecessor = -1;  ///< consumed by the Reacquire event
@@ -350,14 +422,29 @@ class Execution {
     std::vector<int> waiters;
   };
 
+  /// One buffer undo-log entry: the pre-image of a thread's store buffer
+  /// (and flush counter) the first time either mutates after a checkpoint —
+  /// the store-buffer twin of ObjectUndo, so TSO checkpoints stay
+  /// O(buffers touched) like object checkpoints stay O(objects touched).
+  struct BufferUndo {
+    int tid = -1;
+    std::uint32_t flushCount = 0;
+    std::vector<StoreBufferEntry> entries;
+  };
+
   /// One staged rollback point of the whole execution. Object state is not
   /// copied: `undoMark` remembers the undo-log length at staging time, and
-  /// rollback replays the entries above it backwards.
+  /// rollback replays the entries above it backwards. Store buffers work
+  /// the same way through `bufferUndoMark`.
   struct ExecSnapshot {
     std::size_t depth = 0;  ///< events_.size() == choices_.size()
     std::size_t threadCount = 0;
     std::size_t objectCount = 0;
     std::size_t undoMark = 0;  ///< undo-log length when this was staged
+    std::size_t bufferUndoMark = 0;  ///< buffer undo-log length at staging
+    std::uint64_t flushEvents = 0;   ///< TSO stat counters at staging time
+    std::uint64_t fenceEvents = 0;
+    std::uint32_t maxBufferedStores = 0;
     std::vector<ThreadSnapshot> threads;
   };
 
@@ -376,9 +463,44 @@ class Execution {
                       int targetThread, std::uint64_t aux);
 
   /// Append a committed event for the current thread and notify observers.
-  /// Returns the event's global index.
+  /// Returns the event's global index. `valueOverride`, when non-null,
+  /// supplies the event's valueHash instead of the object's memory value —
+  /// TSO needs it for buffered writes (memory untouched) and forwarded
+  /// reads (observed value is the buffer's, not memory's).
   std::int32_t recordEvent(OpKind kind, std::int32_t object,
-                           std::int32_t mutexObject, std::uint64_t aux);
+                           std::int32_t mutexObject, std::uint64_t aux,
+                           const std::uint64_t* valueOverride = nullptr);
+
+  // --- TSO store-buffer machinery (all no-ops / unreachable under SC) -------
+
+  /// Commit a flush pick: pop the oldest buffered store of `tid` into
+  /// memory and record the Flush event under the thread's flush agent.
+  void commitFlush(int tid);
+
+  /// varCommit's TSO path: buffered Write (fills the staged entry's hash,
+  /// memory untouched, event aux=1), forwarded Read (event carries the
+  /// forwarded-or-memory value), or write-through (Rmw, non-resident
+  /// Write).
+  void varCommitTso(std::int32_t object, OpKind kind, std::uint64_t newValueHash);
+
+  /// Out-of-line slow path of varBits(): newest matching own-buffer entry,
+  /// else memory.
+  [[nodiscard]] std::int64_t varBitsTso(std::int32_t object) const noexcept;
+
+  /// setVarBits's TSO hook: returns true when the bits were staged into the
+  /// calling thread's store buffer (granted Write on an engine-resident
+  /// Shared<T>); false directs the caller to write through.
+  bool stageStoreTso(std::int32_t object, std::int64_t bits);
+
+  /// Dirty-tracking hook for store buffers (the touchObject analogue).
+  void touchBuffer(int tid) {
+    if (snapshots_.empty()) return;
+    ThreadRec& t = threads_[static_cast<std::size_t>(tid)];
+    if (t.bufferEpoch == currentEpoch_) return;
+    t.bufferEpoch = currentEpoch_;
+    logBufferUndo(tid, t);
+  }
+  void logBufferUndo(int tid, const ThreadRec& t);
 
   /// Dirty-tracking hook: called before the first mutation of an object's
   /// state since the last checkpoint; logs its pre-image once per epoch.
@@ -403,6 +525,9 @@ class Execution {
   Config config_;
   StackPool& stackPool_;
   ExecutionObserver* observer_;
+  /// Cached config_.memoryModel == Tso: varBits sits on the hot path of
+  /// every Shared<T> access, so the SC fast path tests one bool.
+  bool tso_ = false;
 
   std::vector<ThreadRec> threads_;
   std::vector<ObjectInfo> objects_;
@@ -434,6 +559,22 @@ class Execution {
   std::size_t undoSize_ = 0;
   std::uint64_t epochCounter_ = 0;
   std::uint64_t currentEpoch_ = 0;
+
+  // --- TSO state (quiescent under SC) ---------------------------------------
+
+  /// Store-buffer undo log, arena-indexed like undoLog_ (entry vectors keep
+  /// their capacity across reuse).
+  std::vector<BufferUndo> bufferUndoLog_;
+  std::size_t bufferUndoSize_ = 0;
+  /// Set by stageStoreTso, consumed by varCommit: the granted Write between
+  /// them staged a buffer entry (no scheduling point separates the two, so
+  /// one flag — not per-thread state — suffices).
+  bool stagedStore_ = false;
+  /// Backing storage for pending() on flush picks (synthesized per call).
+  mutable PendingOp flushScratch_;
+  std::uint64_t flushEvents_ = 0;
+  std::uint64_t fenceEvents_ = 0;
+  std::uint32_t maxBufferedStores_ = 0;
 };
 
 }  // namespace lazyhb::runtime

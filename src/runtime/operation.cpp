@@ -19,6 +19,8 @@ const char* opKindName(OpKind kind) noexcept {
     case OpKind::Spawn: return "spawn";
     case OpKind::Join: return "join";
     case OpKind::Yield: return "yield";
+    case OpKind::Flush: return "flush";
+    case OpKind::Fence: return "fence";
   }
   return "?";
 }

@@ -37,6 +37,14 @@ enum class OpKind : std::uint8_t {
   Spawn,      ///< thread creation
   Join,       ///< thread join (blocks until the target finishes)
   Yield,      ///< pure scheduling point, no object
+  Flush,      ///< TSO: the oldest buffered store of one thread lands in
+              ///< memory. Committed by a flush *pick* (memory/), never
+              ///< published by a fiber; its EventRecord carries the flush
+              ///< agent's identity, not the buffer owner's.
+  Fence,      ///< lazyhb::fence(): store-buffer drain point. Under TSO it is
+              ///< enabled only when the caller's buffer is empty; under SC
+              ///< it is a Yield-like no-op event, so fenced programs run
+              ///< under both models.
 };
 
 [[nodiscard]] const char* opKindName(OpKind kind) noexcept;
@@ -92,7 +100,12 @@ struct EventRecord {
   int threadIndex = -1;          ///< runtime thread index (execution-local)
   std::uint32_t indexInThread = 0;  ///< 0-based per-thread event counter
   OpKind kind = OpKind::Yield;
-  std::uint64_t aux = 0;         ///< TryLock: 1 on success; otherwise 0
+  /// TryLock: 1 on success. Write: 1 when the store entered a TSO store
+  /// buffer instead of memory (part of the label — whether a given static
+  /// store buffers is a function of the Shared<T>'s engine residency, not
+  /// of scheduling, so labels stay schedule-invariant; under SC every
+  /// write has aux 0 and labels are byte-identical to before). Otherwise 0.
+  std::uint64_t aux = 0;
 
   Uid threadUid = 0;             ///< schedule-invariant thread identity
   Uid objectUid = 0;             ///< primary object (0 for Yield)
@@ -108,10 +121,13 @@ struct EventRecord {
   std::int32_t joinPredecessor = -1;    ///< joined thread's last event (Join)
 
   /// Var accesses: the variable's value hash at commit time — the value a
-  /// Read observed, the post-state a Write/Rmw committed (varCommit updates
-  /// the value before recording). 0 for non-Var events. Deliberately NOT
-  /// part of labelHash(): labels name *which* operation ran, values are what
-  /// it saw — the Value relation mixes them separately.
+  /// Read observed (under TSO: forwarded from the reader's own store buffer
+  /// when a matching entry exists, memory otherwise), the post-state a
+  /// Write/Rmw committed (for a TSO-buffered Write: the value enqueued, not
+  /// yet in memory), the value a Flush landed in memory. 0 for non-Var
+  /// events. Deliberately NOT part of labelHash(): labels name *which*
+  /// operation ran, values are what it saw — the Value relation mixes them
+  /// separately.
   std::uint64_t valueHash = 0;
 
   /// Schedule-invariant label hash: identifies *which* operation this is

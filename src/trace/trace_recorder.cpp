@@ -445,7 +445,14 @@ void TraceRecorder::onEvent(const runtime::Execution& exec, const EventRecord& e
       break;
     }
     case OpKind::Write:
-    case OpKind::Rmw: {
+    case OpKind::Rmw:
+    case OpKind::Flush: {
+      if (ev.kind == OpKind::Write && ev.aux == 1) {
+        // TSO-buffered store: not yet a memory write, so program order is
+        // its only ordering. The memory side of the store — and its
+        // conflict edges — arrive with the matching Flush event.
+        break;
+      }
       ObjectHistory& h = history(ev.objectIndex);
       predConflict(h.lastWrite);
       for (const std::int32_t r : h.readersSinceWrite) predConflict(r);
@@ -498,6 +505,7 @@ void TraceRecorder::onEvent(const runtime::Execution& exec, const EventRecord& e
       break;
     }
     case OpKind::Yield:
+    case OpKind::Fence:  // a drain point orders nothing across threads
       break;
   }
 
@@ -576,7 +584,13 @@ void TraceRecorder::onEvent(const runtime::Execution& exec, const EventRecord& e
     // pre-value; Execution commits an RMW's post-value before recording, so
     // the recorder's own mirror is consulted, not the execution's).
     support::Hash128 vh = ev.labelHash().mixedWith(support::hash128(kValueDomain));
-    if (ev.kind == OpKind::Read || ev.kind == OpKind::Rmw) {
+    if (ev.kind == OpKind::Read) {
+      // The event's own valueHash is the value the read observed — under
+      // SC the variable's pre-value (identical to the mirror consulted for
+      // RMWs), under TSO possibly a value forwarded from the reader's own
+      // store buffer, which the memory mirror cannot know.
+      vh = vh.mixedWith(observedValueHash(ev.valueHash));
+    } else if (ev.kind == OpKind::Rmw) {
       vh = vh.mixedWith(observedValueHash(history(ev.objectIndex).valueHash));
     }
     prefixValue_.add(vh);
@@ -613,7 +627,14 @@ void TraceRecorder::onEvent(const runtime::Execution& exec, const EventRecord& e
       break;
     }
     case OpKind::Write:
-    case OpKind::Rmw: {
+    case OpKind::Rmw:
+    case OpKind::Flush: {
+      if (ev.kind == OpKind::Write && ev.aux == 1) {
+        // Buffered store: memory (and therefore the mirror, the reader
+        // set, and the value-state accumulator) is untouched until the
+        // matching Flush below commits it.
+        break;
+      }
       touchHistory(ev.objectIndex);
       ObjectHistory& h = history(ev.objectIndex);
       h.lastWrite = index;
@@ -713,6 +734,7 @@ void TraceRecorder::onEvent(const runtime::Execution& exec, const EventRecord& e
       break;
     }
     case OpKind::Yield:
+    case OpKind::Fence:
       break;
   }
 
@@ -836,7 +858,12 @@ void TraceRecorder::collectConflicts(const runtime::Execution& exec, int tid,
       break;
     }
     case OpKind::Write:
-    case OpKind::Rmw: {
+    case OpKind::Rmw:
+    case OpKind::Flush: {
+      // A pending Write may turn out to buffer under TSO (no memory
+      // conflicts until its Flush); treating it as a memory write here is
+      // conservative — DPOR explores at most extra interleavings, never
+      // fewer. A Flush pick is always a memory write of the buffer head.
       if (op.object >= 0 && static_cast<std::size_t>(op.object) < objectCount_) {
         const ObjectHistory& h = objects_[static_cast<std::size_t>(op.object)];
         push(h.lastWrite);
@@ -863,6 +890,7 @@ void TraceRecorder::collectConflicts(const runtime::Execution& exec, int tid,
     case OpKind::Spawn:
     case OpKind::Join:
     case OpKind::Yield:
+    case OpKind::Fence:
       break;  // not reorderable in a way DPOR can exploit
   }
   sortUnique(out);

@@ -406,11 +406,15 @@ TEST(Report, VersionedAndStructurallySound) {
   const std::string json = campaign::writeReportJson(result, config);
 
   EXPECT_NE(json.find("\"schema\": \"lazyhb-bench-report\""), std::string::npos);
-  EXPECT_NE(json.find("\"version\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"version\": 8"), std::string::npos);
   // Since v4, config.workers is mandatory, and since v6 so is
   // config.snapshot_budget (bench_diff.py rejects a report without them).
-  // v7 adds the per-cell value-class count.
+  // v7 adds the per-cell value-class count; v8 the config memory model.
   EXPECT_NE(json.find("\"value_classes\""), std::string::npos);
+  EXPECT_NE(json.find("\"memory_model\": \"sc\""), std::string::npos);
+  // An SC campaign buffers nothing, so no cell emits the optional v8
+  // per-cell tso block.
+  EXPECT_EQ(json.find("\"tso\""), std::string::npos);
   // A clean unsharded run emits none of the v5 optional fields.
   EXPECT_EQ(json.find("\"timed_out\""), std::string::npos);
   EXPECT_EQ(json.find("\"shard\""), std::string::npos);

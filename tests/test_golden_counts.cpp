@@ -27,6 +27,7 @@
 
 #include "campaign/explorer_spec.hpp"
 #include "explore/dfs_explorer.hpp"
+#include "memory/memory_model.hpp"
 #include "programs/registry.hpp"
 #include "runtime/api.hpp"
 #include "trace/trace_recorder.hpp"
@@ -111,6 +112,66 @@ const GoldenCell kGolden[] = {
     {"sem-handoff-1", "caching-value", 1, 1, 0, 0, 1, 1, 1, 1},
 };
 
+// The TSO golden matrix: the full weak-memory family under
+// --memory-model tso across all six explorers, captured from
+// `lazyhb bench --quick --memory-model tso` on the same implementation
+// that produced kGolden. Store-buffer flushes are scheduler-visible
+// transitions here, so these counts pin the TSO schedule-space shape the
+// same way kGolden pins the SC one: any drift means the store-buffer
+// semantics (staging, forwarding, flush enumeration) changed, not just
+// performance. Note the unfenced litmus rows all carry violations — the
+// TSO-only bugs — while every fenced row is violation-free.
+const GoldenCell kGoldenTso[] = {
+    {"sb-unfenced", "dfs", 200, 68, 0, 132, 1, 1, 1, 1},
+    {"sb-unfenced", "random", 200, 164, 0, 36, 3, 3, 3, 3},
+    {"sb-unfenced", "dpor", 13, 4, 7, 2, 3, 3, 3, 3},
+    {"sb-unfenced", "caching-full", 118, 3, 114, 1, 3, 3, 3, 3},
+    {"sb-unfenced", "caching-lazy", 118, 3, 114, 1, 3, 3, 3, 3},
+    {"sb-unfenced", "caching-value", 118, 3, 114, 1, 3, 3, 3, 3},
+    {"sb-fenced", "dfs", 200, 200, 0, 0, 3, 3, 3, 3},
+    {"sb-fenced", "random", 200, 200, 0, 0, 3, 3, 3, 3},
+    {"sb-fenced", "dpor", 8, 4, 4, 0, 3, 3, 3, 3},
+    {"sb-fenced", "caching-full", 53, 3, 50, 0, 3, 3, 3, 3},
+    {"sb-fenced", "caching-lazy", 53, 3, 50, 0, 3, 3, 3, 3},
+    {"sb-fenced", "caching-value", 53, 3, 50, 0, 3, 3, 3, 3},
+    {"dekker-unfenced", "dfs", 200, 42, 0, 158, 1, 1, 1, 1},
+    {"dekker-unfenced", "random", 200, 164, 0, 36, 3, 3, 3, 3},
+    {"dekker-unfenced", "dpor", 11, 4, 5, 2, 3, 3, 3, 3},
+    {"dekker-unfenced", "caching-full", 88, 3, 84, 1, 3, 3, 3, 3},
+    {"dekker-unfenced", "caching-lazy", 88, 3, 84, 1, 3, 3, 3, 3},
+    {"dekker-unfenced", "caching-value", 88, 3, 84, 1, 3, 3, 3, 3},
+    {"dekker-fenced", "dfs", 170, 170, 0, 0, 3, 3, 3, 3},
+    {"dekker-fenced", "random", 200, 200, 0, 0, 3, 3, 3, 3},
+    {"dekker-fenced", "dpor", 5, 4, 1, 0, 3, 3, 3, 3},
+    {"dekker-fenced", "caching-full", 33, 3, 30, 0, 3, 3, 3, 3},
+    {"dekker-fenced", "caching-lazy", 33, 3, 30, 0, 3, 3, 3, 3},
+    {"dekker-fenced", "caching-value", 33, 3, 30, 0, 3, 3, 3, 3},
+    {"peterson-unfenced", "dfs", 200, 81, 0, 119, 5, 5, 2, 2},
+    {"peterson-unfenced", "random", 200, 177, 0, 23, 24, 24, 8, 6},
+    {"peterson-unfenced", "dpor", 153, 117, 27, 9, 28, 28, 8, 6},
+    {"peterson-unfenced", "caching-full", 200, 6, 190, 4, 6, 6, 3, 3},
+    {"peterson-unfenced", "caching-lazy", 200, 6, 190, 4, 6, 6, 3, 3},
+    {"peterson-unfenced", "caching-value", 200, 4, 192, 4, 4, 4, 4, 4},
+    {"peterson-fenced", "dfs", 200, 200, 0, 0, 3, 3, 3, 2},
+    {"peterson-fenced", "random", 200, 200, 0, 0, 6, 6, 6, 4},
+    {"peterson-fenced", "dpor", 17, 14, 3, 0, 6, 6, 6, 4},
+    {"peterson-fenced", "caching-full", 132, 6, 126, 0, 6, 6, 6, 4},
+    {"peterson-fenced", "caching-lazy", 132, 6, 126, 0, 6, 6, 6, 4},
+    {"peterson-fenced", "caching-value", 132, 6, 126, 0, 6, 6, 6, 4},
+    {"seqlock-fenced", "dfs", 200, 200, 0, 0, 5, 5, 5, 1},
+    {"seqlock-fenced", "random", 200, 200, 0, 0, 8, 8, 8, 1},
+    {"seqlock-fenced", "dpor", 114, 89, 25, 0, 11, 11, 11, 1},
+    {"seqlock-fenced", "caching-full", 68, 11, 57, 0, 11, 11, 11, 1},
+    {"seqlock-fenced", "caching-lazy", 68, 11, 57, 0, 11, 11, 11, 1},
+    {"seqlock-fenced", "caching-value", 68, 11, 57, 0, 11, 11, 11, 1},
+    {"store-forwarding", "dfs", 63, 63, 0, 0, 6, 6, 3, 3},
+    {"store-forwarding", "random", 200, 200, 0, 0, 6, 6, 3, 3},
+    {"store-forwarding", "dpor", 16, 11, 5, 0, 6, 6, 3, 3},
+    {"store-forwarding", "caching-full", 26, 6, 20, 0, 6, 6, 3, 3},
+    {"store-forwarding", "caching-lazy", 26, 6, 20, 0, 6, 6, 3, 3},
+    {"store-forwarding", "caching-value", 21, 3, 18, 0, 3, 3, 3, 3},
+};
+
 // The three incremental-replay configurations every golden cell must agree
 // under: classic from-scratch exploration, recorder-side prefix elision,
 // and (for checkpointable programs on fast-fiber builds) full runtime
@@ -127,8 +188,10 @@ constexpr ReplayMode kReplayModes[] = {
     {"runtime-rollback", true, true},
 };
 
-TEST(GoldenCounts, QuickBudgetSnapshotUnchanged) {
-  for (const GoldenCell& golden : kGolden) {
+void expectGoldenCells(const GoldenCell* cells, std::size_t count,
+                       memory::MemoryModel model) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const GoldenCell& golden = cells[i];
     const programs::ProgramSpec* spec = programs::byName(golden.program);
     ASSERT_NE(spec, nullptr) << golden.program;
     const auto explorerSpec = campaign::parseExplorerSpec(golden.explorer);
@@ -140,6 +203,7 @@ TEST(GoldenCounts, QuickBudgetSnapshotUnchanged) {
       options.incremental = mode.incremental;
       options.checkpointable =
           mode.useProgramCheckpointable && spec->checkpointable;
+      options.memoryModel = model;
       auto explorer = explorerSpec->create(options, /*seed=*/42);
       const explore::ExplorationResult result = explorer->explore(spec->body);
 
@@ -155,6 +219,14 @@ TEST(GoldenCounts, QuickBudgetSnapshotUnchanged) {
       EXPECT_EQ(result.distinctStates, golden.states) << cell;
     }
   }
+}
+
+TEST(GoldenCounts, QuickBudgetSnapshotUnchanged) {
+  expectGoldenCells(kGolden, std::size(kGolden), memory::MemoryModel::Sc);
+}
+
+TEST(GoldenCounts, TsoQuickBudgetSnapshotUnchanged) {
+  expectGoldenCells(kGoldenTso, std::size(kGoldenTso), memory::MemoryModel::Tso);
 }
 
 /// Enumerate every schedule of `program`; return the sets of distinct

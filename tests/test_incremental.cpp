@@ -22,6 +22,7 @@
 
 #include "explore/caching_explorer.hpp"
 #include "explore/dfs_explorer.hpp"
+#include "memory/memory_model.hpp"
 #include "explore/dpor_explorer.hpp"
 #include "explore/parallel_explorer.hpp"
 #include "explore/prefix_replay.hpp"
@@ -58,7 +59,8 @@ bool operator==(const ScheduleTrace& a, const ScheduleTrace& b) {
 std::vector<ScheduleTrace> tracedDfs(const explore::Program& program,
                                      bool incremental, bool checkpointable,
                                      std::uint64_t limit = 4000,
-                                     std::uint64_t snapshotBudgetBytes = 0) {
+                                     std::uint64_t snapshotBudgetBytes = 0,
+                                     memory::MemoryModel model = memory::MemoryModel::Sc) {
   trace::TraceRecorder recorder;
   runtime::StackPool pool;
   explore::PrefixReplayEngine engine(
@@ -72,6 +74,7 @@ std::vector<ScheduleTrace> tracedDfs(const explore::Program& program,
     if (traces.size() >= limit) break;
     explore::TreeScheduler scheduler(state, {}, &engine, startDepth);
     runtime::Config config;
+    config.memoryModel = model;
     const explore::PrefixReplayEngine::Session session =
         engine.beginSchedule(config, &recorder);
     const runtime::Outcome outcome = session.resumed
@@ -336,6 +339,75 @@ TEST(IncrementalReplay, TracesIdenticalAtAnySnapshotBudget) {
           EXPECT_TRUE(baseline[i] == rollback[i])
               << name << ": schedule " << i
               << " diverges under rollback at budget " << budget;
+        }
+      }
+    }
+  }
+}
+
+// --- TSO store-buffer identity -----------------------------------------------
+//
+// Under TSO a checkpoint can land with stores still parked in per-thread
+// buffers; rollback must restore the buffers (contents, FIFO order, flush
+// counters) exactly, or the re-extended schedule forwards different values
+// and every fingerprint downstream drifts. These tests run the same
+// triple-mode and budget-eviction comparisons as above, but over the
+// weak-memory corpus with flush transitions in every schedule tree.
+
+TEST(IncrementalReplay, TsoTracesIdenticalAcrossModes) {
+  // The whole weak-memory family: buggy litmus variants (violations
+  // mid-tree), fenced witnesses (fence gates interleave with rollback), and
+  // the forwarding witness (reads served from restored buffers).
+  for (const programs::ProgramSpec* spec : programs::byFamily("weakmem")) {
+    const std::vector<ScheduleTrace> baseline =
+        tracedDfs(spec->body, false, false, 4000, 0, memory::MemoryModel::Tso);
+    const std::vector<ScheduleTrace> elision =
+        tracedDfs(spec->body, true, false, 4000, 0, memory::MemoryModel::Tso);
+    ASSERT_EQ(baseline.size(), elision.size()) << spec->name;
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      EXPECT_TRUE(baseline[i] == elision[i])
+          << spec->name << ": schedule " << i
+          << " diverges under recorder elision (tso)";
+    }
+    if (spec->checkpointable && runtime::Execution::checkpointingSupported()) {
+      const std::vector<ScheduleTrace> rollback =
+          tracedDfs(spec->body, true, true, 4000, 0, memory::MemoryModel::Tso);
+      ASSERT_EQ(baseline.size(), rollback.size()) << spec->name;
+      for (std::size_t i = 0; i < baseline.size(); ++i) {
+        EXPECT_TRUE(baseline[i] == rollback[i])
+            << spec->name << ": schedule " << i
+            << " diverges under runtime rollback (tso)";
+      }
+    }
+  }
+}
+
+TEST(IncrementalReplay, TsoTracesIdenticalUnderSnapshotBudgetEviction) {
+  // A 64-byte budget forces the eviction fallback on nearly every
+  // divergence: rollback targets vanish and the engine replays from
+  // shallower stages — with non-empty store buffers at both ends.
+  const char* names[] = {"sb-unfenced", "peterson-unfenced", "seqlock-fenced",
+                         "store-forwarding"};
+  for (const char* name : names) {
+    const programs::ProgramSpec* spec = programs::byName(name);
+    ASSERT_NE(spec, nullptr) << name;
+    const std::vector<ScheduleTrace> baseline =
+        tracedDfs(spec->body, false, false, 4000, 0, memory::MemoryModel::Tso);
+    for (const std::uint64_t budget : {std::uint64_t{64}, std::uint64_t{0}}) {
+      for (const bool useRollback : {false, true}) {
+        if (useRollback && !(spec->checkpointable &&
+                             runtime::Execution::checkpointingSupported())) {
+          continue;
+        }
+        const std::vector<ScheduleTrace> candidate = tracedDfs(
+            spec->body, true, useRollback, 4000, budget, memory::MemoryModel::Tso);
+        ASSERT_EQ(baseline.size(), candidate.size())
+            << name << " budget " << budget << " rollback " << useRollback;
+        for (std::size_t i = 0; i < baseline.size(); ++i) {
+          EXPECT_TRUE(baseline[i] == candidate[i])
+              << name << ": schedule " << i << " diverges at budget " << budget
+              << (useRollback ? " under runtime rollback" : " under elision")
+              << " (tso)";
         }
       }
     }

@@ -50,8 +50,20 @@ class compression) for reports that carry the field. `value_classes` is
 count-compared only when both reports carry it, so a v7 candidate still
 compares against a v6 or older baseline.
 
+Schema v8 reports carry the memory model: `config.memory_model` is
+mandatory ("sc" or "tso"; a v8 report without it is rejected — TSO adds
+scheduler-visible flush transitions, so a report must never hide the model
+it explored under), and TSO cells carry a `tso` block (flush_events,
+fence_events, max_buffered_stores). Pre-v8 reports are implicitly "sc".
+Comparing reports that ran under different memory models is a usage error —
+their schedule spaces are different objects, so every scoreboard is labelled
+with the (shared) memory model instead of mixing models in one table. Flush
+and fence totals are part of the count contract (they are a pure function of
+the explored schedule set); the buffer high-water mark is scoreboard-only.
+
 Usage:
     tools/bench_diff.py BASELINE.json CANDIDATE.json [--counts-only]
+                        [--allow-new-cells]
     tools/bench_diff.py --history REPORT.json [REPORT.json ...]
 
 Either argument may be a plain lazyhb-bench-report or a BENCH_PR*.json
@@ -99,12 +111,17 @@ CACHE_COUNT_FIELDS = ["lookups", "hits", "insertions", "entries"]
 # handled by the fallbacks below); any other version means the report
 # format moved ahead of this tool, and guessing at unknown field semantics
 # would silently corrupt the comparison.
-KNOWN_SCHEMA_VERSIONS = (1, 2, 3, 4, 5, 6, 7)
+KNOWN_SCHEMA_VERSIONS = (1, 2, 3, 4, 5, 6, 7, 8)
 
 # Scoreboard-only checkpoint stats (schema v6). Deliberately NOT part of
 # COUNT_FIELDS: staging/eviction order is timing-dependent under
 # work-stealing, so these may differ between byte-identical explorations.
 CHECKPOINT_FIELDS = ["stages", "bytes_staged", "evictions", "replay_fallbacks"]
+
+# Schema v8 TSO store-buffer counts. Flush and fence totals are a pure
+# function of the explored schedule set, so they count-compare; the buffer
+# high-water mark is a per-worker maximum and stays scoreboard-only.
+TSO_COUNT_FIELDS = ["flush_events", "fence_events"]
 
 
 def load_report(path):
@@ -152,9 +169,21 @@ def load_report(path):
                          f"count; v7 made it mandatory so the extended "
                          f"section-3 chain can be checked on every cell — "
                          f"regenerate the report with a current `lazyhb bench`")
+    if version >= 8 and "memory_model" not in doc.get("config", {}):
+        sys.exit(f"bench_diff: '{path}' is a schema v{version} report but "
+                 f"its config block has no 'memory_model' field; v8 made "
+                 f"config.memory_model mandatory so a report cannot "
+                 f"silently hide the memory model it explored under — "
+                 f"regenerate the report with a current `lazyhb bench`")
     if "merge" in doc:
         validate_merge_provenance(doc, path)
     return doc
+
+
+def report_memory_model(doc):
+    """The memory model a report explored under; pre-v8 reports predate the
+    memory-model subsystem and are sequentially consistent by construction."""
+    return doc.get("config", {}).get("memory_model", "sc")
 
 
 def validate_merge_provenance(doc, path):
@@ -212,6 +241,8 @@ def cell_counts(cell, optional_fields=()):
         counts[f] = cell[f]
     if "cache" in cell:
         counts["cache"] = {f: cell["cache"][f] for f in CACHE_COUNT_FIELDS}
+    if "tso" in cell:
+        counts["tso"] = {f: cell["tso"][f] for f in TSO_COUNT_FIELDS}
     return counts
 
 
@@ -316,6 +347,42 @@ def checkpoint_table(base_cells, cand_cells, shared):
               f"{row[2]:>16} {row[3]:>18}")
 
 
+def tso_table(base_cells, cand_cells, shared):
+    """Scoreboard of v8 TSO store-buffer activity, summed per explorer over
+    the cells that carry a `tso` block (SC campaigns buffer nothing and emit
+    none). Flush/fence totals also count-compare; the buffer high-water mark
+    shown here is the informational part."""
+    def collect(cells):
+        by_explorer = {}
+        for key in shared:
+            tso = cells[key].get("tso")
+            if tso is None:
+                continue
+            agg = by_explorer.setdefault(
+                key[1], {"flush_events": 0, "fence_events": 0,
+                         "max_buffered_stores": 0})
+            agg["flush_events"] += tso.get("flush_events", 0)
+            agg["fence_events"] += tso.get("fence_events", 0)
+            agg["max_buffered_stores"] = max(agg["max_buffered_stores"],
+                                             tso.get("max_buffered_stores", 0))
+        return by_explorer
+    base = collect(base_cells)
+    cand = collect(cand_cells)
+    if not base and not cand:
+        return
+    print("\ntso store buffers (baseline -> candidate, summed over cells; "
+          "max_buffered is a high-water mark):")
+    print(f"  {'explorer':<14} {'flush_events':>22} {'fence_events':>22} "
+          f"{'max_buffered':>14}")
+    for explorer in sorted(base.keys() | cand.keys()):
+        row = []
+        for field in ("flush_events", "fence_events", "max_buffered_stores"):
+            a = base[explorer][field] if explorer in base else "-"
+            b = cand[explorer][field] if explorer in cand else "-"
+            row.append(f"{a} -> {b}")
+        print(f"  {explorer:<14} {row[0]:>22} {row[1]:>22} {row[2]:>14}")
+
+
 def print_history(paths):
     """Totals-level events/s trajectory across reports, oldest first."""
     print(f"{'report':<28} {'schedules':>12} {'events':>14} "
@@ -345,6 +412,11 @@ def main():
     parser.add_argument("--history", action="store_true",
                         help="print the totals events/s trajectory across "
                              "the given reports instead of diffing two")
+    parser.add_argument("--allow-new-cells", action="store_true",
+                        help="tolerate cells present only in the candidate "
+                             "(for diffing against a baseline captured "
+                             "before the corpus grew); cells MISSING from "
+                             "the candidate stay fatal")
     args = parser.parse_args()
 
     if args.history:
@@ -354,6 +426,18 @@ def main():
 
     base = load_report(args.reports[0])
     cand = load_report(args.reports[1])
+
+    # A TSO campaign explores a different schedule space than an SC one;
+    # count-comparing across models would "fail" every cell for reasons that
+    # have nothing to do with the determinism contract. Per-model scoreboards
+    # stay split by construction: one diff, one model.
+    base_model = report_memory_model(base)
+    cand_model = report_memory_model(cand)
+    if base_model != cand_model:
+        sys.exit(f"bench_diff: memory-model mismatch: '{args.reports[0]}' "
+                 f"ran under {base_model} but '{args.reports[1]}' under "
+                 f"{cand_model}; reports are only comparable within one "
+                 f"memory model")
 
     base_cells = {cell_key(c): c for c in base["cells"]}
     cand_cells = {cell_key(c): c for c in cand["cells"]}
@@ -365,8 +449,11 @@ def main():
         print(f"MISSING in candidate: {key[0]} x {key[1]}")
         failed = True
     for key in only_cand:
-        print(f"EXTRA in candidate:   {key[0]} x {key[1]}")
-        failed = True
+        if args.allow_new_cells:
+            print(f"NEW in candidate (allowed): {key[0]} x {key[1]}")
+        else:
+            print(f"EXTRA in candidate:   {key[0]} x {key[1]}")
+            failed = True
 
     shared = []
     skipped = 0
@@ -393,16 +480,18 @@ def main():
                   + ", ".join(f"{f} {was} -> {now}"
                               for f, (was, now) in diffs.items()))
 
-    print(f"counts: {len(shared)} cells compared, {mismatches} mismatch(es)"
+    print(f"counts: {len(shared)} cells compared under {cand_model}, "
+          f"{mismatches} mismatch(es)"
           + (f", {skipped} timed-out/failed cell(s) skipped" if skipped else ""))
 
     if not args.counts_only and shared:
-        rate_table("eventsPerSecond", base_cells, cand_cells, shared,
-                   "events_per_second")
-        rate_table("executedEventsPerSecond", base_cells, cand_cells, shared,
-                   "executed_events_per_second")
+        rate_table(f"eventsPerSecond [{cand_model}]", base_cells, cand_cells,
+                   shared, "events_per_second")
+        rate_table(f"executedEventsPerSecond [{cand_model}]", base_cells,
+                   cand_cells, shared, "executed_events_per_second")
         checkpoint_table(base_cells, cand_cells, shared)
-        compression_table("candidate", cand_cells, shared)
+        tso_table(base_cells, cand_cells, shared)
+        compression_table(f"candidate, {cand_model}", cand_cells, shared)
 
     return 1 if failed else 0
 
